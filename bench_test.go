@@ -1,0 +1,508 @@
+// Package stat_test holds the benchmark harness: one benchmark per figure
+// of the paper's evaluation (regenerating the figure's series via the
+// statbench harness and reporting the headline modeled seconds), plus
+// ablation benchmarks over the design choices DESIGN.md calls out and raw
+// data-structure benchmarks for the real in-memory work.
+//
+// Run everything:
+//
+//	go test -bench=. -benchmem
+package stat_test
+
+import (
+	"fmt"
+	"testing"
+
+	"stat/internal/bitvec"
+	"stat/internal/core"
+	"stat/internal/emul"
+	"stat/internal/machine"
+	"stat/internal/mpisim"
+	"stat/internal/statbench"
+	"stat/internal/tbon"
+	"stat/internal/topology"
+	"stat/internal/trace"
+)
+
+func quickCfg() statbench.Config { return statbench.QuickConfig() }
+
+// reportLast attaches the figure's largest-scale modeled time as a metric,
+// so `go test -bench` output doubles as a summary of the reproduction.
+func reportLast(b *testing.B, fig *statbench.Figure) {
+	b.Helper()
+	for _, s := range fig.Series {
+		for i := len(s.Points) - 1; i >= 0; i-- {
+			if !s.Points[i].Failed {
+				b.ReportMetric(s.Points[i].Seconds, "modeled_s/"+sanitize(s.Name))
+				break
+			}
+		}
+	}
+}
+
+func sanitize(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		switch {
+		case r == ' ' || r == '(' || r == ')':
+			out = append(out, '_')
+		default:
+			out = append(out, r)
+		}
+	}
+	return string(out)
+}
+
+// BenchmarkFig1PrefixTree builds and merges the 1024-task 3D
+// trace/space/time tree of the hung ring app — the real data-structure
+// work behind the paper's Figure 1.
+func BenchmarkFig1PrefixTree(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, _, err := statbench.Fig1(quickCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Tree3D.NodeCount() == 0 {
+			b.Fatal("empty tree")
+		}
+	}
+}
+
+// BenchmarkFig2Startup regenerates Atlas startup (LaunchMON vs MRNet rsh).
+func BenchmarkFig2Startup(b *testing.B) {
+	var fig *statbench.Figure
+	var err error
+	for i := 0; i < b.N; i++ {
+		fig, err = statbench.Fig2(quickCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportLast(b, fig)
+}
+
+// BenchmarkFig3StartupBGL regenerates BG/L startup across topologies,
+// modes and control-system patch levels.
+func BenchmarkFig3StartupBGL(b *testing.B) {
+	var fig *statbench.Figure
+	var err error
+	for i := 0; i < b.N; i++ {
+		fig, err = statbench.Fig3(quickCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportLast(b, fig)
+}
+
+// BenchmarkFig4MergeAtlas regenerates Atlas merge times across tree depths
+// (original bit vectors). This runs the real prefix-tree merges.
+func BenchmarkFig4MergeAtlas(b *testing.B) {
+	var fig *statbench.Figure
+	var err error
+	for i := 0; i < b.N; i++ {
+		fig, err = statbench.Fig4(quickCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportLast(b, fig)
+}
+
+// BenchmarkFig5MergeBGL regenerates BG/L merge times with the original bit
+// vectors, including the 1-deep fan-in failure at 16,384 nodes.
+func BenchmarkFig5MergeBGL(b *testing.B) {
+	var fig *statbench.Figure
+	var err error
+	for i := 0; i < b.N; i++ {
+		fig, err = statbench.Fig5(quickCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportLast(b, fig)
+}
+
+// BenchmarkFig6BitVectorOps measures the raw bit-vector operations of the
+// Figure 6 illustration at job scale: full-width union versus subtree
+// concat + front-end remap for one edge label at 208K tasks.
+func BenchmarkFig6BitVectorOps(b *testing.B) {
+	const n = 212992
+	b.Run("original_union", func(b *testing.B) {
+		x := bitvec.New(n)
+		y := bitvec.New(n)
+		for i := 0; i < n; i += 3 {
+			y.Set(i)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := x.UnionWith(y); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("optimized_concat", func(b *testing.B) {
+		parts := make([]*bitvec.Vector, 1664)
+		for i := range parts {
+			parts[i] = bitvec.New(128)
+			parts[i].Set(i % 128)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			v := bitvec.Concat(parts...)
+			if v.Len() != 1664*128 {
+				b.Fatal("bad width")
+			}
+		}
+	})
+	b.Run("frontend_remap", func(b *testing.B) {
+		v := bitvec.New(n)
+		for i := 0; i < n; i += 2 {
+			v.Set(i)
+		}
+		perm := make([]int, n)
+		for i := range perm {
+			perm[i] = (i*7919 + 13) % n
+		}
+		// 7919 is coprime with 212992, so perm is a permutation.
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := v.Remap(perm, n); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkFig7OptimizedMerge regenerates the headline comparison:
+// original versus hierarchical bit vectors on BG/L up to 208K tasks.
+func BenchmarkFig7OptimizedMerge(b *testing.B) {
+	var fig *statbench.Figure
+	var err error
+	for i := 0; i < b.N; i++ {
+		fig, err = statbench.Fig7(quickCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportLast(b, fig)
+}
+
+// BenchmarkFig8SamplingAtlas regenerates Atlas NFS-bound sampling.
+func BenchmarkFig8SamplingAtlas(b *testing.B) {
+	var fig *statbench.Figure
+	var err error
+	for i := 0; i < b.N; i++ {
+		fig, err = statbench.Fig8(quickCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportLast(b, fig)
+}
+
+// BenchmarkFig9SamplingBGL regenerates BG/L sampling across topologies.
+func BenchmarkFig9SamplingBGL(b *testing.B) {
+	var fig *statbench.Figure
+	var err error
+	for i := 0; i < b.N; i++ {
+		fig, err = statbench.Fig9(quickCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportLast(b, fig)
+}
+
+// BenchmarkFig10SBRS regenerates Atlas sampling with the binary relocation
+// service (NFS vs Lustre vs SBRS).
+func BenchmarkFig10SBRS(b *testing.B) {
+	var fig *statbench.Figure
+	var err error
+	for i := 0; i < b.N; i++ {
+		fig, err = statbench.Fig10(quickCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportLast(b, fig)
+}
+
+// --- Ablation benchmarks -------------------------------------------------
+
+// BenchmarkMergeBitVecModes ablates the task-set representation at a fixed
+// scale (BG/L CO, 16,384 tasks), measuring the real end-to-end reduction.
+func BenchmarkMergeBitVecModes(b *testing.B) {
+	for _, mode := range []core.BitVecMode{core.Original, core.Hierarchical} {
+		b.Run(mode.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tool, err := core.New(core.Options{
+					Machine:  machine.BGL(),
+					Mode:     machine.CO,
+					Tasks:    16384,
+					Topology: topology.Spec{Kind: topology.KindBGL2Deep},
+					BitVec:   mode,
+					Samples:  3,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := tool.MeasureMerge()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.MergeErr != nil {
+					b.Fatal(res.MergeErr)
+				}
+				b.ReportMetric(float64(res.FrontEndInBytes), "fe_bytes")
+			}
+		})
+	}
+}
+
+// BenchmarkTopologySweep ablates analysis-tree depth at fixed scale.
+func BenchmarkTopologySweep(b *testing.B) {
+	specs := map[string]topology.Spec{
+		"1-deep": {Kind: topology.KindFlat},
+		"2-deep": {Kind: topology.KindBalanced, Depth: 2},
+		"3-deep": {Kind: topology.KindBalanced, Depth: 3},
+	}
+	for name, spec := range specs {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tool, err := core.New(core.Options{
+					Machine:  machine.Atlas(),
+					Tasks:    2048,
+					Topology: spec,
+					BitVec:   core.Original,
+					Samples:  3,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := tool.MeasureMerge()
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.Times.Merge, "modeled_s")
+			}
+		})
+	}
+}
+
+// BenchmarkThreadsExtension ablates the Section VII thread multiplier.
+func BenchmarkThreadsExtension(b *testing.B) {
+	for _, threads := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("threads=%d", threads), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tool, err := core.New(core.Options{
+					Machine:        machine.Atlas(),
+					Tasks:          512,
+					Topology:       topology.Spec{Kind: topology.KindBalanced, Depth: 2},
+					BitVec:         core.Hierarchical,
+					ThreadsPerTask: threads,
+					Samples:        3,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				sec, _, err := tool.MeasureSample(true)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(sec, "modeled_s")
+			}
+		})
+	}
+}
+
+// BenchmarkReduceParallelVsSeq compares the concurrent TBON reduction with
+// the low-memory sequential fold on identical real workloads.
+func BenchmarkReduceParallelVsSeq(b *testing.B) {
+	for _, parallel := range []bool{false, true} {
+		name := "sequential"
+		if parallel {
+			name = "parallel"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tool, err := core.New(core.Options{
+					Machine:  machine.Atlas(),
+					Tasks:    1024,
+					Topology: topology.Spec{Kind: topology.KindBalanced, Depth: 2},
+					BitVec:   core.Hierarchical,
+					Samples:  3,
+					Parallel: parallel,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := tool.MeasureMerge(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEmulShapeSweep runs the STATBench-style emulator over the
+// design-space ablations: equivalence-class count and stack depth, in
+// both representations.
+func BenchmarkEmulShapeSweep(b *testing.B) {
+	model := func() tbon.TimingModel {
+		m := machine.BGL()
+		return tbon.TimingModel{Link: m.TreeLink, CPU: m.MergeCPU, ConstSec: m.MergeConstSec}
+	}
+	for _, classes := range []int{4, 64, 1024} {
+		for _, hier := range []bool{false, true} {
+			name := fmt.Sprintf("classes=%d/original", classes)
+			if hier {
+				name = fmt.Sprintf("classes=%d/hierarchical", classes)
+			}
+			b.Run(name, func(b *testing.B) {
+				spec := emul.Spec{Tasks: 8192, Depth: 8, Branch: 4, EqClasses: classes, Seed: 17}
+				for i := 0; i < b.N; i++ {
+					res, err := emul.Run(spec, 128, topology.Spec{Kind: topology.KindBGL2Deep}, hier, model())
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.ReportMetric(res.ModeledSec, "modeled_s")
+					b.ReportMetric(float64(res.FrontEndInBytes), "fe_bytes")
+				}
+			})
+		}
+	}
+}
+
+// --- Raw data-structure benchmarks ---------------------------------------
+
+// BenchmarkTreeMergeUnion measures the real union merge of two daemon-sized
+// trees with full-job-width labels (the per-filter work in original mode).
+func BenchmarkTreeMergeUnion(b *testing.B) {
+	app, err := mpisim.NewRing(4096)
+	if err != nil {
+		b.Fatal(err)
+	}
+	build := func(lo int) *trace.Tree {
+		t := trace.NewTree(4096)
+		for task := lo; task < lo+64; task++ {
+			for s := 0; s < 3; s++ {
+				t.AddStack(task, app.StackFuncs(task, 0, s)...)
+			}
+		}
+		return t
+	}
+	src := build(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst := build(0)
+		if err := trace.MergeUnion(dst, src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTreeMergeConcat measures the concatenation merge of 26
+// subtree-local trees (one BG/L communication process's filter work in
+// hierarchical mode).
+func BenchmarkTreeMergeConcat(b *testing.B) {
+	app, err := mpisim.NewRing(4096)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var parts []*trace.Tree
+	for d := 0; d < 26; d++ {
+		t := trace.NewTree(64)
+		for local := 0; local < 64; local++ {
+			task := d*64 + local
+			for s := 0; s < 3; s++ {
+				t.AddStack(local, app.StackFuncs(task, 0, s)...)
+			}
+		}
+		parts = append(parts, t)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := trace.MergeConcat(parts...)
+		if m.NumTasks != 26*64 {
+			b.Fatal("bad merge")
+		}
+	}
+}
+
+// BenchmarkTreeSerialize measures the wire encode/decode of a daemon
+// payload in both representations.
+func BenchmarkTreeSerialize(b *testing.B) {
+	app, err := mpisim.NewRing(212992)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []struct {
+		name  string
+		width int
+	}{
+		{"original_208K_wide", 212992},
+		{"hierarchical_128_wide", 128},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			t := trace.NewTree(mode.width)
+			for local := 0; local < 128; local++ {
+				idx := local
+				for s := 0; s < 3; s++ {
+					t.AddStack(idx, app.StackFuncs(local, 0, s)...)
+				}
+			}
+			data, err := t.MarshalBinary()
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(len(data)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				enc, err := t.MarshalBinary()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := trace.UnmarshalBinary(enc); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStackSampling measures the real per-task stack walk + local
+// merge rate (what one daemon does 10x per task per sample).
+func BenchmarkStackSampling(b *testing.B) {
+	app, err := mpisim.NewRing(8192)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tree := trace.NewTree(8192)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		task := i % 8192
+		tree.AddStack(task, app.StackFuncs(task, 0, i/8192)...)
+	}
+}
+
+// BenchmarkTBONReduceOverlay measures the raw overlay (channel transport)
+// on a 256-leaf, 2-deep tree with a byte-concat filter.
+func BenchmarkTBONReduceOverlay(b *testing.B) {
+	topo, err := topology.Balanced(2, 256)
+	if err != nil {
+		b.Fatal(err)
+	}
+	net := tbon.New(topo, nil)
+	payload := make([]byte, 1024)
+	leaf := func(int) ([]byte, error) { return payload, nil }
+	filter := func(children [][]byte) ([]byte, error) {
+		return children[0], nil
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := net.Reduce(leaf, filter); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

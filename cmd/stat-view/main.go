@@ -1,0 +1,56 @@
+// Command stat-view renders a merged call-graph prefix tree saved by
+// `stat -save`: as an indented outline, as equivalence classes, or as
+// Graphviz DOT (the paper's Figure 1 rendering).
+//
+//	stat -tasks 1024 -save run.tree
+//	stat-view run.tree                # outline + classes
+//	stat-view -dot run.tree > fig.dot # Graphviz
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"stat/internal/trace"
+)
+
+func main() {
+	dot := flag.Bool("dot", false, "emit Graphviz DOT on stdout")
+	classes := flag.Bool("classes", true, "print equivalence classes")
+	outline := flag.Bool("outline", true, "print the tree outline")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: stat-view [-dot] [-classes] [-outline] <tree file>")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stat-view:", err)
+		os.Exit(1)
+	}
+	tree, err := trace.UnmarshalBinary(data)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stat-view:", err)
+		os.Exit(1)
+	}
+
+	if *dot {
+		if err := tree.WriteDOT(os.Stdout, flag.Arg(0)); err != nil {
+			fmt.Fprintln(os.Stderr, "stat-view:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	fmt.Printf("%s: %d tasks, %d nodes, depth %d\n\n",
+		flag.Arg(0), tree.NumTasks, tree.NodeCount(), tree.Depth())
+	if *outline {
+		fmt.Print(tree)
+	}
+	if *classes {
+		fmt.Println("\nequivalence classes:")
+		for _, c := range tree.EquivalenceClasses() {
+			fmt.Printf("  %s\n", c)
+		}
+	}
+}

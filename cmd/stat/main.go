@@ -1,0 +1,181 @@
+// Command stat runs the Stack Trace Analysis Tool against a simulated
+// parallel application and reports the process equivalence classes, the
+// merged call-graph prefix trees, and the modeled time of each tool phase.
+//
+//	stat -tasks 1024                          # Atlas, defaults
+//	stat -machine bgl -mode vn -tasks 8192    # BG/L virtual-node mode
+//	stat -topology 2deep -bitvec hierarchical # the optimized configuration
+//	stat -dot tree.dot                        # write the 3D tree as DOT
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"stat/internal/core"
+	"stat/internal/machine"
+	"stat/internal/topology"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "stat:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		machineName = flag.String("machine", "atlas", "machine model: atlas or bgl")
+		modeName    = flag.String("mode", "co", "BG/L execution mode: co or vn")
+		tasks       = flag.Int("tasks", 1024, "application task count")
+		topoName    = flag.String("topology", "2deep", "analysis tree: flat, 2deep, 3deep")
+		bitvecName  = flag.String("bitvec", "hierarchical", "task-set representation: original or hierarchical")
+		samples     = flag.Int("samples", 10, "stack samples per task")
+		threads     = flag.Int("threads", 1, "threads per task (Section VII extension)")
+		useSBRS     = flag.Bool("sbrs", false, "relocate binaries with SBRS before sampling")
+		unpatched   = flag.Bool("unpatched", false, "use the unpatched BG/L control system")
+		seed        = flag.Uint64("seed", 0, "determinism seed (0 = default)")
+		dotPath     = flag.String("dot", "", "write the 3D prefix tree as Graphviz DOT to this file")
+		savePath    = flag.String("save", "", "save the merged 3D prefix tree (wire format) for stat-view")
+		showTree    = flag.Bool("tree", false, "print the merged 3D prefix tree")
+		maxClasses  = flag.Int("classes", 10, "max equivalence classes to print")
+		progress    = flag.Bool("progress", false, "run a two-round progress check and report wedged tasks")
+	)
+	flag.Parse()
+
+	opts := core.Options{
+		Tasks:          *tasks,
+		Samples:        *samples,
+		ThreadsPerTask: *threads,
+		UseSBRS:        *useSBRS,
+		BGLPatched:     !*unpatched,
+		Seed:           *seed,
+	}
+
+	switch *machineName {
+	case "atlas":
+		opts.Machine = machine.Atlas()
+	case "bgl":
+		opts.Machine = machine.BGL()
+	default:
+		return fmt.Errorf("unknown machine %q (atlas|bgl)", *machineName)
+	}
+	switch *modeName {
+	case "co":
+		opts.Mode = machine.CO
+	case "vn":
+		opts.Mode = machine.VN
+	default:
+		return fmt.Errorf("unknown mode %q (co|vn)", *modeName)
+	}
+	switch *topoName {
+	case "flat", "1deep":
+		opts.Topology = topology.Spec{Kind: topology.KindFlat}
+	case "2deep":
+		if *machineName == "bgl" {
+			opts.Topology = topology.Spec{Kind: topology.KindBGL2Deep}
+		} else {
+			opts.Topology = topology.Spec{Kind: topology.KindBalanced, Depth: 2}
+		}
+	case "3deep":
+		if *machineName == "bgl" {
+			opts.Topology = topology.Spec{Kind: topology.KindBGL3Deep}
+		} else {
+			opts.Topology = topology.Spec{Kind: topology.KindBalanced, Depth: 3}
+		}
+	default:
+		return fmt.Errorf("unknown topology %q (flat|2deep|3deep)", *topoName)
+	}
+	switch *bitvecName {
+	case "original":
+		opts.BitVec = core.Original
+	case "hierarchical", "optimized":
+		opts.BitVec = core.Hierarchical
+	default:
+		return fmt.Errorf("unknown bitvec mode %q (original|hierarchical)", *bitvecName)
+	}
+
+	tool, err := core.New(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("STAT: %s, %d tasks, %d daemons, %s tree, %s bit vectors\n",
+		opts.Machine.Name, *tasks, tool.Daemons(), *topoName, opts.BitVec)
+
+	res, err := tool.Run()
+	if err != nil {
+		return err
+	}
+	if res.LaunchErr != nil {
+		fmt.Printf("launch FAILED after %.2fs: %v\n", res.Times.Launch, res.LaunchErr)
+		return nil
+	}
+	if res.MergeErr != nil {
+		fmt.Printf("merge FAILED: %v\n", res.MergeErr)
+		return nil
+	}
+
+	fmt.Printf("\nphase times (modeled):\n")
+	fmt.Printf("  launch   %8.2fs\n", res.Times.Launch)
+	if opts.UseSBRS {
+		fmt.Printf("  sbrs     %8.3fs (relocated %d bytes)\n", res.Times.SBRS, res.SBRSReport.Bytes)
+	}
+	fmt.Printf("  sample   %8.2fs\n", res.Times.Sample)
+	fmt.Printf("  merge    %8.4fs (front end received %d bytes)\n", res.Times.Merge, res.FrontEndInBytes)
+	if res.Times.Remap > 0 {
+		fmt.Printf("  remap    %8.3fs\n", res.Times.Remap)
+	}
+	fmt.Printf("  total    %8.2fs\n", res.Times.Total())
+
+	if *progress {
+		// A fresh Tool: each carries single-use virtual-clock state.
+		ptool, err := core.New(opts)
+		if err != nil {
+			return err
+		}
+		pr, err := ptool.ProgressCheck()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\nprogress check: %d task(s) with frozen stacks: %v\n",
+			pr.Stuck.Count(), pr.Stuck.Members())
+	}
+
+	fmt.Printf("\nequivalence classes (%d):\n", len(res.Classes))
+	for i, c := range res.Classes {
+		if i >= *maxClasses {
+			fmt.Printf("  … %d more\n", len(res.Classes)-i)
+			break
+		}
+		fmt.Printf("  %s\n", c)
+	}
+
+	if *showTree {
+		fmt.Printf("\n3D trace/space/time prefix tree:\n%s", res.Tree3D)
+	}
+	if *dotPath != "" {
+		f, err := os.Create(*dotPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		title := fmt.Sprintf("STAT 3D call graph prefix tree (%d tasks)", *tasks)
+		if err := res.Tree3D.WriteDOT(f, title); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote %s\n", *dotPath)
+	}
+	if *savePath != "" {
+		data, err := res.Tree3D.MarshalBinary()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*savePath, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("saved merged tree to %s (%d bytes)\n", *savePath, len(data))
+	}
+	return nil
+}

@@ -1,0 +1,101 @@
+// Command statbench regenerates the paper's evaluation figures. With no
+// arguments it runs every figure; -fig selects one. Output is one aligned
+// text table per figure, with the paper's scalar observations as notes.
+//
+//	statbench            # all figures
+//	statbench -fig 7     # just Figure 7
+//	statbench -quick     # trimmed sweeps (same shapes, fewer points)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"stat/internal/statbench"
+)
+
+func main() {
+	figNum := flag.Int("fig", 0, "figure number to regenerate (0 = all)")
+	quick := flag.Bool("quick", false, "trim sweeps for a fast run")
+	seed := flag.Uint64("seed", 0, "override the experiment seed (0 = default)")
+	ablations := flag.Bool("ablations", false, "run the emulator-driven ablation sweeps instead of the paper figures")
+	projection := flag.Bool("projection", false, "run the million-core projection (slow: a real 1M-task merge)")
+	plotOut := flag.Bool("plot", false, "render figures as ASCII charts in addition to tables")
+	flag.Parse()
+
+	cfg := statbench.DefaultConfig()
+	if *quick {
+		cfg = statbench.QuickConfig()
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+
+	show := func(f *statbench.Figure) {
+		fmt.Println(f.Format())
+		if *plotOut {
+			fmt.Println(f.Plot())
+		}
+	}
+
+	if *projection {
+		fig, err := statbench.Projection(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "statbench:", err)
+			os.Exit(1)
+		}
+		show(fig)
+		return
+	}
+	if *ablations {
+		figs, err := statbench.Ablations(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "statbench:", err)
+			os.Exit(1)
+		}
+		for _, f := range figs {
+			show(f)
+		}
+		return
+	}
+
+	if *figNum == 0 {
+		figs, err := statbench.All(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "statbench:", err)
+			os.Exit(1)
+		}
+		for _, f := range figs {
+			show(f)
+		}
+		return
+	}
+
+	gens := map[int]func(statbench.Config) (*statbench.Figure, error){
+		2: statbench.Fig2, 3: statbench.Fig3, 4: statbench.Fig4,
+		5: statbench.Fig5, 6: statbench.Fig6, 7: statbench.Fig7,
+		8: statbench.Fig8, 9: statbench.Fig9, 10: statbench.Fig10,
+	}
+	if *figNum == 1 {
+		res, fig, err := statbench.Fig1(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "statbench:", err)
+			os.Exit(1)
+		}
+		fmt.Println(res.Tree3D)
+		fmt.Println(fig.Format())
+		return
+	}
+	gen, ok := gens[*figNum]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "statbench: no figure %d (paper has 1-10)\n", *figNum)
+		os.Exit(2)
+	}
+	fig, err := gen(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "statbench:", err)
+		os.Exit(1)
+	}
+	show(fig)
+}

@@ -1,0 +1,52 @@
+// Quickstart: run STAT on a 256-task MPI ring application with an injected
+// hang and print the process equivalence classes. This is the tool's core
+// workflow — reduce 256 suspect tasks to a handful of representatives that
+// a heavyweight debugger can attach to.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"stat/internal/core"
+	"stat/internal/machine"
+	"stat/internal/topology"
+)
+
+func main() {
+	tool, err := core.New(core.Options{
+		Machine:  machine.Atlas(),
+		Tasks:    256,
+		Topology: topology.Spec{Kind: topology.KindBalanced, Depth: 2},
+		BitVec:   core.Hierarchical,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := tool.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if res.LaunchErr != nil || res.MergeErr != nil {
+		log.Fatalf("environment failure: %v %v", res.LaunchErr, res.MergeErr)
+	}
+
+	fmt.Printf("STAT run: %d tasks via %d daemons\n", res.Tasks, res.Daemons)
+	fmt.Printf("phases: launch %.1fs, sample %.1fs, merge %.4fs, remap %.4fs\n\n",
+		res.Times.Launch, res.Times.Sample, res.Times.Merge, res.Times.Remap)
+
+	fmt.Println("process equivalence classes (2D trace×space tree):")
+	for _, c := range res.Classes {
+		fmt.Printf("  %s\n", c)
+	}
+
+	// The classes direct the debugging session: attach to one
+	// representative of each small class.
+	fmt.Println("\nsuggested debugger attach targets:")
+	for _, c := range res.Classes {
+		if len(c.Tasks) <= 4 {
+			fmt.Printf("  rank %d (%s)\n", c.Representative(), c.Path[len(c.Path)-1])
+		}
+	}
+}

@@ -1,0 +1,59 @@
+// Topologies: the paper's Section V lesson as a runnable comparison. The
+// same merge is driven through a flat tree and 2-deep trees with both
+// task-set representations, on the BG/L model at increasing scales. Watch
+// the flat tree die at 256 daemons, the original bit vectors blow up the
+// front end's ingress, and the hierarchical representation keep both the
+// bytes and the modeled time flat.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"stat/internal/core"
+	"stat/internal/machine"
+	"stat/internal/topology"
+)
+
+func main() {
+	type config struct {
+		name string
+		topo topology.Spec
+		bv   core.BitVecMode
+	}
+	configs := []config{
+		{"1-deep original", topology.Spec{Kind: topology.KindFlat}, core.Original},
+		{"2-deep original", topology.Spec{Kind: topology.KindBGL2Deep}, core.Original},
+		{"2-deep hierarchical", topology.Spec{Kind: topology.KindBGL2Deep}, core.Hierarchical},
+	}
+
+	fmt.Printf("%-22s %12s %14s %14s %12s\n", "configuration", "tasks", "leaf payload", "FE ingress", "merge time")
+	for _, nodes := range []int{4096, 16384, 65536} {
+		for _, cfg := range configs {
+			tool, err := core.New(core.Options{
+				Machine:  machine.BGL(),
+				Mode:     machine.CO,
+				Tasks:    nodes,
+				Topology: cfg.topo,
+				BitVec:   cfg.bv,
+				Samples:  5,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, err := tool.MeasureMerge()
+			if err != nil {
+				log.Fatal(err)
+			}
+			if res.MergeErr != nil {
+				fmt.Printf("%-22s %12d %14s %14s %12s\n", cfg.name, nodes, "-", "-", "FAIL")
+				continue
+			}
+			fmt.Printf("%-22s %12d %13dB %13dB %11.4fs\n",
+				cfg.name, nodes, res.MaxLeafPayloadBytes, res.FrontEndInBytes, res.Times.Merge)
+		}
+		fmt.Println()
+	}
+	fmt.Println("the hierarchical representation sends subtree-local task lists;")
+	fmt.Println("the original sends job-width bit vectors from every daemon.")
+}

@@ -1,0 +1,340 @@
+// Package bitvec implements the task-set representations at the center of
+// the paper's Section V. Edge labels in STAT's call-graph prefix tree are
+// sets of MPI ranks. The original implementation sized every bit vector to
+// the full job (N bits per label at every level of the analysis tree); the
+// optimized implementation keeps only subtree-local vectors that merge by
+// concatenation and are remapped into MPI rank order once, at the front end.
+// Both representations share this Vector type: what differs is the width a
+// given analysis node uses and whether merging is Union or Concat.
+package bitvec
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// Vector is a fixed-width bit set over task indexes [0, Len).
+type Vector struct {
+	n     int
+	words []uint64
+}
+
+// New returns an empty vector of width n bits.
+func New(n int) *Vector {
+	if n < 0 {
+		panic("bitvec: negative width")
+	}
+	return &Vector{n: n, words: make([]uint64, (n+63)/64)}
+}
+
+// FromMembers returns a vector of width n with the given bits set.
+func FromMembers(n int, members ...int) *Vector {
+	v := New(n)
+	for _, m := range members {
+		v.Set(m)
+	}
+	return v
+}
+
+// Len reports the width of the vector in bits.
+func (v *Vector) Len() int { return v.n }
+
+// Set marks task i as a member. Out-of-range indexes panic: labels are
+// always constructed against a known task space and a violation is a bug.
+func (v *Vector) Set(i int) {
+	if i < 0 || i >= v.n {
+		panic(fmt.Sprintf("bitvec: Set(%d) out of range [0,%d)", i, v.n))
+	}
+	v.words[i>>6] |= 1 << (uint(i) & 63)
+}
+
+// Clear removes task i from the set.
+func (v *Vector) Clear(i int) {
+	if i < 0 || i >= v.n {
+		panic(fmt.Sprintf("bitvec: Clear(%d) out of range [0,%d)", i, v.n))
+	}
+	v.words[i>>6] &^= 1 << (uint(i) & 63)
+}
+
+// Get reports whether task i is a member.
+func (v *Vector) Get(i int) bool {
+	if i < 0 || i >= v.n {
+		panic(fmt.Sprintf("bitvec: Get(%d) out of range [0,%d)", i, v.n))
+	}
+	return v.words[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+// Count reports the number of members.
+func (v *Vector) Count() int {
+	c := 0
+	for _, w := range v.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Empty reports whether the set has no members.
+func (v *Vector) Empty() bool {
+	for _, w := range v.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// ErrWidthMismatch is returned by operations that require equal widths.
+var ErrWidthMismatch = errors.New("bitvec: width mismatch")
+
+// UnionWith adds every member of o to v. The widths must match — this is
+// the merge operation of the *original* STAT representation, where every
+// level of the tree uses full-job-width labels.
+func (v *Vector) UnionWith(o *Vector) error {
+	if o.n != v.n {
+		return fmt.Errorf("%w: %d vs %d", ErrWidthMismatch, v.n, o.n)
+	}
+	for i, w := range o.words {
+		v.words[i] |= w
+	}
+	return nil
+}
+
+// IntersectWith keeps only members present in both sets.
+func (v *Vector) IntersectWith(o *Vector) error {
+	if o.n != v.n {
+		return fmt.Errorf("%w: %d vs %d", ErrWidthMismatch, v.n, o.n)
+	}
+	for i, w := range o.words {
+		v.words[i] &= w
+	}
+	return nil
+}
+
+// AndNot removes every member of o from v.
+func (v *Vector) AndNot(o *Vector) error {
+	if o.n != v.n {
+		return fmt.Errorf("%w: %d vs %d", ErrWidthMismatch, v.n, o.n)
+	}
+	for i, w := range o.words {
+		v.words[i] &^= w
+	}
+	return nil
+}
+
+// Concat returns a new vector of width v.Len()+o.Len() whose low bits are v
+// and whose high bits are o. This is the merge operation of the *optimized*
+// hierarchical representation: a parent's task space is the concatenation of
+// its children's task spaces, so child labels combine without padding to the
+// job width. Neither input is modified.
+func Concat(vs ...*Vector) *Vector {
+	total := 0
+	for _, v := range vs {
+		total += v.n
+	}
+	out := New(total)
+	off := 0
+	for _, v := range vs {
+		out.blit(v, off)
+		off += v.n
+	}
+	return out
+}
+
+// blit copies src into v starting at bit offset off. The caller guarantees
+// the destination range fits.
+func (v *Vector) blit(src *Vector, off int) {
+	if off&63 == 0 {
+		copy(v.words[off>>6:], src.words)
+		// Mask stray bits beyond src.n in the last copied word.
+		if src.n&63 != 0 && len(src.words) > 0 {
+			last := off>>6 + len(src.words) - 1
+			v.words[last] &= (1 << (uint(src.n) & 63)) - 1
+		}
+		return
+	}
+	for i := 0; i < src.n; i++ {
+		if src.Get(i) {
+			v.Set(off + i)
+		}
+	}
+}
+
+// Members returns the set's members in increasing order.
+func (v *Vector) Members() []int {
+	out := make([]int, 0, v.Count())
+	for wi, w := range v.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			out = append(out, wi*64+b)
+			w &= w - 1
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy.
+func (v *Vector) Clone() *Vector {
+	c := &Vector{n: v.n, words: make([]uint64, len(v.words))}
+	copy(c.words, v.words)
+	return c
+}
+
+// Equal reports whether two vectors have the same width and members.
+func (v *Vector) Equal(o *Vector) bool {
+	if v.n != o.n {
+		return false
+	}
+	for i := range v.words {
+		if v.words[i] != o.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Remap returns a vector of width width where member i of v becomes member
+// perm[i]. This is the front end's final step in the hierarchical scheme:
+// the concatenated (daemon-order) vector is rearranged into MPI rank order.
+// perm must have one entry per bit of v and every target must be in range
+// and unique; violations return an error because the daemon→rank map comes
+// from the runtime environment, not from this package.
+func (v *Vector) Remap(perm []int, width int) (*Vector, error) {
+	if len(perm) != v.n {
+		return nil, fmt.Errorf("bitvec: Remap perm has %d entries for %d bits", len(perm), v.n)
+	}
+	out := New(width)
+	seen := New(width)
+	for i, target := range perm {
+		if target < 0 || target >= width {
+			return nil, fmt.Errorf("bitvec: Remap target %d out of range [0,%d)", target, width)
+		}
+		if seen.Get(target) {
+			return nil, fmt.Errorf("bitvec: Remap target %d duplicated", target)
+		}
+		seen.Set(target)
+		if v.Get(i) {
+			out.Set(target)
+		}
+	}
+	return out, nil
+}
+
+// SerializedSize reports the exact wire size of MarshalBinary's output.
+// This is the quantity whose growth (8 + N/8 bytes per edge label in the
+// original scheme) saturates the overlay network in Figure 5.
+func (v *Vector) SerializedSize() int {
+	return 8 + 8*len(v.words)
+}
+
+// MarshalBinary encodes the vector as: u32 width, u32 word count, words.
+func (v *Vector) MarshalBinary() ([]byte, error) {
+	buf := make([]byte, v.SerializedSize())
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(v.n))
+	binary.LittleEndian.PutUint32(buf[4:8], uint32(len(v.words)))
+	for i, w := range v.words {
+		binary.LittleEndian.PutUint64(buf[8+8*i:], w)
+	}
+	return buf, nil
+}
+
+// AppendBinary appends the encoding to dst and returns the result.
+func (v *Vector) AppendBinary(dst []byte) []byte {
+	b, _ := v.MarshalBinary()
+	return append(dst, b...)
+}
+
+// UnmarshalBinary decodes a vector encoded by MarshalBinary and returns the
+// number of bytes consumed.
+func UnmarshalBinary(b []byte) (*Vector, int, error) {
+	if len(b) < 8 {
+		return nil, 0, errors.New("bitvec: truncated header")
+	}
+	n := int(binary.LittleEndian.Uint32(b[0:4]))
+	nw := int(binary.LittleEndian.Uint32(b[4:8]))
+	if nw != (n+63)/64 {
+		return nil, 0, fmt.Errorf("bitvec: inconsistent header (width %d, %d words)", n, nw)
+	}
+	need := 8 + 8*nw
+	if len(b) < need {
+		return nil, 0, fmt.Errorf("bitvec: truncated body (need %d bytes, have %d)", need, len(b))
+	}
+	v := &Vector{n: n, words: make([]uint64, nw)}
+	for i := range v.words {
+		v.words[i] = binary.LittleEndian.Uint64(b[8+8*i:])
+	}
+	// Reject stray bits beyond the declared width so Equal and Count are
+	// well defined on decoded values.
+	if n&63 != 0 && nw > 0 {
+		if v.words[nw-1]&^((1<<(uint(n)&63))-1) != 0 {
+			return nil, 0, errors.New("bitvec: stray bits beyond declared width")
+		}
+	}
+	return v, need, nil
+}
+
+// String renders the set the way STAT labels prefix-tree edges:
+// "count:[ranges]", e.g. "1022:[0,3-1023]".
+func (v *Vector) String() string {
+	return fmt.Sprintf("%d:[%s]", v.Count(), FormatRanges(v.Members()))
+}
+
+// FormatRanges renders a sorted member list as comma-separated ranges,
+// matching the paper's Figure 1 edge labels (e.g. "0,3-1023").
+func FormatRanges(members []int) string {
+	if len(members) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	start, prev := members[0], members[0]
+	flush := func() {
+		if sb.Len() > 0 {
+			sb.WriteByte(',')
+		}
+		if start == prev {
+			fmt.Fprintf(&sb, "%d", start)
+		} else {
+			fmt.Fprintf(&sb, "%d-%d", start, prev)
+		}
+	}
+	for _, m := range members[1:] {
+		if m == prev+1 {
+			prev = m
+			continue
+		}
+		flush()
+		start, prev = m, m
+	}
+	flush()
+	return sb.String()
+}
+
+// ParseRanges parses the output of FormatRanges back into a member list.
+func ParseRanges(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		var lo, hi int
+		if strings.Contains(part, "-") {
+			if _, err := fmt.Sscanf(part, "%d-%d", &lo, &hi); err != nil {
+				return nil, fmt.Errorf("bitvec: bad range %q: %v", part, err)
+			}
+		} else {
+			if _, err := fmt.Sscanf(part, "%d", &lo); err != nil {
+				return nil, fmt.Errorf("bitvec: bad element %q: %v", part, err)
+			}
+			hi = lo
+		}
+		if hi < lo {
+			return nil, fmt.Errorf("bitvec: inverted range %q", part)
+		}
+		for i := lo; i <= hi; i++ {
+			out = append(out, i)
+		}
+	}
+	return out, nil
+}

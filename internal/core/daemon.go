@@ -1,0 +1,145 @@
+package core
+
+import (
+	"fmt"
+
+	"stat/internal/proto"
+	"stat/internal/stackwalk"
+	"stat/internal/trace"
+)
+
+// daemonState tracks a tool daemon's position in the session protocol.
+type daemonState int
+
+const (
+	stateInit daemonState = iota
+	stateAttached
+	stateSampled
+	stateDetached
+)
+
+func (s daemonState) String() string {
+	switch s {
+	case stateInit:
+		return "init"
+	case stateAttached:
+		return "attached"
+	case stateSampled:
+		return "sampled"
+	case stateDetached:
+		return "detached"
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// daemon is one STAT back-end: it attaches to the application processes
+// co-located on its node, walks their stacks on command, folds the traces
+// into local prefix trees, and forwards them when the gather command
+// arrives. State transitions are driven purely by protocol packets, as
+// they are for the real tool's daemons.
+type daemon struct {
+	leaf  int
+	tool  *Tool
+	state daemonState
+
+	// Sampling parameters recorded by the sample command; the walk itself
+	// runs lazily at gather time so that a 1,664-daemon session does not
+	// hold every daemon's trees in memory at once (the fold in the overlay
+	// consumes each payload as it is produced).
+	samples int
+	threads int
+	// epoch advances with every sample command so that repeated rounds in
+	// one session observe fresh samples — how the tool distinguishes a
+	// task that is stuck from one that is merely waiting.
+	epoch int
+}
+
+// handleControl advances the daemon's state machine for one control
+// packet and returns its acknowledgement.
+func (d *daemon) handleControl(p proto.Packet) proto.Ack {
+	fail := func(format string, args ...any) proto.Ack {
+		return proto.Ack{FirstError: fmt.Sprintf("daemon %d: ", d.leaf) + fmt.Sprintf(format, args...)}
+	}
+	switch p.Type {
+	case proto.MsgAttach:
+		if d.state != stateInit && d.state != stateDetached {
+			return fail("attach while %s", d.state)
+		}
+		d.state = stateAttached
+		return proto.Ack{OK: 1}
+	case proto.MsgSample:
+		if d.state != stateAttached && d.state != stateSampled {
+			return fail("sample while %s", d.state)
+		}
+		req, err := proto.DecodeSampleRequest(p.Payload)
+		if err != nil {
+			return fail("%v", err)
+		}
+		if req.Samples == 0 || req.Threads == 0 {
+			return fail("sample request with zero samples or threads")
+		}
+		d.samples = int(req.Samples)
+		d.threads = int(req.Threads)
+		d.epoch += d.samples
+		d.state = stateSampled
+		return proto.Ack{OK: 1}
+	case proto.MsgDetach:
+		if d.state == stateInit {
+			return fail("detach before attach")
+		}
+		d.state = stateDetached
+		return proto.Ack{OK: 1}
+	default:
+		return fail("unexpected control packet %v", p.Type)
+	}
+}
+
+// gatherPayload performs the daemon's real work for a gather command:
+// walk every local task's stack for the recorded sample count, fold the
+// traces into the requested prefix trees, and return them serialized.
+func (d *daemon) gatherPayload(req proto.GatherRequest) ([]byte, error) {
+	if d.state != stateSampled {
+		return nil, fmt.Errorf("core: daemon %d: gather while %s", d.leaf, d.state)
+	}
+	ranks := d.tool.taskMap[d.leaf]
+	width := len(ranks)
+	if d.tool.opts.BitVec == Original {
+		width = d.tool.opts.Tasks
+	}
+	t2 := trace.NewTree(width)
+	t3 := trace.NewTree(width)
+	walker := stackwalk.NewWalker(d.tool.app, d.tool.symtab)
+
+	base := d.epoch - d.samples
+	for local, rank := range ranks {
+		idx := local
+		if d.tool.opts.BitVec == Original {
+			idx = rank
+		}
+		for thread := 0; thread < d.threads; thread++ {
+			for s := 0; s < d.samples; s++ {
+				var frames []trace.Frame
+				if req.Detail {
+					frames = walker.SampleDetailed(rank, thread, base+s)
+				} else {
+					frames = walker.Sample(rank, thread, base+s)
+				}
+				tr := trace.Trace{Task: idx, Frames: frames}
+				if req.Which&proto.Tree3D != 0 {
+					t3.Add(tr)
+				}
+				if req.Which&proto.Tree2D != 0 && s == d.samples-1 {
+					t2.Add(tr)
+				}
+			}
+		}
+	}
+	switch req.Which {
+	case proto.Tree2D:
+		return encodeTrees(t2)
+	case proto.Tree3D:
+		return encodeTrees(t3)
+	default:
+		return encodeTrees(t2, t3)
+	}
+}

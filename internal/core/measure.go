@@ -1,0 +1,46 @@
+package core
+
+import (
+	"stat/internal/sbrs"
+)
+
+// The Measure* methods run a single phase in isolation, which is how the
+// experiment harness regenerates the paper's per-phase figures without
+// paying for the phases a figure does not plot. A Tool carries virtual-
+// clock state, so use a fresh Tool per measurement.
+
+// MeasureLaunch runs only the launch phase and reports its duration.
+// Environment failures (rsh exhaustion, control-system hang) come back as
+// the error with the time spent before failing.
+func (t *Tool) MeasureLaunch() (float64, error) {
+	return t.runLaunchPhase()
+}
+
+// MeasureSample runs the sampling phase (optionally preceded by SBRS
+// relocation) and reports the slowest daemon's gather time, plus the SBRS
+// report when relocation ran.
+func (t *Tool) MeasureSample(useSBRS bool) (float64, *sbrs.Report, error) {
+	var rep *sbrs.Report
+	if useSBRS {
+		var err error
+		rep, err = t.runSBRSPhase()
+		if err != nil {
+			return 0, nil, err
+		}
+	}
+	return t.runSamplePhase(), rep, nil
+}
+
+// MeasureMerge runs the real merge through the TBON (building every
+// daemon's local trees from real sampled stacks) and reports the Result
+// holding the modeled merge/remap times, traffic stats, and final trees.
+func (t *Tool) MeasureMerge() (*Result, error) {
+	res := &Result{Tasks: t.opts.Tasks, Daemons: t.daemons, Topo: t.topo}
+	if err := t.runMergePhase(res); err != nil {
+		return nil, err
+	}
+	if res.MergeErr == nil {
+		res.Classes = res.Tree2D.EquivalenceClasses()
+	}
+	return res, nil
+}

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"stat/internal/proto"
+	"stat/internal/tbon"
+	"stat/internal/trace"
+)
+
+// encodeTrees serializes a list of prefix trees (count-prefixed,
+// length-framed) — the body of a MsgResult packet. A normal gather
+// carries two trees (2D then 3D).
+func encodeTrees(trees ...*trace.Tree) ([]byte, error) {
+	out := []byte{byte(len(trees))}
+	for _, t := range trees {
+		b, err := t.MarshalBinary()
+		if err != nil {
+			return nil, err
+		}
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(b)))
+		out = append(out, b...)
+	}
+	return out, nil
+}
+
+// decodeTrees parses an encodeTrees body.
+func decodeTrees(b []byte) ([]*trace.Tree, error) {
+	if len(b) < 1 {
+		return nil, errors.New("core: empty tree payload")
+	}
+	count := int(b[0])
+	b = b[1:]
+	trees := make([]*trace.Tree, 0, count)
+	for i := 0; i < count; i++ {
+		if len(b) < 4 {
+			return nil, errors.New("core: truncated tree frame")
+		}
+		n := int(binary.LittleEndian.Uint32(b))
+		b = b[4:]
+		if len(b) < n {
+			return nil, errors.New("core: truncated tree body")
+		}
+		t, err := trace.UnmarshalBinary(b[:n])
+		if err != nil {
+			return nil, err
+		}
+		trees = append(trees, t)
+		b = b[n:]
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("core: %d trailing bytes after trees", len(b))
+	}
+	return trees, nil
+}
+
+// mergeFilter returns the tree-merge filter for the configured
+// representation, operating on encodeTrees bodies. Every input must carry
+// the same number of trees; tree i of every child merges into output
+// tree i.
+func (t *Tool) mergeFilter() tbon.Filter {
+	return func(children [][]byte) ([]byte, error) {
+		if len(children) == 0 {
+			return nil, errors.New("core: filter with no inputs")
+		}
+		lists := make([][]*trace.Tree, len(children))
+		for i, c := range children {
+			var err error
+			lists[i], err = decodeTrees(c)
+			if err != nil {
+				return nil, err
+			}
+			if len(lists[i]) != len(lists[0]) {
+				return nil, fmt.Errorf("core: child %d carries %d trees, child 0 carries %d",
+					i, len(lists[i]), len(lists[0]))
+			}
+		}
+		merged := make([]*trace.Tree, len(lists[0]))
+		for ti := range merged {
+			if t.opts.BitVec == Original {
+				acc := lists[0][ti]
+				for ci := 1; ci < len(lists); ci++ {
+					if err := trace.MergeUnion(acc, lists[ci][ti]); err != nil {
+						return nil, err
+					}
+				}
+				merged[ti] = acc
+			} else {
+				parts := make([]*trace.Tree, len(lists))
+				for ci := range lists {
+					parts[ci] = lists[ci][ti]
+				}
+				merged[ti] = trace.MergeConcat(parts...)
+			}
+		}
+		return encodeTrees(merged...)
+	}
+}
+
+// runMergePhase drives the protocol session (attach → sample → gather →
+// detach), computes the modeled merge time from the gather's traffic, and
+// (in hierarchical mode) remaps the front end's result into MPI rank
+// order.
+func (t *Tool) runMergePhase(res *Result) error {
+	// Environment failure: one tool process cannot hold more child
+	// connections than its node's memory allows (the 1-deep BG/L failure
+	// at 256 daemons in Figure 5).
+	if f := t.topo.MaxFanout(); t.mach.MaxFanIn > 0 && f > t.mach.MaxFanIn {
+		res.MergeErr = fmt.Errorf("core: merge failed: fan-in %d exceeds %s per-process limit %d",
+			f, t.mach.Name, t.mach.MaxFanIn)
+		return nil
+	}
+
+	s := t.newSession()
+	if err := s.attach(); err != nil {
+		return err
+	}
+	if err := s.sample(t.opts.Samples, t.opts.ThreadsPerTask); err != nil {
+		return err
+	}
+	payload, stats, err := s.gather(proto.TreeBoth, false)
+	if err != nil {
+		return err
+	}
+	if err := s.detach(); err != nil {
+		return err
+	}
+
+	res.MergeStats = stats
+	for _, leafNode := range t.topo.Leaves {
+		if b := stats.NodeOutBytes[leafNode.ID]; b > res.MaxLeafPayloadBytes {
+			res.MaxLeafPayloadBytes = b
+		}
+	}
+	res.FrontEndInBytes = stats.NodeInBytes[t.topo.Root.ID]
+
+	model := tbon.TimingModel{Link: t.mach.TreeLink, CPU: t.mach.MergeCPU, ConstSec: t.mach.MergeConstSec}
+	res.Times.Merge = model.ReduceTime(t.topo, stats, nil)
+
+	trees, err := decodeTrees(payload)
+	if err != nil {
+		return err
+	}
+	if len(trees) != 2 {
+		return fmt.Errorf("core: gather returned %d trees, want 2", len(trees))
+	}
+	t2, t3 := trees[0], trees[1]
+
+	if t.opts.BitVec == Hierarchical {
+		// Build the concatenated-order → rank permutation from the task
+		// map collected at setup, then remap both trees.
+		perm := make([]int, 0, t.opts.Tasks)
+		for _, ranks := range t.taskMap {
+			perm = append(perm, ranks...)
+		}
+		if err := t2.Remap(perm, t.opts.Tasks); err != nil {
+			return err
+		}
+		if err := t3.Remap(perm, t.opts.Tasks); err != nil {
+			return err
+		}
+		res.Times.Remap = t.mach.RemapPerTaskSec * float64(t.opts.Tasks)
+	}
+
+	res.Tree2D, res.Tree3D = t2, t3
+	return nil
+}

@@ -1,0 +1,114 @@
+// Package core implements STAT itself: the front end, the tool daemons,
+// and the stack-trace analysis pipeline, orchestrated over the substrates
+// (overlay network, launcher, file systems, machine models). A Tool runs
+// the paper's four measured phases — daemon launch, stack sampling with a
+// local merge, the tree-wide merge through the TBON, and (in hierarchical
+// mode) the front end's rank-order remap — producing both the real merged
+// prefix trees and the modeled wall-clock time of each phase at machine
+// scale.
+package core
+
+import (
+	"fmt"
+
+	"stat/internal/launch"
+	"stat/internal/machine"
+	"stat/internal/mpisim"
+	"stat/internal/tbon"
+	"stat/internal/topology"
+)
+
+// BitVecMode selects the task-set representation (the paper's Section V).
+type BitVecMode int
+
+const (
+	// Original sizes every edge label to the full job width at every level
+	// of the analysis tree and merges labels by union.
+	Original BitVecMode = iota
+	// Hierarchical keeps subtree-local labels that merge by concatenation,
+	// with a single remap into rank order at the front end.
+	Hierarchical
+)
+
+func (m BitVecMode) String() string {
+	if m == Hierarchical {
+		return "hierarchical"
+	}
+	return "original"
+}
+
+// Options configure one STAT run.
+type Options struct {
+	// Machine is the platform model (machine.Atlas() or machine.BGL()).
+	Machine *machine.Machine
+	// Mode is the BG/L execution mode; ignored on Atlas.
+	Mode machine.Mode
+	// Tasks is the application's MPI task count.
+	Tasks int
+	// Topology lays out the analysis tree.
+	Topology topology.Spec
+	// BitVec selects the task-set representation.
+	BitVec BitVecMode
+	// Launcher starts daemons on Atlas-style machines; nil selects
+	// LaunchMON. On BG/L the control system launches daemons and the
+	// launcher is ignored.
+	Launcher launch.Launcher
+	// BGLPatched selects the post-IBM-patch control system on BG/L.
+	BGLPatched bool
+	// UseSBRS relocates shared binaries to RAM disk before sampling.
+	UseSBRS bool
+	// Samples is the number of stack traces gathered per task (paper: 10).
+	Samples int
+	// ThreadsPerTask enables the Section VII extension (>1 thread).
+	ThreadsPerTask int
+	// Seed drives all pseudo-random variation.
+	Seed uint64
+	// Parallel runs the TBON reduction with real concurrency instead of
+	// the low-memory sequential fold. Transport applies only to Parallel.
+	Parallel  bool
+	Transport tbon.Transport
+	// App overrides the default buggy ring application.
+	App *mpisim.App
+}
+
+func (o *Options) fillDefaults() error {
+	if o.Machine == nil {
+		return fmt.Errorf("core: Options.Machine is required")
+	}
+	if o.Tasks < 3 {
+		return fmt.Errorf("core: need at least 3 tasks, got %d", o.Tasks)
+	}
+	if o.Samples == 0 {
+		o.Samples = 10
+	}
+	if o.Samples < 1 {
+		return fmt.Errorf("core: Samples must be >= 1, got %d", o.Samples)
+	}
+	if o.ThreadsPerTask == 0 {
+		o.ThreadsPerTask = 1
+	}
+	if o.ThreadsPerTask < 1 {
+		return fmt.Errorf("core: ThreadsPerTask must be >= 1, got %d", o.ThreadsPerTask)
+	}
+	if o.Launcher == nil {
+		o.Launcher = launch.DefaultLaunchMON()
+	}
+	if o.Seed == 0 {
+		o.Seed = 0x208e3
+	}
+	return nil
+}
+
+// PhaseTimes holds the modeled duration of each tool phase in seconds.
+type PhaseTimes struct {
+	Launch float64
+	SBRS   float64
+	Sample float64
+	Merge  float64
+	Remap  float64
+}
+
+// Total sums all phases.
+func (p PhaseTimes) Total() float64 {
+	return p.Launch + p.SBRS + p.Sample + p.Merge + p.Remap
+}

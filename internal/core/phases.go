@@ -1,0 +1,103 @@
+package core
+
+import (
+	"stat/internal/launch"
+	"stat/internal/rm"
+)
+
+// runLaunchPhase models starting the tool's processes (Section IV).
+//
+// On BG/L the control system launches the application under the tool plus
+// the I/O-node daemons (users cannot log into I/O nodes), and the MRNet
+// facility still rsh-launches the communication processes across the login
+// nodes. On Atlas the configured launcher starts daemons and communication
+// processes alike.
+func (t *Tool) runLaunchPhase() (float64, error) {
+	start := t.eng.Now()
+	var lerr error
+	doneAt := start
+
+	if t.mach.StaticBinary { // BG/L-style machine
+		ctl := rm.NewBGLControl(t.opts.BGLPatched)
+		ctl.LaunchJob(t.eng, t.opts.Tasks, t.daemons, func(at float64, err error) {
+			doneAt, lerr = at, err
+		})
+		t.eng.Run()
+		if lerr != nil {
+			return doneAt - start, lerr
+		}
+		// Communication processes: sequential remote-shell spawns onto the
+		// login nodes, then tree connection setup.
+		cps := t.topo.CommProcesses()
+		if cps > 0 {
+			rsh := launch.DefaultRSH()
+			var r launch.Result
+			rsh.Launch(t.eng, cps, func(at float64, res launch.Result) {
+				doneAt, r = at, res
+			})
+			t.eng.Run()
+			if r.Err != nil {
+				return doneAt - start, r.Err
+			}
+		}
+		return doneAt - start, nil
+	}
+
+	procs := t.daemons + t.topo.CommProcesses()
+	var r launch.Result
+	t.opts.Launcher.Launch(t.eng, procs, func(at float64, res launch.Result) {
+		doneAt, r = at, res
+	})
+	t.eng.Run()
+	return doneAt - start, r.Err
+}
+
+// runSamplePhase models every daemon gathering its samples: sequentially
+// opening and parsing the binaries it needs symbols from (contending on
+// shared file systems unless SBRS redirected the opens), then walking each
+// local task's stack Samples times per thread and merging locally. The
+// phase time is the slowest daemon's completion (Section VI measures
+// exactly this quantity).
+func (t *Tool) runSamplePhase() float64 {
+	start := t.eng.Now()
+	end := start
+
+	for d := 0; d < t.daemons; d++ {
+		d := d
+		r := t.rng.Derive(uint64(d), 0xD43)
+		walk := float64(len(t.taskMap[d])) * float64(t.opts.Samples) *
+			float64(t.opts.ThreadsPerTask) * t.mach.WalkPerTaskSec *
+			t.mach.CPUContention * r.Jitter(t.mach.JitterFrac)
+		if r.Float64() < t.mach.TailProb {
+			walk *= t.mach.TailFactor
+		}
+
+		// Chain: open binary 0 → parse → open binary 1 → … → walk.
+		var step func(i int)
+		step = func(i int) {
+			if i >= len(t.mach.Binaries) {
+				t.eng.After(walk, func() {
+					if t.eng.Now() > end {
+						end = t.eng.Now()
+					}
+				})
+				return
+			}
+			path := t.mach.Binaries[i].Path
+			size, err := t.fs.Size(path)
+			if err != nil {
+				panic(err) // populated in New; absence is a bug
+			}
+			t.fs.ReadFile(d, path, func(_ float64, _ []byte, err error) {
+				if err != nil {
+					panic(err)
+				}
+				parse := float64(size) * t.mach.ParsePerByteSec * t.mach.CPUContention
+				t.eng.After(parse, func() { step(i + 1) })
+			})
+		}
+		step(0)
+	}
+	t.eng.Run()
+	return end - start
+}

@@ -1,0 +1,181 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"stat/internal/proto"
+	"stat/internal/tbon"
+)
+
+// session drives one attach→sample→gather→detach cycle over the overlay,
+// speaking the front-end↔daemon protocol: control commands broadcast down
+// the tree, acknowledgements aggregate upward through an ack-merging
+// filter, and the gather reply carries the merged prefix trees through
+// the tree-merge filter.
+type session struct {
+	t       *Tool
+	net     *tbon.Network
+	daemons []*daemon
+}
+
+func (t *Tool) newSession() *session {
+	s := &session{t: t, net: tbon.New(t.topo, t.opts.Transport)}
+	s.daemons = make([]*daemon, t.daemons)
+	for i := range s.daemons {
+		s.daemons[i] = &daemon{leaf: i, tool: t}
+	}
+	return s
+}
+
+// ackFilter merges MsgAck packets at every interior node.
+func ackFilter(children [][]byte) ([]byte, error) {
+	var total proto.Ack
+	for _, c := range children {
+		p, err := proto.Decode(c)
+		if err != nil {
+			return nil, err
+		}
+		if p.Type != proto.MsgAck {
+			return nil, fmt.Errorf("core: expected ack, got %v", p.Type)
+		}
+		a, err := proto.DecodeAck(p.Payload)
+		if err != nil {
+			return nil, err
+		}
+		total = total.Merge(a)
+	}
+	out := proto.Packet{Stream: proto.ControlStream, Type: proto.MsgAck, Payload: total.Encode()}
+	return out.Encode(), nil
+}
+
+// control broadcasts one command to every daemon and reduces their acks.
+// It returns an error unless every daemon acknowledged success.
+func (s *session) control(typ proto.MsgType, body []byte) error {
+	cmd := proto.Packet{Stream: proto.ControlStream, Type: typ, Payload: body}
+	delivered, _, err := s.net.Broadcast(cmd.Encode())
+	if err != nil {
+		return err
+	}
+	leafData := func(leaf int) ([]byte, error) {
+		p, err := proto.Decode(delivered[leaf])
+		if err != nil {
+			return nil, fmt.Errorf("core: daemon %d: %w", leaf, err)
+		}
+		ack := s.daemons[leaf].handleControl(p)
+		reply := proto.Packet{Stream: proto.ControlStream, Type: proto.MsgAck, Payload: ack.Encode()}
+		return reply.Encode(), nil
+	}
+	var out []byte
+	if s.t.opts.Parallel {
+		out, _, err = s.net.Reduce(leafData, ackFilter)
+	} else {
+		out, _, err = s.net.ReduceSeq(leafData, ackFilter)
+	}
+	if err != nil {
+		return err
+	}
+	p, err := proto.Decode(out)
+	if err != nil {
+		return err
+	}
+	ack, err := proto.DecodeAck(p.Payload)
+	if err != nil {
+		return err
+	}
+	if ack.FirstError != "" {
+		return errors.New("core: " + ack.FirstError)
+	}
+	if int(ack.OK) != len(s.daemons) {
+		return fmt.Errorf("core: %v acknowledged by %d of %d daemons", typ, ack.OK, len(s.daemons))
+	}
+	return nil
+}
+
+// attach / sample / detach are the session's control commands.
+func (s *session) attach() error { return s.control(proto.MsgAttach, nil) }
+
+func (s *session) sample(samples, threads int) error {
+	if samples > 0xFFFF || threads > 0xFFFF {
+		return fmt.Errorf("core: sample parameters exceed protocol range")
+	}
+	req := proto.SampleRequest{Samples: uint16(samples), Threads: uint16(threads)}
+	return s.control(proto.MsgSample, req.Encode())
+}
+
+func (s *session) detach() error { return s.control(proto.MsgDetach, nil) }
+
+// gather broadcasts the gather command and runs the data-stream reduction
+// whose filter performs the real prefix-tree merges. It returns the
+// merged tree payload and the traffic statistics the timing model needs.
+// detail selects function+offset frame granularity.
+func (s *session) gather(which proto.TreeKind, detail bool) ([]byte, *tbon.Stats, error) {
+	req := proto.GatherRequest{Which: which, Detail: detail}
+	cmd := proto.Packet{Stream: proto.DataStream, Type: proto.MsgGather, Payload: req.Encode()}
+	delivered, _, err := s.net.Broadcast(cmd.Encode())
+	if err != nil {
+		return nil, nil, err
+	}
+
+	filter := s.t.resultFilter()
+	leafData := func(leaf int) ([]byte, error) {
+		p, err := proto.Decode(delivered[leaf])
+		if err != nil {
+			return nil, err
+		}
+		greq, err := proto.DecodeGatherRequest(p.Payload)
+		if err != nil {
+			return nil, err
+		}
+		payload, err := s.daemons[leaf].gatherPayload(greq)
+		if err != nil {
+			return nil, err
+		}
+		reply := proto.Packet{Stream: proto.DataStream, Type: proto.MsgResult, Payload: payload}
+		return reply.Encode(), nil
+	}
+
+	var out []byte
+	var stats *tbon.Stats
+	if s.t.opts.Parallel {
+		out, stats, err = s.net.Reduce(leafData, filter)
+	} else {
+		out, stats, err = s.net.ReduceSeq(leafData, filter)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	p, err := proto.Decode(out)
+	if err != nil {
+		return nil, nil, err
+	}
+	if p.Type != proto.MsgResult {
+		return nil, nil, fmt.Errorf("core: gather returned %v", p.Type)
+	}
+	return p.Payload, stats, nil
+}
+
+// resultFilter merges MsgResult packets: unwrap, merge the carried trees
+// under the configured representation, rewrap.
+func (t *Tool) resultFilter() tbon.Filter {
+	mergeTrees := t.mergeFilter()
+	return func(children [][]byte) ([]byte, error) {
+		bodies := make([][]byte, len(children))
+		for i, c := range children {
+			p, err := proto.Decode(c)
+			if err != nil {
+				return nil, err
+			}
+			if p.Type != proto.MsgResult {
+				return nil, fmt.Errorf("core: expected result, got %v", p.Type)
+			}
+			bodies[i] = p.Payload
+		}
+		merged, err := mergeTrees(bodies)
+		if err != nil {
+			return nil, err
+		}
+		out := proto.Packet{Stream: proto.DataStream, Type: proto.MsgResult, Payload: merged}
+		return out.Encode(), nil
+	}
+}

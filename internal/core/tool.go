@@ -1,0 +1,224 @@
+package core
+
+import (
+	"fmt"
+
+	"stat/internal/fsim"
+	"stat/internal/machine"
+	"stat/internal/mpisim"
+	"stat/internal/sbrs"
+	"stat/internal/sim"
+	"stat/internal/stackwalk"
+	"stat/internal/tbon"
+	"stat/internal/topology"
+	"stat/internal/trace"
+)
+
+// Tool is one configured STAT instance (front end + daemons + analysis).
+type Tool struct {
+	opts    Options
+	mach    *machine.Machine
+	eng     *sim.Engine
+	daemons int
+	topo    *topology.Tree
+	taskMap [][]int // per daemon: global ranks in local order
+	fs      *fsim.FS
+	app     *mpisim.App
+	symtab  *stackwalk.SymbolTable
+	rng     *sim.RNG
+}
+
+// Result reports one run.
+type Result struct {
+	Tasks   int
+	Daemons int
+	Topo    *topology.Tree
+
+	// Tree2D is the trace×space tree (last sample); Tree3D is the
+	// trace×space×time tree (all samples). Both are in MPI rank order.
+	Tree2D *trace.Tree
+	Tree3D *trace.Tree
+	// Classes are the process equivalence classes from the 2D tree.
+	Classes []trace.Class
+
+	Times PhaseTimes
+	// LaunchErr and MergeErr record environment failures (rsh session
+	// exhaustion, control-system hang, front-end fan-in exhaustion); the
+	// corresponding later phases are skipped.
+	LaunchErr error
+	MergeErr  error
+
+	// MergeStats are the TBON traffic counters of the merge phase.
+	MergeStats *tbon.Stats
+	// MaxLeafPayloadBytes is the largest single daemon payload.
+	MaxLeafPayloadBytes int64
+	// FrontEndInBytes is the root's total merge-phase ingress.
+	FrontEndInBytes int64
+	// SBRSReport is non-nil when SBRS ran.
+	SBRSReport *sbrs.Report
+}
+
+// New validates options and prepares the run: places daemons, builds the
+// analysis tree, populates the machine's file systems with the application
+// binaries, and parses their symbol tables the way a daemon would.
+func New(opts Options) (*Tool, error) {
+	if err := opts.fillDefaults(); err != nil {
+		return nil, err
+	}
+	t := &Tool{opts: opts, mach: opts.Machine, eng: sim.NewEngine()}
+
+	var err error
+	t.daemons, err = t.mach.DaemonsFor(opts.Tasks, opts.Mode)
+	if err != nil {
+		return nil, err
+	}
+	t.topo, err = opts.Topology.Build(t.daemons)
+	if err != nil {
+		return nil, err
+	}
+	t.taskMap = t.mach.TaskMap(opts.Tasks, t.daemons)
+
+	t.app = opts.App
+	if t.app == nil {
+		t.app, err = mpisim.NewRing(opts.Tasks,
+			mpisim.WithThreads(opts.ThreadsPerTask),
+			mpisim.WithSeed(opts.Seed^0xA99))
+		if err != nil {
+			return nil, err
+		}
+	}
+	if t.app.N != opts.Tasks {
+		return nil, fmt.Errorf("core: app has %d tasks, options say %d", t.app.N, opts.Tasks)
+	}
+
+	if err := t.populateFS(); err != nil {
+		return nil, err
+	}
+	if err := t.loadSymbols(); err != nil {
+		return nil, err
+	}
+
+	// Per-run stream: identical configurations reproduce exactly; any
+	// change to scale, topology, mode or representation draws fresh
+	// jitter, which is how run-to-run variation shows up across series.
+	t.rng = sim.NewRNG(opts.Seed).Derive(
+		uint64(opts.Tasks), uint64(opts.Mode), uint64(opts.Topology.Kind),
+		uint64(opts.Topology.Depth), uint64(opts.BitVec))
+	return t, nil
+}
+
+// populateFS mounts the machine's file systems and writes the application
+// binaries to their paper-faithful locations.
+func (t *Tool) populateFS() error {
+	t.fs, _ = t.mach.BuildFS(t.eng)
+	if t.mach.StaticBinary {
+		img, err := stackwalk.StaticImage()
+		if err != nil {
+			return err
+		}
+		t.fs.WriteFile(t.mach.Binaries[0].Path, img)
+		return nil
+	}
+	images, err := stackwalk.AppImages()
+	if err != nil {
+		return err
+	}
+	for _, b := range t.mach.Binaries {
+		img, ok := images[b.Module]
+		if !ok {
+			return fmt.Errorf("core: no image for module %q", b.Module)
+		}
+		t.fs.WriteFile(b.Path, img)
+	}
+	return nil
+}
+
+// loadSymbols parses every binary image exactly as a daemon does (the
+// parse is real; only its wall-clock cost is modeled during the sampling
+// phase) and merges the per-module tables into one resolver.
+func (t *Tool) loadSymbols() error {
+	var tables []*stackwalk.SymbolTable
+	for _, b := range t.mach.Binaries {
+		var data []byte
+		var rerr error
+		got := false
+		t.fs.ReadFile(0, b.Path, func(_ float64, d []byte, err error) {
+			data, rerr, got = d, err, true
+		})
+		t.eng.Run()
+		if !got || rerr != nil {
+			return fmt.Errorf("core: read %s: %v", b.Path, rerr)
+		}
+		st, err := stackwalk.ParseImage(data)
+		if err != nil {
+			return fmt.Errorf("core: parse %s: %w", b.Path, err)
+		}
+		tables = append(tables, st)
+	}
+	merged, err := stackwalk.Merge(tables...)
+	if err != nil {
+		return err
+	}
+	t.symtab = merged
+	return nil
+}
+
+// Daemons reports the daemon count of the configured run.
+func (t *Tool) Daemons() int { return t.daemons }
+
+// Topology reports the analysis tree layout.
+func (t *Tool) Topology() *topology.Tree { return t.topo }
+
+// TaskMap reports the daemon→ranks assignment.
+func (t *Tool) TaskMap() [][]int { return t.taskMap }
+
+// Run executes all phases and assembles the result. Environment failures
+// (launch, merge fan-in) are reported in the Result, not as errors; an
+// error return means the configuration itself is invalid.
+func (t *Tool) Run() (*Result, error) {
+	res := &Result{Tasks: t.opts.Tasks, Daemons: t.daemons, Topo: t.topo}
+
+	res.Times.Launch, res.LaunchErr = t.runLaunchPhase()
+	if res.LaunchErr != nil {
+		return res, nil
+	}
+
+	if t.opts.UseSBRS {
+		rep, err := t.runSBRSPhase()
+		if err != nil {
+			return nil, err
+		}
+		res.SBRSReport = rep
+		res.Times.SBRS = rep.TotalSec
+	}
+
+	res.Times.Sample = t.runSamplePhase()
+
+	if err := t.runMergePhase(res); err != nil {
+		return nil, err
+	}
+	if res.MergeErr != nil {
+		return res, nil
+	}
+
+	res.Classes = res.Tree2D.EquivalenceClasses()
+	return res, nil
+}
+
+// runSBRSPhase relocates the shared binaries. The broadcast fabric is
+// LaunchMON's back-end communication tree over the daemons — a balanced
+// 2-deep spanning tree independent of the analysis topology (the paper's
+// prototype distributed binaries through the Infiniband switch this way,
+// which is why relocation stays fast even when STAT itself runs 1-deep).
+func (t *Tool) runSBRSPhase() (*sbrs.Report, error) {
+	fabric, err := topology.Balanced(2, t.daemons)
+	if err != nil {
+		return nil, err
+	}
+	svc := sbrs.New(sbrs.DefaultConfig(t.mach.TreeLink), t.fs, fabric)
+	paths := make([]string, len(t.mach.Binaries))
+	for i, b := range t.mach.Binaries {
+		paths[i] = b.Path
+	}
+	return svc.Relocate(t.eng, paths)
+}

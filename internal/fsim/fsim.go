@@ -1,0 +1,252 @@
+// Package fsim models the file systems STAT's daemons interact with. The
+// paper's Section VI shows that "independent" per-daemon operations —
+// parsing symbol tables of the executable and its shared libraries —
+// degrade badly when every daemon simultaneously hits one shared NFS
+// server. The model: each file system is a queueing station on the virtual
+// clock with a slot count and per-byte service rate; opens resolve through
+// a mount table (mtab); and an interposition layer can redirect opens to
+// relocated copies, which is how SBRS plugs in.
+package fsim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"stat/internal/sim"
+)
+
+// System is one mounted file system.
+type System interface {
+	// Name identifies the system type ("nfs", "lustre", "ramdisk").
+	Name() string
+	// Shared reports whether the mount is globally shared (visible to all
+	// nodes through one set of servers). SBRS relocates only shared files.
+	Shared() bool
+	// Read schedules a whole-file read of size bytes issued by the given
+	// node at the current virtual time; done runs at completion.
+	Read(node int, size int64, done func(at float64))
+}
+
+// NFS is a single network file server with a fixed number of service
+// threads. All nodes share it; concurrent readers queue.
+type NFS struct {
+	server *sim.Server
+	// SeekSec is the fixed per-open overhead (attribute lookup + open).
+	SeekSec float64
+	// BytesPerSec is the per-thread streaming rate.
+	BytesPerSec float64
+	// ThrashCoef degrades service as the queue builds (cache eviction and
+	// seek storms under heavy simultaneous load): effective service is
+	// multiplied by 1 + ThrashCoef·(waiting/slots). This is what pushes
+	// Atlas sampling slightly past linear in Figure 8.
+	ThrashCoef float64
+}
+
+// NewNFS creates an NFS mount backed by a server with `threads` slots.
+func NewNFS(e *sim.Engine, threads int, seekSec, bytesPerSec float64) *NFS {
+	return &NFS{server: sim.NewServer(e, threads), SeekSec: seekSec, BytesPerSec: bytesPerSec}
+}
+
+// Name implements System.
+func (n *NFS) Name() string { return "nfs" }
+
+// Shared implements System.
+func (n *NFS) Shared() bool { return true }
+
+// Read implements System.
+func (n *NFS) Read(_ int, size int64, done func(at float64)) {
+	service := n.SeekSec + float64(size)/n.BytesPerSec
+	if n.ThrashCoef > 0 {
+		service *= 1 + n.ThrashCoef*float64(n.server.QueueLen())/float64(cap0(n.server))
+	}
+	n.server.Submit(service, done)
+}
+
+// cap0 reports a server's slot count; small helper keeping Read readable.
+func cap0(s *sim.Server) float64 {
+	if c := s.Capacity(); c > 0 {
+		return float64(c)
+	}
+	return 1
+}
+
+// Utilization reports total slot-seconds served, for tests.
+func (n *NFS) Utilization() float64 { return n.server.BusyTime }
+
+// Lustre is a parallel file system: files stripe across multiple object
+// storage targets, each its own station. At small scale (hundreds of
+// clients reading the same small binaries) this offers little over NFS —
+// the paper measured exactly that — because per-open metadata service
+// still serializes on the MDS.
+type Lustre struct {
+	mds  *sim.Server
+	osts []*sim.Server
+	rr   int
+	mu   sync.Mutex
+	// MDSSeekSec is the metadata (open) cost, paid on the single MDS.
+	MDSSeekSec float64
+	// BytesPerSec is each OST's streaming rate.
+	BytesPerSec float64
+}
+
+// NewLustre creates a Lustre mount with one MDS (mdsThreads slots) and the
+// given number of OSTs.
+func NewLustre(e *sim.Engine, mdsThreads, osts int, mdsSeekSec, bytesPerSec float64) *Lustre {
+	l := &Lustre{mds: sim.NewServer(e, mdsThreads), MDSSeekSec: mdsSeekSec, BytesPerSec: bytesPerSec}
+	for i := 0; i < osts; i++ {
+		l.osts = append(l.osts, sim.NewServer(e, 4))
+	}
+	return l
+}
+
+// Name implements System.
+func (l *Lustre) Name() string { return "lustre" }
+
+// Shared implements System.
+func (l *Lustre) Shared() bool { return true }
+
+// Read implements System: open on the MDS, then data from one OST
+// (round-robin — small binaries occupy a single stripe).
+func (l *Lustre) Read(_ int, size int64, done func(at float64)) {
+	l.mds.Submit(l.MDSSeekSec, func(float64) {
+		l.mu.Lock()
+		ost := l.osts[l.rr%len(l.osts)]
+		l.rr++
+		l.mu.Unlock()
+		ost.Submit(float64(size)/l.BytesPerSec, done)
+	})
+}
+
+// RAMDisk is node-local memory-backed storage: no sharing, no queueing
+// across nodes, constant service time per byte. SBRS stages binaries here.
+type RAMDisk struct {
+	e *sim.Engine
+	// BytesPerSec is the local read rate.
+	BytesPerSec float64
+	// SeekSec is the per-open overhead.
+	SeekSec float64
+}
+
+// NewRAMDisk creates the node-local RAM disk model.
+func NewRAMDisk(e *sim.Engine, seekSec, bytesPerSec float64) *RAMDisk {
+	return &RAMDisk{e: e, SeekSec: seekSec, BytesPerSec: bytesPerSec}
+}
+
+// Name implements System.
+func (r *RAMDisk) Name() string { return "ramdisk" }
+
+// Shared implements System.
+func (r *RAMDisk) Shared() bool { return false }
+
+// Read implements System.
+func (r *RAMDisk) Read(_ int, size int64, done func(at float64)) {
+	r.e.After(r.SeekSec+float64(size)/r.BytesPerSec, func() { done(r.e.Now()) })
+}
+
+// Mount binds a path prefix to a System.
+type Mount struct {
+	Prefix string
+	Sys    System
+}
+
+// FS is a node-visible file namespace: a mount table, file contents, and
+// an interposition table for redirected opens.
+type FS struct {
+	mounts []Mount // sorted by decreasing prefix length
+	files  map[string][]byte
+
+	mu       sync.Mutex
+	redirect map[string]string // original path → relocated path
+}
+
+// NewFS creates an empty namespace.
+func NewFS() *FS {
+	return &FS{files: make(map[string][]byte), redirect: make(map[string]string)}
+}
+
+// AddMount registers a file system at a path prefix.
+func (f *FS) AddMount(prefix string, sys System) {
+	f.mounts = append(f.mounts, Mount{Prefix: prefix, Sys: sys})
+	sort.Slice(f.mounts, func(i, j int) bool { return len(f.mounts[i].Prefix) > len(f.mounts[j].Prefix) })
+}
+
+// WriteFile stores file contents at a path (no timing; population happens
+// before the experiment clock starts, except SBRS staging which charges
+// its own broadcast time).
+func (f *FS) WriteFile(path string, data []byte) {
+	f.files[path] = data
+}
+
+// MTab lists the mounts, longest prefix first — what SBRS consults to
+// decide whether a binary lives on a shared file system.
+func (f *FS) MTab() []Mount { return append([]Mount(nil), f.mounts...) }
+
+// SystemFor resolves the mount owning a path.
+func (f *FS) SystemFor(path string) (System, error) {
+	for _, m := range f.mounts {
+		if strings.HasPrefix(path, m.Prefix) {
+			return m.Sys, nil
+		}
+	}
+	return nil, fmt.Errorf("fsim: no mount for %q", path)
+}
+
+// Interpose redirects future opens of orig to repl — the SBRS open-call
+// interposition.
+func (f *FS) Interpose(orig, repl string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.redirect[orig] = repl
+}
+
+// ClearInterposition removes all redirections.
+func (f *FS) ClearInterposition() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.redirect = make(map[string]string)
+}
+
+// resolve applies interposition.
+func (f *FS) resolve(path string) string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if r, ok := f.redirect[path]; ok {
+		return r
+	}
+	return path
+}
+
+// Exists reports whether a path has contents.
+func (f *FS) Exists(path string) bool {
+	_, ok := f.files[f.resolve(path)]
+	return ok
+}
+
+// Size reports a file's size without charging any time.
+func (f *FS) Size(path string) (int64, error) {
+	data, ok := f.files[f.resolve(path)]
+	if !ok {
+		return 0, fmt.Errorf("fsim: %q: no such file", path)
+	}
+	return int64(len(data)), nil
+}
+
+// ReadFile schedules a full read of path by the given node; done receives
+// the completion time and contents. Interposition is applied first, so a
+// relocated binary is served by the RAM disk mount it was staged to.
+func (f *FS) ReadFile(node int, path string, done func(at float64, data []byte, err error)) {
+	p := f.resolve(path)
+	data, ok := f.files[p]
+	if !ok {
+		done(0, nil, fmt.Errorf("fsim: %q: no such file", p))
+		return
+	}
+	sys, err := f.SystemFor(p)
+	if err != nil {
+		done(0, nil, err)
+		return
+	}
+	sys.Read(node, int64(len(data)), func(at float64) { done(at, data, nil) })
+}

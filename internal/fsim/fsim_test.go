@@ -1,0 +1,225 @@
+package fsim
+
+import (
+	"strings"
+	"testing"
+
+	"stat/internal/sim"
+)
+
+func TestNFSQueueing(t *testing.T) {
+	e := sim.NewEngine()
+	nfs := NewNFS(e, 2, 0.01, 1e6) // 2 threads, 1MB/s
+	var done []float64
+	for i := 0; i < 4; i++ {
+		nfs.Read(i, 1e6, func(at float64) { done = append(done, at) }) // ~1.01s each
+	}
+	e.Run()
+	if len(done) != 4 {
+		t.Fatalf("completions = %d", len(done))
+	}
+	// Two waves of two.
+	if done[1] > 1.02 || done[3] < 2.0 {
+		t.Errorf("completion times = %v, want two serialized waves", done)
+	}
+	if nfs.Utilization() < 4.0 {
+		t.Errorf("utilization = %g, want ≈4.04 slot-seconds", nfs.Utilization())
+	}
+	if !nfs.Shared() || nfs.Name() != "nfs" {
+		t.Errorf("NFS identity wrong")
+	}
+}
+
+func TestNFSThrashDegradesUnderLoad(t *testing.T) {
+	run := func(clients int) float64 {
+		e := sim.NewEngine()
+		nfs := NewNFS(e, 2, 0.01, 1e8)
+		nfs.ThrashCoef = 0.05
+		var last float64
+		for i := 0; i < clients; i++ {
+			nfs.Read(i, 1e6, func(at float64) { last = at })
+		}
+		e.Run()
+		return last
+	}
+	t8, t64 := run(8), run(64)
+	// Without thrash, 8x clients → 8x makespan; thrash makes it worse.
+	if t64 < 8.5*t8 {
+		t.Errorf("thrash absent: 8 clients %.4fs, 64 clients %.4fs (%.2fx)", t8, t64, t64/t8)
+	}
+}
+
+func TestLustreStripesAcrossOSTs(t *testing.T) {
+	e := sim.NewEngine()
+	l := NewLustre(e, 4, 8, 0.005, 1e8)
+	var completions int
+	for i := 0; i < 16; i++ {
+		l.Read(i, 1e6, func(float64) { completions++ })
+	}
+	e.Run()
+	if completions != 16 {
+		t.Errorf("completions = %d", completions)
+	}
+	if l.Shared() != true || l.Name() != "lustre" {
+		t.Error("lustre identity wrong")
+	}
+}
+
+func TestRAMDiskNoContention(t *testing.T) {
+	// N concurrent local reads finish in the time of one.
+	run := func(clients int) float64 {
+		e := sim.NewEngine()
+		r := NewRAMDisk(e, 0.0001, 1e9)
+		var last float64
+		for i := 0; i < clients; i++ {
+			r.Read(i, 4e6, func(at float64) { last = at })
+		}
+		e.Run()
+		return last
+	}
+	if t1, t64 := run(1), run(64); t64 > t1*1.01 {
+		t.Errorf("RAM disk contends: 1 client %.5fs, 64 clients %.5fs", t1, t64)
+	}
+}
+
+func buildFS(e *sim.Engine) (*FS, *NFS) {
+	fs := NewFS()
+	nfs := NewNFS(e, 2, 0.01, 1e8)
+	fs.AddMount("/nfs/", nfs)
+	fs.AddMount("/ramdisk/", NewRAMDisk(e, 0.0001, 1e9))
+	return fs, nfs
+}
+
+func TestMountResolution(t *testing.T) {
+	e := sim.NewEngine()
+	fs, nfs := buildFS(e)
+	sys, err := fs.SystemFor("/nfs/home/user/a.out")
+	if err != nil || sys != System(nfs) {
+		t.Errorf("SystemFor nfs path: %v %v", sys, err)
+	}
+	if _, err := fs.SystemFor("/unmounted/x"); err == nil {
+		t.Error("unmounted path resolved")
+	}
+	// Longest prefix wins.
+	fs.AddMount("/nfs/home/special/", NewRAMDisk(e, 0, 1e9))
+	sys, _ = fs.SystemFor("/nfs/home/special/f")
+	if sys.Name() != "ramdisk" {
+		t.Errorf("longest prefix not preferred: got %s", sys.Name())
+	}
+	if got := fs.MTab(); len(got) != 3 {
+		t.Errorf("mtab entries = %d", len(got))
+	}
+}
+
+func TestReadFile(t *testing.T) {
+	e := sim.NewEngine()
+	fs, _ := buildFS(e)
+	fs.WriteFile("/nfs/data/bin", []byte("binary-bytes"))
+
+	var gotData []byte
+	var gotAt float64
+	fs.ReadFile(0, "/nfs/data/bin", func(at float64, data []byte, err error) {
+		if err != nil {
+			t.Errorf("ReadFile: %v", err)
+		}
+		gotAt, gotData = at, data
+	})
+	e.Run()
+	if string(gotData) != "binary-bytes" {
+		t.Errorf("data = %q", gotData)
+	}
+	if gotAt <= 0 {
+		t.Errorf("completion at %g, want > 0 (seek cost)", gotAt)
+	}
+}
+
+func TestReadFileMissing(t *testing.T) {
+	e := sim.NewEngine()
+	fs, _ := buildFS(e)
+	called := false
+	fs.ReadFile(0, "/nfs/nope", func(_ float64, _ []byte, err error) {
+		called = true
+		if err == nil {
+			t.Error("missing file read succeeded")
+		}
+	})
+	e.Run()
+	if !called {
+		t.Error("callback never ran")
+	}
+}
+
+func TestInterposition(t *testing.T) {
+	e := sim.NewEngine()
+	fs, _ := buildFS(e)
+	fs.WriteFile("/nfs/home/a.out", []byte("original"))
+	fs.WriteFile("/ramdisk/sbrs/nfs/home/a.out", []byte("relocated"))
+	fs.Interpose("/nfs/home/a.out", "/ramdisk/sbrs/nfs/home/a.out")
+
+	var got []byte
+	fs.ReadFile(3, "/nfs/home/a.out", func(_ float64, data []byte, err error) {
+		if err != nil {
+			t.Error(err)
+		}
+		got = data
+	})
+	e.Run()
+	if string(got) != "relocated" {
+		t.Errorf("interposed read = %q", got)
+	}
+	if sz, err := fs.Size("/nfs/home/a.out"); err != nil || sz != int64(len("relocated")) {
+		t.Errorf("Size through interposition = %d, %v", sz, err)
+	}
+
+	fs.ClearInterposition()
+	fs.ReadFile(3, "/nfs/home/a.out", func(_ float64, data []byte, err error) { got = data })
+	e.Run()
+	if string(got) != "original" {
+		t.Errorf("after clear = %q", got)
+	}
+}
+
+func TestExistsAndSize(t *testing.T) {
+	e := sim.NewEngine()
+	fs, _ := buildFS(e)
+	fs.WriteFile("/nfs/f", make([]byte, 123))
+	if !fs.Exists("/nfs/f") || fs.Exists("/nfs/g") {
+		t.Error("Exists wrong")
+	}
+	if sz, err := fs.Size("/nfs/f"); err != nil || sz != 123 {
+		t.Errorf("Size = %d, %v", sz, err)
+	}
+	if _, err := fs.Size("/nfs/g"); err == nil || !strings.Contains(err.Error(), "no such file") {
+		t.Errorf("Size missing = %v", err)
+	}
+}
+
+// TestSharedContentionVersusLocal is the Section VI story in miniature:
+// many daemons reading one shared file serialize; the same reads on local
+// RAM disk stay constant.
+func TestSharedContentionVersusLocal(t *testing.T) {
+	makespan := func(path string, clients int) float64 {
+		e := sim.NewEngine()
+		fs, _ := buildFS(e)
+		fs.WriteFile(path, make([]byte, 4<<20))
+		var last float64
+		for i := 0; i < clients; i++ {
+			fs.ReadFile(i, path, func(at float64, _ []byte, err error) {
+				if err != nil {
+					t.Fatal(err)
+				}
+				last = at
+			})
+		}
+		e.Run()
+		return last
+	}
+	nfsGrowth := makespan("/nfs/bin", 64) / makespan("/nfs/bin", 4)
+	ramGrowth := makespan("/ramdisk/bin", 64) / makespan("/ramdisk/bin", 4)
+	if nfsGrowth < 8 {
+		t.Errorf("NFS makespan grew only %.2fx for 16x clients", nfsGrowth)
+	}
+	if ramGrowth > 1.1 {
+		t.Errorf("RAM disk makespan grew %.2fx, want flat", ramGrowth)
+	}
+}

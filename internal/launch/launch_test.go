@@ -1,0 +1,103 @@
+package launch
+
+import (
+	"math"
+	"testing"
+
+	"stat/internal/sim"
+)
+
+func measure(t *testing.T, l Launcher, daemons int) (float64, Result) {
+	t.Helper()
+	e := sim.NewEngine()
+	var at float64
+	var res Result
+	l.Launch(e, daemons, func(a float64, r Result) { at, res = a, r })
+	e.Run()
+	return at, res
+}
+
+func TestRSHLinearScaling(t *testing.T) {
+	r := DefaultRSH()
+	t64, res := measure(t, r, 64)
+	if res.Err != nil {
+		t.Fatalf("64 daemons failed: %v", res.Err)
+	}
+	t256, _ := measure(t, r, 256)
+	if ratio := t256 / t64; math.Abs(ratio-4) > 0.01 {
+		t.Errorf("4x daemons → %.2fx time, want 4x (sequential)", ratio)
+	}
+}
+
+func TestRSHFailsAtSessionLimit(t *testing.T) {
+	r := DefaultRSH()
+	_, res := measure(t, r, 512)
+	if res.Err == nil {
+		t.Fatal("512 daemons succeeded; the paper's rsh consistently failed there")
+	}
+	if res.Daemons >= 512 {
+		t.Errorf("daemons started = %d, want < 512", res.Daemons)
+	}
+	_, ok := measure(t, r, 511)
+	if ok.Err != nil {
+		t.Errorf("511 daemons failed: %v", ok.Err)
+	}
+}
+
+func TestSSHScalesPast512(t *testing.T) {
+	s := DefaultSSH()
+	at, res := measure(t, s, 1024)
+	if res.Err != nil {
+		t.Fatalf("ssh failed: %v", res.Err)
+	}
+	if at < 100 {
+		t.Errorf("1024 sequential ssh sessions = %.1fs, want minutes", at)
+	}
+}
+
+func TestLaunchMONHeadlineNumber(t *testing.T) {
+	// The paper: STAT starts 512 daemons in 5.6 seconds with LaunchMON.
+	lm := DefaultLaunchMON()
+	at, res := measure(t, lm, 512)
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if at < 5.0 || at > 6.2 {
+		t.Errorf("512 daemons = %.2fs, want ≈5.6s", at)
+	}
+}
+
+func TestLaunchMONBeatsSequentialEverywhere(t *testing.T) {
+	lm := DefaultLaunchMON()
+	ssh := DefaultSSH()
+	// The crossover: sequential wins only at trivial scales.
+	for _, d := range []int{64, 128, 512, 1664} {
+		tl, _ := measure(t, lm, d)
+		ts, _ := measure(t, ssh, d)
+		if tl >= ts {
+			t.Errorf("%d daemons: launchmon %.2fs not faster than ssh %.2fs", d, tl, ts)
+		}
+	}
+}
+
+func TestLaunchMONSubLinear(t *testing.T) {
+	lm := DefaultLaunchMON()
+	t128, _ := measure(t, lm, 128)
+	t1664, _ := measure(t, lm, 1664)
+	// 13x daemons should cost far less than 13x time.
+	if ratio := t1664 / t128; ratio > 2 {
+		t.Errorf("13x daemons → %.2fx time, want ≤2x", ratio)
+	}
+}
+
+func TestNames(t *testing.T) {
+	for l, want := range map[Launcher]string{
+		DefaultRSH():       "mrnet-rsh",
+		DefaultSSH():       "mrnet-ssh",
+		DefaultLaunchMON(): "launchmon",
+	} {
+		if l.Name() != want {
+			t.Errorf("Name = %q, want %q", l.Name(), want)
+		}
+	}
+}

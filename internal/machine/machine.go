@@ -1,0 +1,239 @@
+// Package machine describes the two evaluation platforms of the paper and
+// how STAT maps onto them: Atlas, a 1,152-node 8-core Infiniband Linux
+// cluster where one daemon per compute node samples 8 MPI tasks and
+// binaries live on NFS; and BG/L, 106,496 dual-core compute nodes where
+// daemons must run on dedicated I/O nodes (one per 64 compute nodes,
+// 1,664 total) and the application is a single statically-linked image.
+package machine
+
+import (
+	"fmt"
+
+	"stat/internal/fsim"
+	"stat/internal/sim"
+)
+
+// Mode selects BG/L's execution mode: co-processor (one MPI task per
+// compute node, the second core offloads communication) or virtual node
+// (one task per core). Atlas ignores the mode.
+type Mode int
+
+const (
+	// CO is co-processor mode (64 tasks per I/O-node daemon on BG/L).
+	CO Mode = iota
+	// VN is virtual-node mode (128 tasks per daemon on BG/L).
+	VN
+)
+
+func (m Mode) String() string {
+	if m == VN {
+		return "VN"
+	}
+	return "CO"
+}
+
+// BinaryFile describes one file the stack walker needs symbols from.
+type BinaryFile struct {
+	Path string
+	// Module is the stackwalk module name ("a.out", "libmpi.so", ...).
+	Module string
+}
+
+// Machine is one evaluation platform.
+type Machine struct {
+	Name string
+	// TotalNodes is the compute-node count.
+	TotalNodes int
+	// CoresPerNode is the compute cores per node.
+	CoresPerNode int
+	// TasksPerDaemon maps mode → application tasks each daemon serves.
+	TasksPerDaemon func(Mode) int
+	// MaxTasks is the largest runnable job (tasks) per mode.
+	MaxTasks func(Mode) int
+
+	// TreeLink models one edge of the analysis tree (daemon↔comm process↔
+	// front end).
+	TreeLink sim.Link
+	// MergeCPU is the per-node filter cost for the merge timing model.
+	MergeCPU sim.CPUCost
+	// MergeConstSec is the fixed per-merge overhead (stream setup, front
+	// end dispatch and result handling).
+	MergeConstSec float64
+
+	// WalkPerTaskSec is the cost to walk one task's stack once symbols are
+	// resolved (no file I/O).
+	WalkPerTaskSec float64
+	// ParsePerByteSec is the CPU cost of symbol-table parsing per byte.
+	ParsePerByteSec float64
+	// CPUContention: on Atlas the daemon timeshares a core with MPI tasks
+	// that spin-wait; a fully loaded node slows the daemon down. BG/L
+	// daemons own a dedicated I/O node.
+	CPUContention float64 // multiplier ≥ 1 applied to daemon CPU work
+	// JitterFrac is run-to-run performance variation (paper: >20% on BG/L).
+	JitterFrac float64
+	// TailProb/TailFactor model rare severe OS interference on a daemon
+	// (one straggler dominates a phase's makespan — the source of the 2×
+	// gap between the two identical VN runs in Figure 9).
+	TailProb   float64
+	TailFactor float64
+	// RemapPerTaskSec is the front end's cost per task to rearrange
+	// hierarchical bit vectors into MPI rank order (0.66 s at 208K tasks
+	// in the paper).
+	RemapPerTaskSec float64
+	// MaxFanIn is the largest child count one tool process can sustain
+	// (per-connection buffers on the memory-constrained login nodes); the
+	// flat topology's merge fails on BG/L when the front end exceeds it
+	// (Figure 5, 256 daemons at 16,384 compute nodes).
+	MaxFanIn int
+
+	// Binaries lists the files the stack walker must parse, in open order.
+	Binaries []BinaryFile
+	// StaticBinary is true when all symbols live in one image (BG/L).
+	StaticBinary bool
+	// FS parameterizes the machine's file systems.
+	FS FSConfig
+}
+
+// FSConfig holds the file-system model parameters; experiment variants
+// (the Figure 10 "updated OS" image) adjust these rather than rebuilding
+// mounts by hand.
+type FSConfig struct {
+	NFSThreads     int
+	NFSSeekSec     float64
+	NFSBytesPerSec float64
+	NFSThrashCoef  float64
+
+	LustreMDSThreads  int
+	LustreOSTs        int
+	LustreMDSSeekSec  float64
+	LustreBytesPerSec float64
+
+	RAMSeekSec     float64
+	RAMBytesPerSec float64
+}
+
+// DaemonsFor reports the daemon count serving a job of `tasks` tasks.
+func (m *Machine) DaemonsFor(tasks int, mode Mode) (int, error) {
+	per := m.TasksPerDaemon(mode)
+	if tasks < 1 {
+		return 0, fmt.Errorf("machine: need at least 1 task, got %d", tasks)
+	}
+	if max := m.MaxTasks(mode); tasks > max {
+		return 0, fmt.Errorf("machine: %d tasks exceeds %s capacity %d (%s mode)", tasks, m.Name, max, mode)
+	}
+	d := (tasks + per - 1) / per
+	return d, nil
+}
+
+// TaskMap assigns global ranks to daemons. The paper notes the node→daemon
+// mapping is not guaranteed to follow MPI rank order, which is exactly why
+// the hierarchical bit vectors need a final remap. We model that with a
+// deterministic interleaving: daemon d serves ranks d, d+D, d+2D, … —
+// contiguous on neither side, like a real round-robin block map.
+// The returned slice lists, for each daemon, its ranks in local order.
+func (m *Machine) TaskMap(tasks, daemons int) [][]int {
+	out := make([][]int, daemons)
+	for d := 0; d < daemons; d++ {
+		for r := d; r < tasks; r += daemons {
+			out[d] = append(out[d], r)
+		}
+	}
+	return out
+}
+
+// Atlas returns the Atlas model: 1,152 nodes × 8 cores, DDR Infiniband,
+// NFS-mounted home directories plus a Lustre scratch mount and per-node
+// RAM disk, dynamically linked binaries, contended daemon CPU.
+func Atlas() *Machine {
+	return &Machine{
+		Name:            "Atlas",
+		TotalNodes:      1152,
+		CoresPerNode:    8,
+		TasksPerDaemon:  func(Mode) int { return 8 },
+		MaxTasks:        func(Mode) int { return 1152 * 8 },
+		TreeLink:        sim.Link{LatencySec: 12e-6, BytesPerSec: 1.2e9}, // DDR IB
+		MergeCPU:        sim.CPUCost{PerMessageSec: 180e-6, PerByteSec: 1.6e-8},
+		MergeConstSec:   0.001,
+		WalkPerTaskSec:  0.011,
+		ParsePerByteSec: 5.2e-9,
+		CPUContention:   2.0, // spinning MPI ranks steal the daemon's core
+		JitterFrac:      0.08,
+		TailProb:        0.0001,
+		TailFactor:      1.6,
+		RemapPerTaskSec: 2.0e-6,
+		MaxFanIn:        1024,
+		Binaries: []BinaryFile{
+			{Path: "/nfs/home/user/a.out", Module: "a.out"},
+			{Path: "/nfs/home/user/libmpi.so", Module: "libmpi.so"},
+			{Path: "/nfs/home/user/libc.so", Module: "libc.so"},
+		},
+		// Original OS image: an overloaded departmental filer serves every
+		// binary, including the dependent shared libraries.
+		FS: FSConfig{
+			NFSThreads: 3, NFSSeekSec: 0.018, NFSBytesPerSec: 60e6, NFSThrashCoef: 0.004,
+			LustreMDSThreads: 8, LustreOSTs: 16, LustreMDSSeekSec: 0.015, LustreBytesPerSec: 350e6,
+			RAMSeekSec: 0.0002, RAMBytesPerSec: 2.5e9,
+		},
+	}
+}
+
+// BGL returns the BG/L model: 106,496 compute nodes, one I/O-node daemon
+// per 64 compute nodes (1,664 at full scale), CO/VN modes, a single
+// statically-linked application image, slower cores (700 MHz PPC440 on
+// compute, tool processes on I/O nodes and 14 login nodes).
+func BGL() *Machine {
+	return &Machine{
+		Name:         "BG/L",
+		TotalNodes:   106496,
+		CoresPerNode: 2,
+		TasksPerDaemon: func(m Mode) int {
+			if m == VN {
+				return 128
+			}
+			return 64
+		},
+		MaxTasks: func(m Mode) int {
+			if m == VN {
+				return 106496 * 2
+			}
+			return 106496
+		},
+		TreeLink:        sim.Link{LatencySec: 45e-6, BytesPerSec: 2.4e8}, // functional Ethernet to login nodes
+		MergeCPU:        sim.CPUCost{PerMessageSec: 1e-4, PerByteSec: 2e-8},
+		MergeConstSec:   0.05,
+		WalkPerTaskSec:  0.016,
+		ParsePerByteSec: 9.5e-9,
+		CPUContention:   1.0, // dedicated I/O node
+		JitterFrac:      0.25,
+		TailProb:        0.0004,
+		TailFactor:      2.8,
+		RemapPerTaskSec: 3.1e-6,
+		MaxFanIn:        192,
+		Binaries: []BinaryFile{
+			{Path: "/nfs/home/user/a.out-static", Module: "static"},
+		},
+		StaticBinary: true,
+		FS: FSConfig{
+			NFSThreads: 24, NFSSeekSec: 0.012, NFSBytesPerSec: 320e6, NFSThrashCoef: 0.0005,
+			LustreMDSThreads: 8, LustreOSTs: 16, LustreMDSSeekSec: 0.015, LustreBytesPerSec: 350e6,
+			RAMSeekSec: 0.0002, RAMBytesPerSec: 1.2e9,
+		},
+	}
+}
+
+// BuildFS builds the machine's mount table on the given engine from its
+// FSConfig: a contended NFS server (home directories), a Lustre scratch
+// system, and a node-local RAM disk (the SBRS staging target). Returns the
+// namespace and the NFS system (tests observe its utilization).
+func (m *Machine) BuildFS(e *sim.Engine) (*fsim.FS, *fsim.NFS) {
+	c := m.FS
+	fs := fsim.NewFS()
+	nfs := fsim.NewNFS(e, c.NFSThreads, c.NFSSeekSec, c.NFSBytesPerSec)
+	nfs.ThrashCoef = c.NFSThrashCoef // drives Fig. 8's worse-than-linear shape
+	lst := fsim.NewLustre(e, c.LustreMDSThreads, c.LustreOSTs, c.LustreMDSSeekSec, c.LustreBytesPerSec)
+	ram := fsim.NewRAMDisk(e, c.RAMSeekSec, c.RAMBytesPerSec)
+	fs.AddMount("/nfs/", nfs)
+	fs.AddMount("/lustre/", lst)
+	fs.AddMount("/ramdisk/", ram)
+	return fs, nfs
+}

@@ -1,0 +1,281 @@
+// Package mpisim simulates the paper's target application: an MPI ring
+// topology test with an injected bug. Every task posts an MPI_Irecv from
+// its predecessor and an MPI_Isend to its successor, then enters
+// MPI_Waitall followed by MPI_Barrier. The injected bug makes task 1 hang
+// before its send, so task 2 blocks forever in MPI_Waitall and every other
+// task spins in the barrier's progress engine — exactly the population of
+// call stacks shown in the paper's Figure 1.
+//
+// The simulator produces raw program-counter stacks; resolving them to
+// function names through a symbol table is the stack walker's job
+// (internal/stackwalk), mirroring how the real STAT daemons depend on
+// binary files for symbol data.
+package mpisim
+
+import (
+	"fmt"
+
+	"stat/internal/sim"
+)
+
+// Function is an entry in the simulated executable's text section.
+type Function struct {
+	Name string
+	// Addr is the entry address; the function occupies [Addr, Addr+Size).
+	Addr uint64
+	Size uint64
+	// Module is the binary or shared library holding the function.
+	Module string
+}
+
+// Well-known function names (from the paper's Figure 1).
+const (
+	FnStart           = "_start_blrts"
+	FnMain            = "main"
+	FnBarrier         = "PMPI_Barrier"
+	FnSendOrStall     = "do_SendOrStall"
+	FnWaitall         = "PMPI_Waitall"
+	FnProgressWait    = "MPID_Progress_wait"
+	FnGettimeofday    = "__gettimeofday"
+	FnBGLGIBarrier    = "MPIDI_BGLGI_Barrier"
+	FnGIBarrier       = "BGLMP_GIBarrier"
+	FnPollfcn         = "BGLML_pollfcn"
+	FnMessagerAdvance = "BGLML_Messager_advance"
+	FnMessagerCM      = "BGLML_Messager_CMadvance"
+	FnWorkerLoop      = "worker_loop"
+	FnComputeKernel   = "compute_kernel"
+	FnCondWait        = "pthread_cond_wait"
+)
+
+// moduleOf assigns functions to binaries: application code lives in the
+// executable, MPI internals in the MPI library, libc entry points in libc.
+// On BG/L everything is statically linked into one image; the machine
+// model decides which modules exist as separate files.
+func moduleOf(name string) string {
+	switch name {
+	case FnStart, FnGettimeofday, FnCondWait:
+		return "libc.so"
+	case FnMain, FnSendOrStall, FnWorkerLoop, FnComputeKernel:
+		return "a.out"
+	default:
+		return "libmpi.so"
+	}
+}
+
+// functionNames lists every simulated function in a fixed order, defining
+// the synthetic address space layout.
+var functionNames = []string{
+	FnStart, FnMain, FnBarrier, FnSendOrStall, FnWaitall,
+	FnProgressWait, FnGettimeofday, FnBGLGIBarrier, FnGIBarrier,
+	FnPollfcn, FnMessagerAdvance, FnMessagerCM,
+	FnWorkerLoop, FnComputeKernel, FnCondWait,
+}
+
+const (
+	textBase = 0x0040_0000
+	funcSpan = 0x1000
+)
+
+// Functions returns the simulated text-section layout shared by every app
+// instance. Index order matches functionNames.
+func Functions() []Function {
+	out := make([]Function, len(functionNames))
+	for i, name := range functionNames {
+		out[i] = Function{
+			Name:   name,
+			Addr:   uint64(textBase + i*funcSpan),
+			Size:   funcSpan,
+			Module: moduleOf(name),
+		}
+	}
+	return out
+}
+
+// addrOf returns a PC inside the named function, displaced by off bytes
+// from the entry (off < funcSpan).
+func addrOf(name string, off uint64) uint64 {
+	for i, n := range functionNames {
+		if n == name {
+			return uint64(textBase+i*funcSpan) + off%funcSpan
+		}
+	}
+	panic(fmt.Sprintf("mpisim: unknown function %q", name))
+}
+
+// App is a simulated parallel application instance.
+type App struct {
+	// N is the number of MPI tasks.
+	N int
+	// BugTask is the rank that hangs before its send; -1 disables the bug.
+	BugTask int
+	// ThreadsPerTask is the thread count per task (Section VII extension);
+	// thread 0 runs the MPI code, the rest are worker threads.
+	ThreadsPerTask int
+	// Seed makes stack variation deterministic per app instance.
+	Seed uint64
+
+	rng *sim.RNG
+}
+
+// Option configures an App.
+type Option func(*App)
+
+// WithBugTask sets the hanging rank (default 1, matching the paper).
+func WithBugTask(rank int) Option { return func(a *App) { a.BugTask = rank } }
+
+// WithoutBug disables the injected hang.
+func WithoutBug() Option { return func(a *App) { a.BugTask = -1 } }
+
+// WithThreads sets threads per task (>= 1).
+func WithThreads(t int) Option { return func(a *App) { a.ThreadsPerTask = t } }
+
+// WithSeed sets the determinism seed.
+func WithSeed(s uint64) Option { return func(a *App) { a.Seed = s } }
+
+// NewRing creates the ring-test application with n tasks and the paper's
+// default injected bug at rank 1.
+func NewRing(n int, opts ...Option) (*App, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("mpisim: ring needs >= 3 tasks, got %d", n)
+	}
+	a := &App{N: n, BugTask: 1, ThreadsPerTask: 1, Seed: 0x5747}
+	for _, o := range opts {
+		o(a)
+	}
+	if a.BugTask >= n {
+		return nil, fmt.Errorf("mpisim: bug task %d out of range for %d tasks", a.BugTask, n)
+	}
+	if a.ThreadsPerTask < 1 {
+		return nil, fmt.Errorf("mpisim: threads per task must be >= 1, got %d", a.ThreadsPerTask)
+	}
+	a.rng = sim.NewRNG(a.Seed)
+	return a, nil
+}
+
+// State classifies what a task is doing when sampled.
+type State int
+
+const (
+	// StateHung is the buggy task, stalled before its send.
+	StateHung State = iota
+	// StateWaitall is a task blocked in MPI_Waitall on the hung task's
+	// message (the bug task's successor in the ring).
+	StateWaitall
+	// StateBarrier is a task that finished the exchange and is polling in
+	// MPI_Barrier.
+	StateBarrier
+	// StateCompute is a task in application code (bug disabled).
+	StateCompute
+)
+
+func (s State) String() string {
+	switch s {
+	case StateHung:
+		return "hung"
+	case StateWaitall:
+		return "waitall"
+	case StateBarrier:
+		return "barrier"
+	case StateCompute:
+		return "compute"
+	}
+	return fmt.Sprintf("State(%d)", int(s))
+}
+
+// State reports the sampled state of a task.
+func (a *App) State(task int) State {
+	if task < 0 || task >= a.N {
+		panic(fmt.Sprintf("mpisim: task %d out of range [0,%d)", task, a.N))
+	}
+	if a.BugTask < 0 {
+		return StateCompute
+	}
+	switch task {
+	case a.BugTask:
+		return StateHung
+	case (a.BugTask + 1) % a.N:
+		return StateWaitall
+	default:
+		return StateBarrier
+	}
+}
+
+// StackPCs returns the raw program-counter stack (outermost frame first)
+// for one thread of one task at one sample instant. The progress-engine
+// depth varies pseudo-randomly with (task, thread, sample), producing the
+// divergent subtrees visible in Figure 1.
+func (a *App) StackPCs(task, thread, sample int) []uint64 {
+	if thread < 0 || thread >= a.ThreadsPerTask {
+		panic(fmt.Sprintf("mpisim: thread %d out of range [0,%d)", thread, a.ThreadsPerTask))
+	}
+	r := a.rng.Derive(uint64(task), uint64(thread), uint64(sample))
+	off := func() uint64 { return 16 + r.Uint64()%0x200 }
+	// A genuinely wedged task has a frozen stack: its program counters are
+	// identical from sample to sample (the basis of the tool's progress
+	// check). Every other task is executing, so its PCs drift.
+	if thread == 0 && a.State(task) == StateHung {
+		rf := a.rng.Derive(uint64(task), uint64(thread), 0xF1302E)
+		off = func() uint64 { return 16 + rf.Uint64()%0x200 }
+	}
+
+	pcs := []uint64{addrOf(FnStart, off()), addrOf(FnMain, off())}
+	if thread > 0 {
+		// Worker threads alternate between compute and condition wait.
+		pcs = append(pcs, addrOf(FnWorkerLoop, off()))
+		if r.Intn(2) == 0 {
+			pcs = append(pcs, addrOf(FnComputeKernel, off()))
+		} else {
+			pcs = append(pcs, addrOf(FnCondWait, off()))
+		}
+		return pcs
+	}
+	switch a.State(task) {
+	case StateHung:
+		pcs = append(pcs, addrOf(FnSendOrStall, off()), addrOf(FnGettimeofday, off()))
+	case StateWaitall:
+		pcs = append(pcs,
+			addrOf(FnWaitall, off()),
+			addrOf(FnProgressWait, off()),
+			addrOf(FnPollfcn, off()))
+		pcs = a.appendProgress(pcs, r)
+	case StateBarrier:
+		pcs = append(pcs,
+			addrOf(FnBarrier, off()),
+			addrOf(FnBGLGIBarrier, off()),
+			addrOf(FnGIBarrier, off()),
+			addrOf(FnPollfcn, off()))
+		pcs = a.appendProgress(pcs, r)
+	case StateCompute:
+		pcs = append(pcs, addrOf(FnComputeKernel, off()))
+	}
+	return pcs
+}
+
+// appendProgress extends a stack with 0–3 advance/CMadvance pairs: the
+// BG/L messager's polling loop caught at varying depth.
+func (a *App) appendProgress(pcs []uint64, r *sim.RNG) []uint64 {
+	depth := r.Intn(4)
+	for i := 0; i < depth; i++ {
+		pcs = append(pcs, addrOf(FnMessagerAdvance, 16+r.Uint64()%0x200))
+		pcs = append(pcs, addrOf(FnMessagerCM, 16+r.Uint64()%0x200))
+	}
+	return pcs
+}
+
+// StackFuncs resolves StackPCs through the canonical function table —
+// a convenience for tests that don't exercise the stack walker.
+func (a *App) StackFuncs(task, thread, sample int) []string {
+	funcs := Functions()
+	pcs := a.StackPCs(task, thread, sample)
+	out := make([]string, len(pcs))
+	for i, pc := range pcs {
+		out[i] = "?"
+		for _, f := range funcs {
+			if pc >= f.Addr && pc < f.Addr+f.Size {
+				out[i] = f.Name
+				break
+			}
+		}
+	}
+	return out
+}

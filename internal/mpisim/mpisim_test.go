@@ -1,0 +1,266 @@
+package mpisim
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewRingValidation(t *testing.T) {
+	if _, err := NewRing(2); err == nil {
+		t.Error("ring with 2 tasks accepted")
+	}
+	if _, err := NewRing(8, WithBugTask(9)); err == nil {
+		t.Error("bug task beyond job accepted")
+	}
+	if _, err := NewRing(8, WithThreads(0)); err == nil {
+		t.Error("zero threads accepted")
+	}
+	if _, err := NewRing(8); err != nil {
+		t.Errorf("valid ring rejected: %v", err)
+	}
+}
+
+func TestStates(t *testing.T) {
+	app, err := NewRing(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[int]State{
+		0: StateBarrier, 1: StateHung, 2: StateWaitall,
+		3: StateBarrier, 7: StateBarrier,
+	}
+	for task, st := range want {
+		if got := app.State(task); got != st {
+			t.Errorf("State(%d) = %v, want %v", task, got, st)
+		}
+	}
+}
+
+func TestStatesWrapAround(t *testing.T) {
+	// Bug at the last rank: its successor wraps to rank 0.
+	app, err := NewRing(8, WithBugTask(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if app.State(7) != StateHung {
+		t.Errorf("State(7) = %v", app.State(7))
+	}
+	if app.State(0) != StateWaitall {
+		t.Errorf("State(0) = %v, want waitall (successor of hung 7)", app.State(0))
+	}
+}
+
+func TestWithoutBug(t *testing.T) {
+	app, err := NewRing(8, WithoutBug())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for task := 0; task < 8; task++ {
+		if app.State(task) != StateCompute {
+			t.Errorf("State(%d) = %v, want compute", task, app.State(task))
+		}
+	}
+	fs := app.StackFuncs(3, 0, 0)
+	if fs[len(fs)-1] != FnComputeKernel {
+		t.Errorf("compute stack = %v", fs)
+	}
+}
+
+func TestFigure1StackShapes(t *testing.T) {
+	app, err := NewRing(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Task 1: hung before its send.
+	hung := app.StackFuncs(1, 0, 0)
+	want := []string{FnStart, FnMain, FnSendOrStall, FnGettimeofday}
+	if !reflect.DeepEqual(hung, want) {
+		t.Errorf("hung stack = %v, want %v", hung, want)
+	}
+	// Task 2: blocked in Waitall on task 1's message.
+	waitall := app.StackFuncs(2, 0, 0)
+	prefix := []string{FnStart, FnMain, FnWaitall, FnProgressWait, FnPollfcn}
+	if len(waitall) < len(prefix) || !reflect.DeepEqual(waitall[:len(prefix)], prefix) {
+		t.Errorf("waitall stack = %v, want prefix %v", waitall, prefix)
+	}
+	// Everyone else: in the barrier's progress engine.
+	barrier := app.StackFuncs(0, 0, 0)
+	bprefix := []string{FnStart, FnMain, FnBarrier, FnBGLGIBarrier, FnGIBarrier, FnPollfcn}
+	if len(barrier) < len(bprefix) || !reflect.DeepEqual(barrier[:len(bprefix)], bprefix) {
+		t.Errorf("barrier stack = %v, want prefix %v", barrier, bprefix)
+	}
+}
+
+func TestProgressDepthVaries(t *testing.T) {
+	app, err := NewRing(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	depths := map[int]bool{}
+	for s := 0; s < 40; s++ {
+		st := app.StackFuncs(0, 0, s)
+		depths[len(st)] = true
+	}
+	if len(depths) < 3 {
+		t.Errorf("progress-engine depth constant across samples: %v", depths)
+	}
+	// Depth pairs: advance/CMadvance always come together.
+	for s := 0; s < 40; s++ {
+		st := app.StackFuncs(0, 0, s)
+		var adv, cm int
+		for _, f := range st {
+			switch f {
+			case FnMessagerAdvance:
+				adv++
+			case FnMessagerCM:
+				cm++
+			}
+		}
+		if adv != cm {
+			t.Errorf("sample %d: %d advance vs %d CMadvance", s, adv, cm)
+		}
+	}
+}
+
+func TestStacksDeterministic(t *testing.T) {
+	a, _ := NewRing(64, WithSeed(9))
+	b, _ := NewRing(64, WithSeed(9))
+	for task := 0; task < 64; task += 7 {
+		for s := 0; s < 5; s++ {
+			if !reflect.DeepEqual(a.StackPCs(task, 0, s), b.StackPCs(task, 0, s)) {
+				t.Fatalf("task %d sample %d differs across identical apps", task, s)
+			}
+		}
+	}
+	c, _ := NewRing(64, WithSeed(10))
+	same := true
+	for task := 0; task < 64 && same; task++ {
+		for s := 0; s < 5; s++ {
+			if !reflect.DeepEqual(a.StackPCs(task, 0, s), c.StackPCs(task, 0, s)) {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical stack streams")
+	}
+}
+
+func TestThreadStacks(t *testing.T) {
+	app, err := NewRing(8, WithThreads(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Thread 0 keeps the MPI stack.
+	if fs := app.StackFuncs(1, 0, 0); fs[2] != FnSendOrStall {
+		t.Errorf("thread 0 stack = %v", fs)
+	}
+	// Worker threads run the worker loop.
+	sawCompute, sawWait := false, false
+	for th := 1; th < 4; th++ {
+		for s := 0; s < 10; s++ {
+			fs := app.StackFuncs(0, th, s)
+			if fs[2] != FnWorkerLoop {
+				t.Fatalf("worker stack = %v", fs)
+			}
+			switch fs[3] {
+			case FnComputeKernel:
+				sawCompute = true
+			case FnCondWait:
+				sawWait = true
+			}
+		}
+	}
+	if !sawCompute || !sawWait {
+		t.Errorf("worker threads never varied: compute=%v wait=%v", sawCompute, sawWait)
+	}
+	// Out-of-range thread panics.
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for thread out of range")
+		}
+	}()
+	app.StackPCs(0, 4, 0)
+}
+
+func TestFunctionsLayout(t *testing.T) {
+	funcs := Functions()
+	if len(funcs) == 0 {
+		t.Fatal("no functions")
+	}
+	seen := map[string]bool{}
+	for i, f := range funcs {
+		if seen[f.Name] {
+			t.Errorf("duplicate function %q", f.Name)
+		}
+		seen[f.Name] = true
+		if f.Size == 0 {
+			t.Errorf("function %q has zero size", f.Name)
+		}
+		if i > 0 && funcs[i].Addr < funcs[i-1].Addr+funcs[i-1].Size {
+			t.Errorf("functions overlap at %q", f.Name)
+		}
+		if f.Module == "" {
+			t.Errorf("function %q has no module", f.Name)
+		}
+	}
+	// Every module referenced by the machine models exists.
+	mods := map[string]bool{}
+	for _, f := range funcs {
+		mods[f.Module] = true
+	}
+	for _, m := range []string{"a.out", "libmpi.so", "libc.so"} {
+		if !mods[m] {
+			t.Errorf("module %q missing from layout", m)
+		}
+	}
+}
+
+// TestQuickPCsResolveWithinFunctions: every generated PC falls inside a
+// known function's address range — no stray addresses that a symbol table
+// could not resolve.
+func TestQuickPCsResolveWithinFunctions(t *testing.T) {
+	funcs := Functions()
+	inRange := func(pc uint64) bool {
+		for _, f := range funcs {
+			if pc >= f.Addr && pc < f.Addr+f.Size {
+				return true
+			}
+		}
+		return false
+	}
+	app, err := NewRing(512, WithThreads(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(taskSeed, sampleSeed uint16, thread bool) bool {
+		task := int(taskSeed) % 512
+		sample := int(sampleSeed) % 64
+		th := 0
+		if thread {
+			th = 1
+		}
+		for _, pc := range app.StackPCs(task, th, sample) {
+			if !inRange(pc) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStateString(t *testing.T) {
+	for st, want := range map[State]string{
+		StateHung: "hung", StateWaitall: "waitall",
+		StateBarrier: "barrier", StateCompute: "compute",
+	} {
+		if st.String() != want {
+			t.Errorf("%d.String() = %q", int(st), st.String())
+		}
+	}
+}

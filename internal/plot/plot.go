@@ -1,0 +1,198 @@
+// Package plot renders series as ASCII line charts, so the experiment
+// harness can emit figure-shaped output (the paper's Figures 2–10 are
+// line plots) in addition to numeric tables. Log-scale axes are supported
+// because every figure in the paper sweeps scale in powers of two.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one plotted line.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+	// Failed marks points plotted with 'x' (environment failures).
+	Failed []bool
+}
+
+// Chart is a renderable plot.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	// Width and Height are the plot-area dimensions in characters;
+	// zero selects 64×20.
+	Width, Height int
+	// LogX/LogY select logarithmic axes.
+	LogX, LogY bool
+	Series     []Series
+}
+
+// markers label the series in order.
+var markers = []byte{'*', 'o', '+', '#', '@', '%', '&', '~'}
+
+func (c *Chart) dims() (int, int) {
+	w, h := c.Width, c.Height
+	if w <= 0 {
+		w = 64
+	}
+	if h <= 0 {
+		h = 20
+	}
+	return w, h
+}
+
+// transform maps a value to axis space.
+func transform(v float64, log bool) (float64, bool) {
+	if !log {
+		return v, true
+	}
+	if v <= 0 {
+		return 0, false
+	}
+	return math.Log10(v), true
+}
+
+// Render draws the chart.
+func (c *Chart) Render() string {
+	w, h := c.dims()
+
+	// Axis ranges over transformed coordinates.
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	any := false
+	for _, s := range c.Series {
+		for i := range s.X {
+			tx, okx := transform(s.X[i], c.LogX)
+			ty, oky := transform(s.Y[i], c.LogY)
+			if !okx || !oky {
+				continue
+			}
+			any = true
+			minX, maxX = math.Min(minX, tx), math.Max(maxX, tx)
+			minY, maxY = math.Min(minY, ty), math.Max(maxY, ty)
+		}
+	}
+	var sb strings.Builder
+	if c.Title != "" {
+		sb.WriteString(c.Title)
+		sb.WriteByte('\n')
+	}
+	if !any {
+		sb.WriteString("(no plottable points)\n")
+		return sb.String()
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, h)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", w))
+	}
+	put := func(x, y float64, mark byte) {
+		tx, okx := transform(x, c.LogX)
+		ty, oky := transform(y, c.LogY)
+		if !okx || !oky {
+			return
+		}
+		col := int(math.Round((tx - minX) / (maxX - minX) * float64(w-1)))
+		row := h - 1 - int(math.Round((ty-minY)/(maxY-minY)*float64(h-1)))
+		if col < 0 || col >= w || row < 0 || row >= h {
+			return
+		}
+		grid[row][col] = mark
+	}
+	// Draw connecting segments first (dots), then the point markers on
+	// top, so lines never obscure data points.
+	for si, s := range c.Series {
+		_ = si
+		for i := 1; i < len(s.X); i++ {
+			x0, ok0 := transform(s.X[i-1], c.LogX)
+			y0, ok0y := transform(s.Y[i-1], c.LogY)
+			x1, ok1 := transform(s.X[i], c.LogX)
+			y1, ok1y := transform(s.Y[i], c.LogY)
+			if !ok0 || !ok0y || !ok1 || !ok1y {
+				continue
+			}
+			const steps = 48
+			for t := 1; t < steps; t++ {
+				fx := x0 + (x1-x0)*float64(t)/steps
+				fy := y0 + (y1-y0)*float64(t)/steps
+				col := int(math.Round((fx - minX) / (maxX - minX) * float64(w-1)))
+				row := h - 1 - int(math.Round((fy-minY)/(maxY-minY)*float64(h-1)))
+				if col >= 0 && col < w && row >= 0 && row < h && grid[row][col] == ' ' {
+					grid[row][col] = '.'
+				}
+			}
+		}
+	}
+	for si, s := range c.Series {
+		mark := markers[si%len(markers)]
+		for i := range s.X {
+			m := mark
+			if i < len(s.Failed) && s.Failed[i] {
+				m = 'x'
+			}
+			put(s.X[i], s.Y[i], m)
+		}
+	}
+
+	// Y-axis labels: top, middle, bottom.
+	ylab := func(row int) string {
+		frac := float64(h-1-row) / float64(h-1)
+		v := minY + frac*(maxY-minY)
+		if c.LogY {
+			v = math.Pow(10, v)
+		}
+		return fmt.Sprintf("%9.3g", v)
+	}
+	for row := 0; row < h; row++ {
+		switch row {
+		case 0, h / 2, h - 1:
+			sb.WriteString(ylab(row))
+		default:
+			sb.WriteString(strings.Repeat(" ", 9))
+		}
+		sb.WriteString(" |")
+		sb.Write(grid[row])
+		sb.WriteByte('\n')
+	}
+	sb.WriteString(strings.Repeat(" ", 10) + "+" + strings.Repeat("-", w) + "\n")
+	lo, hi := minX, maxX
+	if c.LogX {
+		lo, hi = math.Pow(10, minX), math.Pow(10, maxX)
+	}
+	axis := fmt.Sprintf("%-12.6g%s%12.6g", lo, strings.Repeat(" ", maxInt(1, w-13)), hi)
+	sb.WriteString(strings.Repeat(" ", 11) + axis + "\n")
+	if c.XLabel != "" || c.YLabel != "" {
+		fmt.Fprintf(&sb, "%11sx: %s", "", c.XLabel)
+		if c.LogX {
+			sb.WriteString(" (log)")
+		}
+		fmt.Fprintf(&sb, ", y: %s", c.YLabel)
+		if c.LogY {
+			sb.WriteString(" (log)")
+		}
+		sb.WriteByte('\n')
+	}
+	// Legend.
+	for si, s := range c.Series {
+		fmt.Fprintf(&sb, "%11s%c %s\n", "", markers[si%len(markers)], s.Name)
+	}
+	return sb.String()
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,115 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderBasics(t *testing.T) {
+	c := &Chart{
+		Title:  "demo",
+		XLabel: "daemons",
+		YLabel: "seconds",
+		Series: []Series{
+			{Name: "linear", X: []float64{1, 2, 3, 4}, Y: []float64{1, 2, 3, 4}},
+			{Name: "flat", X: []float64{1, 2, 3, 4}, Y: []float64{2, 2, 2, 2}},
+		},
+	}
+	out := c.Render()
+	for _, want := range []string{"demo", "*", "o", "linear", "flat", "x: daemons", "y: seconds"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Plot area has the default height (20 rows) plus axis/legend lines.
+	if got := strings.Count(out, "\n"); got < 22 {
+		t.Errorf("only %d lines:\n%s", got, out)
+	}
+}
+
+func TestRenderLinearShape(t *testing.T) {
+	// A strictly increasing line must place its max at the top row and
+	// min at the bottom row of the plot area.
+	c := &Chart{
+		Width: 40, Height: 10,
+		Series: []Series{{Name: "s", X: []float64{0, 100}, Y: []float64{0, 10}}},
+	}
+	out := c.Render()
+	lines := strings.Split(out, "\n")
+	top, bottom := lines[0], lines[9]
+	if !strings.Contains(top, "*") {
+		t.Errorf("max not on top row:\n%s", out)
+	}
+	if !strings.Contains(bottom, "*") {
+		t.Errorf("min not on bottom row:\n%s", out)
+	}
+	// The top row marker is to the right of the bottom row marker.
+	if strings.IndexByte(top, '*') <= strings.IndexByte(bottom, '*') {
+		t.Errorf("line does not ascend rightward:\n%s", out)
+	}
+}
+
+func TestRenderLogAxes(t *testing.T) {
+	c := &Chart{
+		LogX: true, LogY: true,
+		Width: 40, Height: 8,
+		Series: []Series{{
+			Name: "pow", X: []float64{1, 10, 100, 1000}, Y: []float64{1, 10, 100, 1000},
+		}},
+	}
+	out := c.Render()
+	// On log-log a power law is a straight diagonal: the four markers sit
+	// on four distinct rows.
+	rows := 0
+	for _, line := range strings.Split(out, "\n") {
+		// Count only plot-area rows (containing the axis bar), not the
+		// legend line.
+		if strings.Contains(line, "|") && strings.Contains(line, "*") {
+			rows++
+		}
+	}
+	if rows != 4 {
+		t.Errorf("log-log power law spans %d rows, want 4:\n%s", rows, out)
+	}
+}
+
+func TestRenderSkipsNonPositiveOnLog(t *testing.T) {
+	c := &Chart{
+		LogY:   true,
+		Series: []Series{{Name: "s", X: []float64{1, 2}, Y: []float64{0, 10}}},
+	}
+	out := c.Render() // must not panic; zero point skipped
+	if !strings.Contains(out, "*") {
+		t.Errorf("surviving point not plotted:\n%s", out)
+	}
+}
+
+func TestRenderFailedMarkers(t *testing.T) {
+	c := &Chart{
+		Series: []Series{{
+			Name: "s", X: []float64{1, 2}, Y: []float64{1, 2},
+			Failed: []bool{false, true},
+		}},
+	}
+	if out := c.Render(); !strings.Contains(out, "x") {
+		t.Errorf("failed point not marked:\n%s", out)
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	c := &Chart{Title: "empty"}
+	out := c.Render()
+	if !strings.Contains(out, "no plottable points") {
+		t.Errorf("empty chart output:\n%s", out)
+	}
+}
+
+func TestRenderConstantSeries(t *testing.T) {
+	// Degenerate ranges (all X equal, all Y equal) must not divide by zero.
+	c := &Chart{
+		Series: []Series{{Name: "s", X: []float64{5, 5}, Y: []float64{3, 3}}},
+	}
+	if out := c.Render(); !strings.Contains(out, "*") {
+		t.Errorf("constant series not plotted:\n%s", out)
+	}
+}

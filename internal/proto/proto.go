@@ -1,0 +1,220 @@
+// Package proto defines STAT's front-end ↔ daemon control protocol, the
+// reproduction of MRNet's stream/packet layer as STAT uses it. The front
+// end drives the tool daemons through tagged packets broadcast down the
+// overlay tree (attach, sample, gather, detach), daemons reply with acks
+// that aggregate upward through a reduction filter, and the gather reply
+// carries the serialized prefix trees. Framing is explicit and versioned
+// so a daemon from a different build refuses to join the session.
+package proto
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Version is the protocol version; mismatches are rejected at attach.
+const Version = 1
+
+// MsgType tags a packet.
+type MsgType uint8
+
+const (
+	// MsgAttach asks daemons to attach to their application processes.
+	MsgAttach MsgType = iota + 1
+	// MsgSample asks daemons to gather stack samples and merge locally.
+	MsgSample
+	// MsgGather asks daemons to forward their merged trees upward.
+	MsgGather
+	// MsgDetach releases the application.
+	MsgDetach
+	// MsgAck is the daemons' aggregated acknowledgement.
+	MsgAck
+	// MsgResult carries serialized prefix trees upward.
+	MsgResult
+)
+
+func (m MsgType) String() string {
+	switch m {
+	case MsgAttach:
+		return "attach"
+	case MsgSample:
+		return "sample"
+	case MsgGather:
+		return "gather"
+	case MsgDetach:
+		return "detach"
+	case MsgAck:
+		return "ack"
+	case MsgResult:
+		return "result"
+	}
+	return fmt.Sprintf("MsgType(%d)", uint8(m))
+}
+
+// Packet is one protocol message.
+type Packet struct {
+	// Stream identifies the logical MRNet stream (one session uses one
+	// control stream and one data stream).
+	Stream uint16
+	Type   MsgType
+	// Payload is the type-specific body.
+	Payload []byte
+}
+
+// Stream identifiers used by STAT sessions.
+const (
+	ControlStream uint16 = 1
+	DataStream    uint16 = 2
+)
+
+var packetMagic = [2]byte{'S', 'P'}
+
+// Encode frames the packet: magic, version, stream, type, length, payload.
+func (p Packet) Encode() []byte {
+	buf := make([]byte, 0, 10+len(p.Payload))
+	buf = append(buf, packetMagic[:]...)
+	buf = append(buf, Version)
+	buf = binary.LittleEndian.AppendUint16(buf, p.Stream)
+	buf = append(buf, byte(p.Type))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(p.Payload)))
+	buf = append(buf, p.Payload...)
+	return buf
+}
+
+// Decode parses a framed packet, rejecting bad magic, version skew and
+// truncation.
+func Decode(b []byte) (Packet, error) {
+	if len(b) < 10 {
+		return Packet{}, errors.New("proto: packet too short")
+	}
+	if b[0] != packetMagic[0] || b[1] != packetMagic[1] {
+		return Packet{}, errors.New("proto: bad magic")
+	}
+	if b[2] != Version {
+		return Packet{}, fmt.Errorf("proto: version skew (daemon %d, front end %d)", b[2], Version)
+	}
+	p := Packet{
+		Stream: binary.LittleEndian.Uint16(b[3:5]),
+		Type:   MsgType(b[5]),
+	}
+	n := int(binary.LittleEndian.Uint32(b[6:10]))
+	if len(b)-10 != n {
+		return Packet{}, fmt.Errorf("proto: payload length %d, frame carries %d", n, len(b)-10)
+	}
+	p.Payload = append([]byte(nil), b[10:]...)
+	return p, nil
+}
+
+// SampleRequest parameterizes a sampling command.
+type SampleRequest struct {
+	// Samples per task (the paper gathers 10).
+	Samples uint16
+	// Threads per task to walk (Section VII extension).
+	Threads uint16
+}
+
+// Encode serializes the request body.
+func (r SampleRequest) Encode() []byte {
+	buf := make([]byte, 4)
+	binary.LittleEndian.PutUint16(buf[0:2], r.Samples)
+	binary.LittleEndian.PutUint16(buf[2:4], r.Threads)
+	return buf
+}
+
+// DecodeSampleRequest parses a sampling command body.
+func DecodeSampleRequest(b []byte) (SampleRequest, error) {
+	if len(b) != 4 {
+		return SampleRequest{}, fmt.Errorf("proto: sample request body %d bytes, want 4", len(b))
+	}
+	return SampleRequest{
+		Samples: binary.LittleEndian.Uint16(b[0:2]),
+		Threads: binary.LittleEndian.Uint16(b[2:4]),
+	}, nil
+}
+
+// TreeKind selects which trees a gather returns.
+type TreeKind uint8
+
+const (
+	// Tree2D is the latest-sample trace×space tree.
+	Tree2D TreeKind = 1
+	// Tree3D is the all-samples trace×space×time tree.
+	Tree3D TreeKind = 2
+	// TreeBoth gathers both (the tool's normal operation).
+	TreeBoth TreeKind = 3
+)
+
+// GatherRequest parameterizes a gather command.
+type GatherRequest struct {
+	Which TreeKind
+	// Detail selects function+offset frame granularity (STAT's detailed
+	// traces, used by the progress check).
+	Detail bool
+}
+
+// Encode serializes the request body.
+func (r GatherRequest) Encode() []byte {
+	d := byte(0)
+	if r.Detail {
+		d = 1
+	}
+	return []byte{byte(r.Which), d}
+}
+
+// DecodeGatherRequest parses a gather command body.
+func DecodeGatherRequest(b []byte) (GatherRequest, error) {
+	if len(b) != 2 {
+		return GatherRequest{}, fmt.Errorf("proto: gather request body %d bytes, want 2", len(b))
+	}
+	k := TreeKind(b[0])
+	if k != Tree2D && k != Tree3D && k != TreeBoth {
+		return GatherRequest{}, fmt.Errorf("proto: unknown tree kind %d", b[0])
+	}
+	if b[1] > 1 {
+		return GatherRequest{}, fmt.Errorf("proto: bad detail flag %d", b[1])
+	}
+	return GatherRequest{Which: k, Detail: b[1] == 1}, nil
+}
+
+// Ack is the aggregated acknowledgement flowing up the tree: a count of
+// daemons that succeeded and the first error, if any. Acks merge
+// associatively, so the overlay's reduction combines them at every level.
+type Ack struct {
+	OK int32
+	// FirstError is empty when every daemon succeeded.
+	FirstError string
+}
+
+// Merge combines acks (associative, order-preserving on the error).
+func (a Ack) Merge(b Ack) Ack {
+	out := Ack{OK: a.OK + b.OK, FirstError: a.FirstError}
+	if out.FirstError == "" {
+		out.FirstError = b.FirstError
+	}
+	return out
+}
+
+// Encode serializes the ack body.
+func (a Ack) Encode() []byte {
+	buf := make([]byte, 8+len(a.FirstError))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(a.OK))
+	binary.LittleEndian.PutUint32(buf[4:8], uint32(len(a.FirstError)))
+	copy(buf[8:], a.FirstError)
+	return buf
+}
+
+// DecodeAck parses an ack body.
+func DecodeAck(b []byte) (Ack, error) {
+	if len(b) < 8 {
+		return Ack{}, errors.New("proto: ack too short")
+	}
+	n := int(binary.LittleEndian.Uint32(b[4:8]))
+	if len(b)-8 != n {
+		return Ack{}, fmt.Errorf("proto: ack error length %d, body carries %d", n, len(b)-8)
+	}
+	return Ack{
+		OK:         int32(binary.LittleEndian.Uint32(b[0:4])),
+		FirstError: string(b[8:]),
+	}, nil
+}

@@ -1,0 +1,152 @@
+package proto
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPacketRoundTrip(t *testing.T) {
+	cases := []Packet{
+		{Stream: ControlStream, Type: MsgAttach},
+		{Stream: ControlStream, Type: MsgSample, Payload: SampleRequest{Samples: 10, Threads: 1}.Encode()},
+		{Stream: DataStream, Type: MsgResult, Payload: make([]byte, 100000)},
+		{Stream: 0xFFFF, Type: MsgDetach, Payload: []byte{}},
+	}
+	for _, p := range cases {
+		got, err := Decode(p.Encode())
+		if err != nil {
+			t.Fatalf("%v: %v", p.Type, err)
+		}
+		if got.Stream != p.Stream || got.Type != p.Type || len(got.Payload) != len(p.Payload) {
+			t.Errorf("round trip mismatch: %+v vs %+v", got, p)
+		}
+	}
+}
+
+func TestDecodeRejects(t *testing.T) {
+	good := Packet{Stream: 1, Type: MsgAck, Payload: []byte("xy")}.Encode()
+	cases := map[string]func([]byte) []byte{
+		"short":        func(b []byte) []byte { return b[:5] },
+		"bad magic":    func(b []byte) []byte { c := clone(b); c[0] = 'X'; return c },
+		"version skew": func(b []byte) []byte { c := clone(b); c[2] = Version + 1; return c },
+		"truncated":    func(b []byte) []byte { return b[:len(b)-1] },
+		"oversized":    func(b []byte) []byte { return append(clone(b), 0) },
+	}
+	for name, corrupt := range cases {
+		if _, err := Decode(corrupt(good)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestSampleRequestRoundTrip(t *testing.T) {
+	r := SampleRequest{Samples: 10, Threads: 8}
+	got, err := DecodeSampleRequest(r.Encode())
+	if err != nil || got != r {
+		t.Errorf("round trip: %+v, %v", got, err)
+	}
+	if _, err := DecodeSampleRequest([]byte{1, 2, 3}); err == nil {
+		t.Error("short body accepted")
+	}
+}
+
+func TestGatherRequestRoundTrip(t *testing.T) {
+	for _, k := range []TreeKind{Tree2D, Tree3D, TreeBoth} {
+		got, err := DecodeGatherRequest(GatherRequest{Which: k}.Encode())
+		if err != nil || got.Which != k {
+			t.Errorf("kind %d: %+v, %v", k, got, err)
+		}
+	}
+	if _, err := DecodeGatherRequest([]byte{9}); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if _, err := DecodeGatherRequest(nil); err == nil {
+		t.Error("empty body accepted")
+	}
+}
+
+func TestAckMerge(t *testing.T) {
+	a := Ack{OK: 3}
+	b := Ack{OK: 2, FirstError: "daemon 5: boom"}
+	c := Ack{OK: 1, FirstError: "daemon 9: later"}
+	m := a.Merge(b).Merge(c)
+	if m.OK != 6 {
+		t.Errorf("OK = %d", m.OK)
+	}
+	if m.FirstError != "daemon 5: boom" {
+		t.Errorf("FirstError = %q, want the first", m.FirstError)
+	}
+	// Associativity: (a·b)·c == a·(b·c).
+	m2 := a.Merge(b.Merge(c))
+	if m != m2 {
+		t.Errorf("ack merge not associative: %+v vs %+v", m, m2)
+	}
+}
+
+func TestAckRoundTrip(t *testing.T) {
+	for _, a := range []Ack{{OK: 0}, {OK: 1664}, {OK: 2, FirstError: "daemon 7: gather while init"}} {
+		got, err := DecodeAck(a.Encode())
+		if err != nil || got != a {
+			t.Errorf("round trip %+v: %+v, %v", a, got, err)
+		}
+	}
+	if _, err := DecodeAck([]byte{1}); err == nil {
+		t.Error("short ack accepted")
+	}
+	bad := Ack{FirstError: "xx"}.Encode()
+	if _, err := DecodeAck(bad[:len(bad)-1]); err == nil {
+		t.Error("truncated error string accepted")
+	}
+}
+
+func TestMsgTypeStrings(t *testing.T) {
+	for typ, want := range map[MsgType]string{
+		MsgAttach: "attach", MsgSample: "sample", MsgGather: "gather",
+		MsgDetach: "detach", MsgAck: "ack", MsgResult: "result",
+	} {
+		if typ.String() != want {
+			t.Errorf("%d.String() = %q", typ, typ.String())
+		}
+	}
+}
+
+func TestQuickPacketRoundTrip(t *testing.T) {
+	f := func(stream uint16, typ uint8, payload []byte) bool {
+		p := Packet{Stream: stream, Type: MsgType(typ), Payload: payload}
+		got, err := Decode(p.Encode())
+		if err != nil {
+			return false
+		}
+		if got.Stream != p.Stream || got.Type != p.Type || len(got.Payload) != len(p.Payload) {
+			return false
+		}
+		for i := range payload {
+			if got.Payload[i] != payload[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickDecodeNeverPanics feeds arbitrary bytes to Decode: corrupt
+// input must produce errors, not panics.
+func TestQuickDecodeNeverPanics(t *testing.T) {
+	f := func(b []byte) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Errorf("Decode panicked on %x: %v", b, r)
+			}
+		}()
+		_, _ = Decode(b)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func clone(b []byte) []byte { return append([]byte(nil), b...) }

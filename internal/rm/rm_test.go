@@ -1,0 +1,108 @@
+package rm
+
+import (
+	"errors"
+	"testing"
+
+	"stat/internal/sim"
+)
+
+func launchTime(t *testing.T, ctl *BGLControl, tasks, daemons int) (float64, error) {
+	t.Helper()
+	e := sim.NewEngine()
+	var at float64
+	var lerr error
+	ctl.LaunchJob(e, tasks, daemons, func(a float64, err error) { at, lerr = a, err })
+	e.Run()
+	return at, lerr
+}
+
+func TestStartupExceeds100sAt1024Nodes(t *testing.T) {
+	// Paper: "The startup time on BG/L exceeds 100 seconds even at 1024
+	// compute nodes."
+	ctl := NewBGLControl(false)
+	at, err := launchTime(t, ctl, 1024, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if at < 95 {
+		t.Errorf("1024-node startup = %.1fs, want ≈100s+", at)
+	}
+}
+
+func TestUnpatchedHangsAt208K(t *testing.T) {
+	ctl := NewBGLControl(false)
+	_, err := launchTime(t, ctl, 212992, 1664)
+	var hang *ErrHang
+	if !errors.As(err, &hang) {
+		t.Fatalf("208K unpatched error = %v, want ErrHang", err)
+	}
+	if hang.Tasks != 212992 {
+		t.Errorf("hang records %d tasks", hang.Tasks)
+	}
+	// The patched system completes the same job.
+	patched := NewBGLControl(true)
+	if _, err := launchTime(t, patched, 212992, 1664); err != nil {
+		t.Errorf("patched 208K failed: %v", err)
+	}
+}
+
+func TestPatchSpeedupAt104K(t *testing.T) {
+	// Paper: "more than a two fold speedup at 104K processes in the 2-deep
+	// CO case" after the IBM patches.
+	unpatched, err := launchTime(t, NewBGLControl(false), 106496, 1664)
+	if err != nil {
+		t.Fatal(err)
+	}
+	patched, err := launchTime(t, NewBGLControl(true), 106496, 1664)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := unpatched / patched; ratio < 2 {
+		t.Errorf("patch speedup at 104K = %.2fx, want > 2x", ratio)
+	}
+}
+
+func TestUnpatchedSuperlinear(t *testing.T) {
+	// The strcat term makes unpatched launch grow faster than linearly.
+	ctl := NewBGLControl(false)
+	t32k, _ := launchTime(t, ctl, 32768, 512)
+	t131k, _ := launchTime(t, ctl, 131072, 1024)
+	if ratio := t131k / t32k; ratio < 4.05 {
+		t.Errorf("4x tasks → %.2fx time, want clearly > 4x", ratio)
+	}
+	// Patched is linear or better.
+	p := NewBGLControl(true)
+	p32k, _ := launchTime(t, p, 32768, 512)
+	p131k, _ := launchTime(t, p, 131072, 1024)
+	if ratio := p131k / p32k; ratio > 4.0 {
+		t.Errorf("patched 4x tasks → %.2fx time, want ≤4x", ratio)
+	}
+}
+
+func TestSystemSoftwareDominatesAtScale(t *testing.T) {
+	// Paper: "At 64K compute nodes in virtual node mode, the system
+	// software accounts for over 86% of the startup time."
+	ctl := NewBGLControl(false)
+	tasks, daemons := 131072, 1024
+	at, err := launchTime(t, ctl, tasks, daemons)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Whole-startup budget: control system + a generous 60s of tool-side
+	// work (CP launch, connection setup).
+	frac := ctl.SystemSoftwareFraction(tasks, daemons, at+60)
+	if frac < 0.86 {
+		t.Errorf("system software fraction = %.2f, want > 0.86", frac)
+	}
+	if z := ctl.SystemSoftwareFraction(tasks, daemons, 0); z != 0 {
+		t.Errorf("zero budget fraction = %g", z)
+	}
+}
+
+func TestErrHangMessage(t *testing.T) {
+	e := &ErrHang{Tasks: 208896}
+	if e.Error() == "" {
+		t.Error("empty error message")
+	}
+}

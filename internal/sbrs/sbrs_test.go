@@ -1,0 +1,128 @@
+package sbrs
+
+import (
+	"strings"
+	"testing"
+
+	"stat/internal/fsim"
+	"stat/internal/sim"
+	"stat/internal/topology"
+)
+
+func setup(t *testing.T, daemons int) (*sim.Engine, *fsim.FS, *Service) {
+	t.Helper()
+	e := sim.NewEngine()
+	fs := fsim.NewFS()
+	nfs := fsim.NewNFS(e, 4, 0.01, 2e8)
+	fs.AddMount("/nfs/", nfs)
+	fs.AddMount("/ramdisk/", fsim.NewRAMDisk(e, 0.0001, 2e9))
+	topo, err := topology.Balanced(2, daemons)
+	if err != nil {
+		t.Fatal(err)
+	}
+	link := sim.Link{LatencySec: 1e-5, BytesPerSec: 1.2e9}
+	svc := New(DefaultConfig(link), fs, topo)
+	return e, fs, svc
+}
+
+func TestRelocateStagesAndInterposes(t *testing.T) {
+	e, fs, svc := setup(t, 128)
+	exe := make([]byte, 10*1024)
+	lib := make([]byte, 4<<20)
+	for i := range lib {
+		lib[i] = byte(i)
+	}
+	fs.WriteFile("/nfs/home/a.out", exe)
+	fs.WriteFile("/nfs/home/libmpi.so", lib)
+
+	rep, err := svc.Relocate(e, []string{"/nfs/home/a.out", "/nfs/home/libmpi.so"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Relocated) != 2 || len(rep.Skipped) != 0 {
+		t.Fatalf("relocated=%v skipped=%v", rep.Relocated, rep.Skipped)
+	}
+	if rep.Bytes != int64(len(exe)+len(lib)) {
+		t.Errorf("bytes = %d", rep.Bytes)
+	}
+	// Opens now hit the RAM disk copy with identical contents.
+	var got []byte
+	fs.ReadFile(7, "/nfs/home/libmpi.so", func(_ float64, d []byte, err error) {
+		if err != nil {
+			t.Error(err)
+		}
+		got = d
+	})
+	e.Run()
+	if len(got) != len(lib) || got[12345] != lib[12345] {
+		t.Error("relocated contents differ")
+	}
+	sys, err := fs.SystemFor("/ramdisk/sbrs/nfs/home/libmpi.so")
+	if err != nil || sys.Name() != "ramdisk" {
+		t.Errorf("staged copy not on ramdisk: %v %v", sys, err)
+	}
+}
+
+func TestRelocateSkipsLocalFiles(t *testing.T) {
+	e, fs, svc := setup(t, 16)
+	fs.WriteFile("/ramdisk/os/libc.so", make([]byte, 1024))
+	rep, err := svc.Relocate(e, []string{"/ramdisk/os/libc.so"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Relocated) != 0 || len(rep.Skipped) != 1 {
+		t.Errorf("relocated=%v skipped=%v; mtab says ramdisk is not shared", rep.Relocated, rep.Skipped)
+	}
+	if rep.Bytes != 0 {
+		t.Errorf("bytes = %d", rep.Bytes)
+	}
+}
+
+func TestRelocateMissingFile(t *testing.T) {
+	e, _, svc := setup(t, 8)
+	if _, err := svc.Relocate(e, []string{"/nfs/missing"}); err == nil {
+		t.Error("missing file relocated")
+	}
+}
+
+func TestRelocationCostNearPaper(t *testing.T) {
+	// Paper: 0.088s to relocate the 10KB executable and 4MB MPI library to
+	// 128 nodes. The model should land in the same order of magnitude.
+	e, fs, svc := setup(t, 128)
+	fs.WriteFile("/nfs/home/a.out", make([]byte, 10*1024))
+	fs.WriteFile("/nfs/home/libmpi.so", make([]byte, 4<<20))
+	rep, err := svc.Relocate(e, []string{"/nfs/home/a.out", "/nfs/home/libmpi.so"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalSec > 0.5 || rep.TotalSec < 0.02 {
+		t.Errorf("relocation to 128 nodes = %.3fs, want O(0.1s) like the paper's 0.088s", rep.TotalSec)
+	}
+	if rep.BroadcastSec <= 0 || rep.FetchSec < 0 {
+		t.Errorf("breakdown: fetch=%.4f broadcast=%.4f", rep.FetchSec, rep.BroadcastSec)
+	}
+	if rep.TotalSec < rep.BroadcastSec {
+		t.Errorf("total %.4f < broadcast %.4f", rep.TotalSec, rep.BroadcastSec)
+	}
+}
+
+func TestGracePeriodCharged(t *testing.T) {
+	e, fs, svc := setup(t, 4)
+	fs.WriteFile("/nfs/f", make([]byte, 64))
+	rep, err := svc.Relocate(e, []string{"/nfs/f"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalSec < svc.cfg.GracePeriodSec {
+		t.Errorf("total %.4fs below the SIGSTOP grace period %.4fs",
+			rep.TotalSec, svc.cfg.GracePeriodSec)
+	}
+}
+
+func TestRelocatedPathLayout(t *testing.T) {
+	_, _, svc := setup(t, 4)
+	got := svc.relocatedPath("/nfs/home/user/a.out")
+	if !strings.HasPrefix(got, "/ramdisk/sbrs/") || !strings.HasSuffix(got, "a.out") {
+		t.Errorf("relocatedPath = %q", got)
+	}
+}

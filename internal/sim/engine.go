@@ -1,0 +1,105 @@
+// Package sim provides a small deterministic discrete-event simulation
+// engine used to model wall-clock time for operations the reproduction
+// cannot perform physically: launching thousands of tool daemons, network
+// transfers across a machine-wide overlay tree, and contended file-server
+// access. All data manipulated by the tool (stack traces, prefix trees,
+// bit vectors) is real; only latencies run on this virtual clock.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Event is a callback scheduled at a virtual time.
+type event struct {
+	at  float64
+	seq int64 // tie-breaker preserving schedule order, for determinism
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h eventHeap) peek() event   { return h[0] }
+
+// Engine is a single-threaded discrete-event simulator. Events scheduled at
+// the same virtual time run in the order they were scheduled.
+type Engine struct {
+	now     float64
+	seq     int64
+	pending eventHeap
+	steps   int64
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine {
+	e := &Engine{}
+	heap.Init(&e.pending)
+	return e
+}
+
+// Now reports the current virtual time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// Steps reports how many events have been dispatched; useful in tests.
+func (e *Engine) Steps() int64 { return e.steps }
+
+// Schedule runs fn at virtual time at. Scheduling in the past panics: that
+// is always a bug in the model, not a recoverable condition.
+func (e *Engine) Schedule(at float64, fn func()) {
+	if math.IsNaN(at) {
+		panic("sim: scheduled event at NaN time")
+	}
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduled event in the past (at=%g now=%g)", at, e.now))
+	}
+	e.seq++
+	heap.Push(&e.pending, event{at: at, seq: e.seq, fn: fn})
+}
+
+// After runs fn d seconds from now. Negative delays are clamped to zero.
+func (e *Engine) After(d float64, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	e.Schedule(e.now+d, fn)
+}
+
+// Run dispatches events until none remain and returns the final clock.
+func (e *Engine) Run() float64 {
+	for e.pending.Len() > 0 {
+		e.step()
+	}
+	return e.now
+}
+
+// RunUntil dispatches events with time ≤ t, then advances the clock to t.
+func (e *Engine) RunUntil(t float64) {
+	for e.pending.Len() > 0 && e.pending.peek().at <= t {
+		e.step()
+	}
+	if t > e.now {
+		e.now = t
+	}
+}
+
+func (e *Engine) step() {
+	ev := heap.Pop(&e.pending).(event)
+	e.now = ev.at
+	e.steps++
+	ev.fn()
+}
+
+// Pending reports the number of undelivered events.
+func (e *Engine) Pending() int { return e.pending.Len() }

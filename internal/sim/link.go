@@ -1,0 +1,38 @@
+package sim
+
+// Link models a point-to-point network link with fixed latency and
+// bandwidth. TBON timing composes these along the tree's critical path.
+type Link struct {
+	// LatencySec is the one-way message latency in seconds.
+	LatencySec float64
+	// BytesPerSec is the sustained bandwidth.
+	BytesPerSec float64
+}
+
+// TransferTime reports the seconds needed to move n bytes across the link.
+// Zero-byte messages still pay the latency (a header always moves).
+func (l Link) TransferTime(n int64) float64 {
+	if n < 0 {
+		n = 0
+	}
+	t := l.LatencySec
+	if l.BytesPerSec > 0 {
+		t += float64(n) / l.BytesPerSec
+	}
+	return t
+}
+
+// CPUCost models a linear per-byte processing cost (deserialize + merge +
+// serialize) with a fixed per-message overhead.
+type CPUCost struct {
+	PerMessageSec float64
+	PerByteSec    float64
+}
+
+// Time reports the seconds of CPU needed to process n bytes.
+func (c CPUCost) Time(n int64) float64 {
+	if n < 0 {
+		n = 0
+	}
+	return c.PerMessageSec + float64(n)*c.PerByteSec
+}

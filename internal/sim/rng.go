@@ -1,0 +1,58 @@
+package sim
+
+// RNG is a small deterministic pseudo-random generator (splitmix64). The
+// reproduction never uses math/rand's global state so that every run of
+// every experiment is bit-for-bit repeatable, and so that per-task streams
+// can be derived cheaply from (seed, task, sample) without shared state.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG seeds a generator. Distinct seeds give independent-looking streams.
+func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
+
+// Derive returns a new generator whose stream is a pure function of the
+// parent seed and the given coordinates. It does not advance the parent.
+func (r *RNG) Derive(coords ...uint64) *RNG {
+	s := r.state
+	for _, c := range coords {
+		s = mix64(s ^ (c + 0x9e3779b97f4a7c15))
+	}
+	return &RNG{state: s}
+}
+
+func mix64(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Uint64 returns the next value in the stream.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a value uniformly distributed in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a value uniformly distributed in [0, n). n must be positive.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Jitter returns a multiplicative factor in [1-frac, 1+frac], used to model
+// run-to-run performance variation (the paper observed >20% swings in
+// sampling time on BG/L).
+func (r *RNG) Jitter(frac float64) float64 {
+	return 1 + frac*(2*r.Float64()-1)
+}

@@ -1,0 +1,72 @@
+package sim
+
+// Server models a FIFO queueing station with a fixed number of service
+// slots — the shape of a shared NFS server, a resource-manager RPC
+// endpoint, or a login node's CPU. Jobs submitted while all slots are busy
+// wait in arrival order. Service times are supplied by the caller so
+// different file sizes or request kinds can coexist on one station.
+type Server struct {
+	e        *Engine
+	capacity int
+	busy     int
+	queue    []job
+
+	// Served counts completed jobs; BusyTime integrates slot-seconds of
+	// service, for utilization assertions in tests.
+	Served   int64
+	BusyTime float64
+}
+
+type job struct {
+	service float64
+	done    func(completedAt float64)
+}
+
+// NewServer creates a station with the given number of parallel slots.
+// capacity must be at least 1.
+func NewServer(e *Engine, capacity int) *Server {
+	if capacity < 1 {
+		panic("sim: server capacity must be >= 1")
+	}
+	return &Server{e: e, capacity: capacity}
+}
+
+// Submit enqueues a job needing service seconds of slot time at the current
+// virtual time. done (may be nil) runs when the job completes.
+func (s *Server) Submit(service float64, done func(completedAt float64)) {
+	if service < 0 {
+		service = 0
+	}
+	j := job{service: service, done: done}
+	if s.busy < s.capacity {
+		s.start(j)
+		return
+	}
+	s.queue = append(s.queue, j)
+}
+
+func (s *Server) start(j job) {
+	s.busy++
+	s.e.After(j.service, func() {
+		s.busy--
+		s.Served++
+		s.BusyTime += j.service
+		if j.done != nil {
+			j.done(s.e.Now())
+		}
+		if len(s.queue) > 0 {
+			next := s.queue[0]
+			s.queue = s.queue[1:]
+			s.start(next)
+		}
+	})
+}
+
+// QueueLen reports jobs waiting (not in service).
+func (s *Server) QueueLen() int { return len(s.queue) }
+
+// Capacity reports the server's slot count.
+func (s *Server) Capacity() int { return s.capacity }
+
+// Busy reports slots currently in service.
+func (s *Server) Busy() int { return s.busy }

@@ -1,0 +1,315 @@
+package sim
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.Schedule(3, func() { order = append(order, 3) })
+	e.Schedule(1, func() { order = append(order, 1) })
+	e.Schedule(2, func() { order = append(order, 2) })
+	end := e.Run()
+	if !reflect.DeepEqual(order, []int{1, 2, 3}) {
+		t.Errorf("order = %v", order)
+	}
+	if end != 3 {
+		t.Errorf("final clock = %g", end)
+	}
+}
+
+func TestEngineFIFOAtSameTime(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(5, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events out of schedule order: %v", order)
+		}
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var hits []float64
+	e.After(1, func() {
+		hits = append(hits, e.Now())
+		e.After(2, func() { hits = append(hits, e.Now()) })
+	})
+	e.Run()
+	if !reflect.DeepEqual(hits, []float64{1, 3}) {
+		t.Errorf("hits = %v", hits)
+	}
+}
+
+func TestEnginePastSchedulingPanics(t *testing.T) {
+	e := NewEngine()
+	e.After(5, func() {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic scheduling in the past")
+		}
+	}()
+	e.Schedule(1, func() {})
+}
+
+func TestEngineNaNPanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic scheduling at NaN")
+		}
+	}()
+	e.Schedule(math.NaN(), func() {})
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	e.Schedule(1, func() { fired++ })
+	e.Schedule(10, func() { fired++ })
+	e.RunUntil(5)
+	if fired != 1 {
+		t.Errorf("fired = %d, want 1", fired)
+	}
+	if e.Now() != 5 {
+		t.Errorf("Now = %g, want 5", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Errorf("Pending = %d", e.Pending())
+	}
+	e.Run()
+	if fired != 2 || e.Now() != 10 {
+		t.Errorf("after Run: fired=%d now=%g", fired, e.Now())
+	}
+}
+
+func TestServerCapacityOne(t *testing.T) {
+	e := NewEngine()
+	s := NewServer(e, 1)
+	var done []float64
+	for i := 0; i < 3; i++ {
+		s.Submit(2, func(at float64) { done = append(done, at) })
+	}
+	e.Run()
+	if !reflect.DeepEqual(done, []float64{2, 4, 6}) {
+		t.Errorf("completions = %v, want serialized [2 4 6]", done)
+	}
+	if s.Served != 3 {
+		t.Errorf("Served = %d", s.Served)
+	}
+	if s.BusyTime != 6 {
+		t.Errorf("BusyTime = %g", s.BusyTime)
+	}
+}
+
+func TestServerParallelSlots(t *testing.T) {
+	e := NewEngine()
+	s := NewServer(e, 4)
+	var last float64
+	for i := 0; i < 8; i++ {
+		s.Submit(3, func(at float64) { last = at })
+	}
+	e.Run()
+	// 8 jobs, 4 slots, 3s each → two waves → 6s.
+	if last != 6 {
+		t.Errorf("makespan = %g, want 6", last)
+	}
+}
+
+func TestServerFIFO(t *testing.T) {
+	e := NewEngine()
+	s := NewServer(e, 1)
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		s.Submit(1, func(float64) { order = append(order, i) })
+	}
+	e.Run()
+	if !reflect.DeepEqual(order, []int{0, 1, 2, 3, 4}) {
+		t.Errorf("order = %v", order)
+	}
+}
+
+func TestServerLateArrivals(t *testing.T) {
+	e := NewEngine()
+	s := NewServer(e, 1)
+	var done []float64
+	s.Submit(5, func(at float64) { done = append(done, at) })
+	e.After(1, func() {
+		s.Submit(1, func(at float64) { done = append(done, at) })
+	})
+	e.Run()
+	// Second job arrives at t=1, waits until t=5, completes t=6.
+	if !reflect.DeepEqual(done, []float64{5, 6}) {
+		t.Errorf("completions = %v", done)
+	}
+}
+
+func TestServerQueueObservers(t *testing.T) {
+	e := NewEngine()
+	s := NewServer(e, 2)
+	for i := 0; i < 5; i++ {
+		s.Submit(1, nil)
+	}
+	if s.Busy() != 2 || s.QueueLen() != 3 || s.Capacity() != 2 {
+		t.Errorf("busy=%d queue=%d cap=%d", s.Busy(), s.QueueLen(), s.Capacity())
+	}
+	e.Run()
+	if s.Busy() != 0 || s.QueueLen() != 0 {
+		t.Errorf("server not drained")
+	}
+}
+
+func TestServerBadCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for capacity 0")
+		}
+	}()
+	NewServer(NewEngine(), 0)
+}
+
+func TestLinkTransferTime(t *testing.T) {
+	l := Link{LatencySec: 0.001, BytesPerSec: 1e6}
+	if got := l.TransferTime(0); got != 0.001 {
+		t.Errorf("zero bytes = %g, want latency only", got)
+	}
+	if got := l.TransferTime(1e6); math.Abs(got-1.001) > 1e-12 {
+		t.Errorf("1MB = %g, want 1.001", got)
+	}
+	if got := l.TransferTime(-5); got != 0.001 {
+		t.Errorf("negative bytes = %g", got)
+	}
+	// Zero bandwidth means latency-only (control messages).
+	l2 := Link{LatencySec: 0.5}
+	if got := l2.TransferTime(1 << 30); got != 0.5 {
+		t.Errorf("zero-bandwidth link = %g", got)
+	}
+}
+
+func TestCPUCost(t *testing.T) {
+	c := CPUCost{PerMessageSec: 0.01, PerByteSec: 1e-9}
+	if got := c.Time(1e9); math.Abs(got-1.01) > 1e-12 {
+		t.Errorf("Time(1GB) = %g", got)
+	}
+	if got := c.Time(-1); got != 0.01 {
+		t.Errorf("Time(-1) = %g", got)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same-seed streams diverged")
+		}
+	}
+	if NewRNG(1).Uint64() == NewRNG(2).Uint64() {
+		t.Error("different seeds produced identical first values")
+	}
+}
+
+func TestRNGDeriveIndependence(t *testing.T) {
+	root := NewRNG(7)
+	d1 := root.Derive(1, 2)
+	d2 := root.Derive(1, 3)
+	if d1.Uint64() == d2.Uint64() {
+		t.Error("derived streams with different coords collide")
+	}
+	// Derive must not advance the parent.
+	r1 := NewRNG(7)
+	r2 := NewRNG(7)
+	_ = r1.Derive(9)
+	if r1.Uint64() != r2.Uint64() {
+		t.Error("Derive advanced the parent stream")
+	}
+	// Derivation is a pure function of coords.
+	if root.Derive(4, 5).Uint64() != NewRNG(7).Derive(4, 5).Uint64() {
+		t.Error("Derive not reproducible")
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(3)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %g out of [0,1)", f)
+		}
+	}
+}
+
+func TestRNGJitterBounds(t *testing.T) {
+	r := NewRNG(5)
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for i := 0; i < 10000; i++ {
+		j := r.Jitter(0.25)
+		if j < 0.75 || j > 1.25 {
+			t.Fatalf("Jitter(0.25) = %g out of bounds", j)
+		}
+		lo, hi = math.Min(lo, j), math.Max(hi, j)
+	}
+	if lo > 0.80 || hi < 1.20 {
+		t.Errorf("Jitter not spanning its range: [%g, %g]", lo, hi)
+	}
+}
+
+func TestRNGIntn(t *testing.T) {
+	r := NewRNG(11)
+	seen := map[int]bool{}
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(4)
+		if v < 0 || v >= 4 {
+			t.Fatalf("Intn(4) = %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 4 {
+		t.Errorf("Intn(4) only produced %v", seen)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+// TestQuickServerConservation: every submitted job completes exactly once
+// and the clock never runs backwards.
+func TestQuickServerConservation(t *testing.T) {
+	f := func(seed int64) bool {
+		r := NewRNG(uint64(seed))
+		e := NewEngine()
+		cap := 1 + r.Intn(5)
+		s := NewServer(e, cap)
+		n := 1 + r.Intn(50)
+		completed := 0
+		prev := -1.0
+		for i := 0; i < n; i++ {
+			s.Submit(r.Float64(), func(at float64) {
+				if at < prev {
+					t.Errorf("completion time went backwards")
+				}
+				prev = at
+				completed++
+			})
+		}
+		e.Run()
+		return completed == n && s.Served == int64(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,607 @@
+package statbench
+
+import (
+	"fmt"
+	"strings"
+
+	"stat/internal/bitvec"
+	"stat/internal/core"
+	"stat/internal/launch"
+	"stat/internal/machine"
+	"stat/internal/topology"
+)
+
+// atlasDaemonScales mirrors Figure 2's x range (daemon counts).
+func (c Config) atlasDaemonScales() []int {
+	if c.Quick {
+		return []int{16, 64, 256, 512}
+	}
+	return []int{4, 8, 16, 32, 64, 128, 256, 512}
+}
+
+// atlasTaskScales mirrors Figures 4 and 8 (task counts, 8 per daemon).
+func (c Config) atlasTaskScales() []int {
+	if c.Quick {
+		return []int{256, 1024, 4096}
+	}
+	return []int{64, 128, 256, 512, 1024, 2048, 4096}
+}
+
+// bglNodeScales mirrors Figures 3, 5, 7 and 9 (compute nodes). 16384 stays
+// in the quick sweep because it is where the 1-deep merge fails (Fig. 5).
+func (c Config) bglNodeScales() []int {
+	if c.Quick {
+		return []int{4096, 16384, 65536, 106496}
+	}
+	return []int{1024, 2048, 4096, 8192, 16384, 32768, 65536, 106496}
+}
+
+func bglTasks(nodes int, mode machine.Mode) int {
+	if mode == machine.VN {
+		return nodes * 2
+	}
+	return nodes
+}
+
+// bglMachine builds the BG/L model, honoring the NoTails option.
+func (c Config) bglMachine() *machine.Machine {
+	m := machine.BGL()
+	if c.NoTails {
+		m.TailProb = 0
+	}
+	return m
+}
+
+// Fig1 regenerates the example 3D trace/space/time call-graph prefix tree
+// of the hung 1024-task ring application. The figure's payload is the tree
+// itself; the returned Result carries it (render with WriteDOT or String),
+// and the Figure summarizes the equivalence classes.
+func Fig1(c Config) (*core.Result, *Figure, error) {
+	opts := core.Options{
+		Machine:  machine.Atlas(),
+		Tasks:    1024,
+		Topology: topology.Spec{Kind: topology.KindBalanced, Depth: 2},
+		BitVec:   core.Hierarchical,
+		Samples:  10,
+		Seed:     c.Seed,
+	}
+	tool, err := core.New(opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := tool.MeasureMerge()
+	if err != nil {
+		return nil, nil, err
+	}
+	fig := &Figure{
+		ID:     "Fig1",
+		Title:  "3D trace/space/time call graph prefix tree, 1024-task hung ring app",
+		XLabel: "class", YLabel: "tasks",
+	}
+	for _, cl := range res.Tree3D.EquivalenceClasses() {
+		fig.Notes = append(fig.Notes, fmt.Sprintf("%d:[%s] @ %s",
+			len(cl.Tasks), bitvec.FormatRanges(cl.Tasks), strings.Join(cl.Path, " > ")))
+	}
+	return res, fig, nil
+}
+
+// Fig2 regenerates STAT startup time on Atlas: sequential MRNet rsh
+// launching versus LaunchMON bulk launching. The rsh line fails at 512
+// daemons, exactly as on Atlas.
+func Fig2(c Config) (*Figure, error) {
+	fig := &Figure{
+		ID:     "Fig2",
+		Title:  "STAT startup time, LaunchMON versus MRNet (Atlas, flat topology)",
+		XLabel: "daemons", YLabel: "seconds",
+	}
+	launchers := []string{"mrnet-rsh", "launchmon"}
+	for _, ln := range launchers {
+		s := Series{Name: ln}
+		for _, d := range c.atlasDaemonScales() {
+			opts := core.Options{
+				Machine:  machine.Atlas(),
+				Tasks:    d * 8,
+				Topology: topology.Spec{Kind: topology.KindFlat},
+				Samples:  c.samplesOrDefault(),
+				Seed:     c.Seed,
+			}
+			opts.Launcher = launcherByName(ln)
+			tool, err := core.New(opts)
+			if err != nil {
+				return nil, err
+			}
+			sec, lerr := tool.MeasureLaunch()
+			p := Point{X: d, Seconds: sec}
+			if lerr != nil {
+				p.Failed = true
+				p.Note = lerr.Error()
+				fig.Notes = append(fig.Notes, fmt.Sprintf("%s @ %d daemons: %v", ln, d, lerr))
+			}
+			s.Points = append(s.Points, p)
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// launcherByName maps a series name to a launcher model.
+func launcherByName(name string) launch.Launcher {
+	if name == "mrnet-rsh" {
+		return launch.DefaultRSH()
+	}
+	return launch.DefaultLaunchMON()
+}
+
+// Fig3 regenerates STAT startup on BG/L across topologies and modes, with
+// and without the IBM control-system patches. The unpatched system hangs
+// at 208K processes; the patched one completes and roughly halves startup
+// at 104K.
+func Fig3(c Config) (*Figure, error) {
+	fig := &Figure{
+		ID:     "Fig3",
+		Title:  "STAT startup time on BG/L with various topologies",
+		XLabel: "compute nodes", YLabel: "seconds",
+	}
+	type cfg struct {
+		name    string
+		topo    topology.Spec
+		mode    machine.Mode
+		patched bool
+	}
+	cfgs := []cfg{
+		{"2-deep CO unpatched", topology.Spec{Kind: topology.KindBGL2Deep}, machine.CO, false},
+		{"2-deep CO patched", topology.Spec{Kind: topology.KindBGL2Deep}, machine.CO, true},
+		{"2-deep VN unpatched", topology.Spec{Kind: topology.KindBGL2Deep}, machine.VN, false},
+		{"2-deep VN patched", topology.Spec{Kind: topology.KindBGL2Deep}, machine.VN, true},
+		{"3-deep CO patched", topology.Spec{Kind: topology.KindBGL3Deep}, machine.CO, true},
+		{"3-deep VN patched", topology.Spec{Kind: topology.KindBGL3Deep}, machine.VN, true},
+	}
+	for _, cf := range cfgs {
+		s := Series{Name: cf.name}
+		for _, nodes := range c.bglNodeScales() {
+			tasks := bglTasks(nodes, cf.mode)
+			opts := core.Options{
+				Machine:    machine.BGL(),
+				Mode:       cf.mode,
+				Tasks:      tasks,
+				Topology:   cf.topo,
+				BGLPatched: cf.patched,
+				Samples:    c.samplesOrDefault(),
+				Seed:       c.Seed,
+			}
+			tool, err := core.New(opts)
+			if err != nil {
+				return nil, err
+			}
+			sec, lerr := tool.MeasureLaunch()
+			p := Point{X: nodes, Seconds: sec}
+			if lerr != nil {
+				p.Failed = true
+				p.Note = lerr.Error()
+				fig.Notes = append(fig.Notes, fmt.Sprintf("%s @ %d nodes (%d tasks): %v",
+					cf.name, nodes, tasks, lerr))
+			}
+			s.Points = append(s.Points, p)
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// Fig4 regenerates STAT merge time on Atlas across tree depths with the
+// original bit-vector representation: the flat topology trends linearly,
+// deeper trees stay flat.
+func Fig4(c Config) (*Figure, error) {
+	fig := &Figure{
+		ID:     "Fig4",
+		Title:  "STAT merge time on Atlas with various topologies (original bit vectors)",
+		XLabel: "tasks", YLabel: "seconds",
+	}
+	topos := []struct {
+		name string
+		spec topology.Spec
+	}{
+		{"1-deep", topology.Spec{Kind: topology.KindFlat}},
+		{"2-deep", topology.Spec{Kind: topology.KindBalanced, Depth: 2}},
+		{"3-deep", topology.Spec{Kind: topology.KindBalanced, Depth: 3}},
+	}
+	for _, tp := range topos {
+		s := Series{Name: tp.name}
+		for _, tasks := range c.atlasTaskScales() {
+			opts := core.Options{
+				Machine:  machine.Atlas(),
+				Tasks:    tasks,
+				Topology: tp.spec,
+				BitVec:   core.Original,
+				Samples:  c.samplesOrDefault(),
+				Seed:     c.Seed,
+			}
+			p, err := mergePoint(opts, tasks)
+			if err != nil {
+				return nil, err
+			}
+			s.Points = append(s.Points, p)
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// Fig5 regenerates STAT merge time on BG/L with the original bit vectors:
+// the 1-deep topology fails at 16,384 compute nodes (256 daemons exhaust
+// the front end's fan-in) and the deeper trees scale linearly rather than
+// logarithmically.
+func Fig5(c Config) (*Figure, error) {
+	fig := &Figure{
+		ID:     "Fig5",
+		Title:  "STAT merge time on BG/L with various topologies (original bit vectors)",
+		XLabel: "compute nodes", YLabel: "seconds",
+	}
+	cfgs := []struct {
+		name string
+		topo topology.Spec
+		mode machine.Mode
+		max  int // node cap for the series (paper stops 1-deep at 16K)
+	}{
+		{"1-deep CO", topology.Spec{Kind: topology.KindFlat}, machine.CO, 16384},
+		{"2-deep CO", topology.Spec{Kind: topology.KindBGL2Deep}, machine.CO, 1 << 30},
+		{"2-deep VN", topology.Spec{Kind: topology.KindBGL2Deep}, machine.VN, 1 << 30},
+		{"3-deep CO", topology.Spec{Kind: topology.KindBGL3Deep}, machine.CO, 1 << 30},
+	}
+	for _, cf := range cfgs {
+		s := Series{Name: cf.name}
+		for _, nodes := range c.bglNodeScales() {
+			if nodes > cf.max {
+				continue
+			}
+			tasks := bglTasks(nodes, cf.mode)
+			opts := core.Options{
+				Machine:  machine.BGL(),
+				Mode:     cf.mode,
+				Tasks:    tasks,
+				Topology: cf.topo,
+				BitVec:   core.Original,
+				Samples:  c.samplesOrDefault(),
+				Seed:     c.Seed,
+			}
+			p, err := mergePoint(opts, nodes)
+			if err != nil {
+				return nil, err
+			}
+			if p.Failed {
+				fig.Notes = append(fig.Notes, fmt.Sprintf("%s @ %d nodes: %s", cf.name, nodes, p.Note))
+			}
+			s.Points = append(s.Points, p)
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// Fig6 demonstrates the bit-vector layouts on the paper's own example:
+// daemon 0 debugging tasks {0,2}, daemon 1 debugging tasks {1,3}. The
+// original scheme pads both daemons' labels to job width; the optimized
+// scheme concatenates two 2-bit vectors and remaps once at the front end.
+func Fig6(Config) (*Figure, error) {
+	fig := &Figure{
+		ID:     "Fig6",
+		Title:  "Original versus optimized bit vector (daemon 0: tasks 0,2; daemon 1: tasks 1,3)",
+		XLabel: "scheme", YLabel: "bytes",
+	}
+	// Original: each daemon's label spans all 4 tasks.
+	origD0 := bitvec.FromMembers(4, 0, 2)
+	origD1 := bitvec.FromMembers(4, 1, 3)
+	merged := origD0.Clone()
+	if err := merged.UnionWith(origD1); err != nil {
+		return nil, err
+	}
+	// Optimized: daemon-local widths, concatenated, then remapped.
+	optD0 := bitvec.FromMembers(2, 0, 1) // local indexes of ranks 0,2
+	optD1 := bitvec.FromMembers(2, 0, 1) // local indexes of ranks 1,3
+	concat := bitvec.Concat(optD0, optD1)
+	remapped, err := concat.Remap([]int{0, 2, 1, 3}, 4)
+	if err != nil {
+		return nil, err
+	}
+	if !remapped.Equal(merged) {
+		return nil, fmt.Errorf("statbench: Fig6 remap mismatch: %v vs %v", remapped, merged)
+	}
+	fig.Notes = append(fig.Notes,
+		fmt.Sprintf("original: daemon labels %s | %s, merged %s (width %d bits at every level)",
+			origD0, origD1, merged, merged.Len()),
+		fmt.Sprintf("optimized: daemon labels %s | %s (local widths), concat %s, remapped %s",
+			optD0, optD1, concat, remapped),
+		"optimized scheme never ships a full-width vector below the front end",
+	)
+	return fig, nil
+}
+
+// Fig7 regenerates the headline comparison: merge time with the original
+// versus the hierarchical (optimized) bit vectors on BG/L, plus the remap
+// cost at the largest scale.
+func Fig7(c Config) (*Figure, error) {
+	fig := &Figure{
+		ID:     "Fig7",
+		Title:  "Optimized bit vector merge time versus original (BG/L, 2-deep)",
+		XLabel: "compute nodes", YLabel: "seconds",
+	}
+	cfgs := []struct {
+		name string
+		mode machine.Mode
+		bv   core.BitVecMode
+	}{
+		{"CO original", machine.CO, core.Original},
+		{"CO optimized", machine.CO, core.Hierarchical},
+		{"VN original", machine.VN, core.Original},
+		{"VN optimized", machine.VN, core.Hierarchical},
+	}
+	for _, cf := range cfgs {
+		s := Series{Name: cf.name}
+		for _, nodes := range c.bglNodeScales() {
+			tasks := bglTasks(nodes, cf.mode)
+			opts := core.Options{
+				Machine:  machine.BGL(),
+				Mode:     cf.mode,
+				Tasks:    tasks,
+				Topology: topology.Spec{Kind: topology.KindBGL2Deep},
+				BitVec:   cf.bv,
+				Samples:  c.samplesOrDefault(),
+				Seed:     c.Seed,
+			}
+			tool, err := core.New(opts)
+			if err != nil {
+				return nil, err
+			}
+			res, err := tool.MeasureMerge()
+			if err != nil {
+				return nil, err
+			}
+			p := Point{X: nodes, Seconds: res.Times.Merge}
+			if res.MergeErr != nil {
+				p.Failed, p.Note = true, res.MergeErr.Error()
+			}
+			s.Points = append(s.Points, p)
+			if cf.bv == core.Hierarchical && nodes == 106496 && cf.mode == machine.VN {
+				fig.Notes = append(fig.Notes, fmt.Sprintf(
+					"remap into rank order at %d tasks: %.2fs (paper: 0.66s at 208K)",
+					tasks, res.Times.Remap))
+			}
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// Fig8 regenerates Atlas stack-sampling time with binaries on the
+// contended NFS mount (flat topology): slightly worse than linear.
+func Fig8(c Config) (*Figure, error) {
+	fig := &Figure{
+		ID:     "Fig8",
+		Title:  "STAT sampling time on Atlas, flat topology, binaries on NFS",
+		XLabel: "tasks", YLabel: "seconds",
+	}
+	s := Series{Name: "NFS (original OS image)"}
+	for _, tasks := range c.atlasTaskScales() {
+		opts := core.Options{
+			Machine:  machine.Atlas(),
+			Tasks:    tasks,
+			Topology: topology.Spec{Kind: topology.KindFlat},
+			Samples:  10,
+			Seed:     c.Seed,
+		}
+		tool, err := core.New(opts)
+		if err != nil {
+			return nil, err
+		}
+		sec, _, err := tool.MeasureSample(false)
+		if err != nil {
+			return nil, err
+		}
+		s.Points = append(s.Points, Point{X: tasks, Seconds: sec})
+	}
+	fig.Series = append(fig.Series, s)
+	return fig, nil
+}
+
+// Fig9 regenerates BG/L sampling time across topologies and modes. The
+// shapes to reproduce: flatter scaling than Atlas (one static image,
+// dedicated I/O nodes), >20% run-to-run variation, and an occasional 2×
+// gap between nominally identical configurations at full scale.
+func Fig9(c Config) (*Figure, error) {
+	fig := &Figure{
+		ID:     "Fig9",
+		Title:  "STAT sampling time on BG/L with various topologies",
+		XLabel: "compute nodes", YLabel: "seconds",
+	}
+	cfgs := []struct {
+		name string
+		topo topology.Spec
+		mode machine.Mode
+	}{
+		{"2-deep CO", topology.Spec{Kind: topology.KindBGL2Deep}, machine.CO},
+		{"3-deep CO", topology.Spec{Kind: topology.KindBGL3Deep}, machine.CO},
+		{"2-deep VN", topology.Spec{Kind: topology.KindBGL2Deep}, machine.VN},
+		{"3-deep VN", topology.Spec{Kind: topology.KindBGL3Deep}, machine.VN},
+	}
+	for _, cf := range cfgs {
+		s := Series{Name: cf.name}
+		for _, nodes := range c.bglNodeScales() {
+			tasks := bglTasks(nodes, cf.mode)
+			opts := core.Options{
+				Machine:  c.bglMachine(),
+				Mode:     cf.mode,
+				Tasks:    tasks,
+				Topology: cf.topo,
+				Samples:  10,
+				Seed:     c.Seed,
+			}
+			tool, err := core.New(opts)
+			if err != nil {
+				return nil, err
+			}
+			sec, _, err := tool.MeasureSample(false)
+			if err != nil {
+				return nil, err
+			}
+			s.Points = append(s.Points, Point{X: nodes, Seconds: sec})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	if vnGap := seriesGapAtMax(fig.Series[2], fig.Series[3]); vnGap > 0 {
+		fig.Notes = append(fig.Notes, fmt.Sprintf(
+			"2-deep VN vs 3-deep VN at full scale differ by %.2fx (paper observed >2x run-to-run)", vnGap))
+	}
+	return fig, nil
+}
+
+// Fig10 regenerates Atlas sampling with the binary relocation service:
+// NFS (post-OS-update), Lustre, and SBRS-relocated binaries. SBRS makes
+// sampling constant; its relocation overhead is reported at 128 daemons.
+func Fig10(c Config) (*Figure, error) {
+	fig := &Figure{
+		ID:     "Fig10",
+		Title:  "STAT sampling time on Atlas with the binary relocation service",
+		XLabel: "tasks", YLabel: "seconds",
+	}
+	scales := c.atlasTaskScales()
+	var capped []int
+	for _, t := range scales {
+		if t <= 1024 {
+			capped = append(capped, t)
+		}
+	}
+
+	variants := []struct {
+		name    string
+		mach    func() *machine.Machine
+		useSBRS bool
+	}{
+		{"NFS (updated OS)", atlasUpdatedOS, false},
+		{"Lustre", atlasOnLustre, false},
+		{"SBRS (RAM disk)", atlasUpdatedOS, true},
+	}
+	for _, v := range variants {
+		s := Series{Name: v.name}
+		for _, tasks := range capped {
+			opts := core.Options{
+				Machine:  v.mach(),
+				Tasks:    tasks,
+				Topology: topology.Spec{Kind: topology.KindFlat},
+				Samples:  10,
+				Seed:     c.Seed,
+			}
+			tool, err := core.New(opts)
+			if err != nil {
+				return nil, err
+			}
+			sec, rep, err := tool.MeasureSample(v.useSBRS)
+			if err != nil {
+				return nil, err
+			}
+			s.Points = append(s.Points, Point{X: tasks, Seconds: sec})
+			if v.useSBRS && tasks == 1024 && rep != nil {
+				fig.Notes = append(fig.Notes, fmt.Sprintf(
+					"SBRS relocated %d bytes to 128 daemons in %.3fs (paper: 0.088s for 10KB+4MB)",
+					rep.Bytes, rep.TotalSec))
+			}
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// atlasUpdatedOS models the OS update the paper mentions: dependent shared
+// libraries moved off NFS to faster storage and a healthier filer, leaving
+// only the executable and the MPI library on NFS — the ~4x improvement in
+// Figure 10's NFS line relative to Figure 8.
+func atlasUpdatedOS() *machine.Machine {
+	m := machine.Atlas()
+	m.Binaries = []machine.BinaryFile{
+		{Path: "/nfs/home/user/a.out", Module: "a.out"},
+		{Path: "/nfs/home/user/libmpi.so", Module: "libmpi.so"},
+		{Path: "/ramdisk/os/libc.so", Module: "libc.so"},
+	}
+	m.FS.NFSThreads = 12
+	m.FS.NFSBytesPerSec = 220e6
+	m.FS.NFSSeekSec = 0.012
+	m.FS.NFSThrashCoef = 0.001
+	m.CPUContention = 1.5 // updated kernel also schedules the daemon better
+	return m
+}
+
+// atlasOnLustre stages the binaries on the parallel file system instead of
+// NFS; at these scales the MDS serializes opens and the gain is small.
+func atlasOnLustre() *machine.Machine {
+	m := atlasUpdatedOS()
+	m.Binaries = []machine.BinaryFile{
+		{Path: "/lustre/user/a.out", Module: "a.out"},
+		{Path: "/lustre/user/libmpi.so", Module: "libmpi.so"},
+		{Path: "/ramdisk/os/libc.so", Module: "libc.so"},
+	}
+	return m
+}
+
+// mergePoint runs a merge-only measurement and converts it to a Point.
+func mergePoint(opts core.Options, x int) (Point, error) {
+	tool, err := core.New(opts)
+	if err != nil {
+		return Point{}, err
+	}
+	res, err := tool.MeasureMerge()
+	if err != nil {
+		return Point{}, err
+	}
+	p := Point{X: x, Seconds: res.Times.Merge}
+	if res.MergeErr != nil {
+		p.Failed, p.Note = true, res.MergeErr.Error()
+	}
+	return p, nil
+}
+
+func (c Config) samplesOrDefault() int {
+	if c.Samples > 0 {
+		return c.Samples
+	}
+	return 5
+}
+
+func seriesGapAtMax(a, b Series) float64 {
+	if len(a.Points) == 0 || len(b.Points) == 0 {
+		return 0
+	}
+	pa, pb := a.Points[len(a.Points)-1], b.Points[len(b.Points)-1]
+	if pa.Seconds == 0 || pb.Seconds == 0 {
+		return 0
+	}
+	if pa.Seconds > pb.Seconds {
+		return pa.Seconds / pb.Seconds
+	}
+	return pb.Seconds / pa.Seconds
+}
+
+// All runs every figure generator and returns the figures in order.
+// Fig1's tree artifact is summarized; render it separately for the DOT.
+func All(c Config) ([]*Figure, error) {
+	var out []*Figure
+	_, f1, err := Fig1(c)
+	if err != nil {
+		return nil, fmt.Errorf("Fig1: %w", err)
+	}
+	out = append(out, f1)
+	gens := []struct {
+		name string
+		fn   func(Config) (*Figure, error)
+	}{
+		{"Fig2", Fig2}, {"Fig3", Fig3}, {"Fig4", Fig4}, {"Fig5", Fig5},
+		{"Fig6", Fig6}, {"Fig7", Fig7}, {"Fig8", Fig8}, {"Fig9", Fig9},
+		{"Fig10", Fig10},
+	}
+	for _, g := range gens {
+		f, err := g.fn(c)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", g.name, err)
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}

@@ -1,0 +1,101 @@
+package statbench
+
+import (
+	"fmt"
+
+	"stat/internal/bitvec"
+	"stat/internal/core"
+	"stat/internal/machine"
+	"stat/internal/topology"
+)
+
+// Petascale builds the machine the paper anticipates: "petascale systems,
+// which are projected to have more than one million cores." We model a
+// BG/L-shaped machine scaled 10x: 1,048,576 cores behind 8,192 I/O-node
+// daemons (128 cores per daemon, the VN ratio), with the same per-process
+// constraints as BG/L.
+func Petascale() *machine.Machine {
+	m := machine.BGL()
+	m.Name = "Petascale (projected)"
+	m.TotalNodes = 524288 // dual-core nodes → 1,048,576 cores
+	m.MaxTasks = func(mode machine.Mode) int {
+		if mode == machine.VN {
+			return 1048576
+		}
+		return 524288
+	}
+	// Same per-daemon ratios, same fan-in budget, same links: the paper's
+	// point is that the *machine* grows while the tool's per-process
+	// constraints do not.
+	return m
+}
+
+// Projection regenerates the paper's million-core extrapolation (Section
+// V-A's closing argument): "a million cores would require a 1 megabit bit
+// vector per edge label. This would easily saturate the network with a
+// large daemon count as well as lead to severe memory contention." We run
+// the real merge at 1M tasks in both representations and report the edge
+// label size, the aggregate data pressure, and the modeled merge time.
+func Projection(c Config) (*Figure, error) {
+	fig := &Figure{
+		ID:     "Projection",
+		Title:  "Million-core projection (1,048,576 tasks, 8,192 daemons, 2-deep)",
+		XLabel: "tasks", YLabel: "seconds",
+	}
+
+	// The paper's scalar: one edge label at a million cores is a megabit.
+	label := bitvec.New(1048576)
+	fig.Notes = append(fig.Notes, fmt.Sprintf(
+		"one original edge label at 1M tasks: %d bits, %d bytes serialized (the paper's megabit)",
+		label.Len(), label.SerializedSize()))
+
+	run := func(mode core.BitVecMode, topo topology.Spec) (*core.Result, error) {
+		opts := core.Options{
+			Machine:    Petascale(),
+			Mode:       machine.VN,
+			Tasks:      1048576,
+			Topology:   topo,
+			BitVec:     mode,
+			BGLPatched: true,
+			Samples:    3,
+			Seed:       c.Seed,
+		}
+		tool, err := core.New(opts)
+		if err != nil {
+			return nil, err
+		}
+		return tool.MeasureMerge()
+	}
+
+	// First finding: BG/L's own 2-deep rule cannot even connect a million
+	// cores — 8,192 daemons over 28 communication processes put 293
+	// children on each CP, past the per-process budget. Petascale tools
+	// need deeper trees before any data-structure question arises.
+	if res, err := run(core.Hierarchical, topology.Spec{Kind: topology.KindBGL2Deep}); err != nil {
+		return nil, err
+	} else if res.MergeErr != nil {
+		fig.Notes = append(fig.Notes, fmt.Sprintf("2-deep rule at 1M cores: %v", res.MergeErr))
+	}
+
+	// The data-pressure comparison runs on a 3-deep balanced tree.
+	topo := topology.Spec{Kind: topology.KindBalanced, Depth: 3}
+	for _, mode := range []core.BitVecMode{core.Original, core.Hierarchical} {
+		res, err := run(mode, topo)
+		if err != nil {
+			return nil, err
+		}
+		s := Series{Name: mode.String() + " (3-deep)"}
+		p := Point{X: 1048576, Seconds: res.Times.Merge}
+		if res.MergeErr != nil {
+			p.Failed, p.Note = true, res.MergeErr.Error()
+			fig.Notes = append(fig.Notes, fmt.Sprintf("%s: %v", mode, res.MergeErr))
+		} else {
+			fig.Notes = append(fig.Notes, fmt.Sprintf(
+				"%s: leaf payload %d bytes, front-end ingress %d bytes, merge %.2fs, remap %.2fs",
+				mode, res.MaxLeafPayloadBytes, res.FrontEndInBytes, res.Times.Merge, res.Times.Remap))
+		}
+		s.Points = append(s.Points, p)
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}

@@ -1,0 +1,223 @@
+// Package tbon implements a tree-based overlay network in the style of
+// MRNet: a front end at the root, communication processes in the middle,
+// and tool daemons at the leaves. Upstream reductions apply a caller-
+// supplied filter at every interior node — for STAT, the filter is the
+// prefix-tree merge — so data volume is reduced as it propagates toward
+// the front end. The network runs for real (one goroutine per process,
+// pluggable channel or TCP transports) and records per-node byte counts;
+// wall-clock time at machine scale is then computed from those counts by
+// the timing model in timing.go.
+package tbon
+
+import (
+	"fmt"
+	"sync"
+
+	"stat/internal/topology"
+)
+
+// Filter combines the payloads received from a node's children into the
+// payload forwarded to its parent. Inputs are ordered by child position.
+// Interior nodes receive their children's outputs; the root's filter output
+// is the reduction result.
+type Filter func(children [][]byte) ([]byte, error)
+
+// Network is an overlay ready to run reductions and broadcasts over a
+// fixed topology.
+type Network struct {
+	topo      *topology.Tree
+	transport Transport
+}
+
+// New creates a network over the given topology. If transport is nil the
+// in-process channel transport is used.
+func New(topo *topology.Tree, transport Transport) *Network {
+	if transport == nil {
+		transport = ChannelTransport{}
+	}
+	return &Network{topo: topo, transport: transport}
+}
+
+// Topology returns the layout the network runs over.
+func (n *Network) Topology() *topology.Tree { return n.topo }
+
+// Stats records the traffic of one reduction or broadcast.
+type Stats struct {
+	// NodeInBytes is the total payload bytes a node received from below
+	// (reduction) or above (broadcast).
+	NodeInBytes map[int]int64
+	// NodeOutBytes is the payload bytes a node sent to its parent
+	// (reduction) or to all children (broadcast).
+	NodeOutBytes map[int]int64
+	// LevelInBytes[d] sums NodeInBytes over nodes at depth d.
+	LevelInBytes []int64
+	// Packets counts point-to-point messages.
+	Packets int64
+}
+
+func newStats(levels int) *Stats {
+	return &Stats{
+		NodeInBytes:  make(map[int]int64),
+		NodeOutBytes: make(map[int]int64),
+		LevelInBytes: make([]int64, levels),
+	}
+}
+
+// MaxInBytesAtLevel reports the largest single-node ingress at depth d.
+func (s *Stats) MaxInBytesAtLevel(topo *topology.Tree, d int) int64 {
+	var max int64
+	for _, n := range topo.Levels[d] {
+		if b := s.NodeInBytes[n.ID]; b > max {
+			max = b
+		}
+	}
+	return max
+}
+
+type result struct {
+	data []byte
+	err  error
+}
+
+// Reduce runs one upstream reduction. leafData supplies each daemon's
+// payload by leaf index; filter merges child payloads at every interior
+// node (including the root). The returned Stats describe exactly what
+// moved where.
+func (n *Network) Reduce(leafData func(leaf int) ([]byte, error), filter Filter) ([]byte, *Stats, error) {
+	stats := newStats(len(n.topo.Levels))
+	var mu sync.Mutex // guards stats
+
+	record := func(node *topology.Node, in int64, out int64, packetsIn int64) {
+		mu.Lock()
+		stats.NodeInBytes[node.ID] += in
+		stats.NodeOutBytes[node.ID] += out
+		stats.LevelInBytes[node.Level] += in
+		stats.Packets += packetsIn
+		mu.Unlock()
+	}
+
+	// Build one connection per edge. Parent end index i corresponds to
+	// child i, preserving deterministic input order for the filter.
+	type edge struct{ parentEnd, childEnd Conn }
+	conns := make(map[int]edge) // keyed by child node ID
+	var closers []Conn
+	defer func() {
+		for _, c := range closers {
+			c.Close()
+		}
+	}()
+	var connect func(node *topology.Node) error
+	connect = func(node *topology.Node) error {
+		for _, c := range node.Children {
+			pe, ce, err := n.transport.Pair()
+			if err != nil {
+				return err
+			}
+			closers = append(closers, pe, ce)
+			conns[c.ID] = edge{parentEnd: pe, childEnd: ce}
+			if err := connect(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := connect(n.topo.Root); err != nil {
+		return nil, stats, err
+	}
+
+	// Each node runs as a goroutine: leaves produce, interior nodes gather
+	// in child order, filter, and forward.
+	var wg sync.WaitGroup
+	rootCh := make(chan result, 1)
+	var run func(node *topology.Node)
+	run = func(node *topology.Node) {
+		defer wg.Done()
+		var out []byte
+		var err error
+		if node.IsLeaf() {
+			out, err = leafData(node.LeafIndex)
+		} else {
+			inputs := make([][]byte, len(node.Children))
+			var in int64
+			for i, c := range node.Children {
+				inputs[i], err = conns[c.ID].parentEnd.Recv()
+				if err != nil {
+					err = fmt.Errorf("tbon: node %d recv from child %d: %w", node.ID, c.ID, err)
+					break
+				}
+				in += int64(len(inputs[i]))
+			}
+			if err == nil {
+				out, err = filter(inputs)
+				record(node, in, int64(len(out)), int64(len(node.Children)))
+			}
+		}
+		if node.Parent == nil {
+			rootCh <- result{data: out, err: err}
+			return
+		}
+		if err != nil {
+			// Propagate failure upward as a transport error by closing.
+			conns[node.ID].childEnd.Close()
+			rootCh <- result{err: err}
+			return
+		}
+		if node.IsLeaf() {
+			record(node, 0, int64(len(out)), 0)
+		}
+		if serr := conns[node.ID].childEnd.Send(out); serr != nil {
+			rootCh <- result{err: fmt.Errorf("tbon: node %d send: %w", node.ID, serr)}
+		}
+	}
+	var spawn func(node *topology.Node)
+	spawn = func(node *topology.Node) {
+		wg.Add(1)
+		go run(node)
+		for _, c := range node.Children {
+			spawn(c)
+		}
+	}
+	spawn(n.topo.Root)
+
+	// First result on rootCh decides: either the root's reduction value or
+	// the first error raised anywhere in the tree.
+	res := <-rootCh
+	if res.err != nil {
+		// Unblock any goroutines still waiting on closed peers, then drain.
+		for _, c := range closers {
+			c.Close()
+		}
+		go func() { wg.Wait(); close(rootCh) }()
+		for range rootCh {
+		}
+		return nil, stats, res.err
+	}
+	wg.Wait()
+	return res.data, stats, nil
+}
+
+// Broadcast sends data from the front end to every daemon and returns the
+// payload observed at each leaf (by leaf index) with traffic stats. Used by
+// the SBRS binary relocation service.
+func (n *Network) Broadcast(data []byte) ([][]byte, *Stats, error) {
+	stats := newStats(len(n.topo.Levels))
+	out := make([][]byte, n.topo.NumLeaves())
+	var rec func(node *topology.Node, payload []byte)
+	rec = func(node *topology.Node, payload []byte) {
+		if node.Level > 0 {
+			stats.NodeInBytes[node.ID] += int64(len(payload))
+			stats.LevelInBytes[node.Level] += int64(len(payload))
+			stats.Packets++
+		}
+		if node.IsLeaf() {
+			out[node.LeafIndex] = payload
+			return
+		}
+		stats.NodeOutBytes[node.ID] = int64(len(payload)) * int64(len(node.Children))
+		for _, c := range node.Children {
+			rec(c, payload)
+		}
+	}
+	rec(n.topo.Root, data)
+	return out, stats, nil
+}

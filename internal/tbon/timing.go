@@ -1,0 +1,82 @@
+package tbon
+
+import (
+	"stat/internal/sim"
+	"stat/internal/topology"
+)
+
+// TimingModel converts the byte counts of a reduction into the virtual
+// wall-clock time the same reduction would take on the modeled machine.
+//
+// The model: a node may start receiving once a child's payload is ready;
+// children arrive over independent switched links in parallel (ingress is
+// bounded by the slowest child transfer), and the node then spends CPU
+// deserializing, merging and reserializing — a per-message cost per child
+// plus a per-byte cost over the node's total input. The per-byte CPU term
+// is what makes a flat fan-in linear in the daemon count and what the
+// full-width bit vectors inflate at every level; ConstSec is the
+// scale-independent overhead of driving one reduction (stream dispatch,
+// front-end result handling).
+type TimingModel struct {
+	// Link describes every tree edge.
+	Link sim.Link
+	// CPU is the per-node filter cost: PerMessageSec per child payload,
+	// PerByteSec over the node's total ingress.
+	CPU sim.CPUCost
+	// ConstSec is the fixed per-reduction overhead.
+	ConstSec float64
+}
+
+// ReduceTime computes the completion time of a reduction whose traffic is
+// described by stats, given per-leaf readiness times (when each daemon's
+// local result was available; the zero slice means all ready at t=0).
+// It returns the time the root's filter finishes.
+func (m TimingModel) ReduceTime(topo *topology.Tree, stats *Stats, leafReady []float64) float64 {
+	var finish func(n *topology.Node) float64
+	finish = func(n *topology.Node) float64 {
+		if n.IsLeaf() {
+			var r float64
+			if n.LeafIndex < len(leafReady) {
+				r = leafReady[n.LeafIndex]
+			}
+			return r
+		}
+		// Children complete and transfer in parallel; CPU then pays per
+		// message and per byte of the combined input.
+		var ready float64
+		for _, c := range n.Children {
+			cf := finish(c) + m.Link.TransferTime(stats.NodeOutBytes[c.ID])
+			if cf > ready {
+				ready = cf
+			}
+		}
+		perMsg := m.CPU.PerMessageSec * float64(len(n.Children))
+		perByte := m.CPU.PerByteSec * float64(stats.NodeInBytes[n.ID])
+		return ready + perMsg + perByte
+	}
+	return m.ConstSec + finish(topo.Root)
+}
+
+// BroadcastTime computes the completion time of a root-to-leaves broadcast
+// of the given payload size: each level adds one serialized send per child
+// plus the link transfer, pipelined down the tree. Used for SBRS relocation
+// cost.
+func (m TimingModel) BroadcastTime(topo *topology.Tree, payload int64) float64 {
+	var finish func(n *topology.Node, at float64) float64
+	finish = func(n *topology.Node, at float64) float64 {
+		if n.IsLeaf() {
+			return at
+		}
+		// The node forwards to children back-to-back; child i receives
+		// after i+1 serialized sends.
+		worst := at
+		for i, c := range n.Children {
+			arrive := at + float64(i+1)*m.Link.TransferTime(payload)
+			if f := finish(c, arrive); f > worst {
+				worst = f
+			}
+		}
+		return worst
+	}
+	return finish(topo.Root, 0)
+}

@@ -1,0 +1,194 @@
+package tbon
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// Conn is one end of a point-to-point message connection between a parent
+// and child in the overlay tree.
+type Conn interface {
+	// Send delivers one message to the peer.
+	Send([]byte) error
+	// Recv blocks for the next message from the peer.
+	Recv() ([]byte, error)
+	// Close releases the connection; pending and future operations on
+	// either end fail. Close is idempotent.
+	Close() error
+}
+
+// Transport creates connections for the overlay's edges.
+type Transport interface {
+	// Pair returns the two ends of a new connection: the parent's end and
+	// the child's end.
+	Pair() (parent, child Conn, err error)
+}
+
+// ErrClosed is returned by operations on a closed connection.
+var ErrClosed = errors.New("tbon: connection closed")
+
+// ChannelTransport connects overlay processes with in-process channels.
+// This is the default: fast, deterministic, and sufficient for reductions
+// whose network timing is modeled rather than measured.
+type ChannelTransport struct{}
+
+type chanPipe struct {
+	msgs chan []byte
+	done chan struct{}
+	once sync.Once
+}
+
+type chanEnd struct {
+	send *chanPipe
+	recv *chanPipe
+}
+
+// Pair implements Transport.
+func (ChannelTransport) Pair() (Conn, Conn, error) {
+	up := &chanPipe{msgs: make(chan []byte, 1), done: make(chan struct{})}
+	down := &chanPipe{msgs: make(chan []byte, 1), done: make(chan struct{})}
+	parent := &chanEnd{send: down, recv: up}
+	child := &chanEnd{send: up, recv: down}
+	return parent, child, nil
+}
+
+func (e *chanEnd) Send(b []byte) error {
+	// Check for closure first: the buffered message channel may still have
+	// capacity, and select would otherwise pick the send case at random.
+	select {
+	case <-e.send.done:
+		return ErrClosed
+	case <-e.recv.done:
+		return ErrClosed
+	default:
+	}
+	select {
+	case e.send.msgs <- b:
+		return nil
+	case <-e.send.done:
+		return ErrClosed
+	case <-e.recv.done:
+		return ErrClosed
+	}
+}
+
+func (e *chanEnd) Recv() ([]byte, error) {
+	select {
+	case m := <-e.recv.msgs:
+		return m, nil
+	case <-e.recv.done:
+		// Drain any message raced with close so shutdown is not lossy.
+		select {
+		case m := <-e.recv.msgs:
+			return m, nil
+		default:
+		}
+		return nil, ErrClosed
+	}
+}
+
+func (e *chanEnd) Close() error {
+	e.send.once.Do(func() { close(e.send.done) })
+	e.recv.once.Do(func() { close(e.recv.done) })
+	return nil
+}
+
+// TCPTransport connects overlay processes with real localhost TCP sockets
+// carrying length-prefixed frames — the closest stdlib equivalent of
+// MRNet's socket streams. It exists to demonstrate the overlay works over a
+// genuine network substrate; large-scale experiments use channels.
+type TCPTransport struct {
+	mu       sync.Mutex
+	listener net.Listener
+}
+
+// NewTCPTransport listens on an ephemeral localhost port.
+func NewTCPTransport() (*TCPTransport, error) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("tbon: listen: %w", err)
+	}
+	return &TCPTransport{listener: l}, nil
+}
+
+// Close shuts the transport's listener down.
+func (t *TCPTransport) Close() error { return t.listener.Close() }
+
+// Pair implements Transport by dialing the transport's own listener.
+func (t *TCPTransport) Pair() (Conn, Conn, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	type acceptResult struct {
+		c   net.Conn
+		err error
+	}
+	ch := make(chan acceptResult, 1)
+	go func() {
+		c, err := t.listener.Accept()
+		ch <- acceptResult{c, err}
+	}()
+	dial, err := net.Dial("tcp", t.listener.Addr().String())
+	if err != nil {
+		return nil, nil, fmt.Errorf("tbon: dial: %w", err)
+	}
+	acc := <-ch
+	if acc.err != nil {
+		dial.Close()
+		return nil, nil, fmt.Errorf("tbon: accept: %w", acc.err)
+	}
+	return &tcpConn{c: dial}, &tcpConn{c: acc.c}, nil
+}
+
+type tcpConn struct {
+	c    net.Conn
+	rmu  sync.Mutex
+	wmu  sync.Mutex
+	once sync.Once
+}
+
+// maxFrame bounds a single overlay message; a daemon's serialized prefix
+// tree at full BG/L scale fits comfortably.
+const maxFrame = 1 << 30
+
+func (t *tcpConn) Send(b []byte) error {
+	t.wmu.Lock()
+	defer t.wmu.Unlock()
+	var hdr [4]byte
+	if len(b) > maxFrame {
+		return fmt.Errorf("tbon: frame of %d bytes exceeds limit", len(b))
+	}
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(b)))
+	if _, err := t.c.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := t.c.Write(b)
+	return err
+}
+
+func (t *tcpConn) Recv() ([]byte, error) {
+	t.rmu.Lock()
+	defer t.rmu.Unlock()
+	var hdr [4]byte
+	if _, err := io.ReadFull(t.c, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("tbon: frame of %d bytes exceeds limit", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(t.c, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+func (t *tcpConn) Close() error {
+	var err error
+	t.once.Do(func() { err = t.c.Close() })
+	return err
+}

@@ -1,0 +1,279 @@
+// Package topology builds the analysis-tree layouts the paper evaluates:
+// flat 1-deep fan-out, balanced n-deep trees with fanout ⌈D^(1/n)⌉ (the
+// Atlas configurations), and the BG/L-constrained layouts (2-deep with
+// front-end fanout min(⌈√D⌉, 28); 3-deep with front-end fanout 4 and a
+// second level of 16 or 24 communication processes). Leaves are the tool
+// daemons; interior nodes are MRNet communication processes; the root is
+// the STAT front end.
+package topology
+
+import (
+	"fmt"
+	"math"
+)
+
+// Node is one process in the analysis tree.
+type Node struct {
+	// ID is unique within the tree, assigned breadth-first from the root.
+	ID int
+	// Level is the distance from the root (root = 0).
+	Level int
+	// LeafIndex numbers leaves left to right; -1 for interior nodes.
+	LeafIndex int
+	Parent    *Node
+	Children  []*Node
+}
+
+// IsLeaf reports whether the node is a tool daemon.
+func (n *Node) IsLeaf() bool { return len(n.Children) == 0 }
+
+// Tree is a rooted analysis-tree layout.
+type Tree struct {
+	Root *Node
+	// Levels[d] lists the nodes at depth d, left to right.
+	Levels [][]*Node
+	// Leaves lists the daemons left to right (== last level for balanced
+	// trees, but computed from structure for safety).
+	Leaves []*Node
+}
+
+// NumLeaves reports the daemon count.
+func (t *Tree) NumLeaves() int { return len(t.Leaves) }
+
+// Depth reports the number of edges from root to a leaf (all leaves are at
+// the same depth in every layout this package builds).
+func (t *Tree) Depth() int { return len(t.Levels) - 1 }
+
+// CommProcesses reports the number of interior non-root nodes (the MRNet
+// communication processes the front end must spawn on login nodes).
+func (t *Tree) CommProcesses() int {
+	n := 0
+	for _, lvl := range t.Levels[1:] {
+		for _, node := range lvl {
+			if !node.IsLeaf() {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// MaxFanout reports the largest child count in the tree.
+func (t *Tree) MaxFanout() int {
+	max := 0
+	for _, lvl := range t.Levels {
+		for _, n := range lvl {
+			if len(n.Children) > max {
+				max = len(n.Children)
+			}
+		}
+	}
+	return max
+}
+
+// build assembles a tree from per-level target widths. widths[0] is the
+// root's child count ceiling; the last level must hold exactly leaves
+// nodes. Children are distributed as evenly as possible.
+func build(levelWidths []int, leaves int) (*Tree, error) {
+	if leaves < 1 {
+		return nil, fmt.Errorf("topology: need at least 1 leaf, got %d", leaves)
+	}
+	for _, w := range levelWidths {
+		if w < 1 {
+			return nil, fmt.Errorf("topology: non-positive level width %d", w)
+		}
+	}
+	root := &Node{ID: 0, Level: 0, LeafIndex: -1}
+	levels := [][]*Node{{root}}
+	id := 1
+	// Interior levels.
+	for li, want := range levelWidths {
+		parents := levels[len(levels)-1]
+		if want < len(parents) {
+			want = len(parents) // every parent needs at least one child
+		}
+		if want > leaves {
+			want = leaves // never wider than the leaf level
+		}
+		next := make([]*Node, 0, want)
+		for pi, p := range parents {
+			// Children for parent pi: even split of want across parents.
+			lo := pi * want / len(parents)
+			hi := (pi + 1) * want / len(parents)
+			for i := lo; i < hi; i++ {
+				c := &Node{ID: id, Level: li + 1, LeafIndex: -1, Parent: p}
+				id++
+				p.Children = append(p.Children, c)
+				next = append(next, c)
+			}
+		}
+		levels = append(levels, next)
+	}
+	// Leaf level.
+	parents := levels[len(levels)-1]
+	leafLevel := make([]*Node, 0, leaves)
+	for pi, p := range parents {
+		lo := pi * leaves / len(parents)
+		hi := (pi + 1) * leaves / len(parents)
+		for i := lo; i < hi; i++ {
+			c := &Node{ID: id, Level: len(levels), LeafIndex: i, Parent: p}
+			id++
+			p.Children = append(p.Children, c)
+			leafLevel = append(leafLevel, c)
+		}
+	}
+	levels = append(levels, leafLevel)
+	t := &Tree{Root: root, Levels: levels, Leaves: leafLevel}
+	return t, nil
+}
+
+// Flat builds the 1-deep layout: the front end directly parents every
+// daemon. This is the topology whose merge time scales linearly (Fig. 4)
+// and which fails outright at 256 daemons' worth of BG/L bit-vector data
+// (Fig. 5).
+func Flat(daemons int) (*Tree, error) {
+	return build(nil, daemons)
+}
+
+// Balanced builds an n-deep tree with every parent having approximately
+// the same number of children: fanout = ⌈D^(1/depth)⌉ (the Atlas rule from
+// Section V-A).
+func Balanced(depth, daemons int) (*Tree, error) {
+	if depth < 1 {
+		return nil, fmt.Errorf("topology: depth must be >= 1, got %d", depth)
+	}
+	if depth == 1 {
+		return Flat(daemons)
+	}
+	fanout := int(math.Ceil(math.Pow(float64(daemons), 1/float64(depth))))
+	if fanout < 2 {
+		fanout = 2
+	}
+	widths := make([]int, depth-1)
+	w := 1
+	for i := range widths {
+		w *= fanout
+		if w > daemons {
+			w = daemons
+		}
+		widths[i] = w
+	}
+	return build(widths, daemons)
+}
+
+// BGL2Deep builds the paper's BG/L 2-deep layout: front-end fanout equal to
+// min(⌈√D⌉, 28), constrained by the 14 login nodes available for
+// communication processes.
+func BGL2Deep(daemons int) (*Tree, error) {
+	f := int(math.Ceil(math.Sqrt(float64(daemons))))
+	if f > 28 {
+		f = 28
+	}
+	if f < 1 {
+		f = 1
+	}
+	return build([]int{f}, daemons)
+}
+
+// BGL3Deep builds the paper's BG/L 3-deep layout: front-end fanout 4, then
+// 16 or 24 communication processes depending on job scale (24 above 512
+// daemons).
+func BGL3Deep(daemons int) (*Tree, error) {
+	second := 16
+	if daemons > 512 {
+		second = 24
+	}
+	return build([]int{4, second}, daemons)
+}
+
+// Spec names a layout for configuration and display.
+type Spec struct {
+	// Kind selects the builder.
+	Kind Kind
+	// Depth applies to KindBalanced.
+	Depth int
+}
+
+// Kind enumerates the layout families.
+type Kind int
+
+const (
+	// KindFlat is the 1-deep direct fan-out.
+	KindFlat Kind = iota
+	// KindBalanced is an n-deep balanced tree (Atlas rule).
+	KindBalanced
+	// KindBGL2Deep is the BG/L 2-deep rule.
+	KindBGL2Deep
+	// KindBGL3Deep is the BG/L 3-deep rule.
+	KindBGL3Deep
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindFlat:
+		return "1-deep"
+	case KindBalanced:
+		return "balanced"
+	case KindBGL2Deep:
+		return "2-deep"
+	case KindBGL3Deep:
+		return "3-deep"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Build constructs the layout for the given daemon count.
+func (s Spec) Build(daemons int) (*Tree, error) {
+	switch s.Kind {
+	case KindFlat:
+		return Flat(daemons)
+	case KindBalanced:
+		return Balanced(s.Depth, daemons)
+	case KindBGL2Deep:
+		return BGL2Deep(daemons)
+	case KindBGL3Deep:
+		return BGL3Deep(daemons)
+	}
+	return nil, fmt.Errorf("topology: unknown kind %d", int(s.Kind))
+}
+
+func (s Spec) String() string {
+	if s.Kind == KindBalanced {
+		return fmt.Sprintf("%d-deep balanced", s.Depth)
+	}
+	return s.Kind.String()
+}
+
+// Validate checks structural invariants: parent/child symmetry, level
+// assignment, contiguous leaf indexes. Used by property tests.
+func (t *Tree) Validate() error {
+	if t.Root == nil || t.Root.Parent != nil || t.Root.Level != 0 {
+		return fmt.Errorf("topology: malformed root")
+	}
+	seenLeaf := 0
+	for d, lvl := range t.Levels {
+		for _, n := range lvl {
+			if n.Level != d {
+				return fmt.Errorf("topology: node %d at level slice %d has Level %d", n.ID, d, n.Level)
+			}
+			for _, c := range n.Children {
+				if c.Parent != n {
+					return fmt.Errorf("topology: node %d child %d parent mismatch", n.ID, c.ID)
+				}
+			}
+			if n.IsLeaf() {
+				if d != len(t.Levels)-1 {
+					return fmt.Errorf("topology: leaf %d at interior level %d", n.ID, d)
+				}
+				if n.LeafIndex != seenLeaf {
+					return fmt.Errorf("topology: leaf index %d, expected %d", n.LeafIndex, seenLeaf)
+				}
+				seenLeaf++
+			}
+		}
+	}
+	if seenLeaf != len(t.Leaves) {
+		return fmt.Errorf("topology: %d leaves walked, %d recorded", seenLeaf, len(t.Leaves))
+	}
+	return nil
+}

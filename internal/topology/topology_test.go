@@ -1,0 +1,237 @@
+package topology
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFlat(t *testing.T) {
+	tr, err := Flat(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Depth() != 1 || tr.NumLeaves() != 16 {
+		t.Errorf("depth=%d leaves=%d", tr.Depth(), tr.NumLeaves())
+	}
+	if len(tr.Root.Children) != 16 {
+		t.Errorf("root fanout = %d", len(tr.Root.Children))
+	}
+	if tr.CommProcesses() != 0 {
+		t.Errorf("flat tree has %d comm processes", tr.CommProcesses())
+	}
+}
+
+func TestBalanced2Deep(t *testing.T) {
+	tr, err := Balanced(2, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Depth() != 2 || tr.NumLeaves() != 512 {
+		t.Errorf("depth=%d leaves=%d", tr.Depth(), tr.NumLeaves())
+	}
+	// Fanout rule: ⌈512^(1/2)⌉ = 23.
+	want := int(math.Ceil(math.Sqrt(512)))
+	if got := len(tr.Root.Children); got != want {
+		t.Errorf("root fanout = %d, want %d", got, want)
+	}
+	if tr.CommProcesses() != want {
+		t.Errorf("comm processes = %d, want %d", tr.CommProcesses(), want)
+	}
+	// Balanced: every comm process has nearly equal leaf share.
+	min, max := 1<<30, 0
+	for _, cp := range tr.Levels[1] {
+		n := len(cp.Children)
+		if n < min {
+			min = n
+		}
+		if n > max {
+			max = n
+		}
+	}
+	if max-min > 1 {
+		t.Errorf("unbalanced: children per CP in [%d,%d]", min, max)
+	}
+}
+
+func TestBalanced3Deep(t *testing.T) {
+	tr, err := Balanced(3, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Depth() != 3 {
+		t.Errorf("depth = %d", tr.Depth())
+	}
+	// Fanout ⌈512^(1/3)⌉ = 8 per level.
+	if got := len(tr.Root.Children); got != 8 {
+		t.Errorf("root fanout = %d, want 8", got)
+	}
+}
+
+func TestBalancedDepth1IsFlat(t *testing.T) {
+	tr, err := Balanced(1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Depth() != 1 || len(tr.Root.Children) != 7 {
+		t.Errorf("depth-1 balanced not flat")
+	}
+}
+
+func TestBGL2DeepFanoutRule(t *testing.T) {
+	// min(⌈√D⌉, 28).
+	cases := []struct{ daemons, want int }{
+		{16, 4},
+		{100, 10},
+		{784, 28},
+		{1664, 28}, // full BG/L: capped at 28
+	}
+	for _, c := range cases {
+		tr, err := BGL2Deep(c.daemons)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if got := len(tr.Root.Children); got != c.want {
+			t.Errorf("BGL2Deep(%d) fanout = %d, want %d", c.daemons, got, c.want)
+		}
+	}
+}
+
+func TestBGL3DeepFanoutRule(t *testing.T) {
+	small, err := BGL3Deep(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(small.Root.Children); got != 4 {
+		t.Errorf("fe fanout = %d, want 4", got)
+	}
+	if got := len(small.Levels[2]); got != 16 {
+		t.Errorf("second level = %d, want 16", got)
+	}
+	big, err := BGL3Deep(1664)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(big.Levels[2]); got != 24 {
+		t.Errorf("second level at scale = %d, want 24", got)
+	}
+	if err := big.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSingleLeaf(t *testing.T) {
+	for _, spec := range []Spec{
+		{Kind: KindFlat},
+		{Kind: KindBalanced, Depth: 2},
+		{Kind: KindBGL2Deep},
+		{Kind: KindBGL3Deep},
+	} {
+		tr, err := spec.Build(1)
+		if err != nil {
+			t.Errorf("%v: %v", spec, err)
+			continue
+		}
+		if err := tr.Validate(); err != nil {
+			t.Errorf("%v: %v", spec, err)
+		}
+		if tr.NumLeaves() != 1 {
+			t.Errorf("%v: leaves = %d", spec, tr.NumLeaves())
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := Flat(0); err == nil {
+		t.Error("Flat(0) accepted")
+	}
+	if _, err := Balanced(0, 4); err == nil {
+		t.Error("Balanced(0, …) accepted")
+	}
+	if _, err := (Spec{Kind: Kind(99)}).Build(4); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestMaxFanout(t *testing.T) {
+	tr, _ := Flat(100)
+	if tr.MaxFanout() != 100 {
+		t.Errorf("flat MaxFanout = %d", tr.MaxFanout())
+	}
+	tr2, _ := Balanced(2, 100)
+	if tr2.MaxFanout() >= 100 {
+		t.Errorf("2-deep MaxFanout = %d, want far below 100", tr2.MaxFanout())
+	}
+}
+
+func TestSpecString(t *testing.T) {
+	cases := map[string]Spec{
+		"1-deep":          {Kind: KindFlat},
+		"2-deep":          {Kind: KindBGL2Deep},
+		"3-deep":          {Kind: KindBGL3Deep},
+		"2-deep balanced": {Kind: KindBalanced, Depth: 2},
+	}
+	for want, spec := range cases {
+		if got := spec.String(); got != want {
+			t.Errorf("%#v.String() = %q, want %q", spec, got, want)
+		}
+	}
+}
+
+// TestQuickAllShapesValid: every builder yields a structurally valid tree
+// with the requested leaf count, for any daemon count.
+func TestQuickAllShapesValid(t *testing.T) {
+	f := func(seed int64) bool {
+		d := 1 + int(uint64(seed)%2000)
+		for _, spec := range []Spec{
+			{Kind: KindFlat},
+			{Kind: KindBalanced, Depth: 2},
+			{Kind: KindBalanced, Depth: 3},
+			{Kind: KindBalanced, Depth: 4},
+			{Kind: KindBGL2Deep},
+			{Kind: KindBGL3Deep},
+		} {
+			tr, err := spec.Build(d)
+			if err != nil {
+				return false
+			}
+			if tr.Validate() != nil || tr.NumLeaves() != d {
+				return false
+			}
+			// Leaves are reachable in order from the root.
+			count := 0
+			var walk func(n *Node)
+			walk = func(n *Node) {
+				if n.IsLeaf() {
+					if n.LeafIndex != count {
+						t.Errorf("leaf order broken at %d", n.LeafIndex)
+					}
+					count++
+				}
+				for _, c := range n.Children {
+					walk(c)
+				}
+			}
+			walk(tr.Root)
+			if count != d {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,81 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Class is one process equivalence class: the set of tasks whose sampled
+// call paths terminate at the same prefix-tree node. These classes are
+// STAT's product — they tell the user which few representative tasks to
+// attach a heavyweight debugger to.
+type Class struct {
+	// Path is the call path from the program entry to the class's node.
+	Path []string
+	// Tasks are the member task indexes, ascending.
+	Tasks []int
+}
+
+// Representative returns the lowest-ranked member, the task a heavyweight
+// debugger would attach to first.
+func (c Class) Representative() int {
+	if len(c.Tasks) == 0 {
+		return -1
+	}
+	return c.Tasks[0]
+}
+
+func (c Class) String() string {
+	return fmt.Sprintf("%d task(s) [%s] @ %s", len(c.Tasks), shortRanges(c.Tasks), strings.Join(c.Path, " > "))
+}
+
+// shortRanges renders a member list, eliding long range lists the way the
+// paper's figures do ("0,3,8-9,17,...").
+func shortRanges(members []int) string {
+	const maxLen = 48
+	full := formatRanges(members)
+	if len(full) <= maxLen {
+		return full
+	}
+	cut := full[:maxLen]
+	if i := strings.LastIndexByte(cut, ','); i > 0 {
+		cut = cut[:i]
+	}
+	return cut + ",..."
+}
+
+// EquivalenceClasses extracts the classes from a tree: for every node, the
+// tasks in its label that appear in no child label end their call path
+// there and form a class. Classes are returned sorted by descending size,
+// then by path, which is the order a user triages them in.
+func (t *Tree) EquivalenceClasses() []Class {
+	var classes []Class
+	var rec func(n *Node, path []string)
+	rec = func(n *Node, path []string) {
+		residual := n.Tasks.Clone()
+		for _, c := range n.Children {
+			if err := residual.AndNot(c.Tasks); err != nil {
+				// Widths are a tree invariant; a mismatch is a bug upstream.
+				panic(err)
+			}
+		}
+		if !residual.Empty() && len(path) > 0 {
+			classes = append(classes, Class{
+				Path:  append([]string(nil), path...),
+				Tasks: residual.Members(),
+			})
+		}
+		for _, c := range n.Children {
+			rec(c, append(path, c.Frame.Function))
+		}
+	}
+	rec(t.Root, nil)
+	sort.Slice(classes, func(i, j int) bool {
+		if len(classes[i].Tasks) != len(classes[j].Tasks) {
+			return len(classes[i].Tasks) > len(classes[j].Tasks)
+		}
+		return strings.Join(classes[i].Path, "/") < strings.Join(classes[j].Path, "/")
+	})
+	return classes
+}

@@ -1,0 +1,67 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"stat/internal/bitvec"
+)
+
+// formatRanges is re-exported locally for classes.go.
+func formatRanges(members []int) string { return bitvec.FormatRanges(members) }
+
+// WriteDOT renders the tree in Graphviz DOT form, matching the visual
+// layout of the paper's Figure 1: one box per call-graph node, edges
+// labeled with "count:[ranks]". The sentinel root is drawn as the program
+// entry when it has a single child, otherwise as "<root>".
+func (t *Tree) WriteDOT(w io.Writer, title string) error {
+	var b strings.Builder
+	b.WriteString("digraph stat {\n")
+	if title != "" {
+		fmt.Fprintf(&b, "  label=%q; labelloc=t;\n", title)
+	}
+	b.WriteString("  node [shape=box, fontname=\"Helvetica\"];\n")
+
+	id := 0
+	var rec func(n *Node) int
+	rec = func(n *Node) int {
+		my := id
+		id++
+		name := n.Frame.Function
+		if name == "" {
+			name = "<root>"
+		}
+		fmt.Fprintf(&b, "  n%d [label=%q];\n", my, name)
+		for _, c := range n.Children {
+			ci := rec(c)
+			label := truncateLabel(c.Tasks, 32)
+			fmt.Fprintf(&b, "  n%d -> n%d [label=%q];\n", my, ci, label)
+		}
+		return my
+	}
+	// Skip the sentinel when it has exactly one child (the usual _start).
+	start := t.Root
+	if len(start.Children) == 1 && start.Frame.Function == "" {
+		start = start.Children[0]
+	}
+	rec(start)
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// truncateLabel renders a task-set label, eliding long range lists the way
+// the paper's Figure 1 does ("577:[0,3,8-9,17,...]").
+func truncateLabel(v *bitvec.Vector, maxRanges int) string {
+	members := v.Members()
+	full := bitvec.FormatRanges(members)
+	if len(full) <= maxRanges {
+		return fmt.Sprintf("%d:[%s]", len(members), full)
+	}
+	cut := full[:maxRanges]
+	if i := strings.LastIndexByte(cut, ','); i > 0 {
+		cut = cut[:i]
+	}
+	return fmt.Sprintf("%d:[%s,...]", len(members), cut)
+}

@@ -1,0 +1,9 @@
+package trace
+
+import "stat/internal/bitvec"
+
+// unmarshalLabel decodes one bit-vector edge label from the wire.
+// Split out so serialize.go reads linearly.
+func unmarshalLabel(b []byte) (*bitvec.Vector, int, error) {
+	return bitvec.UnmarshalBinary(b)
+}

@@ -1,0 +1,129 @@
+package trace
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Wire format (little endian):
+//
+//	magic "STR1" (4 bytes)
+//	u32 numTasks
+//	node := u16 nameLen, name, label (bitvec binary), u32 childCount, node*
+//
+// The format is deliberately explicit about label width: in the original
+// representation every label is full-job width, so the encoded size of a
+// daemon's tree grows with the whole job even though only a few bits are
+// set. That blowup — visible directly in SerializedSize — is the network
+// pressure behind Figure 5.
+
+var magic = [4]byte{'S', 'T', 'R', '1'}
+
+// SerializedSize reports the exact size of MarshalBinary's output without
+// allocating it.
+func (t *Tree) SerializedSize() int {
+	size := 4 + 4
+	t.walk(func(n *Node, _ int) {
+		size += 2 + len(n.Frame.Function) + n.Tasks.SerializedSize() + 4
+	})
+	return size
+}
+
+// MarshalBinary encodes the tree in the wire format above.
+func (t *Tree) MarshalBinary() ([]byte, error) {
+	buf := make([]byte, 0, t.SerializedSize())
+	buf = append(buf, magic[:]...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(t.NumTasks))
+	var rec func(n *Node) error
+	rec = func(n *Node) error {
+		if len(n.Frame.Function) > math.MaxUint16 {
+			return fmt.Errorf("trace: function name %d bytes exceeds wire limit", len(n.Frame.Function))
+		}
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(n.Frame.Function)))
+		buf = append(buf, n.Frame.Function...)
+		buf = n.Tasks.AppendBinary(buf)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(n.Children)))
+		for _, c := range n.Children {
+			if err := rec(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := rec(t.Root); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary decodes a tree encoded by MarshalBinary.
+func UnmarshalBinary(b []byte) (*Tree, error) {
+	if len(b) < 8 {
+		return nil, errors.New("trace: truncated header")
+	}
+	if [4]byte(b[0:4]) != magic {
+		return nil, errors.New("trace: bad magic")
+	}
+	numTasks := int(binary.LittleEndian.Uint32(b[4:8]))
+	pos := 8
+
+	// Depth-limited iterative decode guarding against malformed input.
+	var decode func(depth int) (*Node, error)
+	decode = func(depth int) (*Node, error) {
+		if depth > 1<<16 {
+			return nil, errors.New("trace: node nesting too deep")
+		}
+		if len(b)-pos < 2 {
+			return nil, errors.New("trace: truncated node header")
+		}
+		nameLen := int(binary.LittleEndian.Uint16(b[pos:]))
+		pos += 2
+		if len(b)-pos < nameLen {
+			return nil, errors.New("trace: truncated node name")
+		}
+		name := string(b[pos : pos+nameLen])
+		pos += nameLen
+		// Label.
+		v, used, err := unmarshalLabel(b[pos:])
+		if err != nil {
+			return nil, err
+		}
+		pos += used
+		if v.Len() != numTasks {
+			return nil, fmt.Errorf("trace: label width %d != tree width %d", v.Len(), numTasks)
+		}
+		if len(b)-pos < 4 {
+			return nil, errors.New("trace: truncated child count")
+		}
+		nc := int(binary.LittleEndian.Uint32(b[pos:]))
+		pos += 4
+		if nc > len(b)-pos { // each child needs ≥1 byte; cheap sanity bound
+			return nil, fmt.Errorf("trace: impossible child count %d", nc)
+		}
+		n := &Node{Frame: Frame{Function: name}, Tasks: v}
+		prev := ""
+		for i := 0; i < nc; i++ {
+			c, err := decode(depth + 1)
+			if err != nil {
+				return nil, err
+			}
+			if i > 0 && c.Frame.Function <= prev {
+				return nil, errors.New("trace: children not strictly sorted")
+			}
+			prev = c.Frame.Function
+			n.Children = append(n.Children, c)
+		}
+		return n, nil
+	}
+
+	root, err := decode(0)
+	if err != nil {
+		return nil, err
+	}
+	if pos != len(b) {
+		return nil, fmt.Errorf("trace: %d trailing bytes", len(b)-pos)
+	}
+	return &Tree{NumTasks: numTasks, Root: root}, nil
+}
