@@ -345,6 +345,91 @@ func BenchmarkReduceParallelVsSeq(b *testing.B) {
 	}
 }
 
+// BenchmarkReduceEngines is the reduction-engine shootout: identical
+// leaf payloads and an identical CPU-bearing associative filter, swept
+// across topology shapes, engines and pipelined byte budgets. On a
+// multi-core host the pipelined engine's wide-topology rows should beat
+// seq by roughly the core count (the filter work on sibling subtrees is
+// independent); the budget rows show how much of that survives a memory
+// cap. Chain is the adversarial floor: no available parallelism, so
+// pipelined should match seq there, not lose to it.
+//
+// Smoke run (CI): go test -bench=ReduceEngines -benchtime=1x
+func BenchmarkReduceEngines(b *testing.B) {
+	const payloadBytes = 16 << 10
+	// xorFoldFilter is associative and commutative over ordered inputs:
+	// output = elementwise XOR, sized to the widest child. CPU is linear
+	// in input bytes and output stays payload-sized up the tree — the
+	// shape of a well-behaved merge.
+	xorFoldFilter := func(children [][]byte) ([]byte, error) {
+		width := 0
+		for _, c := range children {
+			if len(c) > width {
+				width = len(c)
+			}
+		}
+		out := make([]byte, width)
+		for _, c := range children {
+			for i, v := range c {
+				out[i] ^= v
+			}
+		}
+		return out, nil
+	}
+	topos := []struct {
+		name  string
+		build func() (*topology.Tree, error)
+	}{
+		{"wide-2deep-256", func() (*topology.Tree, error) { return topology.Balanced(2, 256) }},
+		{"3deep-512", func() (*topology.Tree, error) { return topology.Balanced(3, 512) }},
+		{"ragged", func() (*topology.Tree, error) { return topology.Ragged(42, 3, 8) }},
+		{"chain-8", func() (*topology.Tree, error) { return topology.Chain(8) }},
+	}
+	engines := []struct {
+		name string
+		opts tbon.ReduceOptions
+	}{
+		{"seq", tbon.ReduceOptions{Engine: tbon.EngineSeq}},
+		{"concurrent", tbon.ReduceOptions{Engine: tbon.EngineConcurrent}},
+		{"pipelined", tbon.ReduceOptions{Engine: tbon.EnginePipelined}},
+		{"pipelined-budget=1MiB", tbon.ReduceOptions{Engine: tbon.EnginePipelined, BudgetBytes: 1 << 20}},
+		{"pipelined-budget=64KiB", tbon.ReduceOptions{Engine: tbon.EnginePipelined, BudgetBytes: 64 << 10}},
+	}
+	for _, tc := range topos {
+		topo, err := tc.build()
+		if err != nil {
+			b.Fatal(err)
+		}
+		net := tbon.New(topo, nil)
+		payloads := make([][]byte, topo.NumLeaves())
+		for i := range payloads {
+			payloads[i] = make([]byte, payloadBytes)
+			for j := range payloads[i] {
+				payloads[i][j] = byte(i*31 + j)
+			}
+		}
+		leaf := func(i int) ([]byte, error) { return payloads[i], nil }
+		for _, eng := range engines {
+			b.Run(tc.name+"/"+eng.name, func(b *testing.B) {
+				b.SetBytes(int64(topo.NumLeaves()) * payloadBytes)
+				var peak int64
+				for i := 0; i < b.N; i++ {
+					_, stats, err := net.ReduceWith(eng.opts, leaf, xorFoldFilter)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if stats.PeakInFlightBytes > peak {
+						peak = stats.PeakInFlightBytes
+					}
+				}
+				if peak > 0 {
+					b.ReportMetric(float64(peak), "peak_inflight_bytes")
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkEmulShapeSweep runs the STATBench-style emulator over the
 // design-space ablations: equivalence-class count and stack depth, in
 // both representations.

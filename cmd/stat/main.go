@@ -15,6 +15,7 @@ import (
 
 	"stat/internal/core"
 	"stat/internal/machine"
+	"stat/internal/tbon"
 	"stat/internal/topology"
 )
 
@@ -42,16 +43,31 @@ func run() error {
 		showTree    = flag.Bool("tree", false, "print the merged 3D prefix tree")
 		maxClasses  = flag.Int("classes", 10, "max equivalence classes to print")
 		progress    = flag.Bool("progress", false, "run a two-round progress check and report wedged tasks")
+		engineName  = flag.String("engine", "seq", "TBON reduction engine: seq, concurrent, or pipelined")
+		workers     = flag.Int("reduce-workers", 0, "pipelined engine worker count (0 = GOMAXPROCS)")
+		budget      = flag.Int64("reduce-budget", 0, "pipelined engine in-flight payload byte budget (0 = unbounded)")
 	)
 	flag.Parse()
 
 	opts := core.Options{
-		Tasks:          *tasks,
-		Samples:        *samples,
-		ThreadsPerTask: *threads,
-		UseSBRS:        *useSBRS,
-		BGLPatched:     !*unpatched,
-		Seed:           *seed,
+		Tasks:             *tasks,
+		Samples:           *samples,
+		ThreadsPerTask:    *threads,
+		UseSBRS:           *useSBRS,
+		BGLPatched:        !*unpatched,
+		Seed:              *seed,
+		ReduceWorkers:     *workers,
+		ReduceBudgetBytes: *budget,
+	}
+	switch *engineName {
+	case "seq":
+		opts.Engine = tbon.EngineSeq
+	case "concurrent", "parallel":
+		opts.Engine = tbon.EngineConcurrent
+	case "pipelined":
+		opts.Engine = tbon.EnginePipelined
+	default:
+		return fmt.Errorf("unknown engine %q (seq|concurrent|pipelined)", *engineName)
 	}
 
 	switch *machineName {

@@ -1,0 +1,3 @@
+module stat
+
+go 1.24

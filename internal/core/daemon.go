@@ -134,12 +134,17 @@ func (d *daemon) gatherPayload(req proto.GatherRequest) ([]byte, error) {
 			}
 		}
 	}
+	var out []byte
+	var err error
 	switch req.Which {
 	case proto.Tree2D:
-		return encodeTrees(t2)
+		out, err = encodeTrees(t2)
 	case proto.Tree3D:
-		return encodeTrees(t3)
+		out, err = encodeTrees(t3)
 	default:
-		return encodeTrees(t2, t3)
+		out, err = encodeTrees(t2, t3)
 	}
+	t2.Release()
+	t3.Release()
+	return out, err
 }

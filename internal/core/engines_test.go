@@ -1,0 +1,97 @@
+package core
+
+import (
+	"testing"
+
+	"stat/internal/machine"
+	"stat/internal/tbon"
+	"stat/internal/topology"
+)
+
+// TestMergeEnginesAgree runs the full tool merge phase under every
+// reduction engine and representation and requires identical analysis
+// results: same trees, same traffic statistics. This is the end-to-end
+// differential check — everything below Options.Engine (session
+// protocol, daemons, trace merges, remap) must be engine-invariant.
+func TestMergeEnginesAgree(t *testing.T) {
+	for _, mode := range []BitVecMode{Original, Hierarchical} {
+		newTool := func(engine tbon.Engine, budget int64) *Tool {
+			tool, err := New(Options{
+				Machine:           machine.Atlas(),
+				Tasks:             96,
+				Topology:          topology.Spec{Kind: topology.KindBalanced, Depth: 2},
+				BitVec:            mode,
+				Samples:           3,
+				Engine:            engine,
+				ReduceBudgetBytes: budget,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return tool
+		}
+		base, err := newTool(tbon.EngineSeq, 0).MeasureMerge()
+		if err != nil {
+			t.Fatalf("%v/seq: %v", mode, err)
+		}
+		if base.MergeErr != nil {
+			t.Fatalf("%v/seq: %v", mode, base.MergeErr)
+		}
+		for _, tc := range []struct {
+			name   string
+			engine tbon.Engine
+			budget int64
+		}{
+			{"concurrent", tbon.EngineConcurrent, 0},
+			{"pipelined", tbon.EnginePipelined, 0},
+			{"pipelined-64KiB", tbon.EnginePipelined, 64 << 10},
+			{"pipelined-1B", tbon.EnginePipelined, 1},
+		} {
+			res, err := newTool(tc.engine, tc.budget).MeasureMerge()
+			if err != nil {
+				t.Fatalf("%v/%s: %v", mode, tc.name, err)
+			}
+			if res.MergeErr != nil {
+				t.Fatalf("%v/%s: %v", mode, tc.name, res.MergeErr)
+			}
+			if !res.Tree2D.Equal(base.Tree2D) {
+				t.Errorf("%v/%s: 2D tree differs from seq", mode, tc.name)
+			}
+			if !res.Tree3D.Equal(base.Tree3D) {
+				t.Errorf("%v/%s: 3D tree differs from seq", mode, tc.name)
+			}
+			if res.FrontEndInBytes != base.FrontEndInBytes {
+				t.Errorf("%v/%s: front-end ingress %d, seq %d",
+					mode, tc.name, res.FrontEndInBytes, base.FrontEndInBytes)
+			}
+			if res.MaxLeafPayloadBytes != base.MaxLeafPayloadBytes {
+				t.Errorf("%v/%s: max leaf payload %d, seq %d",
+					mode, tc.name, res.MaxLeafPayloadBytes, base.MaxLeafPayloadBytes)
+			}
+			if res.MergeStats.Packets != base.MergeStats.Packets {
+				t.Errorf("%v/%s: %d packets, seq %d",
+					mode, tc.name, res.MergeStats.Packets, base.MergeStats.Packets)
+			}
+			if res.Times.Merge != base.Times.Merge {
+				t.Errorf("%v/%s: modeled merge %.6fs, seq %.6fs",
+					mode, tc.name, res.Times.Merge, base.Times.Merge)
+			}
+		}
+	}
+}
+
+// TestParallelAliasMapsToConcurrent keeps the deprecated knob working.
+func TestParallelAliasMapsToConcurrent(t *testing.T) {
+	opts := Options{
+		Machine:  machine.Atlas(),
+		Tasks:    32,
+		Topology: topology.Spec{Kind: topology.KindBalanced, Depth: 2},
+		Parallel: true,
+	}
+	if err := opts.fillDefaults(); err != nil {
+		t.Fatal(err)
+	}
+	if opts.Engine != tbon.EngineConcurrent {
+		t.Fatalf("Parallel mapped to %v, want concurrent", opts.Engine)
+	}
+}

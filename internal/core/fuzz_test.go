@@ -1,0 +1,49 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"stat/internal/trace"
+)
+
+// FuzzDecodeTrees feeds arbitrary bytes to the MsgResult body parser: it
+// must never panic, must error on malformed frames, and must re-encode
+// whatever it accepts byte-identically.
+func FuzzDecodeTrees(f *testing.F) {
+	mk := func() []byte {
+		t2 := trace.NewTree(4)
+		t2.AddStack(0, "main", "hang")
+		t3 := trace.NewTree(4)
+		t3.AddStack(1, "main", "spin", "lock")
+		b, err := encodeTrees(t2, t3)
+		if err != nil {
+			f.Fatal(err)
+		}
+		return b
+	}
+	valid := mk()
+	f.Add([]byte{})
+	f.Add([]byte{0}) // zero trees, empty body
+	f.Add([]byte{2}) // claims two trees, carries none
+	f.Add(valid)
+	f.Add(valid[:len(valid)-3])                // truncated tree body
+	f.Add(valid[:5])                           // truncated length frame
+	f.Add(append(bytes.Clone(valid), 1, 2, 3)) // trailing bytes
+	big := bytes.Clone(valid)
+	big[1], big[2], big[3], big[4] = 0xFF, 0xFF, 0xFF, 0x7F // huge frame length
+	f.Add(big)
+	f.Fuzz(func(t *testing.T, b []byte) {
+		trees, err := decodeTrees(b)
+		if err != nil {
+			return
+		}
+		enc, err := encodeTrees(trees...)
+		if err != nil {
+			t.Fatalf("accepted trees failed to re-encode: %v", err)
+		}
+		if !bytes.Equal(enc, b) {
+			t.Fatalf("decode/encode not canonical:\nin  %x\nout %x", b, enc)
+		}
+	})
+}

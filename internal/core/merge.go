@@ -59,7 +59,9 @@ func decodeTrees(b []byte) ([]*trace.Tree, error) {
 // mergeFilter returns the tree-merge filter for the configured
 // representation, operating on encodeTrees bodies. Every input must carry
 // the same number of trees; tree i of every child merges into output
-// tree i.
+// tree i. Every decoded and merged tree is dead once the output is
+// encoded, so the filter returns their nodes to the trace package's pool
+// — the allocation path that keeps concurrent reduction workers cheap.
 func (t *Tool) mergeFilter() tbon.Filter {
 	return func(children [][]byte) ([]byte, error) {
 		if len(children) == 0 {
@@ -95,7 +97,26 @@ func (t *Tool) mergeFilter() tbon.Filter {
 				merged[ti] = trace.MergeConcat(parts...)
 			}
 		}
-		return encodeTrees(merged...)
+		out, err := encodeTrees(merged...)
+		if err != nil {
+			return nil, err
+		}
+		// In Original mode merged[ti] aliases lists[0][ti] (the union
+		// folds in place), so release lists[0] only via merged.
+		for ci := 1; ci < len(lists); ci++ {
+			for _, tr := range lists[ci] {
+				tr.Release()
+			}
+		}
+		if t.opts.BitVec != Original {
+			for _, tr := range lists[0] {
+				tr.Release()
+			}
+		}
+		for _, tr := range merged {
+			tr.Release()
+		}
+		return out, nil
 	}
 }
 

@@ -63,8 +63,18 @@ type Options struct {
 	ThreadsPerTask int
 	// Seed drives all pseudo-random variation.
 	Seed uint64
-	// Parallel runs the TBON reduction with real concurrency instead of
-	// the low-memory sequential fold. Transport applies only to Parallel.
+	// Engine selects the TBON reduction engine for every session
+	// reduction (control acks and the gather merge). The zero value is
+	// the memory-safe sequential fold; see the tbon package docs for the
+	// trade-offs. Transport applies only to tbon.EngineConcurrent.
+	Engine tbon.Engine
+	// ReduceWorkers bounds tbon.EnginePipelined's worker pool;
+	// 0 means GOMAXPROCS.
+	ReduceWorkers int
+	// ReduceBudgetBytes bounds tbon.EnginePipelined's in-flight payload
+	// bytes; 0 means unbounded.
+	ReduceBudgetBytes int64
+	// Parallel is a deprecated alias for Engine = tbon.EngineConcurrent.
 	Parallel  bool
 	Transport tbon.Transport
 	// App overrides the default buggy ring application.
@@ -96,7 +106,19 @@ func (o *Options) fillDefaults() error {
 	if o.Seed == 0 {
 		o.Seed = 0x208e3
 	}
+	if o.Parallel && o.Engine == tbon.EngineSeq {
+		o.Engine = tbon.EngineConcurrent
+	}
 	return nil
+}
+
+// reduceOpts assembles the tbon engine selection from the options.
+func (o *Options) reduceOpts() tbon.ReduceOptions {
+	return tbon.ReduceOptions{
+		Engine:      o.Engine,
+		Workers:     o.ReduceWorkers,
+		BudgetBytes: o.ReduceBudgetBytes,
+	}
 }
 
 // PhaseTimes holds the modeled duration of each tool phase in seconds.

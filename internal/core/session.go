@@ -66,12 +66,7 @@ func (s *session) control(typ proto.MsgType, body []byte) error {
 		reply := proto.Packet{Stream: proto.ControlStream, Type: proto.MsgAck, Payload: ack.Encode()}
 		return reply.Encode(), nil
 	}
-	var out []byte
-	if s.t.opts.Parallel {
-		out, _, err = s.net.Reduce(leafData, ackFilter)
-	} else {
-		out, _, err = s.net.ReduceSeq(leafData, ackFilter)
-	}
+	out, _, err := s.net.ReduceWith(s.t.opts.reduceOpts(), leafData, ackFilter)
 	if err != nil {
 		return err
 	}
@@ -135,13 +130,7 @@ func (s *session) gather(which proto.TreeKind, detail bool) ([]byte, *tbon.Stats
 		return reply.Encode(), nil
 	}
 
-	var out []byte
-	var stats *tbon.Stats
-	if s.t.opts.Parallel {
-		out, stats, err = s.net.Reduce(leafData, filter)
-	} else {
-		out, stats, err = s.net.ReduceSeq(leafData, filter)
-	}
+	out, stats, err := s.net.ReduceWith(s.t.opts.reduceOpts(), leafData, filter)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -12,6 +12,7 @@ package emul
 
 import (
 	"fmt"
+	"time"
 
 	"stat/internal/bitvec"
 	"stat/internal/sim"
@@ -100,14 +101,26 @@ type Result struct {
 	FrontEndInBytes int64
 	MaxLeafBytes    int64
 	ModeledSec      float64
-	Stats           *tbon.Stats
+	// MeasuredSec is the real wall-clock time of the in-process
+	// reduction (leaf generation + merges), which is what the engine
+	// ablations compare; ModeledSec prices the same traffic at machine
+	// scale and is engine-independent.
+	MeasuredSec float64
+	Stats       *tbon.Stats
 }
 
-// Run drives a full emulated merge: daemons generate their synthetic
-// trees, the overlay reduces them under the chosen representation, and
-// the timing model prices the traffic. Task→daemon assignment is
-// round-robin (non-contiguous, so the hierarchical path must remap).
+// Run drives a full emulated merge under the sequential reduction engine:
+// daemons generate their synthetic trees, the overlay reduces them under
+// the chosen representation, and the timing model prices the traffic.
+// Task→daemon assignment is round-robin (non-contiguous, so the
+// hierarchical path must remap).
 func Run(spec Spec, daemons int, topoSpec topology.Spec, hierarchical bool, model tbon.TimingModel) (*Result, error) {
+	return RunEngine(spec, daemons, topoSpec, hierarchical, model, tbon.ReduceOptions{})
+}
+
+// RunEngine is Run with an explicit reduction-engine selection, the knob
+// the seq-vs-concurrent-vs-pipelined ablation sweeps.
+func RunEngine(spec Spec, daemons int, topoSpec topology.Spec, hierarchical bool, model tbon.TimingModel, engine tbon.ReduceOptions) (*Result, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -127,7 +140,10 @@ func Run(spec Spec, daemons int, topoSpec topology.Spec, hierarchical bool, mode
 
 	net := tbon.New(topo, nil)
 	leafData := func(leaf int) ([]byte, error) {
-		return spec.DaemonTree(taskMap[leaf], hierarchical).MarshalBinary()
+		t := spec.DaemonTree(taskMap[leaf], hierarchical)
+		b, err := t.MarshalBinary()
+		t.Release()
+		return b, err
 	}
 	filter := func(children [][]byte) ([]byte, error) {
 		trees := make([]*trace.Tree, len(children))
@@ -149,10 +165,25 @@ func Run(spec Spec, daemons int, topoSpec topology.Spec, hierarchical bool, mode
 				}
 			}
 		}
-		return merged.MarshalBinary()
+		out, err := merged.MarshalBinary()
+		if err != nil {
+			return nil, err
+		}
+		// All intermediates are dead once encoded; recycle their nodes.
+		// The union path folds into trees[0], which merged aliases.
+		for _, t := range trees[1:] {
+			t.Release()
+		}
+		if hierarchical {
+			trees[0].Release()
+		}
+		merged.Release()
+		return out, nil
 	}
 
-	out, stats, err := net.ReduceSeq(leafData, filter)
+	start := time.Now()
+	out, stats, err := net.ReduceWith(engine, leafData, filter)
+	measured := time.Since(start).Seconds()
 	if err != nil {
 		return nil, err
 	}
@@ -170,7 +201,7 @@ func Run(spec Spec, daemons int, topoSpec topology.Spec, hierarchical bool, mode
 		}
 	}
 
-	res := &Result{Tree: tree, Stats: stats}
+	res := &Result{Tree: tree, Stats: stats, MeasuredSec: measured}
 	res.Classes = tree.EquivalenceClasses()
 	res.FrontEndInBytes = stats.NodeInBytes[topo.Root.ID]
 	for _, leaf := range topo.Leaves {

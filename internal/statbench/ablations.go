@@ -97,10 +97,64 @@ func AblationFanout(c Config) (*Figure, error) {
 	return fig, nil
 }
 
+// AblationEngines compares the reduction engines on identical emulated
+// workloads. The modeled time is engine-independent (same traffic, same
+// machine model); what the sweep exposes is the real wall-clock of the
+// in-process reduction — the fold's serialization against the pipelined
+// engine's subtree concurrency — plus the memory knob: the bounded-budget
+// series shows the pipelined engine trading peak in-flight bytes for
+// speed.
+func AblationEngines(c Config) (*Figure, error) {
+	fig := &Figure{
+		ID:     "AblD",
+		Title:  "Reduction-engine wall clock versus daemon count (emulated, 8K tasks, hierarchical)",
+		XLabel: "daemons", YLabel: "seconds",
+	}
+	engines := []struct {
+		name string
+		opts tbon.ReduceOptions
+	}{
+		{"seq measured", tbon.ReduceOptions{Engine: tbon.EngineSeq}},
+		{"concurrent measured", tbon.ReduceOptions{Engine: tbon.EngineConcurrent}},
+		{"pipelined measured", tbon.ReduceOptions{Engine: tbon.EnginePipelined}},
+		{"pipelined 256KiB budget", tbon.ReduceOptions{Engine: tbon.EnginePipelined, BudgetBytes: 256 << 10}},
+	}
+	scales := []int{32, 64, 128, 256}
+	if c.Quick {
+		scales = []int{32, 128}
+	}
+	var modeled Series
+	modeled.Name = "modeled (any engine)"
+	for ei, eng := range engines {
+		s := Series{Name: eng.name}
+		for _, daemons := range scales {
+			spec := emul.Spec{Tasks: 8192, Depth: 8, Branch: 4, EqClasses: 64, Seed: c.Seed}
+			res, err := emul.RunEngine(spec, daemons, topology.Spec{Kind: topology.KindBGL2Deep}, true, bglModel(), eng.opts)
+			if err != nil {
+				return nil, err
+			}
+			s.Points = append(s.Points, Point{X: daemons, Seconds: res.MeasuredSec})
+			if ei == 0 {
+				modeled.Points = append(modeled.Points, Point{X: daemons, Seconds: res.ModeledSec})
+			}
+			if eng.opts.BudgetBytes > 0 && res.Stats.PeakInFlightBytes > 0 {
+				fig.Notes = append(fig.Notes, fmt.Sprintf(
+					"%s @ %d daemons: peak in-flight %d bytes (budget %d)",
+					eng.name, daemons, res.Stats.PeakInFlightBytes, eng.opts.BudgetBytes))
+			}
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	fig.Series = append(fig.Series, modeled)
+	fig.Notes = append(fig.Notes,
+		"modeled time is engine-independent: all engines move the same bytes over the same edges")
+	return fig, nil
+}
+
 // Ablations runs all ablation sweeps.
 func Ablations(c Config) ([]*Figure, error) {
 	var out []*Figure
-	for _, gen := range []func(Config) (*Figure, error){AblationClasses, AblationDepth, AblationFanout} {
+	for _, gen := range []func(Config) (*Figure, error){AblationClasses, AblationDepth, AblationFanout, AblationEngines} {
 		f, err := gen(c)
 		if err != nil {
 			return nil, err

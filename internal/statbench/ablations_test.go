@@ -62,6 +62,37 @@ func TestAblationFanout(t *testing.T) {
 	}
 }
 
+func TestAblationEngines(t *testing.T) {
+	fig, err := AblationEngines(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := findSeries(t, fig, "seq measured")
+	pipe := findSeries(t, fig, "pipelined measured")
+	budget := findSeries(t, fig, "pipelined 256KiB budget")
+	modeled := findSeries(t, fig, "modeled (any engine)")
+	for _, s := range []Series{seq, pipe, budget, modeled} {
+		if len(s.Points) != len(seq.Points) {
+			t.Fatalf("series %q has %d points, want %d", s.Name, len(s.Points), len(seq.Points))
+		}
+		for _, p := range s.Points {
+			if p.Seconds < 0 {
+				t.Errorf("series %q @ %d: negative time %f", s.Name, p.X, p.Seconds)
+			}
+		}
+	}
+	// The bounded-budget series must report its peak in-flight bytes.
+	found := false
+	for _, n := range fig.Notes {
+		if contains(n, "peak in-flight") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no peak in-flight note recorded; notes: %v", fig.Notes)
+	}
+}
+
 func TestFigurePlot(t *testing.T) {
 	fig, err := Fig2(QuickConfig())
 	if err != nil {

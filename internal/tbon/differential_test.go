@@ -1,0 +1,279 @@
+package tbon
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"stat/internal/topology"
+	"stat/internal/trace"
+)
+
+// The differential harness: every engine must produce byte-identical
+// output and identical traffic statistics on the same reduction, for any
+// filter associative over ordered inputs, on any topology shape. The
+// topology generator covers the adversarial corners the ISSUE names —
+// fanout 1, a single leaf, deep chains, ragged trees — plus the paper's
+// machine layouts.
+
+func diffTopologies(t *testing.T) map[string]*topology.Tree {
+	t.Helper()
+	topos := map[string]*topology.Tree{}
+	add := func(name string, tr *topology.Tree, err error) {
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		topos[name] = tr
+	}
+	tr, err := topology.Flat(1)
+	add("single-leaf", tr, err)
+	tr, err = topology.Flat(8)
+	add("flat-8", tr, err)
+	tr, err = topology.Chain(7)
+	add("chain-7", tr, err)
+	tr, err = topology.Balanced(3, 64)
+	add("balanced-3deep-64", tr, err)
+	tr, err = topology.BGL3Deep(100)
+	add("bgl-3deep-100", tr, err)
+	for seed := uint64(1); seed <= 6; seed++ {
+		tr, err = topology.Ragged(seed, 1+int(seed)%4, 5)
+		add(fmt.Sprintf("ragged-%d", seed), tr, err)
+	}
+	return topos
+}
+
+// randomPayloads builds deterministic per-leaf payloads with adversarial
+// size variation: empty, tiny, and multi-KB payloads in one tree.
+func randomPayloads(seed int64, leaves int) [][]byte {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]byte, leaves)
+	for i := range out {
+		var n int
+		switch rng.Intn(4) {
+		case 0:
+			n = 0
+		case 1:
+			n = rng.Intn(16)
+		case 2:
+			n = 64 + rng.Intn(512)
+		default:
+			n = 1024 + rng.Intn(4096)
+		}
+		out[i] = make([]byte, n)
+		rng.Read(out[i])
+	}
+	return out
+}
+
+// assertStatsMatch compares every traffic counter except the
+// engine-specific PeakInFlightBytes.
+func assertStatsMatch(t *testing.T, label string, want, got *Stats) {
+	t.Helper()
+	if !reflect.DeepEqual(want.NodeInBytes, got.NodeInBytes) {
+		t.Errorf("%s: NodeInBytes differ\nwant %v\ngot  %v", label, want.NodeInBytes, got.NodeInBytes)
+	}
+	if !reflect.DeepEqual(want.NodeOutBytes, got.NodeOutBytes) {
+		t.Errorf("%s: NodeOutBytes differ\nwant %v\ngot  %v", label, want.NodeOutBytes, got.NodeOutBytes)
+	}
+	if !reflect.DeepEqual(want.LevelInBytes, got.LevelInBytes) {
+		t.Errorf("%s: LevelInBytes differ\nwant %v\ngot  %v", label, want.LevelInBytes, got.LevelInBytes)
+	}
+	if want.Packets != got.Packets {
+		t.Errorf("%s: Packets %d vs %d", label, want.Packets, got.Packets)
+	}
+}
+
+// engineVariants are the pipelined configurations every differential case
+// runs in addition to Reduce and ReduceSeq: unbounded, a moderate budget,
+// a pathological 1-byte budget (fully serialized by head-of-line
+// admission), and a single worker.
+func engineVariants() map[string]ReduceOptions {
+	return map[string]ReduceOptions{
+		"pipelined":          {Engine: EnginePipelined},
+		"pipelined/w=4":      {Engine: EnginePipelined, Workers: 4},
+		"pipelined/w=1":      {Engine: EnginePipelined, Workers: 1},
+		"pipelined/budget=1": {Engine: EnginePipelined, Workers: 4, BudgetBytes: 1},
+		"pipelined/b=4KiB":   {Engine: EnginePipelined, Workers: 8, BudgetBytes: 4 << 10},
+	}
+}
+
+func TestDifferentialConcatFilter(t *testing.T) {
+	// Pure concatenation (concatFilter) is associative over ordered
+	// inputs and preserves byte order, so any reordering or dropped
+	// payload shows up directly.
+	concat := concatFilter
+	for name, topo := range diffTopologies(t) {
+		for trial := int64(0); trial < 3; trial++ {
+			payloads := randomPayloads(trial*977+int64(len(name)), topo.NumLeaves())
+			leaf := func(i int) ([]byte, error) { return payloads[i], nil }
+			net := New(topo, nil)
+
+			wantOut, wantStats, err := net.ReduceSeq(leaf, concat)
+			if err != nil {
+				t.Fatalf("%s: seq: %v", name, err)
+			}
+
+			gotOut, gotStats, err := net.Reduce(leaf, concat)
+			if err != nil {
+				t.Fatalf("%s: concurrent: %v", name, err)
+			}
+			if !bytes.Equal(wantOut, gotOut) {
+				t.Fatalf("%s trial %d: concurrent output differs from seq", name, trial)
+			}
+			assertStatsMatch(t, name+"/concurrent", wantStats, gotStats)
+
+			for vname, opts := range engineVariants() {
+				gotOut, gotStats, err := net.ReduceWith(opts, leaf, concat)
+				if err != nil {
+					t.Fatalf("%s/%s: %v", name, vname, err)
+				}
+				if !bytes.Equal(wantOut, gotOut) {
+					t.Fatalf("%s/%s trial %d: output differs from seq (%d vs %d bytes)",
+						name, vname, trial, len(gotOut), len(wantOut))
+				}
+				assertStatsMatch(t, name+"/"+vname, wantStats, gotStats)
+			}
+		}
+	}
+}
+
+func TestDifferentialTraceMergeFilter(t *testing.T) {
+	// The real workload: every leaf contributes a subtree-local prefix
+	// tree, interior nodes merge by hierarchical concatenation. This is
+	// the paper's optimized representation running through all engines.
+	const tasksPerLeaf = 3
+	mergeFilter := func(children [][]byte) ([]byte, error) {
+		trees := make([]*trace.Tree, len(children))
+		for i, c := range children {
+			var err error
+			trees[i], err = trace.UnmarshalBinary(c)
+			if err != nil {
+				return nil, err
+			}
+		}
+		merged := trace.MergeConcat(trees...)
+		out, err := merged.MarshalBinary()
+		if err != nil {
+			return nil, err
+		}
+		for _, tr := range trees {
+			tr.Release()
+		}
+		merged.Release()
+		return out, nil
+	}
+	funcs := []string{"start", "mainloop", "solver", "exchange", "wait", "io"}
+	for name, topo := range diffTopologies(t) {
+		rng := rand.New(rand.NewSource(int64(len(name)) * 131))
+		stacks := make([][][]string, topo.NumLeaves())
+		for i := range stacks {
+			stacks[i] = make([][]string, tasksPerLeaf)
+			for task := range stacks[i] {
+				depth := 1 + rng.Intn(4)
+				path := make([]string, depth)
+				for d := range path {
+					path[d] = funcs[rng.Intn(len(funcs))]
+				}
+				stacks[i][task] = path
+			}
+		}
+		leaf := func(i int) ([]byte, error) {
+			tr := trace.NewTree(tasksPerLeaf)
+			for task, path := range stacks[i] {
+				tr.AddStack(task, path...)
+			}
+			b, err := tr.MarshalBinary()
+			tr.Release()
+			return b, err
+		}
+		net := New(topo, nil)
+
+		wantOut, wantStats, err := net.ReduceSeq(leaf, mergeFilter)
+		if err != nil {
+			t.Fatalf("%s: seq: %v", name, err)
+		}
+		wantTree, err := trace.UnmarshalBinary(wantOut)
+		if err != nil {
+			t.Fatalf("%s: seq output does not decode: %v", name, err)
+		}
+		if wantTree.NumTasks != topo.NumLeaves()*tasksPerLeaf {
+			t.Fatalf("%s: merged task space %d, want %d", name, wantTree.NumTasks, topo.NumLeaves()*tasksPerLeaf)
+		}
+
+		gotOut, gotStats, err := net.Reduce(leaf, mergeFilter)
+		if err != nil {
+			t.Fatalf("%s: concurrent: %v", name, err)
+		}
+		if !bytes.Equal(wantOut, gotOut) {
+			t.Fatalf("%s: concurrent merge differs from seq", name)
+		}
+		assertStatsMatch(t, name+"/concurrent", wantStats, gotStats)
+
+		for vname, opts := range engineVariants() {
+			gotOut, gotStats, err := net.ReduceWith(opts, leaf, mergeFilter)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", name, vname, err)
+			}
+			if !bytes.Equal(wantOut, gotOut) {
+				t.Fatalf("%s/%s: merge differs from seq", name, vname)
+			}
+			assertStatsMatch(t, name+"/"+vname, wantStats, gotStats)
+		}
+	}
+}
+
+func TestDifferentialUnionMergeFilter(t *testing.T) {
+	// The original representation: full-width labels merging by union.
+	const width = 24
+	unionFilter := func(children [][]byte) ([]byte, error) {
+		acc, err := trace.UnmarshalBinary(children[0])
+		if err != nil {
+			return nil, err
+		}
+		for _, c := range children[1:] {
+			src, err := trace.UnmarshalBinary(c)
+			if err != nil {
+				return nil, err
+			}
+			if err := trace.MergeUnion(acc, src); err != nil {
+				return nil, err
+			}
+			src.Release()
+		}
+		out, err := acc.MarshalBinary()
+		acc.Release()
+		return out, err
+	}
+	topo, err := topology.Ragged(99, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaf := func(i int) ([]byte, error) {
+		tr := trace.NewTree(width)
+		tr.AddStack(i%width, "main", fmt.Sprintf("f%d", i%5), "leafwork")
+		tr.AddStack((i*7)%width, "main", "common")
+		b, err := tr.MarshalBinary()
+		tr.Release()
+		return b, err
+	}
+	net := New(topo, nil)
+	wantOut, wantStats, err := net.ReduceSeq(leaf, unionFilter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for vname, opts := range engineVariants() {
+		gotOut, gotStats, err := net.ReduceWith(opts, leaf, unionFilter)
+		if err != nil {
+			t.Fatalf("%s: %v", vname, err)
+		}
+		if !bytes.Equal(wantOut, gotOut) {
+			t.Fatalf("%s: union merge differs from seq", vname)
+		}
+		assertStatsMatch(t, vname, wantStats, gotStats)
+	}
+}

@@ -1,0 +1,296 @@
+package tbon
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"stat/internal/topology"
+)
+
+// ReducePipelined runs the same reduction as ReduceSeq — each interior
+// node folds its children incrementally, in child order, through the
+// filter — but evaluates independent subtrees concurrently on a worker
+// pool. Because the per-node fold order is identical, the result is
+// byte-identical to ReduceSeq's for any filter that is associative over
+// ordered inputs, and the traffic statistics are identical too.
+//
+// Memory stays bounded: a payload produced out of fold order must be
+// buffered until its left siblings fold, and the total resident bytes of
+// produced-but-unfolded payloads is capped by the byte budget
+// (ReduceOptions.BudgetBytes via ReduceWith; this convenience wrapper
+// runs unbounded with GOMAXPROCS workers). The payload the sequential
+// fold would consume next always bypasses the budget, so progress is
+// guaranteed at any budget; the hard bound is budget plus one payload
+// per worker, since a payload's size is only known once produced.
+func (n *Network) ReducePipelined(leafData func(leaf int) ([]byte, error), filter Filter) ([]byte, *Stats, error) {
+	return n.reducePipelined(leafData, filter, 0, 0)
+}
+
+// pipeNode is the scheduler's per-node state. rank is the node's position
+// in post-order traversal — exactly the order ReduceSeq finishes nodes —
+// and drives the budget gate's admission order.
+type pipeNode struct {
+	node *topology.Node
+	rank int
+	pos  int // index among the parent's children
+
+	mu      sync.Mutex
+	folding bool     // a worker is draining the in-order prefix
+	next    int      // next child position to fold
+	arrived []bool   // child payload delivered, by position
+	buf     [][]byte // delivered payloads awaiting their turn
+	acc     []byte
+	accSet  bool
+}
+
+type pipeRun struct {
+	filter Filter
+	gate   *byteGate
+	nodes  map[int]*pipeNode // by topology node ID
+
+	statsMu sync.Mutex
+	stats   *Stats
+
+	failOnce sync.Once
+	err      error
+	failed   atomic.Bool
+
+	out    []byte
+	outSet bool
+}
+
+func (r *pipeRun) fail(err error) {
+	r.failOnce.Do(func() {
+		r.err = err
+		r.failed.Store(true)
+		r.gate.stop()
+	})
+}
+
+func (n *Network) reducePipelined(leafData func(leaf int) ([]byte, error), filter Filter, workers int, budget int64) ([]byte, *Stats, error) {
+	stats := newStats(len(n.topo.Levels))
+
+	// Post-order ranks: children before parents, left before right. This
+	// is the order ReduceSeq releases payloads in, so the gate's
+	// head-of-line bypass always matches the payload the sequential fold
+	// would consume next.
+	nodes := make(map[int]*pipeNode)
+	count := 0
+	var index func(node *topology.Node, pos int)
+	index = func(node *topology.Node, pos int) {
+		for i, c := range node.Children {
+			index(c, i)
+		}
+		pn := &pipeNode{node: node, rank: count, pos: pos}
+		count++
+		if !node.IsLeaf() {
+			pn.arrived = make([]bool, len(node.Children))
+			pn.buf = make([][]byte, len(node.Children))
+		}
+		nodes[node.ID] = pn
+	}
+	index(n.topo.Root, 0)
+
+	r := &pipeRun{
+		filter: filter,
+		gate:   newByteGate(budget, count),
+		nodes:  nodes,
+		stats:  stats,
+	}
+
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	leaves := n.topo.Leaves
+	if workers > len(leaves) {
+		workers = len(leaves)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	var nextLeaf atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !r.failed.Load() {
+				i := int(nextLeaf.Add(1)) - 1
+				if i >= len(leaves) {
+					return
+				}
+				leaf := leaves[i]
+				out, err := leafData(leaf.LeafIndex)
+				if err != nil {
+					r.fail(fmt.Errorf("tbon: leaf %d: %w", leaf.LeafIndex, err))
+					return
+				}
+				r.complete(nodes[leaf.ID], out)
+			}
+		}()
+	}
+	wg.Wait()
+
+	if r.err != nil {
+		return nil, stats, r.err
+	}
+	if !r.outSet {
+		return nil, stats, fmt.Errorf("tbon: pipelined reduction finished without a root result")
+	}
+	stats.PeakInFlightBytes = r.gate.peakBytes()
+	return r.out, stats, nil
+}
+
+// complete handles a node whose output is final: the root's output is the
+// reduction result; any other node's output is charged against the budget
+// and delivered to its parent. Runs on the worker that produced the
+// output, so a completing subtree cascades toward the root in one thread.
+func (r *pipeRun) complete(pn *pipeNode, out []byte) {
+	r.statsMu.Lock()
+	r.stats.NodeOutBytes[pn.node.ID] = int64(len(out))
+	r.statsMu.Unlock()
+	if pn.node.Parent == nil {
+		r.out, r.outSet = out, true
+		return
+	}
+	if !r.gate.acquire(pn.rank, int64(len(out))) {
+		return // the run failed while we waited
+	}
+	r.deliver(r.nodes[pn.node.Parent.ID], pn.pos, out)
+}
+
+// deliver buffers one child payload at its parent and, unless another
+// worker is already folding there, drains the contiguous arrived prefix
+// through the filter in child order. Filter calls run outside the node
+// lock so late siblings can buffer their payloads without waiting for a
+// merge in progress.
+func (r *pipeRun) deliver(pp *pipeNode, pos int, payload []byte) {
+	pp.mu.Lock()
+	pp.buf[pos], pp.arrived[pos] = payload, true
+	if pp.folding {
+		pp.mu.Unlock()
+		return
+	}
+	pp.folding = true
+	for pp.next < len(pp.arrived) && pp.arrived[pp.next] && !r.failed.Load() {
+		i := pp.next
+		p := pp.buf[i]
+		pp.buf[i] = nil
+		acc, accSet := pp.acc, pp.accSet
+		pp.mu.Unlock()
+
+		r.statsMu.Lock()
+		r.stats.NodeInBytes[pp.node.ID] += int64(len(p))
+		r.stats.LevelInBytes[pp.node.Level] += int64(len(p))
+		r.stats.Packets++
+		r.statsMu.Unlock()
+
+		var folded []byte
+		var err error
+		if !accSet {
+			// Normalize even a single child through the filter so a
+			// node's output shape does not depend on its arity (the same
+			// rule ReduceSeq applies).
+			folded, err = r.filter([][]byte{p})
+		} else {
+			folded, err = r.filter([][]byte{acc, p})
+		}
+		r.gate.release(r.nodes[pp.node.Children[i].ID].rank, int64(len(p)))
+		if err != nil {
+			r.fail(fmt.Errorf("tbon: filter at node %d: %w", pp.node.ID, err))
+			pp.mu.Lock()
+			break
+		}
+		pp.mu.Lock()
+		pp.acc, pp.accSet = folded, true
+		pp.next = i + 1
+	}
+	done := pp.next == len(pp.arrived) && !r.failed.Load()
+	acc := pp.acc
+	pp.folding = false
+	pp.mu.Unlock()
+	if done {
+		r.complete(pp, acc)
+	}
+}
+
+// byteGate is a rank-ordered byte semaphore. A payload's size is charged
+// the moment it exists — when acquire is called, before any blocking —
+// so inFlight and the recorded peak are the true resident payload bytes,
+// including payloads held by workers still waiting for admission.
+// acquire then blocks while the total exceeds the budget — except for
+// the head rank, the smallest not-yet-released node, whose payload the
+// sequential fold would consume next: it is always admitted. That bypass
+// is what makes any budget deadlock-free. A worker holds at most one
+// unadmitted payload at a time and admission only proceeds at or under
+// the budget, so resident bytes never exceed the budget plus one payload
+// per worker (production cannot be gated: a payload's size is unknown
+// until the leaf callback or fold producing it returns).
+type byteGate struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	budget   int64 // <= 0 means unbounded
+	inFlight int64
+	peak     int64
+	released []bool // by post-order rank
+	head     int    // smallest unreleased rank
+	stopped  bool
+}
+
+func newByteGate(budget int64, ranks int) *byteGate {
+	g := &byteGate{budget: budget, released: make([]bool, ranks)}
+	g.cond = sync.NewCond(&g.mu)
+	return g
+}
+
+// acquire charges n resident bytes immediately, then blocks until they
+// fit the budget (or rank is the head). It reports false when the gate
+// was stopped by a failing run, in which case the charge is rolled back.
+func (g *byteGate) acquire(rank int, n int64) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.inFlight += n
+	if g.inFlight > g.peak {
+		g.peak = g.inFlight
+	}
+	for {
+		if g.stopped {
+			g.inFlight -= n
+			return false
+		}
+		if g.budget <= 0 || rank == g.head || g.inFlight <= g.budget {
+			return true
+		}
+		g.cond.Wait()
+	}
+}
+
+// release returns n bytes to the budget and marks rank consumed, which
+// may advance the head and wake blocked acquirers.
+func (g *byteGate) release(rank int, n int64) {
+	g.mu.Lock()
+	g.inFlight -= n
+	g.released[rank] = true
+	for g.head < len(g.released) && g.released[g.head] {
+		g.head++
+	}
+	g.cond.Broadcast()
+	g.mu.Unlock()
+}
+
+// stop aborts all current and future acquires.
+func (g *byteGate) stop() {
+	g.mu.Lock()
+	g.stopped = true
+	g.cond.Broadcast()
+	g.mu.Unlock()
+}
+
+func (g *byteGate) peakBytes() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.peak
+}

@@ -1,0 +1,284 @@
+package tbon
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"stat/internal/topology"
+)
+
+func TestPipelinedMatchesSeqBasic(t *testing.T) {
+	topo, err := topology.Balanced(2, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := New(topo, nil)
+	want, _, err := net.ReduceSeq(leafValue, sumFilter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := net.ReducePipelined(leafValue, sumFilter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, got) {
+		t.Fatalf("pipelined %v != seq %v", got, want)
+	}
+}
+
+// TestPipelinedRespectsBudget checks the engine's memory contract: peak
+// in-flight payload bytes never exceed the budget plus one payload (the
+// head-of-line bypass that guarantees progress).
+func TestPipelinedRespectsBudget(t *testing.T) {
+	topo, err := topology.Balanced(2, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := New(topo, nil)
+	const payload = 1024
+	leaf := func(i int) ([]byte, error) { return make([]byte, payload), nil }
+	concat := concatFilter
+	// Interior accumulators grow to 8 KiB on this topology, so the
+	// largest single in-flight payload is an interior output, not a leaf.
+	// The contract: resident payload bytes never exceed the budget plus
+	// one payload per worker (production cannot be gated, since a
+	// payload's size is unknown until produced).
+	const maxSingle = 8 * payload
+	for _, workers := range []int{1, 8} {
+		for _, budget := range []int64{1, 512, payload, 4 * payload, 64 * payload} {
+			out, stats, err := net.ReduceWith(
+				ReduceOptions{Engine: EnginePipelined, Workers: workers, BudgetBytes: budget}, leaf, concat)
+			if err != nil {
+				t.Fatalf("w=%d budget %d: %v", workers, budget, err)
+			}
+			if len(out) != 64*payload {
+				t.Fatalf("w=%d budget %d: output %d bytes, want %d", workers, budget, len(out), 64*payload)
+			}
+			if stats.PeakInFlightBytes == 0 {
+				t.Fatalf("w=%d budget %d: peak in-flight not tracked", workers, budget)
+			}
+			if limit := budget + int64(workers)*maxSingle; stats.PeakInFlightBytes > limit {
+				t.Errorf("w=%d budget %d: peak in-flight %d exceeds budget + workers*payload = %d",
+					workers, budget, stats.PeakInFlightBytes, limit)
+			}
+		}
+	}
+
+	// One worker is the tightest configuration: peak must stay within
+	// budget + a single payload, and a starved budget must keep it there.
+	_, tight, err := net.ReduceWith(ReduceOptions{Engine: EnginePipelined, Workers: 1, BudgetBytes: 1}, leaf, concat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight.PeakInFlightBytes > 1+maxSingle {
+		t.Errorf("1-byte budget, 1 worker peaked at %d bytes", tight.PeakInFlightBytes)
+	}
+}
+
+func TestPipelinedLeafError(t *testing.T) {
+	topo, err := topology.Balanced(2, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := New(topo, nil)
+	boom := errors.New("boom")
+	leaf := func(i int) ([]byte, error) {
+		if i == 11 {
+			return nil, boom
+		}
+		return []byte{byte(i)}, nil
+	}
+	for _, opts := range []ReduceOptions{
+		{Engine: EnginePipelined},
+		{Engine: EnginePipelined, Workers: 1},
+		{Engine: EnginePipelined, Workers: 4, BudgetBytes: 1},
+	} {
+		_, _, err = net.ReduceWith(opts, leaf, concatFilter)
+		if !errors.Is(err, boom) {
+			t.Fatalf("opts %+v: error %v does not wrap leaf error", opts, err)
+		}
+		if !strings.Contains(err.Error(), "leaf 11") {
+			t.Fatalf("error %q does not name the failing leaf", err)
+		}
+	}
+}
+
+func TestPipelinedFilterError(t *testing.T) {
+	topo, err := topology.Balanced(3, 27)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := New(topo, nil)
+	boom := errors.New("merge exploded")
+	calls := 0
+	var mu sync.Mutex
+	filter := func(children [][]byte) ([]byte, error) {
+		mu.Lock()
+		calls++
+		n := calls
+		mu.Unlock()
+		if n == 5 {
+			return nil, boom
+		}
+		return concatFilter(children)
+	}
+	_, _, err = net.ReduceWith(ReduceOptions{Engine: EnginePipelined, Workers: 4}, leafValue, filter)
+	if !errors.Is(err, boom) {
+		t.Fatalf("error %v does not wrap filter error", err)
+	}
+	if !strings.Contains(err.Error(), "filter at node") {
+		t.Fatalf("error %q does not name the failing node", err)
+	}
+}
+
+// TestPipelinedTinyBudgetDeepTree drives the deadlock-prone corner: a
+// deep chain and a wide tree under a 1-byte budget, where only the
+// head-of-line bypass keeps payloads moving. A hang here fails the test
+// by timeout.
+func TestPipelinedTinyBudgetDeepTree(t *testing.T) {
+	for _, build := range []func() (*topology.Tree, error){
+		func() (*topology.Tree, error) { return topology.Chain(32) },
+		func() (*topology.Tree, error) { return topology.Flat(128) },
+		func() (*topology.Tree, error) { return topology.Ragged(3, 4, 6) },
+	} {
+		topo, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		net := New(topo, nil)
+		want, _, err := net.ReduceSeq(leafValue, concatFilter)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := net.ReduceWith(
+			ReduceOptions{Engine: EnginePipelined, Workers: 8, BudgetBytes: 1}, leafValue, concatFilter)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(want, got) {
+			t.Fatal("tiny-budget output differs from seq")
+		}
+	}
+}
+
+func TestReduceWithUnknownEngine(t *testing.T) {
+	topo, err := topology.Flat(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := New(topo, nil)
+	_, _, err = net.ReduceWith(ReduceOptions{Engine: Engine(42)}, leafValue, concatFilter)
+	if err == nil || !strings.Contains(err.Error(), "unknown reduction engine") {
+		t.Fatalf("unexpected error %v", err)
+	}
+}
+
+func TestEngineString(t *testing.T) {
+	for e, want := range map[Engine]string{
+		EngineSeq: "seq", EngineConcurrent: "concurrent", EnginePipelined: "pipelined",
+	} {
+		if e.String() != want {
+			t.Errorf("Engine(%d).String() = %q, want %q", int(e), e.String(), want)
+		}
+	}
+}
+
+// TestByteGateHeadBypass exercises the gate directly: a payload larger
+// than the whole budget is admitted when its rank is the head, and a
+// later rank blocks until the head releases.
+func TestByteGateHeadBypass(t *testing.T) {
+	g := newByteGate(10, 3)
+	if !g.acquire(0, 100) {
+		t.Fatal("head rank not admitted over budget")
+	}
+	// Rank 1 must block: budget exhausted and it is not the head. Run it
+	// in a goroutine and require that release(0) unblocks it.
+	admitted := make(chan struct{})
+	go func() {
+		g.acquire(1, 5)
+		close(admitted)
+	}()
+	select {
+	case <-admitted:
+		t.Fatal("non-head rank admitted while over budget")
+	default:
+	}
+	g.release(0, 100)
+	<-admitted // head advanced to 1; must now be admitted
+	if got := g.peakBytes(); got != 100 {
+		t.Fatalf("peak %d, want 100", got)
+	}
+}
+
+func TestByteGateStopAborts(t *testing.T) {
+	g := newByteGate(1, 2)
+	if !g.acquire(0, 1) {
+		t.Fatal("first acquire failed")
+	}
+	aborted := make(chan bool)
+	go func() { aborted <- g.acquire(1, 1) }()
+	g.stop()
+	if ok := <-aborted; ok {
+		t.Fatal("acquire succeeded after stop")
+	}
+}
+
+// TestPipelinedStress shuffles worker counts and budgets on one shared
+// network to shake out scheduling races (meaningful under -race).
+func TestPipelinedStress(t *testing.T) {
+	topo, err := topology.Ragged(11, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := New(topo, nil)
+	want, _, err := net.ReduceSeq(leafValue, concatFilter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 1; w <= 4; w++ {
+		for _, budget := range []int64{0, 1, 100} {
+			wg.Add(1)
+			go func(w int, budget int64) {
+				defer wg.Done()
+				for i := 0; i < 10; i++ {
+					got, _, err := net.ReduceWith(
+						ReduceOptions{Engine: EnginePipelined, Workers: w, BudgetBytes: budget},
+						leafValue, concatFilter)
+					if err != nil {
+						t.Errorf("w=%d budget=%d: %v", w, budget, err)
+						return
+					}
+					if !bytes.Equal(want, got) {
+						t.Errorf("w=%d budget=%d: output mismatch", w, budget)
+						return
+					}
+				}
+			}(w, budget)
+		}
+	}
+	wg.Wait()
+}
+
+func ExampleNetwork_ReduceWith() {
+	topo, _ := topology.Balanced(2, 9)
+	net := New(topo, nil)
+	leaf := func(i int) ([]byte, error) { return []byte{byte(i)}, nil }
+	concat := func(children [][]byte) ([]byte, error) {
+		var out []byte
+		for _, c := range children {
+			out = append(out, c...)
+		}
+		return out, nil
+	}
+	out, _, _ := net.ReduceWith(ReduceOptions{
+		Engine:      EnginePipelined,
+		BudgetBytes: 1 << 20, // keep at most ~1 MiB of payloads in flight
+	}, leaf, concat)
+	fmt.Println(out)
+	// Output: [0 1 2 3 4 5 6 7 8]
+}

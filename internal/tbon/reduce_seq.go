@@ -17,6 +17,8 @@ import (
 // fully concurrent reduction would hold gigabytes of leaf payloads in
 // flight, whereas the fold keeps at most one accumulator and one child
 // payload per tree level. Byte statistics are identical to Reduce's.
+// ReducePipelined runs this same fold with concurrent subtrees and a
+// tunable memory budget; see the package docs for when to use which.
 func (n *Network) ReduceSeq(leafData func(leaf int) ([]byte, error), filter Filter) ([]byte, *Stats, error) {
 	stats := newStats(len(n.topo.Levels))
 

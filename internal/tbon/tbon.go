@@ -7,6 +7,36 @@
 // pluggable channel or TCP transports) and records per-node byte counts;
 // wall-clock time at machine scale is then computed from those counts by
 // the timing model in timing.go.
+//
+// # Reduction engines
+//
+// The network offers three evaluation strategies for the same reduction;
+// all three produce identical traffic statistics, and the sequential and
+// pipelined engines produce byte-identical results for any filter that is
+// associative over ordered inputs (both prefix-tree merges are).
+//
+//   - ReduceSeq (EngineSeq, the default): a single-threaded incremental
+//     fold. Peak memory is one accumulator plus one child payload per
+//     tree level, which is why large-scale runs with multi-megabyte leaf
+//     payloads use it. No concurrency, so wall clock is the sum of all
+//     filter work.
+//
+//   - Reduce (EngineConcurrent): one goroutine per overlay process with
+//     payloads flowing over the configured transport. Fully concurrent,
+//     but every child payload of every node can be in flight at once —
+//     at BlueGene/L scale that is gigabytes — and each edge pays
+//     transport overhead.
+//
+//   - ReducePipelined (EnginePipelined): a worker pool evaluates the
+//     topology DAG, running independent subtrees concurrently while each
+//     interior node folds its children incrementally in child order,
+//     exactly like ReduceSeq. A configurable byte budget
+//     (ReduceOptions.BudgetBytes) bounds the payload bytes buffered
+//     between production and folding, so peak memory is tunable between
+//     ReduceSeq's floor and Reduce's free-for-all while wall clock
+//     approaches full hardware parallelism.
+//
+// ReduceWith selects an engine at runtime from a ReduceOptions value.
 package tbon
 
 import (
@@ -15,6 +45,63 @@ import (
 
 	"stat/internal/topology"
 )
+
+// Engine names one of the network's reduction evaluation strategies. The
+// zero value is the memory-safe sequential fold.
+type Engine int
+
+const (
+	// EngineSeq is the single-threaded incremental fold (ReduceSeq).
+	EngineSeq Engine = iota
+	// EngineConcurrent runs one goroutine per overlay process (Reduce).
+	EngineConcurrent
+	// EnginePipelined is the worker-pool evaluation with a bounded
+	// in-flight payload budget (ReducePipelined).
+	EnginePipelined
+)
+
+func (e Engine) String() string {
+	switch e {
+	case EngineSeq:
+		return "seq"
+	case EngineConcurrent:
+		return "concurrent"
+	case EnginePipelined:
+		return "pipelined"
+	}
+	return fmt.Sprintf("Engine(%d)", int(e))
+}
+
+// ReduceOptions select and configure a reduction engine for ReduceWith.
+type ReduceOptions struct {
+	// Engine picks the evaluation strategy.
+	Engine Engine
+	// Workers bounds EnginePipelined's concurrency; <= 0 means
+	// runtime.GOMAXPROCS(0). Ignored by the other engines.
+	Workers int
+	// BudgetBytes bounds the payload bytes EnginePipelined keeps resident
+	// between production and folding; <= 0 means unbounded. The hard
+	// bound is BudgetBytes plus one payload per worker: a payload's size
+	// is only known once produced, and the payload the sequential fold
+	// would consume next is always admitted so the reduction cannot
+	// deadlock, however small the budget. Stats.PeakInFlightBytes
+	// reports the realized peak. Ignored by the other engines.
+	BudgetBytes int64
+}
+
+// ReduceWith runs one upstream reduction under the selected engine. See
+// the package documentation for the engine trade-offs.
+func (n *Network) ReduceWith(opts ReduceOptions, leafData func(leaf int) ([]byte, error), filter Filter) ([]byte, *Stats, error) {
+	switch opts.Engine {
+	case EngineSeq:
+		return n.ReduceSeq(leafData, filter)
+	case EngineConcurrent:
+		return n.Reduce(leafData, filter)
+	case EnginePipelined:
+		return n.reducePipelined(leafData, filter, opts.Workers, opts.BudgetBytes)
+	}
+	return nil, nil, fmt.Errorf("tbon: unknown reduction engine %d", int(opts.Engine))
+}
 
 // Filter combines the payloads received from a node's children into the
 // payload forwarded to its parent. Inputs are ordered by child position.
@@ -53,6 +140,10 @@ type Stats struct {
 	LevelInBytes []int64
 	// Packets counts point-to-point messages.
 	Packets int64
+	// PeakInFlightBytes is the largest total of payload bytes buffered
+	// between production and folding. Only EnginePipelined tracks it;
+	// the other engines leave it zero.
+	PeakInFlightBytes int64
 }
 
 func newStats(levels int) *Stats {
@@ -89,7 +180,12 @@ func (n *Network) Reduce(leafData func(leaf int) ([]byte, error), filter Filter)
 
 	record := func(node *topology.Node, in int64, out int64, packetsIn int64) {
 		mu.Lock()
-		stats.NodeInBytes[node.ID] += in
+		if !node.IsLeaf() {
+			// Only interior nodes have ingress; recording a zero for
+			// leaves would leave map entries the other engines never
+			// create, breaking stats comparability.
+			stats.NodeInBytes[node.ID] += in
+		}
 		stats.NodeOutBytes[node.ID] += out
 		stats.LevelInBytes[node.Level] += in
 		stats.Packets += packetsIn

@@ -1,0 +1,68 @@
+package topology
+
+import "fmt"
+
+// Chain builds a maximally deep degenerate layout: depth levels of
+// fanout-1 communication processes above a single daemon. No machine
+// would run it, but it is the adversarial extreme for reduction engines —
+// zero available parallelism and one payload alive per level.
+func Chain(depth int) (*Tree, error) {
+	if depth < 1 {
+		return nil, fmt.Errorf("topology: chain depth must be >= 1, got %d", depth)
+	}
+	widths := make([]int, depth-1)
+	for i := range widths {
+		widths[i] = 1
+	}
+	return build(widths, 1)
+}
+
+// Ragged builds a random uneven layout for adversarial testing: depth
+// levels below the root, every parent drawing an independent fanout in
+// [1, maxFanout], so sibling subtrees differ in width and leaf count.
+// All leaves sit at the bottom level (the package invariant); the same
+// seed reproduces the same tree.
+func Ragged(seed uint64, depth, maxFanout int) (*Tree, error) {
+	if depth < 1 {
+		return nil, fmt.Errorf("topology: ragged depth must be >= 1, got %d", depth)
+	}
+	if maxFanout < 1 {
+		return nil, fmt.Errorf("topology: ragged maxFanout must be >= 1, got %d", maxFanout)
+	}
+	// Small self-contained xorshift stream; topology stays dependency-free.
+	state := seed*2862933555777941757 + 3037000493
+	draw := func(n int) int {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return 1 + int(state%uint64(n))
+	}
+
+	root := &Node{ID: 0, Level: 0, LeafIndex: -1}
+	levels := [][]*Node{{root}}
+	id := 1
+	leafIndex := 0
+	for d := 1; d <= depth; d++ {
+		leafLevel := d == depth
+		var next []*Node
+		for _, p := range levels[d-1] {
+			fanout := draw(maxFanout)
+			for i := 0; i < fanout; i++ {
+				c := &Node{ID: id, Level: d, LeafIndex: -1, Parent: p}
+				id++
+				if leafLevel {
+					c.LeafIndex = leafIndex
+					leafIndex++
+				}
+				p.Children = append(p.Children, c)
+				next = append(next, c)
+			}
+		}
+		levels = append(levels, next)
+	}
+	t := &Tree{Root: root, Levels: levels, Leaves: levels[depth]}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

@@ -1,0 +1,74 @@
+package topology
+
+import "testing"
+
+func TestChain(t *testing.T) {
+	for depth := 1; depth <= 8; depth++ {
+		tr, err := Chain(depth)
+		if err != nil {
+			t.Fatalf("Chain(%d): %v", depth, err)
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("Chain(%d): %v", depth, err)
+		}
+		if tr.NumLeaves() != 1 {
+			t.Fatalf("Chain(%d): %d leaves, want 1", depth, tr.NumLeaves())
+		}
+		if tr.Depth() != depth {
+			t.Fatalf("Chain(%d): depth %d", depth, tr.Depth())
+		}
+		if f := tr.MaxFanout(); f != 1 {
+			t.Fatalf("Chain(%d): max fanout %d", depth, f)
+		}
+	}
+	if _, err := Chain(0); err == nil {
+		t.Fatal("Chain(0) succeeded")
+	}
+}
+
+func TestRagged(t *testing.T) {
+	for seed := uint64(0); seed < 20; seed++ {
+		for depth := 1; depth <= 4; depth++ {
+			tr, err := Ragged(seed, depth, 5)
+			if err != nil {
+				t.Fatalf("Ragged(%d, %d, 5): %v", seed, depth, err)
+			}
+			if err := tr.Validate(); err != nil {
+				t.Fatalf("Ragged(%d, %d, 5): %v", seed, depth, err)
+			}
+			if tr.Depth() != depth {
+				t.Fatalf("Ragged(%d, %d, 5): depth %d", seed, depth, tr.Depth())
+			}
+			if f := tr.MaxFanout(); f > 5 {
+				t.Fatalf("Ragged(%d, %d, 5): fanout %d exceeds max", seed, depth, f)
+			}
+		}
+	}
+
+	// Same seed reproduces the same shape.
+	a, err := Ragged(7, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Ragged(7, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumLeaves() != b.NumLeaves() || a.CommProcesses() != b.CommProcesses() {
+		t.Fatalf("Ragged not reproducible: %d/%d leaves, %d/%d comms",
+			a.NumLeaves(), b.NumLeaves(), a.CommProcesses(), b.CommProcesses())
+	}
+
+	// Different seeds should explore different shapes.
+	shapes := map[int]bool{}
+	for seed := uint64(0); seed < 10; seed++ {
+		tr, err := Ragged(seed, 3, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shapes[tr.NumLeaves()] = true
+	}
+	if len(shapes) < 2 {
+		t.Fatal("Ragged produced a single shape across seeds")
+	}
+}

@@ -1,0 +1,92 @@
+package trace_test
+
+import (
+	"bytes"
+	"testing"
+
+	"stat/internal/trace"
+)
+
+// corpusTree builds a small representative tree for fuzz seeds.
+func corpusTree() *trace.Tree {
+	t := trace.NewTree(6)
+	t.AddStack(0, "main", "solver", "mpi_waitall")
+	t.AddStack(1, "main", "solver", "compute")
+	t.AddStack(5, "main", "io", "write")
+	return t
+}
+
+// FuzzUnmarshalBinary feeds arbitrary bytes to the wire decoder: it must
+// never panic, and anything it accepts must re-marshal to the identical
+// byte string (the decoder admits only canonical encodings).
+func FuzzUnmarshalBinary(f *testing.F) {
+	valid, err := corpusTree().MarshalBinary()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add([]byte{})
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])                 // truncated mid-node
+	f.Add(append([]byte("XTR1"), valid[4:]...)) // bad magic
+	f.Add(append(bytes.Clone(valid), 0xFF))     // trailing garbage
+	corrupted := bytes.Clone(valid)
+	corrupted[9] ^= 0x40 // flip a width bit
+	f.Add(corrupted)
+	f.Fuzz(func(t *testing.T, b []byte) {
+		tr, err := trace.UnmarshalBinary(b)
+		if err != nil {
+			return
+		}
+		enc, err := tr.MarshalBinary()
+		if err != nil {
+			t.Fatalf("decoded tree failed to re-marshal: %v", err)
+		}
+		if !bytes.Equal(enc, b) {
+			t.Fatalf("decode/encode not canonical:\nin  %x\nout %x", b, enc)
+		}
+		if got := tr.SerializedSize(); got != len(enc) {
+			t.Fatalf("SerializedSize %d != encoded %d", got, len(enc))
+		}
+	})
+}
+
+// FuzzTreeRoundTrip builds a tree from a fuzzer-chosen population and
+// checks the wire format reproduces it exactly. ops is consumed three
+// bytes at a time: task selector, stack depth, and a path seed walking a
+// small function alphabet.
+func FuzzTreeRoundTrip(f *testing.F) {
+	f.Add(uint8(4), []byte{0, 3, 7, 2, 2, 9})
+	f.Add(uint8(1), []byte{0, 1, 0})
+	f.Add(uint8(255), []byte{})
+	f.Fuzz(func(t *testing.T, width uint8, ops []byte) {
+		if width == 0 {
+			width = 1
+		}
+		funcs := []string{"main", "a", "bb", "ccc", "d", ""}
+		tr := trace.NewTree(int(width))
+		for i := 0; i+2 < len(ops); i += 3 {
+			task := int(ops[i]) % int(width)
+			depth := int(ops[i+1]) % 8
+			pathSeed := int(ops[i+2])
+			stack := make([]string, 0, depth)
+			for d := 0; d < depth; d++ {
+				stack = append(stack, funcs[(pathSeed+d*5)%len(funcs)])
+			}
+			tr.AddStack(task, stack...)
+		}
+		enc, err := tr.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := trace.UnmarshalBinary(enc)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if !tr.Equal(dec) {
+			t.Fatalf("round trip changed the tree:\nin:\n%s\nout:\n%s", tr, dec)
+		}
+		if err := dec.Validate(); err != nil {
+			t.Fatalf("round-tripped tree invalid: %v", err)
+		}
+	})
+}

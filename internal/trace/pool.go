@@ -1,0 +1,51 @@
+package trace
+
+import (
+	"sync"
+
+	"stat/internal/bitvec"
+)
+
+// nodePool recycles prefix-tree nodes. A TBON merge filter decodes its
+// child trees, merges them, serializes the result and drops every
+// intermediate tree — at a few hundred nodes per tree and one filter call
+// per interior overlay node, allocation is the dominant cost of the merge
+// path. The pool is shared by every tree and safe for concurrent filter
+// workers; recycled nodes keep their Children backing array, so a
+// steady-state filter reuses child slices instead of regrowing them.
+var nodePool = sync.Pool{New: func() any { return new(Node) }}
+
+// newNode returns a pooled node initialized with the given frame and
+// label and no children.
+func newNode(frame Frame, tasks *bitvec.Vector) *Node {
+	n := nodePool.Get().(*Node)
+	n.Frame = frame
+	n.Tasks = tasks
+	return n
+}
+
+// Release returns every node of the tree to the allocation pool and
+// clears the tree. The caller must own the tree outright: none of its
+// nodes may be shared with a live tree (the merge functions never share
+// nodes between input and output, so releasing a filter's decoded inputs
+// and encoded output is safe). Using the tree after Release is a bug.
+func (t *Tree) Release() {
+	if t.Root == nil {
+		return
+	}
+	var rec func(n *Node)
+	rec = func(n *Node) {
+		for _, c := range n.Children {
+			rec(c)
+		}
+		n.Frame = Frame{}
+		n.Tasks = nil
+		for i := range n.Children {
+			n.Children[i] = nil
+		}
+		n.Children = n.Children[:0]
+		nodePool.Put(n)
+	}
+	rec(t.Root)
+	t.Root = nil
+}

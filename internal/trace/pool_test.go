@@ -1,0 +1,79 @@
+package trace
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestReleaseRecycle churns trees through the pool and checks recycled
+// nodes carry no stale state into new trees.
+func TestReleaseRecycle(t *testing.T) {
+	build := func(salt string) *Tree {
+		tr := NewTree(8)
+		tr.AddStack(0, "main", "a"+salt, "b")
+		tr.AddStack(3, "main", "a"+salt, "c")
+		tr.AddStack(7, "main", "z")
+		return tr
+	}
+	want := build("x").String()
+	for i := 0; i < 100; i++ {
+		tr := build("x")
+		if got := tr.String(); got != want {
+			t.Fatalf("iteration %d: tree changed after recycling:\ngot  %q\nwant %q", i, got, want)
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		tr.Release()
+	}
+	// Interleave a differently-shaped tree to dirty the pool.
+	for i := 0; i < 50; i++ {
+		a := build("x")
+		b := build("y")
+		b.Release()
+		if got := a.String(); got != want {
+			t.Fatalf("live tree corrupted by releasing another: %q", got)
+		}
+		a.Release()
+	}
+}
+
+// TestReleaseConcurrent hammers the pool from many goroutines; run under
+// -race this guards the concurrent filter workers' allocation path.
+func TestReleaseConcurrent(t *testing.T) {
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				tr := NewTree(16)
+				tr.AddStack(w, "main", "f", "g")
+				tr.AddStack((w+i)%16, "main", "h")
+				enc, err := tr.MarshalBinary()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				dec, err := UnmarshalBinary(enc)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if !tr.Equal(dec) {
+					t.Error("round trip mismatch under concurrency")
+					return
+				}
+				tr.Release()
+				dec.Release()
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestReleaseIdempotentOnEmpty(t *testing.T) {
+	tr := NewTree(4)
+	tr.Release()
+	tr.Release() // second release is a no-op, not a double-put
+}

@@ -102,7 +102,7 @@ func UnmarshalBinary(b []byte) (*Tree, error) {
 		if nc > len(b)-pos { // each child needs ≥1 byte; cheap sanity bound
 			return nil, fmt.Errorf("trace: impossible child count %d", nc)
 		}
-		n := &Node{Frame: Frame{Function: name}, Tasks: v}
+		n := newNode(Frame{Function: name}, v)
 		prev := ""
 		for i := 0; i < nc; i++ {
 			c, err := decode(depth + 1)

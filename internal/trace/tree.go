@@ -4,6 +4,14 @@
 // Every tree node carries a task-set edge label; the width of those labels
 // and the merge rule (union vs concatenation) is what distinguishes the
 // paper's original and optimized representations (Section V).
+//
+// Trees are not internally synchronized, but the package keeps no mutable
+// shared state: merge, serialization and traversal functions touch only
+// their arguments, and output trees never share nodes with input trees.
+// Concurrent TBON filter workers may therefore merge distinct trees in
+// parallel without locking; only concurrent operations on the same tree
+// need external synchronization. Node allocation draws from a shared pool
+// (see Release) so the concurrent merge path stays allocation-cheap.
 package trace
 
 import (
@@ -67,7 +75,7 @@ func NewTree(n int) *Tree {
 	if n < 0 {
 		panic("trace: negative task-space size")
 	}
-	return &Tree{NumTasks: n, Root: &Node{Tasks: bitvec.New(n)}}
+	return &Tree{NumTasks: n, Root: newNode(Frame{}, bitvec.New(n))}
 }
 
 // Add merges one trace into the tree. Frames are outermost (e.g. _start)
@@ -81,7 +89,7 @@ func (t *Tree) Add(tr Trace) {
 	for _, f := range tr.Frames {
 		c := n.child(f.Function)
 		if c == nil {
-			c = &Node{Frame: f, Tasks: bitvec.New(t.NumTasks)}
+			c = newNode(f, bitvec.New(t.NumTasks))
 			n.insertChild(c)
 		}
 		c.Tasks.Set(tr.Task)
@@ -132,7 +140,7 @@ func (t *Tree) walk(fn func(n *Node, depth int)) {
 func (t *Tree) Clone() *Tree {
 	var rec func(n *Node) *Node
 	rec = func(n *Node) *Node {
-		c := &Node{Frame: n.Frame, Tasks: n.Tasks.Clone()}
+		c := newNode(n.Frame, n.Tasks.Clone())
 		c.Children = make([]*Node, len(n.Children))
 		for i, ch := range n.Children {
 			c.Children[i] = rec(ch)
@@ -207,7 +215,7 @@ func MergeUnion(dst, src *Tree) error {
 		for _, sc := range s.Children {
 			dc := d.child(sc.Frame.Function)
 			if dc == nil {
-				dc = &Node{Frame: sc.Frame, Tasks: bitvec.New(dst.NumTasks)}
+				dc = newNode(sc.Frame, bitvec.New(dst.NumTasks))
 				d.insertChild(dc)
 			}
 			if err := rec(dc, sc); err != nil {
@@ -231,7 +239,6 @@ func MergeConcat(trees ...*Tree) *Tree {
 		offsets[i] = total
 		total += tr.NumTasks
 	}
-	out := NewTree(total)
 
 	// rec combines parallel nodes: parts[i] is the node from trees[i], or
 	// nil when that tree lacks the path.
@@ -249,7 +256,7 @@ func MergeConcat(trees ...*Tree) *Tree {
 				label.Set(offsets[i] + m)
 			}
 		}
-		n := &Node{Frame: frame, Tasks: label}
+		n := newNode(frame, label)
 
 		// Union of child names across the parts, in sorted order.
 		names := make([]string, 0)
@@ -282,8 +289,7 @@ func MergeConcat(trees ...*Tree) *Tree {
 	for i, tr := range trees {
 		roots[i] = tr.Root
 	}
-	out.Root = rec(roots)
-	return out
+	return &Tree{NumTasks: total, Root: rec(roots)}
 }
 
 // Remap rewrites every label through perm (see bitvec.Vector.Remap) into a
