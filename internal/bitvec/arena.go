@@ -1,0 +1,140 @@
+package bitvec
+
+// arenaWordChunk is the default word-slab size (64 KiB of label bits) for
+// allocations made without a Grow hint. Labels wider than a chunk get a
+// dedicated slab of their exact size.
+const arenaWordChunk = 8192
+
+// arenaVecChunkMin/Max bound the geometric growth of header slabs: small
+// first (a one-shot decode of a small tree should not pay for hundreds of
+// headers), doubling toward Max for arenas that live long.
+const (
+	arenaVecChunkMin = 32
+	arenaVecChunkMax = 4096
+)
+
+// Arena bulk-allocates Vectors: headers and word storage are carved from
+// slabs, so decoding a whole tree of edge labels costs a handful of slab
+// allocations instead of two per label. Reset makes every slab reusable at
+// once — the owner (a trace codec, typically) calls it after all Vectors
+// handed out since the previous Reset are dead. Using a Vector after its
+// arena is Reset is a bug: the storage is recycled, not zeroed on Reset.
+//
+// The zero Arena is ready to use. An Arena is not safe for concurrent use.
+type Arena struct {
+	wordChunks [][]uint64
+	wi, woff   int
+	vecChunks  [][]Vector
+	vi, voff   int
+}
+
+// Reset recycles every slab. All Vectors allocated from the arena must be
+// dead; their storage is handed out again by subsequent allocations.
+func (a *Arena) Reset() {
+	a.wi, a.woff = 0, 0
+	a.vi, a.voff = 0, 0
+}
+
+// Grow ensures at least nw words of free capacity, allocating one slab of
+// exactly the shortfall when the retained slabs cannot cover it. Callers
+// that know an upper bound on upcoming allocations (a decoder knows its
+// input length) use it so a short-lived arena allocates to fit instead of
+// paying the default chunk size.
+func (a *Arena) Grow(nw int) {
+	free := 0
+	for i := a.wi; i < len(a.wordChunks) && free < nw; i++ {
+		free += len(a.wordChunks[i])
+		if i == a.wi {
+			free -= a.woff
+		}
+	}
+	if free >= nw {
+		return
+	}
+	a.wordChunks = append(a.wordChunks, make([]uint64, nw-free))
+}
+
+// grabWords carves nw words (dirty — callers must overwrite or zero them)
+// from the current slab, advancing to the next or allocating a new one as
+// needed. Oversized requests get a dedicated exact-size slab.
+func (a *Arena) grabWords(nw int) []uint64 {
+	if nw == 0 {
+		return nil
+	}
+	for a.wi < len(a.wordChunks) {
+		c := a.wordChunks[a.wi]
+		if len(c)-a.woff >= nw {
+			w := c[a.woff : a.woff+nw : a.woff+nw]
+			a.woff += nw
+			return w
+		}
+		a.wi++
+		a.woff = 0
+	}
+	size := arenaWordChunk
+	if nw > size {
+		size = nw
+	}
+	c := make([]uint64, size)
+	a.wordChunks = append(a.wordChunks, c)
+	a.wi = len(a.wordChunks) - 1
+	a.woff = nw
+	return c[0:nw:nw]
+}
+
+// grabVec carves one Vector header. Header slabs double in size as the
+// arena grows, from arenaVecChunkMin up to arenaVecChunkMax.
+func (a *Arena) grabVec() *Vector {
+	for a.vi < len(a.vecChunks) {
+		c := a.vecChunks[a.vi]
+		if a.voff < len(c) {
+			v := &c[a.voff]
+			a.voff++
+			return v
+		}
+		a.vi++
+		a.voff = 0
+	}
+	size := arenaVecChunkMin << len(a.vecChunks)
+	if size > arenaVecChunkMax || size < arenaVecChunkMin {
+		size = arenaVecChunkMax
+	}
+	c := make([]Vector, size)
+	a.vecChunks = append(a.vecChunks, c)
+	a.vi = len(a.vecChunks) - 1
+	a.voff = 1
+	return &c[0]
+}
+
+// New returns an empty arena-backed vector of width n bits.
+func (a *Arena) New(n int) *Vector {
+	if n < 0 {
+		panic("bitvec: negative width")
+	}
+	w := a.grabWords((n + 63) / 64)
+	for i := range w {
+		w[i] = 0
+	}
+	v := a.grabVec()
+	*v = Vector{n: n, words: w}
+	return v
+}
+
+// UnmarshalBinary decodes a vector encoded by Vector.MarshalBinary into
+// arena-backed storage and reports the number of bytes consumed. It accepts
+// exactly the inputs the package-level UnmarshalBinary accepts (both share
+// parseWireHeader and fillWordsFromWire) and yields an equal Vector; only
+// the storage discipline differs.
+func (a *Arena) UnmarshalBinary(b []byte) (*Vector, int, error) {
+	n, nw, need, err := parseWireHeader(b)
+	if err != nil {
+		return nil, 0, err
+	}
+	words := a.grabWords(nw)
+	if err := fillWordsFromWire(words, b, n, nw, need); err != nil {
+		return nil, 0, err
+	}
+	v := a.grabVec()
+	*v = Vector{n: n, words: words}
+	return v, need, nil
+}

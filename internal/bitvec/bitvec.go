@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"math/bits"
+	"strconv"
 	"strings"
 )
 
@@ -130,34 +131,79 @@ func (v *Vector) AndNot(o *Vector) error {
 // its children's task spaces, so child labels combine without padding to the
 // job width. Neither input is modified.
 func Concat(vs ...*Vector) *Vector {
+	return ConcatInto(&Vector{}, vs...)
+}
+
+// ConcatInto writes the concatenation of vs into dst, reusing dst's word
+// storage when it is wide enough, and returns dst. dst's previous contents
+// are discarded. The inputs must not alias dst. This is the caller-owned-
+// buffer form of Concat for allocation-free steady-state merging.
+func ConcatInto(dst *Vector, vs ...*Vector) *Vector {
 	total := 0
 	for _, v := range vs {
 		total += v.n
 	}
-	out := New(total)
+	dst.Reset(total)
 	off := 0
 	for _, v := range vs {
-		out.blit(v, off)
+		dst.Blit(v, off)
 		off += v.n
 	}
-	return out
+	return dst
 }
 
-// blit copies src into v starting at bit offset off. The caller guarantees
-// the destination range fits.
-func (v *Vector) blit(src *Vector, off int) {
-	if off&63 == 0 {
-		copy(v.words[off>>6:], src.words)
-		// Mask stray bits beyond src.n in the last copied word.
-		if src.n&63 != 0 && len(src.words) > 0 {
-			last := off>>6 + len(src.words) - 1
-			v.words[last] &= (1 << (uint(src.n) & 63)) - 1
+// Reset clears the vector and resizes it to width n bits, reusing the word
+// storage when possible.
+func (v *Vector) Reset(n int) {
+	if n < 0 {
+		panic("bitvec: negative width")
+	}
+	nw := (n + 63) / 64
+	if cap(v.words) < nw {
+		v.words = make([]uint64, nw)
+	} else {
+		v.words = v.words[:nw]
+		for i := range v.words {
+			v.words[i] = 0
+		}
+	}
+	v.n = n
+}
+
+// Blit ORs src into v starting at bit offset off: for every member m of
+// src, off+m becomes a member of v. The destination range [off, off+src.Len())
+// must lie inside v. The copy runs at word speed for any offset — unaligned
+// offsets (the common case when packing arbitrary-width subtree labels) use
+// a shifted double-word write rather than per-bit Get/Set.
+//
+// Blit relies on the package invariant that bits at positions >= Len() of a
+// well-formed Vector are zero; every constructor and mutator preserves it
+// (UnmarshalBinary rejects encodings that violate it).
+func (v *Vector) Blit(src *Vector, off int) {
+	if off < 0 || off+src.n > v.n {
+		panic(fmt.Sprintf("bitvec: Blit of %d bits at offset %d into %d bits", src.n, off, v.n))
+	}
+	sw := src.words
+	if len(sw) == 0 {
+		return
+	}
+	dw := v.words
+	base := off >> 6
+	shift := uint(off) & 63
+	if shift == 0 {
+		for i, w := range sw {
+			dw[base+i] |= w
 		}
 		return
 	}
-	for i := 0; i < src.n; i++ {
-		if src.Get(i) {
-			v.Set(off + i)
+	// hi is one past the last destination word the blit may touch; the
+	// spill write of source word i lands in base+i+1, which is guarded
+	// against both the blit's own extent and the end of dw.
+	hi := (off + src.n + 63) >> 6
+	for i, w := range sw {
+		dw[base+i] |= w << shift
+		if base+i+1 < hi {
+			dw[base+i+1] |= w >> (64 - shift)
 		}
 	}
 }
@@ -201,25 +247,19 @@ func (v *Vector) Equal(o *Vector) bool {
 // perm must have one entry per bit of v and every target must be in range
 // and unique; violations return an error because the daemon→rank map comes
 // from the runtime environment, not from this package.
+//
+// Remap validates perm on every call. Callers applying the same permutation
+// to many vectors (every node of a merged tree) should compile it once with
+// NewRemapper and use Remapper.Apply.
 func (v *Vector) Remap(perm []int, width int) (*Vector, error) {
 	if len(perm) != v.n {
 		return nil, fmt.Errorf("bitvec: Remap perm has %d entries for %d bits", len(perm), v.n)
 	}
-	out := New(width)
-	seen := New(width)
-	for i, target := range perm {
-		if target < 0 || target >= width {
-			return nil, fmt.Errorf("bitvec: Remap target %d out of range [0,%d)", target, width)
-		}
-		if seen.Get(target) {
-			return nil, fmt.Errorf("bitvec: Remap target %d duplicated", target)
-		}
-		seen.Set(target)
-		if v.Get(i) {
-			out.Set(target)
-		}
+	r, err := NewRemapper(perm, width)
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return r.Apply(v)
 }
 
 // SerializedSize reports the exact wire size of MarshalBinary's output.
@@ -231,58 +271,150 @@ func (v *Vector) SerializedSize() int {
 
 // MarshalBinary encodes the vector as: u32 width, u32 word count, words.
 func (v *Vector) MarshalBinary() ([]byte, error) {
-	buf := make([]byte, v.SerializedSize())
-	binary.LittleEndian.PutUint32(buf[0:4], uint32(v.n))
-	binary.LittleEndian.PutUint32(buf[4:8], uint32(len(v.words)))
-	for i, w := range v.words {
-		binary.LittleEndian.PutUint64(buf[8+8*i:], w)
-	}
-	return buf, nil
+	return v.AppendBinary(make([]byte, 0, v.SerializedSize())), nil
 }
 
-// AppendBinary appends the encoding to dst and returns the result.
+// AppendBinary appends the encoding to dst in place and returns the result.
+// With a dst of sufficient capacity it performs no allocation.
 func (v *Vector) AppendBinary(dst []byte) []byte {
-	b, _ := v.MarshalBinary()
-	return append(dst, b...)
+	base := len(dst)
+	need := v.SerializedSize()
+	if cap(dst)-base < need {
+		grown := make([]byte, base, base+need)
+		copy(grown, dst)
+		dst = grown
+	}
+	dst = dst[:base+need]
+	v.PutBinary(dst[base:])
+	return dst
+}
+
+// PutBinary writes the encoding into b, which must hold at least
+// SerializedSize bytes, and reports the bytes written. This is the
+// indexed-write kernel under AppendBinary and the tree encoder: no append
+// bookkeeping per field.
+func (v *Vector) PutBinary(b []byte) int {
+	binary.LittleEndian.PutUint32(b[0:4], uint32(v.n))
+	binary.LittleEndian.PutUint32(b[4:8], uint32(len(v.words)))
+	if hostLittleEndian {
+		copy(b[8:], wordBytes(v.words))
+	} else {
+		for i, w := range v.words {
+			binary.LittleEndian.PutUint64(b[8+8*i:], w)
+		}
+	}
+	return 8 + 8*len(v.words)
+}
+
+// parseWireHeader validates the u32 width / u32 word-count header and the
+// body length shared by every vector decode path, returning the width,
+// word count and total encoded size. Kept in one place so arena-backed and
+// heap-backed decodes can never diverge on what they accept.
+func parseWireHeader(b []byte) (n, nw, need int, err error) {
+	if len(b) < 8 {
+		return 0, 0, 0, errors.New("bitvec: truncated header")
+	}
+	n = int(binary.LittleEndian.Uint32(b[0:4]))
+	nw = int(binary.LittleEndian.Uint32(b[4:8]))
+	if nw != (n+63)/64 {
+		return 0, 0, 0, fmt.Errorf("bitvec: inconsistent header (width %d, %d words)", n, nw)
+	}
+	need = 8 + 8*nw
+	if len(b) < need {
+		return 0, 0, 0, fmt.Errorf("bitvec: truncated body (need %d bytes, have %d)", need, len(b))
+	}
+	return n, nw, need, nil
+}
+
+// fillWordsFromWire copies nw little-endian words from the wire body into
+// words, then rejects stray bits beyond the declared width so Equal and
+// Count are well defined on decoded values.
+func fillWordsFromWire(words []uint64, b []byte, n, nw, need int) error {
+	if hostLittleEndian {
+		copy(wordBytes(words), b[8:need])
+	} else {
+		for i := range words {
+			words[i] = binary.LittleEndian.Uint64(b[8+8*i:])
+		}
+	}
+	if n&63 != 0 && nw > 0 {
+		if words[nw-1]&^((1<<(uint(n)&63))-1) != 0 {
+			return errors.New("bitvec: stray bits beyond declared width")
+		}
+	}
+	return nil
 }
 
 // UnmarshalBinary decodes a vector encoded by MarshalBinary and returns the
 // number of bytes consumed.
 func UnmarshalBinary(b []byte) (*Vector, int, error) {
-	if len(b) < 8 {
-		return nil, 0, errors.New("bitvec: truncated header")
-	}
-	n := int(binary.LittleEndian.Uint32(b[0:4]))
-	nw := int(binary.LittleEndian.Uint32(b[4:8]))
-	if nw != (n+63)/64 {
-		return nil, 0, fmt.Errorf("bitvec: inconsistent header (width %d, %d words)", n, nw)
-	}
-	need := 8 + 8*nw
-	if len(b) < need {
-		return nil, 0, fmt.Errorf("bitvec: truncated body (need %d bytes, have %d)", need, len(b))
+	n, nw, need, err := parseWireHeader(b)
+	if err != nil {
+		return nil, 0, err
 	}
 	v := &Vector{n: n, words: make([]uint64, nw)}
-	for i := range v.words {
-		v.words[i] = binary.LittleEndian.Uint64(b[8+8*i:])
-	}
-	// Reject stray bits beyond the declared width so Equal and Count are
-	// well defined on decoded values.
-	if n&63 != 0 && nw > 0 {
-		if v.words[nw-1]&^((1<<(uint(n)&63))-1) != 0 {
-			return nil, 0, errors.New("bitvec: stray bits beyond declared width")
-		}
+	if err := fillWordsFromWire(v.words, b, n, nw, need); err != nil {
+		return nil, 0, err
 	}
 	return v, need, nil
 }
 
 // String renders the set the way STAT labels prefix-tree edges:
-// "count:[ranges]", e.g. "1022:[0,3-1023]".
+// "count:[ranges]", e.g. "1022:[0,3-1023]". Ranges stream directly from the
+// words — the full Members slice is never materialized.
 func (v *Vector) String() string {
-	return fmt.Sprintf("%d:[%s]", v.Count(), FormatRanges(v.Members()))
+	var sb strings.Builder
+	sb.WriteString(strconv.Itoa(v.Count()))
+	sb.WriteString(":[")
+	v.writeRanges(&sb)
+	sb.WriteByte(']')
+	return sb.String()
+}
+
+// writeRanges streams the maximal runs of set bits into sb as
+// comma-separated ranges without building a member slice. Runs of all-ones
+// words extend 64 bits at a time.
+func (v *Vector) writeRanges(sb *strings.Builder) {
+	first := true
+	start, prev := -1, -1
+	flush := func() {
+		if start < 0 {
+			return
+		}
+		if !first {
+			sb.WriteByte(',')
+		}
+		first = false
+		sb.WriteString(strconv.Itoa(start))
+		if prev != start {
+			sb.WriteByte('-')
+			sb.WriteString(strconv.Itoa(prev))
+		}
+	}
+	for wi, w := range v.words {
+		if w == ^uint64(0) && start >= 0 && prev == wi<<6-1 {
+			prev += 64
+			continue
+		}
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			w &= w - 1
+			i := wi<<6 + b
+			if i == prev+1 && start >= 0 {
+				prev = i
+				continue
+			}
+			flush()
+			start, prev = i, i
+		}
+	}
+	flush()
 }
 
 // FormatRanges renders a sorted member list as comma-separated ranges,
-// matching the paper's Figure 1 edge labels (e.g. "0,3-1023").
+// matching the paper's Figure 1 edge labels (e.g. "0,3-1023"). Vector.String
+// streams the same format from the words directly; this function serves
+// callers that already hold a member slice.
 func FormatRanges(members []int) string {
 	if len(members) == 0 {
 		return ""

@@ -1,0 +1,355 @@
+package bitvec
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// This file pins the word-level kernels against straightforward reference
+// implementations: the new fast paths must be bit-identical (and, for the
+// wire, byte-identical) to the obvious per-bit versions, and the hot paths
+// must not allocate.
+
+// refBlit is the per-bit reference for Blit.
+func refBlit(dst, src *Vector, off int) {
+	for i := 0; i < src.Len(); i++ {
+		if src.Get(i) {
+			dst.Set(off + i)
+		}
+	}
+}
+
+// refRemap is the original validate-per-call Remap implementation.
+func refRemap(v *Vector, perm []int, width int) (*Vector, error) {
+	out := New(width)
+	seen := New(width)
+	for i, target := range perm {
+		if target < 0 || target >= width {
+			return nil, errRef
+		}
+		if seen.Get(target) {
+			return nil, errRef
+		}
+		seen.Set(target)
+		if v.Get(i) {
+			out.Set(target)
+		}
+	}
+	return out, nil
+}
+
+var errRef = &refErr{}
+
+type refErr struct{}
+
+func (*refErr) Error() string { return "ref error" }
+
+func fixedWidthVector(rng *rand.Rand, n int) *Vector {
+	v := New(n)
+	for i := 0; i < n; i++ {
+		if rng.Intn(3) == 0 {
+			v.Set(i)
+		}
+	}
+	return v
+}
+
+func TestBlitDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	widths := []int{0, 1, 7, 63, 64, 65, 127, 128, 129, 300, 1000}
+	for _, sw := range widths {
+		for trial := 0; trial < 8; trial++ {
+			off := rng.Intn(200)
+			dw := off + sw + rng.Intn(100)
+			src := fixedWidthVector(rng, sw)
+			// Blit must OR into existing contents, not overwrite.
+			base := fixedWidthVector(rng, dw)
+			fast := base.Clone()
+			fast.Blit(src, off)
+			ref := base.Clone()
+			refBlit(ref, src, off)
+			if !fast.Equal(ref) {
+				t.Fatalf("Blit(%d bits at %d into %d) differs from reference", sw, off, dw)
+			}
+		}
+	}
+}
+
+func TestBlitPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Blit beyond dst width did not panic")
+		}
+	}()
+	New(64).Blit(New(32), 40)
+}
+
+func TestConcatIntoDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		k := 1 + rng.Intn(6)
+		parts := make([]*Vector, k)
+		for i := range parts {
+			parts[i] = fixedWidthVector(rng, rng.Intn(200))
+		}
+		want := Concat(parts...)
+
+		// Reference: per-bit assembly.
+		total := 0
+		for _, p := range parts {
+			total += p.Len()
+		}
+		ref := New(total)
+		off := 0
+		for _, p := range parts {
+			refBlit(ref, p, off)
+			off += p.Len()
+		}
+		if !want.Equal(ref) {
+			t.Fatalf("trial %d: Concat differs from per-bit reference", trial)
+		}
+
+		// ConcatInto reusing a dirty, differently-sized destination.
+		dst := fixedWidthVector(rng, rng.Intn(400))
+		got := ConcatInto(dst, parts...)
+		if got != dst {
+			t.Fatal("ConcatInto did not return dst")
+		}
+		if !got.Equal(ref) {
+			t.Fatalf("trial %d: ConcatInto differs from reference", trial)
+		}
+	}
+}
+
+func TestAppendPutBinaryMatchMarshal(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, n := range []int{0, 1, 63, 64, 65, 128, 1000} {
+		v := fixedWidthVector(rng, n)
+		want, err := v.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		prefix := []byte("prefix")
+		got := v.AppendBinary(append([]byte(nil), prefix...))
+		if !bytes.Equal(got[:len(prefix)], prefix) {
+			t.Fatal("AppendBinary clobbered prefix")
+		}
+		if !bytes.Equal(got[len(prefix):], want) {
+			t.Fatalf("width %d: AppendBinary differs from MarshalBinary", n)
+		}
+		buf := make([]byte, v.SerializedSize())
+		if used := v.PutBinary(buf); used != len(want) {
+			t.Fatalf("PutBinary wrote %d bytes, MarshalBinary %d", used, len(want))
+		}
+		if !bytes.Equal(buf, want) {
+			t.Fatalf("width %d: PutBinary differs from MarshalBinary", n)
+		}
+		back, used, err := UnmarshalBinary(buf)
+		if err != nil || used != len(buf) {
+			t.Fatalf("round trip: %v (used %d of %d)", err, used, len(buf))
+		}
+		if !back.Equal(v) {
+			t.Fatalf("width %d: round trip mismatch", n)
+		}
+	}
+}
+
+func TestRemapperDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 20; trial++ {
+		n := rng.Intn(300)
+		width := n + rng.Intn(100)
+		perm := rng.Perm(width)[:n]
+		v := fixedWidthVector(rng, n)
+
+		want, err := refRemap(v, perm, width)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := NewRemapper(perm, width)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := r.Apply(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("trial %d: Remapper.Apply differs from reference", trial)
+		}
+
+		// ApplyInto over a dirty destination of the right width.
+		dst := fixedWidthVector(rng, width)
+		if err := r.ApplyInto(dst, v); err != nil {
+			t.Fatal(err)
+		}
+		if !dst.Equal(want) {
+			t.Fatalf("trial %d: ApplyInto differs from reference", trial)
+		}
+
+		// The convenience wrapper must agree too.
+		wrapped, err := v.Remap(perm, width)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !wrapped.Equal(want) {
+			t.Fatalf("trial %d: Vector.Remap differs from reference", trial)
+		}
+	}
+}
+
+func TestRemapperErrors(t *testing.T) {
+	if _, err := NewRemapper([]int{0, 3}, 3); err == nil {
+		t.Error("out-of-range target accepted")
+	}
+	if _, err := NewRemapper([]int{1, 1}, 3); err == nil {
+		t.Error("duplicate target accepted")
+	}
+	r, err := NewRemapper([]int{0, 1}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Width() != 3 {
+		t.Fatalf("Width = %d, want 3", r.Width())
+	}
+	if _, err := r.Apply(New(5)); err == nil {
+		t.Error("width-mismatched Apply accepted")
+	}
+	if err := r.ApplyInto(New(4), New(2)); err == nil {
+		t.Error("ApplyInto with wrong dst width accepted")
+	}
+}
+
+func TestArenaVectors(t *testing.T) {
+	var a Arena
+	rng := rand.New(rand.NewSource(23))
+	// Vectors carved from one arena must be independent.
+	vs := make([]*Vector, 50)
+	refs := make([]*Vector, 50)
+	for i := range vs {
+		n := rng.Intn(300)
+		vs[i] = a.New(n)
+		refs[i] = New(n)
+		for j := 0; j < n; j += 1 + rng.Intn(5) {
+			vs[i].Set(j)
+			refs[i].Set(j)
+		}
+	}
+	for i := range vs {
+		if !vs[i].Equal(refs[i]) {
+			t.Fatalf("arena vector %d corrupted by later allocations", i)
+		}
+	}
+	// After Reset the storage is recycled and must come back zeroed.
+	a.Reset()
+	v := a.New(257)
+	if !v.Empty() {
+		t.Fatal("recycled arena vector not empty")
+	}
+}
+
+func TestArenaUnmarshalMatchesHeap(t *testing.T) {
+	var a Arena
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 30; trial++ {
+		v := fixedWidthVector(rng, rng.Intn(500))
+		enc, err := v.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Trailing junk must be tolerated and not consumed.
+		enc = append(enc, 0xAB)
+		heap, heapUsed, heapErr := UnmarshalBinary(enc)
+		got, used, err := a.UnmarshalBinary(enc)
+		if (err == nil) != (heapErr == nil) {
+			t.Fatalf("error mismatch: arena %v, heap %v", err, heapErr)
+		}
+		if used != heapUsed || !got.Equal(heap) || !got.Equal(v) {
+			t.Fatalf("trial %d: arena decode differs from heap decode", trial)
+		}
+	}
+	// Malformed inputs must error identically.
+	for _, bad := range [][]byte{nil, {1, 2, 3}, {0xFF, 0xFF, 0xFF, 0xFF, 0, 0, 0, 0}} {
+		_, _, heapErr := UnmarshalBinary(bad)
+		_, _, arenaErr := a.UnmarshalBinary(bad)
+		if (heapErr == nil) != (arenaErr == nil) {
+			t.Fatalf("malformed %v: arena err %v, heap err %v", bad, arenaErr, heapErr)
+		}
+	}
+}
+
+func TestArenaGrowCoversNeed(t *testing.T) {
+	var a Arena
+	a.Grow(10000)
+	before := len(a.wordChunks)
+	for i := 0; i < 100; i++ {
+		a.New(6400) // 100 words each
+	}
+	if len(a.wordChunks) != before {
+		t.Fatalf("allocations after Grow added %d chunks", len(a.wordChunks)-before)
+	}
+}
+
+// --- allocation guards ----------------------------------------------------
+//
+// The merge hot path's kernels must not allocate at steady state; these
+// guards fail go test (not just a benchmark diff) on regression.
+
+func TestBlitAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts differ under the race detector")
+	}
+	dst := New(10_000)
+	src := fixedWidthVector(rand.New(rand.NewSource(1)), 999)
+	if n := testing.AllocsPerRun(100, func() { dst.Blit(src, 501) }); n != 0 {
+		t.Errorf("Blit allocates %v per run, want 0", n)
+	}
+}
+
+func TestConcatIntoAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts differ under the race detector")
+	}
+	rng := rand.New(rand.NewSource(2))
+	parts := make([]*Vector, 26)
+	for i := range parts {
+		parts[i] = fixedWidthVector(rng, 64)
+	}
+	dst := New(26 * 64) // warm, correctly sized destination
+	if n := testing.AllocsPerRun(100, func() { ConcatInto(dst, parts...) }); n != 0 {
+		t.Errorf("ConcatInto allocates %v per run, want 0", n)
+	}
+}
+
+func TestRemapperApplyIntoAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts differ under the race detector")
+	}
+	const width = 4096
+	perm := rand.New(rand.NewSource(3)).Perm(width)
+	r, err := NewRemapper(perm, width)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := fixedWidthVector(rand.New(rand.NewSource(4)), width)
+	dst := New(width)
+	if n := testing.AllocsPerRun(100, func() {
+		if err := r.ApplyInto(dst, v); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("Remapper.ApplyInto allocates %v per run, want 0", n)
+	}
+}
+
+func TestAppendBinaryAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts differ under the race detector")
+	}
+	v := fixedWidthVector(rand.New(rand.NewSource(5)), 4096)
+	buf := make([]byte, 0, v.SerializedSize())
+	if n := testing.AllocsPerRun(100, func() { _ = v.AppendBinary(buf[:0]) }); n != 0 {
+		t.Errorf("AppendBinary into sized buffer allocates %v per run, want 0", n)
+	}
+}

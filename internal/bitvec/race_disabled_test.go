@@ -1,0 +1,5 @@
+//go:build !race
+
+package bitvec
+
+const raceEnabled = false

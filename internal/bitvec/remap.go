@@ -1,0 +1,80 @@
+package bitvec
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Remapper is a compiled permutation from a source task space onto a target
+// task space of Width() bits. Compiling validates the permutation once —
+// every target in range, no duplicates — so applying it to a label costs
+// O(words + set bits) instead of the O(width) full-scan (plus a fresh
+// duplicate-tracking vector) that per-call validation requires. The front
+// end remaps every node of two merged trees through the same permutation,
+// which is exactly the shape this type exists for.
+//
+// A Remapper keeps a reference to perm rather than copying it; the caller
+// must not mutate perm while the Remapper is in use. A Remapper is
+// read-only after construction and safe for concurrent Apply calls.
+type Remapper struct {
+	perm  []int
+	width int
+}
+
+// NewRemapper compiles and validates a permutation. perm maps source bit i
+// to target bit perm[i]; width is the target task-space width. Every target
+// must be in [0, width) and unique.
+func NewRemapper(perm []int, width int) (*Remapper, error) {
+	if width < 0 {
+		return nil, fmt.Errorf("bitvec: Remap width %d negative", width)
+	}
+	seen := New(width)
+	for _, target := range perm {
+		if target < 0 || target >= width {
+			return nil, fmt.Errorf("bitvec: Remap target %d out of range [0,%d)", target, width)
+		}
+		if seen.Get(target) {
+			return nil, fmt.Errorf("bitvec: Remap target %d duplicated", target)
+		}
+		seen.Set(target)
+	}
+	return &Remapper{perm: perm, width: width}, nil
+}
+
+// Width reports the target task-space width.
+func (r *Remapper) Width() int { return r.width }
+
+// Apply returns a new vector of width r.Width() holding v's members pushed
+// through the permutation. v's width must equal the permutation's length.
+func (r *Remapper) Apply(v *Vector) (*Vector, error) {
+	out := New(r.width)
+	if err := r.ApplyInto(out, v); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ApplyInto overwrites dst (which must have width r.Width()) with v's
+// members pushed through the permutation. It allocates nothing: the cost is
+// zeroing dst's words plus one indexed store per member of v.
+func (r *Remapper) ApplyInto(dst, v *Vector) error {
+	if len(r.perm) != v.n {
+		return fmt.Errorf("bitvec: Remap perm has %d entries for %d bits", len(r.perm), v.n)
+	}
+	if dst.n != r.width {
+		return fmt.Errorf("%w: ApplyInto dst width %d, Remapper width %d", ErrWidthMismatch, dst.n, r.width)
+	}
+	dw := dst.words
+	for i := range dw {
+		dw[i] = 0
+	}
+	for wi, w := range v.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			w &= w - 1
+			target := r.perm[wi<<6+b]
+			dw[target>>6] |= 1 << (uint(target) & 63)
+		}
+	}
+	return nil
+}

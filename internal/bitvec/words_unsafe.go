@@ -1,0 +1,28 @@
+package bitvec
+
+import "unsafe"
+
+// The wire format stores words little-endian. On little-endian hosts that
+// is exactly the in-memory representation of []uint64, so the serialize
+// kernels move label words with a single copy (memmove at full memory
+// bandwidth) instead of a bounds-checked load/store per word. Big-endian
+// hosts take the portable per-word path. This file is the only unsafe code
+// in the package; the views it creates never outlive the call and the
+// differential and fuzz tests pin byte-identical output against the
+// portable path's format.
+
+// hostLittleEndian reports whether the host stores integers little-endian,
+// i.e. whether raw word bytes are already in wire order.
+var hostLittleEndian = func() bool {
+	var x uint16 = 0x0102
+	return *(*byte)(unsafe.Pointer(&x)) == 0x02
+}()
+
+// wordBytes views w's backing array as bytes in host order. The caller
+// must not retain the view beyond the life of w.
+func wordBytes(w []uint64) []byte {
+	if len(w) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&w[0])), 8*len(w))
+}

@@ -4,54 +4,95 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 
+	"stat/internal/bitvec"
 	"stat/internal/proto"
 	"stat/internal/tbon"
 	"stat/internal/trace"
 )
 
+// codecPool shares wire codecs across filter invocations and workers. A
+// codec leaves the pool only for the duration of one mergeFilter call and
+// returns with no live trees, so its arena and intern table are reused by
+// whichever worker grabs it next.
+var codecPool = sync.Pool{New: func() any { return trace.NewCodec() }}
+
 // encodeTrees serializes a list of prefix trees (count-prefixed,
 // length-framed) — the body of a MsgResult packet. A normal gather
-// carries two trees (2D then 3D).
+// carries two trees (2D then 3D). The output buffer is sized exactly once
+// up front and every tree is appended in place — no per-tree marshal and
+// copy.
 func encodeTrees(trees ...*trace.Tree) ([]byte, error) {
-	out := []byte{byte(len(trees))}
+	if len(trees) > 255 {
+		return nil, fmt.Errorf("core: %d trees exceed payload count limit", len(trees))
+	}
+	size := 1
 	for _, t := range trees {
-		b, err := t.MarshalBinary()
+		size += 4 + t.SerializedSize()
+	}
+	out := make([]byte, 1, size)
+	out[0] = byte(len(trees))
+	for _, t := range trees {
+		lenPos := len(out)
+		out = append(out, 0, 0, 0, 0)
+		var err error
+		out, err = t.AppendBinary(out)
 		if err != nil {
 			return nil, err
 		}
-		out = binary.LittleEndian.AppendUint32(out, uint32(len(b)))
-		out = append(out, b...)
+		binary.LittleEndian.PutUint32(out[lenPos:], uint32(len(out)-lenPos-4))
 	}
 	return out, nil
 }
 
-// decodeTrees parses an encodeTrees body.
+// decodeTrees parses an encodeTrees body. The returned trees own their
+// storage outright (suitable for long-lived results); the filter hot path
+// uses decodeTreesWith to draw label storage from a pooled codec instead.
 func decodeTrees(b []byte) ([]*trace.Tree, error) {
+	return decodeTreesWith(nil, b)
+}
+
+// decodeTreesWith parses an encodeTrees body through c's arena and intern
+// table; a nil codec falls back to trace.UnmarshalBinary. On error, any
+// trees already decoded are released.
+func decodeTreesWith(c *trace.Codec, b []byte) ([]*trace.Tree, error) {
 	if len(b) < 1 {
 		return nil, errors.New("core: empty tree payload")
 	}
 	count := int(b[0])
 	b = b[1:]
 	trees := make([]*trace.Tree, 0, count)
+	fail := func(err error) ([]*trace.Tree, error) {
+		for _, t := range trees {
+			t.Release()
+		}
+		return nil, err
+	}
 	for i := 0; i < count; i++ {
 		if len(b) < 4 {
-			return nil, errors.New("core: truncated tree frame")
+			return fail(errors.New("core: truncated tree frame"))
 		}
 		n := int(binary.LittleEndian.Uint32(b))
 		b = b[4:]
 		if len(b) < n {
-			return nil, errors.New("core: truncated tree body")
+			return fail(errors.New("core: truncated tree body"))
 		}
-		t, err := trace.UnmarshalBinary(b[:n])
+		var t *trace.Tree
+		var err error
+		if c != nil {
+			t, err = c.DecodeTree(b[:n])
+		} else {
+			t, err = trace.UnmarshalBinary(b[:n])
+		}
 		if err != nil {
-			return nil, err
+			return fail(err)
 		}
 		trees = append(trees, t)
 		b = b[n:]
 	}
 	if len(b) != 0 {
-		return nil, fmt.Errorf("core: %d trailing bytes after trees", len(b))
+		return fail(fmt.Errorf("core: %d trailing bytes after trees", len(b)))
 	}
 	return trees, nil
 }
@@ -61,16 +102,43 @@ func decodeTrees(b []byte) ([]*trace.Tree, error) {
 // the same number of trees; tree i of every child merges into output
 // tree i. Every decoded and merged tree is dead once the output is
 // encoded, so the filter returns their nodes to the trace package's pool
-// — the allocation path that keeps concurrent reduction workers cheap.
+// and their label storage to a pooled codec's arena — the allocation path
+// that keeps concurrent reduction workers cheap across the whole
+// reduction, not just within one call.
 func (t *Tool) mergeFilter() tbon.Filter {
-	return func(children [][]byte) ([]byte, error) {
+	hierarchical := t.opts.BitVec != Original
+	return func(children [][]byte) (out []byte, err error) {
 		if len(children) == 0 {
 			return nil, errors.New("core: filter with no inputs")
 		}
+		codec := codecPool.Get().(*trace.Codec)
 		lists := make([][]*trace.Tree, len(children))
+		var merged []*trace.Tree
+		defer func() {
+			// All decoded inputs die here. In Original mode merged[ti]
+			// aliases lists[0][ti] (the union folds in place), so the
+			// sweep over lists covers it; hierarchical outputs are fresh
+			// trees and release separately. Once nothing borrows the
+			// codec's arena it goes back in the pool; a codec with live
+			// trees (an error path bailed early) is simply dropped.
+			for _, list := range lists {
+				for _, tr := range list {
+					tr.Release()
+				}
+			}
+			if hierarchical {
+				for _, tr := range merged {
+					if tr != nil {
+						tr.Release()
+					}
+				}
+			}
+			if codec.Live() == 0 {
+				codecPool.Put(codec)
+			}
+		}()
 		for i, c := range children {
-			var err error
-			lists[i], err = decodeTrees(c)
+			lists[i], err = decodeTreesWith(codec, c)
 			if err != nil {
 				return nil, err
 			}
@@ -79,9 +147,9 @@ func (t *Tool) mergeFilter() tbon.Filter {
 					i, len(lists[i]), len(lists[0]))
 			}
 		}
-		merged := make([]*trace.Tree, len(lists[0]))
+		merged = make([]*trace.Tree, len(lists[0]))
 		for ti := range merged {
-			if t.opts.BitVec == Original {
+			if !hierarchical {
 				acc := lists[0][ti]
 				for ci := 1; ci < len(lists); ci++ {
 					if err := trace.MergeUnion(acc, lists[ci][ti]); err != nil {
@@ -97,26 +165,7 @@ func (t *Tool) mergeFilter() tbon.Filter {
 				merged[ti] = trace.MergeConcat(parts...)
 			}
 		}
-		out, err := encodeTrees(merged...)
-		if err != nil {
-			return nil, err
-		}
-		// In Original mode merged[ti] aliases lists[0][ti] (the union
-		// folds in place), so release lists[0] only via merged.
-		for ci := 1; ci < len(lists); ci++ {
-			for _, tr := range lists[ci] {
-				tr.Release()
-			}
-		}
-		if t.opts.BitVec != Original {
-			for _, tr := range lists[0] {
-				tr.Release()
-			}
-		}
-		for _, tr := range merged {
-			tr.Release()
-		}
-		return out, nil
+		return encodeTrees(merged...)
 	}
 }
 
@@ -171,15 +220,21 @@ func (t *Tool) runMergePhase(res *Result) error {
 
 	if t.opts.BitVec == Hierarchical {
 		// Build the concatenated-order → rank permutation from the task
-		// map collected at setup, then remap both trees.
+		// map collected at setup, compile it once, then remap both trees
+		// through the compiled form (validation happens once, not once
+		// per tree or node).
 		perm := make([]int, 0, t.opts.Tasks)
 		for _, ranks := range t.taskMap {
 			perm = append(perm, ranks...)
 		}
-		if err := t2.Remap(perm, t.opts.Tasks); err != nil {
+		remapper, err := bitvec.NewRemapper(perm, t.opts.Tasks)
+		if err != nil {
 			return err
 		}
-		if err := t3.Remap(perm, t.opts.Tasks); err != nil {
+		if err := t2.RemapWith(remapper); err != nil {
+			return err
+		}
+		if err := t3.RemapWith(remapper); err != nil {
 			return err
 		}
 		res.Times.Remap = t.mach.RemapPerTaskSec * float64(t.opts.Tasks)

@@ -1,0 +1,104 @@
+package trace
+
+import (
+	"stat/internal/bitvec"
+)
+
+// internLimit and internByteLimit cap the intern table by entry count and
+// by total retained string bytes. Function namespaces are small and stable
+// in practice; the caps only exist so a pathological stream of distinct
+// names (fuzzing, a hostile peer — the wire allows 64 KiB per name) cannot
+// grow a pooled table without bound. On overflow the table is cleared, not
+// abandoned.
+const (
+	internLimit     = 1 << 16
+	internByteLimit = 4 << 20
+)
+
+// internTable deduplicates function-name strings. Looking up a []byte key
+// against the map allocates nothing on a hit, so at steady state — names
+// repeat across every sibling subtree of a reduction — decoding a node's
+// name is a map probe, not a string allocation.
+type internTable struct {
+	m     map[string]string
+	bytes int
+}
+
+func newInternTable() internTable {
+	return internTable{m: make(map[string]string)}
+}
+
+func (t *internTable) intern(b []byte) string {
+	if s, ok := t.m[string(b)]; ok {
+		return s
+	}
+	if len(t.m) >= internLimit || t.bytes >= internByteLimit {
+		clear(t.m)
+		t.bytes = 0
+	}
+	s := string(b)
+	t.m[s] = s
+	t.bytes += len(s)
+	return s
+}
+
+// Codec bundles the reusable allocation state of wire decoding: an intern
+// table for function names and a bitvec.Arena supplying decoded label
+// storage. A TBON merge filter decodes its children, merges, encodes and
+// releases everything before returning; with a Codec the decode side of
+// that cycle reuses the same arena slabs and name strings every invocation
+// instead of reallocating per packet. (The encode side needs no state:
+// Tree.AppendBinary writes into any caller buffer, allocation-free when
+// the buffer is pre-sized.)
+//
+// Lifecycle: every tree returned by DecodeTree borrows the codec's arena.
+// Tree.Release returns the borrow; when the last outstanding tree is
+// released the arena recycles automatically. The caller must release every
+// decoded tree before the codec may be shared onward (pooled, reused by
+// another goroutine): Live reports the outstanding count.
+//
+// Concurrency: a Codec is single-goroutine state. Decoded trees may be read
+// concurrently like any other tree, but DecodeTree and the Release calls
+// of the codec's trees must all happen on one goroutine at a time.
+// Concurrent filter workers each take their own Codec (sync.Pool is the
+// intended sharing mechanism).
+type Codec struct {
+	names internTable
+	arena bitvec.Arena
+	live  int
+}
+
+// NewCodec returns an empty codec.
+func NewCodec() *Codec {
+	return &Codec{names: newInternTable()}
+}
+
+// DecodeTree decodes a tree encoded by Tree.MarshalBinary. The tree's
+// labels live in the codec's arena until the tree is released; see the
+// Codec lifecycle notes.
+func (c *Codec) DecodeTree(b []byte) (*Tree, error) {
+	t, err := decodeTree(b, &c.names, &c.arena, nil)
+	if err != nil {
+		// A failed decode may have carved label storage before erroring;
+		// reclaim it now if no live tree pins the arena.
+		if c.live == 0 {
+			c.arena.Reset()
+		}
+		return nil, err
+	}
+	c.live++
+	t.release = c.noteRelease
+	return t, nil
+}
+
+// Live reports how many trees decoded by this codec have not yet been
+// released. The codec must not be handed to another user while Live is
+// nonzero.
+func (c *Codec) Live() int { return c.live }
+
+func (c *Codec) noteRelease() {
+	c.live--
+	if c.live == 0 {
+		c.arena.Reset()
+	}
+}

@@ -142,6 +142,9 @@ func Diff(a, b *Tree) ([]DiffEntry, error) {
 		return nil, fmt.Errorf("trace: Diff task spaces %d vs %d", a.NumTasks, b.NumTasks)
 	}
 	var out []DiffEntry
+	// zero stands in for the label of a node absent from one tree; it is
+	// only ever read.
+	zero := bitvec.New(a.NumTasks)
 	var rec func(na, nb *Node, path []string)
 	rec = func(na, nb *Node, path []string) {
 		var ta, tb *bitvec.Vector
@@ -149,9 +152,9 @@ func Diff(a, b *Tree) ([]DiffEntry, error) {
 		case na != nil && nb != nil:
 			ta, tb = na.Tasks, nb.Tasks
 		case na != nil:
-			ta, tb = na.Tasks, bitvec.New(a.NumTasks)
+			ta, tb = na.Tasks, zero
 		default:
-			ta, tb = bitvec.New(a.NumTasks), nb.Tasks
+			ta, tb = zero, nb.Tasks
 		}
 		if !ta.Equal(tb) && len(path) > 0 {
 			sym := ta.Clone()
@@ -162,8 +165,20 @@ func Diff(a, b *Tree) ([]DiffEntry, error) {
 			if err := other.AndNot(ta); err != nil {
 				panic(err)
 			}
-			moved := append(sym.Members(), other.Members()...)
-			sort.Ints(moved)
+			// sym and other are disjoint and each sorted: merge them
+			// rather than re-sorting the concatenation.
+			ma, mb := sym.Members(), other.Members()
+			moved := make([]int, 0, len(ma)+len(mb))
+			for len(ma) > 0 && len(mb) > 0 {
+				if ma[0] < mb[0] {
+					moved = append(moved, ma[0])
+					ma = ma[1:]
+				} else {
+					moved = append(moved, mb[0])
+					mb = mb[1:]
+				}
+			}
+			moved = append(append(moved, ma...), mb...)
 			out = append(out, DiffEntry{
 				Path:  append([]string(nil), path...),
 				InA:   ta.Count(),
@@ -171,30 +186,35 @@ func Diff(a, b *Tree) ([]DiffEntry, error) {
 				Moved: moved,
 			})
 		}
-		// Union of child names.
-		names := map[string]bool{}
+		// Union of child names via a two-pointer walk over the sorted
+		// Children slices — no name set, no sort.
+		var ac, bc []*Node
 		if na != nil {
-			for _, c := range na.Children {
-				names[c.Frame.Function] = true
-			}
+			ac = na.Children
 		}
 		if nb != nil {
-			for _, c := range nb.Children {
-				names[c.Frame.Function] = true
-			}
+			bc = nb.Children
 		}
-		ordered := make([]string, 0, len(names))
-		for n := range names {
-			ordered = append(ordered, n)
-		}
-		sort.Strings(ordered)
-		for _, name := range ordered {
+		ia, ib := 0, 0
+		for ia < len(ac) || ib < len(bc) {
 			var ca, cb *Node
-			if na != nil {
-				ca = na.child(name)
+			switch {
+			case ib >= len(bc) || (ia < len(ac) && ac[ia].Frame.Function < bc[ib].Frame.Function):
+				ca = ac[ia]
+				ia++
+			case ia >= len(ac) || bc[ib].Frame.Function < ac[ia].Frame.Function:
+				cb = bc[ib]
+				ib++
+			default:
+				ca, cb = ac[ia], bc[ib]
+				ia++
+				ib++
 			}
-			if nb != nil {
-				cb = nb.child(name)
+			name := ""
+			if ca != nil {
+				name = ca.Frame.Function
+			} else {
+				name = cb.Frame.Function
 			}
 			rec(ca, cb, append(path, name))
 		}

@@ -24,28 +24,71 @@ func newNode(frame Frame, tasks *bitvec.Vector) *Node {
 	return n
 }
 
+// nodeBatch allocates nodes from geometrically growing slabs. It serves
+// decode paths whose trees are expected to outlive the call (the
+// package-level UnmarshalBinary), where slab locality and one allocation
+// per batch beat per-node pool misses. The filter cycle — decode, merge,
+// release, repeat — uses the pool instead (a nil *nodeBatch), because
+// released nodes return with warm Children capacity that slab nodes lack.
+// Releasing a slab-built tree is still safe: its nodes individually enter
+// the pool like any others.
+type nodeBatch struct {
+	slab []Node
+	size int
+}
+
+// get returns an initialized node from the batch, or from the shared pool
+// when b is nil.
+func (b *nodeBatch) get(frame Frame, tasks *bitvec.Vector) *Node {
+	if b == nil {
+		return newNode(frame, tasks)
+	}
+	if len(b.slab) == 0 {
+		switch {
+		case b.size == 0:
+			b.size = 32
+		case b.size < 1024:
+			b.size *= 2
+		}
+		b.slab = make([]Node, b.size)
+	}
+	n := &b.slab[0]
+	b.slab = b.slab[1:]
+	n.Frame = frame
+	n.Tasks = tasks
+	return n
+}
+
 // Release returns every node of the tree to the allocation pool and
 // clears the tree. The caller must own the tree outright: none of its
 // nodes may be shared with a live tree (the merge functions never share
 // nodes between input and output, so releasing a filter's decoded inputs
 // and encoded output is safe). Using the tree after Release is a bug.
+//
+// A tree decoded by a Codec additionally returns its borrowed label
+// storage to the codec's arena (see the Codec lifecycle notes); releasing
+// such a tree on a goroutine other than the codec's is a data race.
 func (t *Tree) Release() {
-	if t.Root == nil {
-		return
-	}
-	var rec func(n *Node)
-	rec = func(n *Node) {
-		for _, c := range n.Children {
-			rec(c)
+	if t.Root != nil {
+		var rec func(n *Node)
+		rec = func(n *Node) {
+			for _, c := range n.Children {
+				rec(c)
+			}
+			n.Frame = Frame{}
+			n.Tasks = nil
+			for i := range n.Children {
+				n.Children[i] = nil
+			}
+			n.Children = n.Children[:0]
+			nodePool.Put(n)
 		}
-		n.Frame = Frame{}
-		n.Tasks = nil
-		for i := range n.Children {
-			n.Children[i] = nil
-		}
-		n.Children = n.Children[:0]
-		nodePool.Put(n)
+		rec(t.Root)
+		t.Root = nil
 	}
-	rec(t.Root)
-	t.Root = nil
+	if t.release != nil {
+		r := t.release
+		t.release = nil
+		r()
+	}
 }

@@ -5,6 +5,9 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
+
+	"stat/internal/bitvec"
 )
 
 // Wire format (little endian):
@@ -33,18 +36,41 @@ func (t *Tree) SerializedSize() int {
 
 // MarshalBinary encodes the tree in the wire format above.
 func (t *Tree) MarshalBinary() ([]byte, error) {
-	buf := make([]byte, 0, t.SerializedSize())
-	buf = append(buf, magic[:]...)
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(t.NumTasks))
+	return t.AppendBinary(make([]byte, 0, t.SerializedSize()))
+}
+
+// AppendBinary appends the wire encoding to dst in place and returns the
+// result. The destination is grown to the exact encoded size once and every
+// field is written by index — no per-node allocation and no append
+// bookkeeping per field. With a dst of sufficient capacity the encode
+// performs no allocation at all.
+func (t *Tree) AppendBinary(dst []byte) ([]byte, error) {
+	base := len(dst)
+	need := t.SerializedSize()
+	if cap(dst)-base < need {
+		grown := make([]byte, base, base+need)
+		copy(grown, dst)
+		dst = grown
+	}
+	// The writer below fills every byte of [base, base+need); growing by
+	// reslice (not zero-fill) is safe because the encoding is gapless.
+	dst = dst[:base+need]
+	o := base
+	o += copy(dst[o:], magic[:])
+	binary.LittleEndian.PutUint32(dst[o:], uint32(t.NumTasks))
+	o += 4
 	var rec func(n *Node) error
 	rec = func(n *Node) error {
-		if len(n.Frame.Function) > math.MaxUint16 {
-			return fmt.Errorf("trace: function name %d bytes exceeds wire limit", len(n.Frame.Function))
+		name := n.Frame.Function
+		if len(name) > math.MaxUint16 {
+			return fmt.Errorf("trace: function name %d bytes exceeds wire limit", len(name))
 		}
-		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(n.Frame.Function)))
-		buf = append(buf, n.Frame.Function...)
-		buf = n.Tasks.AppendBinary(buf)
-		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(n.Children)))
+		binary.LittleEndian.PutUint16(dst[o:], uint16(len(name)))
+		o += 2
+		o += copy(dst[o:], name)
+		o += n.Tasks.PutBinary(dst[o:])
+		binary.LittleEndian.PutUint32(dst[o:], uint32(len(n.Children)))
+		o += 4
 		for _, c := range n.Children {
 			if err := rec(c); err != nil {
 				return err
@@ -55,75 +81,129 @@ func (t *Tree) MarshalBinary() ([]byte, error) {
 	if err := rec(t.Root); err != nil {
 		return nil, err
 	}
-	return buf, nil
+	return dst, nil
 }
 
-// UnmarshalBinary decodes a tree encoded by MarshalBinary.
+// internPool recycles function-name intern tables across package-level
+// UnmarshalBinary calls, so repeated decodes of trees sharing a function
+// namespace (every gather of the same application) stop allocating name
+// strings after the first. Tables are used exclusively by one decode at a
+// time; the strings they hand out are immutable and safely shared.
+var internPool = sync.Pool{New: func() any { t := newInternTable(); return &t }}
+
+// UnmarshalBinary decodes a tree encoded by MarshalBinary. Labels are
+// decoded into a fresh arena owned by the returned tree, and function names
+// are interned across calls. For the filter hot path, which decodes and
+// releases trees at steady state, use Codec.DecodeTree instead: it also
+// recycles the label arena.
 func UnmarshalBinary(b []byte) (*Tree, error) {
+	names := internPool.Get().(*internTable)
+	var arena bitvec.Arena
+	t, err := decodeTree(b, names, &arena, &nodeBatch{})
+	internPool.Put(names)
+	return t, err
+}
+
+// maxDecodeDepth bounds the recursion of decodeTree. Go grows goroutine
+// stacks on demand, so deep recursion is a resource concern rather than a
+// memory-safety one; the cap keeps an adversarial encoding from demanding
+// an absurd stack. Input length bounds the depth too — every node consumes
+// at least 14 bytes (2 name-length + 8 label header + 4 child count)
+// before recursing — so the cap only bites inputs larger than ~900 KiB of
+// pure nesting.
+const maxDecodeDepth = 1 << 16
+
+// treeDecoder is the shared recursive decoder behind UnmarshalBinary and
+// Codec.DecodeTree: names are interned through names, label headers and
+// words are carved from arena, and nodes come from batch (nil means the
+// shared node pool). A struct with a method rather than a recursive
+// closure: no per-call closure allocation, direct recursive calls.
+type treeDecoder struct {
+	b        []byte
+	pos      int
+	numTasks int
+	names    *internTable
+	arena    *bitvec.Arena
+	batch    *nodeBatch
+}
+
+func decodeTree(b []byte, names *internTable, arena *bitvec.Arena, batch *nodeBatch) (*Tree, error) {
 	if len(b) < 8 {
 		return nil, errors.New("trace: truncated header")
 	}
 	if [4]byte(b[0:4]) != magic {
 		return nil, errors.New("trace: bad magic")
 	}
-	numTasks := int(binary.LittleEndian.Uint32(b[4:8]))
-	pos := 8
-
-	// Depth-limited iterative decode guarding against malformed input.
-	var decode func(depth int) (*Node, error)
-	decode = func(depth int) (*Node, error) {
-		if depth > 1<<16 {
-			return nil, errors.New("trace: node nesting too deep")
-		}
-		if len(b)-pos < 2 {
-			return nil, errors.New("trace: truncated node header")
-		}
-		nameLen := int(binary.LittleEndian.Uint16(b[pos:]))
-		pos += 2
-		if len(b)-pos < nameLen {
-			return nil, errors.New("trace: truncated node name")
-		}
-		name := string(b[pos : pos+nameLen])
-		pos += nameLen
-		// Label.
-		v, used, err := unmarshalLabel(b[pos:])
-		if err != nil {
-			return nil, err
-		}
-		pos += used
-		if v.Len() != numTasks {
-			return nil, fmt.Errorf("trace: label width %d != tree width %d", v.Len(), numTasks)
-		}
-		if len(b)-pos < 4 {
-			return nil, errors.New("trace: truncated child count")
-		}
-		nc := int(binary.LittleEndian.Uint32(b[pos:]))
-		pos += 4
-		if nc > len(b)-pos { // each child needs ≥1 byte; cheap sanity bound
-			return nil, fmt.Errorf("trace: impossible child count %d", nc)
-		}
-		n := newNode(Frame{Function: name}, v)
-		prev := ""
-		for i := 0; i < nc; i++ {
-			c, err := decode(depth + 1)
-			if err != nil {
-				return nil, err
-			}
-			if i > 0 && c.Frame.Function <= prev {
-				return nil, errors.New("trace: children not strictly sorted")
-			}
-			prev = c.Frame.Function
-			n.Children = append(n.Children, c)
-		}
-		return n, nil
+	// Label words can total at most len(b)/8; telling the arena up front
+	// lets a fresh (one-shot) arena allocate to fit rather than a default
+	// chunk, and costs a long-lived arena nothing once its slabs cover
+	// the working set.
+	arena.Grow(len(b) / 8)
+	d := treeDecoder{
+		b:        b,
+		pos:      8,
+		numTasks: int(binary.LittleEndian.Uint32(b[4:8])),
+		names:    names,
+		arena:    arena,
+		batch:    batch,
 	}
-
-	root, err := decode(0)
+	root, err := d.node(0)
 	if err != nil {
 		return nil, err
 	}
-	if pos != len(b) {
-		return nil, fmt.Errorf("trace: %d trailing bytes", len(b)-pos)
+	if d.pos != len(b) {
+		return nil, fmt.Errorf("trace: %d trailing bytes", len(b)-d.pos)
 	}
-	return &Tree{NumTasks: numTasks, Root: root}, nil
+	return &Tree{NumTasks: d.numTasks, Root: root}, nil
+}
+
+func (d *treeDecoder) node(depth int) (*Node, error) {
+	if depth > maxDecodeDepth {
+		return nil, errors.New("trace: node nesting too deep")
+	}
+	b := d.b
+	if len(b)-d.pos < 2 {
+		return nil, errors.New("trace: truncated node header")
+	}
+	nameLen := int(binary.LittleEndian.Uint16(b[d.pos:]))
+	d.pos += 2
+	if len(b)-d.pos < nameLen {
+		return nil, errors.New("trace: truncated node name")
+	}
+	name := d.names.intern(b[d.pos : d.pos+nameLen])
+	d.pos += nameLen
+	// Label.
+	v, used, err := d.arena.UnmarshalBinary(b[d.pos:])
+	if err != nil {
+		return nil, err
+	}
+	d.pos += used
+	if v.Len() != d.numTasks {
+		return nil, fmt.Errorf("trace: label width %d != tree width %d", v.Len(), d.numTasks)
+	}
+	if len(b)-d.pos < 4 {
+		return nil, errors.New("trace: truncated child count")
+	}
+	nc := int(binary.LittleEndian.Uint32(b[d.pos:]))
+	d.pos += 4
+	if nc > len(b)-d.pos { // each child needs ≥1 byte; cheap sanity bound
+		return nil, fmt.Errorf("trace: impossible child count %d", nc)
+	}
+	n := d.batch.get(Frame{Function: name}, v)
+	if nc > 0 && cap(n.Children) < nc {
+		n.Children = make([]*Node, 0, nc)
+	}
+	prev := ""
+	for i := 0; i < nc; i++ {
+		c, err := d.node(depth + 1)
+		if err != nil {
+			return nil, err
+		}
+		if i > 0 && c.Frame.Function <= prev {
+			return nil, errors.New("trace: children not strictly sorted")
+		}
+		prev = c.Frame.Function
+		n.Children = append(n.Children, c)
+	}
+	return n, nil
 }

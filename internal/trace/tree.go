@@ -12,6 +12,17 @@
 // parallel without locking; only concurrent operations on the same tree
 // need external synchronization. Node allocation draws from a shared pool
 // (see Release) so the concurrent merge path stays allocation-cheap.
+//
+// Wire encode/decode state follows the same discipline. A Codec — intern
+// table plus label arena — is single-goroutine state: DecodeTree and the
+// Release of that codec's decoded trees must be serial, so concurrent
+// filter workers take one Codec each (typically via sync.Pool) rather
+// than sharing one. The function-name strings a codec
+// interns are immutable and may be shared freely across trees and
+// goroutines; the package-level UnmarshalBinary draws its intern tables
+// from an internal pool, which is why concurrent decodes of the same
+// function namespace are safe yet still stop allocating name strings at
+// steady state.
 package trace
 
 import (
@@ -68,6 +79,10 @@ func (n *Node) insertChild(c *Node) {
 type Tree struct {
 	NumTasks int
 	Root     *Node
+	// release, when non-nil, is invoked once by Release after the nodes
+	// return to the pool. The wire Codec uses it to reclaim the arena
+	// backing this tree's labels.
+	release func()
 }
 
 // NewTree returns an empty tree over a task space of n indexes.
@@ -232,6 +247,12 @@ func MergeUnion(dst, src *Tree) error {
 // task spaces (in argument order), and a node's label is the concatenation
 // of the children's labels, with zero bits for children lacking the node.
 // No full-job-width vector is ever constructed below the front end.
+//
+// Parallel nodes are combined by a k-way merge over the already-sorted
+// Children slices and labels are built by blitting whole source vectors at
+// precomputed bit offsets, so the steady-state cost per output node is one
+// label allocation plus word-speed copies — no name set, no sort, no
+// per-bit loops.
 func MergeConcat(trees ...*Tree) *Tree {
 	total := 0
 	offsets := make([]int, len(trees))
@@ -239,67 +260,110 @@ func MergeConcat(trees ...*Tree) *Tree {
 		offsets[i] = total
 		total += tr.NumTasks
 	}
-
-	// rec combines parallel nodes: parts[i] is the node from trees[i], or
-	// nil when that tree lacks the path.
-	var rec func(parts []*Node) *Node
-	rec = func(parts []*Node) *Node {
-		// Label: concatenation with zero padding for absent parts.
-		label := bitvec.New(total)
-		var frame Frame
-		for i, p := range parts {
-			if p == nil {
-				continue
-			}
-			frame = p.Frame
-			for _, m := range p.Tasks.Members() {
-				label.Set(offsets[i] + m)
-			}
-		}
-		n := newNode(frame, label)
-
-		// Union of child names across the parts, in sorted order.
-		names := make([]string, 0)
-		seen := map[string]bool{}
-		for _, p := range parts {
-			if p == nil {
-				continue
-			}
-			for _, c := range p.Children {
-				if !seen[c.Frame.Function] {
-					seen[c.Frame.Function] = true
-					names = append(names, c.Frame.Function)
-				}
-			}
-		}
-		sort.Strings(names)
-		for _, name := range names {
-			sub := make([]*Node, len(parts))
-			for i, p := range parts {
-				if p != nil {
-					sub[i] = p.child(name)
-				}
-			}
-			n.Children = append(n.Children, rec(sub))
-		}
-		return n
-	}
-
+	m := concatMerger{offsets: offsets, total: total}
 	roots := make([]*Node, len(trees))
 	for i, tr := range trees {
 		roots[i] = tr.Root
 	}
-	return &Tree{NumTasks: total, Root: rec(roots)}
+	return &Tree{NumTasks: total, Root: m.merge(roots, 0)}
 }
 
-// Remap rewrites every label through perm (see bitvec.Vector.Remap) into a
+// concatMerger carries one MergeConcat's state: the per-input bit offsets
+// and a per-depth scratch pool for the k-way walk (child cursors and the
+// parallel-node slice passed to the next level), reused across every node
+// at that depth.
+type concatMerger struct {
+	offsets []int
+	total   int
+	scratch []concatScratch
+}
+
+type concatScratch struct {
+	cur []int   // next unconsumed child per part
+	sub []*Node // parallel children handed to the recursive call
+}
+
+// merge combines parallel nodes: parts[i] is the node from input i, or nil
+// when that input lacks the path. parts aliases the caller's depth-level
+// scratch and is stable for the duration of the call.
+func (m *concatMerger) merge(parts []*Node, depth int) *Node {
+	// Label: concatenation with zero padding for absent parts.
+	label := bitvec.New(m.total)
+	var frame Frame
+	for i, p := range parts {
+		if p == nil {
+			continue
+		}
+		frame = p.Frame
+		label.Blit(p.Tasks, m.offsets[i])
+	}
+	n := newNode(frame, label)
+
+	if depth == len(m.scratch) {
+		m.scratch = append(m.scratch, concatScratch{
+			cur: make([]int, len(m.offsets)),
+			sub: make([]*Node, len(m.offsets)),
+		})
+	}
+	cur, sub := m.scratch[depth].cur, m.scratch[depth].sub
+	for i := range cur {
+		cur[i] = 0
+	}
+
+	// k-way merge: repeatedly take the smallest unconsumed child name
+	// across the parts and recurse on the parallel children carrying it.
+	// Children slices are sorted, so this visits names in sorted order
+	// and each child exactly once.
+	for {
+		minName := ""
+		found := false
+		for i, p := range parts {
+			if p == nil || cur[i] >= len(p.Children) {
+				continue
+			}
+			if name := p.Children[cur[i]].Frame.Function; !found || name < minName {
+				minName, found = name, true
+			}
+		}
+		if !found {
+			break
+		}
+		for i, p := range parts {
+			sub[i] = nil
+			if p == nil || cur[i] >= len(p.Children) {
+				continue
+			}
+			if c := p.Children[cur[i]]; c.Frame.Function == minName {
+				sub[i] = c
+				cur[i]++
+			}
+		}
+		n.Children = append(n.Children, m.merge(sub, depth+1))
+	}
+	return n
+}
+
+// Remap rewrites every label through perm (see bitvec.NewRemapper) into a
 // task space of the given width. The front end applies this once, after the
 // final concatenation, to restore MPI rank order. The paper measured this
-// step at 0.66 s for 208K tasks.
+// step at 0.66 s for 208K tasks. The permutation is compiled and validated
+// once, not once per node; callers remapping several trees through the same
+// permutation (the 2D and 3D trees of one gather) should compile it
+// themselves and use RemapWith.
 func (t *Tree) Remap(perm []int, width int) error {
+	r, err := bitvec.NewRemapper(perm, width)
+	if err != nil {
+		return err
+	}
+	return t.RemapWith(r)
+}
+
+// RemapWith rewrites every label through a compiled permutation. Applying
+// costs O(words + set bits) per node — no per-node validation pass.
+func (t *Tree) RemapWith(r *bitvec.Remapper) error {
 	var rec func(n *Node) error
 	rec = func(n *Node) error {
-		nv, err := n.Tasks.Remap(perm, width)
+		nv, err := r.Apply(n.Tasks)
 		if err != nil {
 			return err
 		}
@@ -314,7 +378,7 @@ func (t *Tree) Remap(perm []int, width int) error {
 	if err := rec(t.Root); err != nil {
 		return err
 	}
-	t.NumTasks = width
+	t.NumTasks = r.Width()
 	return nil
 }
 
