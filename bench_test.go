@@ -361,7 +361,7 @@ func BenchmarkReduceEngines(b *testing.B) {
 	// output = elementwise XOR, sized to the widest child. CPU is linear
 	// in input bytes and output stays payload-sized up the tree — the
 	// shape of a well-behaved merge.
-	xorFoldFilter := func(children [][]byte) ([]byte, error) {
+	xorFoldFilter := tbon.BytesFilter(func(children [][]byte) ([]byte, error) {
 		width := 0
 		for _, c := range children {
 			if len(c) > width {
@@ -375,7 +375,7 @@ func BenchmarkReduceEngines(b *testing.B) {
 			}
 		}
 		return out, nil
-	}
+	})
 	topos := []struct {
 		name  string
 		build func() (*topology.Tree, error)
@@ -580,8 +580,11 @@ func BenchmarkTBONReduceOverlay(b *testing.B) {
 	}
 	net := tbon.New(topo, nil)
 	payload := make([]byte, 1024)
-	leaf := func(int) ([]byte, error) { return payload, nil }
-	filter := func(children [][]byte) ([]byte, error) {
+	// Ownership of a leaf buffer transfers to the engine, so each call
+	// hands out its own copy rather than sharing one slice.
+	leaf := func(int) ([]byte, error) { return append([]byte(nil), payload...), nil }
+	filter := func(children []*tbon.Lease) (*tbon.Lease, error) {
+		children[0].Retain()
 		return children[0], nil
 	}
 	b.ResetTimer()

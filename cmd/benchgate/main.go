@@ -1,0 +1,192 @@
+// Command benchgate is the CI benchmark regression gate: it compares the
+// ns/op of a fresh benchmark run (the `go test -json -bench` stream CI
+// already uploads as bench-datastructures.json) against the committed
+// baseline (a BENCH_*.json file) and fails when any gated benchmark
+// regressed by more than the threshold.
+//
+//	go run ./cmd/benchgate -baseline BENCH_3.json -results bench-datastructures.json
+//
+// The baseline's "after" numbers are the gate. Because absolute ns/op is
+// host-dependent, the committed baseline should be refreshed from a
+// CI-class host whenever the gated set changes; the -max-regress margin
+// (default 0.20, i.e. 20%) absorbs run-to-run noise on a stable host.
+// Benchmarks present in the run but absent from the baseline are
+// reported and ignored, so adding a benchmark never bricks CI; baseline
+// entries missing from the run fail the gate, so silently dropping a
+// gated benchmark cannot pass.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// baselineFile mirrors the committed BENCH_*.json schema (see BENCH_2.json
+// / BENCH_3.json): per-benchmark before/after measurements, of which only
+// after.ns_op gates.
+type baselineFile struct {
+	Benchmarks map[string]struct {
+		After struct {
+			NsOp float64 `json:"ns_op"`
+		} `json:"after"`
+	} `json:"benchmarks"`
+}
+
+// testEvent is one line of the `go test -json` stream.
+type testEvent struct {
+	Action string `json:"Action"`
+	Test   string `json:"Test"`
+	Output string `json:"Output"`
+}
+
+// benchLine matches a one-line benchmark result, e.g.
+//
+//	BenchmarkTreeMergeConcat-4   85050   14125 ns/op   14592 B/op   129 allocs/op
+//
+// Sub-benchmark names may carry slashes; the trailing -N is GOMAXPROCS,
+// stripped to match baseline keys.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+// benchResultOnly matches the result half of a split benchmark line. In
+// `go test -json` mode the runner emits the benchmark name and its result
+// as separate output events; the event's Test field carries the name.
+var benchResultOnly = regexp.MustCompile(`^\d+\s+([0-9.]+) ns/op`)
+
+// parseResults extracts benchmark name → ns/op from a go test -json
+// stream (raw `go test -bench` logs are tolerated too). Repeated
+// measurements of one benchmark (e.g. -count>1) keep the minimum, the
+// conventional noise-robust statistic.
+func parseResults(r io.Reader) (map[string]float64, error) {
+	out := map[string]float64{}
+	record := func(name string, nsText string, context string) error {
+		ns, err := strconv.ParseFloat(nsText, 64)
+		if err != nil {
+			return fmt.Errorf("benchgate: bad ns/op in %q: %v", context, err)
+		}
+		if old, ok := out[name]; !ok || ns < old {
+			out[name] = ns
+		}
+		return nil
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		var ev testEvent
+		if err := json.Unmarshal(line, &ev); err != nil {
+			// Tolerate raw (non-JSON) benchmark output so the gate also
+			// accepts plain `go test -bench` logs.
+			ev.Action, ev.Output = "output", string(line)+"\n"
+		}
+		if ev.Action != "output" {
+			continue
+		}
+		text := strings.TrimSpace(ev.Output)
+		if m := benchLine.FindStringSubmatch(text); m != nil {
+			if err := record(m[1], m[2], ev.Output); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if strings.HasPrefix(ev.Test, "Benchmark") {
+			if m := benchResultOnly.FindStringSubmatch(text); m != nil {
+				if err := record(ev.Test, m[1], ev.Output); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return out, sc.Err()
+}
+
+// gate compares results to the baseline. It returns a human-readable
+// report and whether the gate passes.
+func gate(baseline map[string]float64, results map[string]float64, maxRegress float64) (string, bool) {
+	var sb strings.Builder
+	ok := true
+	names := make([]string, 0, len(baseline))
+	for name := range baseline {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		base := baseline[name]
+		got, present := results[name]
+		switch {
+		case !present:
+			fmt.Fprintf(&sb, "FAIL  %-60s baseline %.0f ns/op, missing from run\n", name, base)
+			ok = false
+		case base > 0 && got > base*(1+maxRegress):
+			fmt.Fprintf(&sb, "FAIL  %-60s %.0f ns/op vs baseline %.0f (%+.1f%%, limit %+.0f%%)\n",
+				name, got, base, 100*(got/base-1), 100*maxRegress)
+			ok = false
+		default:
+			fmt.Fprintf(&sb, "ok    %-60s %.0f ns/op vs baseline %.0f (%+.1f%%)\n",
+				name, got, base, 100*(got/base-1))
+		}
+	}
+	for name := range results {
+		if _, known := baseline[name]; !known {
+			fmt.Fprintf(&sb, "note  %-60s %.0f ns/op (no baseline entry; not gated)\n", name, results[name])
+		}
+	}
+	return sb.String(), ok
+}
+
+func run(baselinePath, resultsPath string, maxRegress float64) error {
+	bb, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	var bf baselineFile
+	if err := json.Unmarshal(bb, &bf); err != nil {
+		return fmt.Errorf("benchgate: parse baseline %s: %v", baselinePath, err)
+	}
+	baseline := map[string]float64{}
+	for name, e := range bf.Benchmarks {
+		if e.After.NsOp > 0 {
+			baseline[name] = e.After.NsOp
+		}
+	}
+	if len(baseline) == 0 {
+		return fmt.Errorf("benchgate: baseline %s has no gated benchmarks", baselinePath)
+	}
+	rf, err := os.Open(resultsPath)
+	if err != nil {
+		return err
+	}
+	defer rf.Close()
+	results, err := parseResults(rf)
+	if err != nil {
+		return err
+	}
+	report, ok := gate(baseline, results, maxRegress)
+	fmt.Print(report)
+	if !ok {
+		return fmt.Errorf("benchgate: ns/op regression beyond %.0f%% (or gated benchmark missing)", 100*maxRegress)
+	}
+	return nil
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "", "committed BENCH_*.json baseline")
+	resultsPath := flag.String("results", "", "go test -json -bench output to gate")
+	maxRegress := flag.Float64("max-regress", 0.20, "maximum tolerated ns/op regression (0.20 = 20%)")
+	flag.Parse()
+	if *baselinePath == "" || *resultsPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*baselinePath, *resultsPath, *maxRegress); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleStream = `{"Action":"output","Output":"goos: linux\n"}
+{"Action":"output","Output":"BenchmarkTreeMergeConcat-4   \t   85050\t     14125 ns/op\t   14592 B/op\t     129 allocs/op\n"}
+{"Action":"output","Output":"BenchmarkTreeSerialize/original_208K_wide-4 \t 100\t 52000.5 ns/op\n"}
+{"Action":"output","Output":"BenchmarkTreeMergeConcat-4   \t   90000\t     13900 ns/op\n"}
+{"Action":"output","Test":"BenchmarkFilterCycle/hierarchical","Output":"BenchmarkFilterCycle/hierarchical\n"}
+{"Action":"output","Test":"BenchmarkFilterCycle/hierarchical","Output":"  628766\t      1924 ns/op\t       0 B/op\t       0 allocs/op\n"}
+{"Action":"run","Test":"TestNothing"}
+not json at all
+BenchmarkRawLine-2   10   999 ns/op
+`
+
+func TestParseResults(t *testing.T) {
+	got, err := parseResults(strings.NewReader(sampleStream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"BenchmarkTreeMergeConcat":                  13900, // min of repeated runs
+		"BenchmarkTreeSerialize/original_208K_wide": 52000.5,
+		"BenchmarkFilterCycle/hierarchical":         1924, // split name/result events
+		"BenchmarkRawLine":                          999,
+	}
+	for name, ns := range want {
+		if got[name] != ns {
+			t.Errorf("%s = %v, want %v", name, got[name], ns)
+		}
+	}
+	if len(got) != len(want) {
+		t.Errorf("parsed %d benchmarks, want %d: %v", len(got), len(want), got)
+	}
+}
+
+func TestGate(t *testing.T) {
+	baseline := map[string]float64{
+		"BenchmarkA": 1000,
+		"BenchmarkB": 1000,
+		"BenchmarkC": 1000,
+	}
+	results := map[string]float64{
+		"BenchmarkA": 1150, // +15%: inside the 20% margin
+		"BenchmarkB": 1500, // +50%: regression
+		// BenchmarkC missing: must fail
+		"BenchmarkNew": 42, // unknown: noted, not gated
+	}
+	report, ok := gate(baseline, results, 0.20)
+	if ok {
+		t.Fatalf("gate passed despite regression and missing benchmark:\n%s", report)
+	}
+	for _, want := range []string{
+		"ok    BenchmarkA",
+		"FAIL  BenchmarkB",
+		"FAIL  BenchmarkC",
+		"note  BenchmarkNew",
+	} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q:\n%s", want, report)
+		}
+	}
+	if _, ok := gate(baseline, map[string]float64{
+		"BenchmarkA": 1100, "BenchmarkB": 900, "BenchmarkC": 1199,
+	}, 0.20); !ok {
+		t.Error("gate failed a run inside the margin")
+	}
+}

@@ -1,5 +1,7 @@
 package bitvec
 
+import "errors"
+
 // arenaWordChunk is the default word-slab size (64 KiB of label bits) for
 // allocations made without a Grow hint. Labels wider than a chunk get a
 // dedicated slab of their exact size.
@@ -137,4 +139,39 @@ func (a *Arena) UnmarshalBinary(b []byte) (*Vector, int, error) {
 	v := a.grabVec()
 	*v = Vector{n: n, words: words}
 	return v, need, nil
+}
+
+// AliasBinary decodes like UnmarshalBinary but avoids the word copy when
+// it can: on little-endian hosts, when b's word bytes happen to be 8-byte
+// aligned in memory, the returned vector's words are a view of b itself.
+// Otherwise (big-endian host, or the label landed at an unaligned offset
+// of its packet) it copies into arena storage exactly as UnmarshalBinary
+// does. aliased reports which path was taken; the decoded value is
+// identical either way, and both paths accept exactly the same inputs.
+//
+// An aliased vector is a read-only view: mutating it would scribble on the
+// wire buffer, and its words live only as long as b's backing array — the
+// caller must pin the buffer (see trace.Codec.DecodeTreeAliasing) until
+// the vector is dead.
+func (a *Arena) AliasBinary(b []byte) (v *Vector, used int, aliased bool, err error) {
+	n, nw, need, err := parseWireHeader(b)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	words, ok := bytesWords(b[8:need])
+	if !ok {
+		words = a.grabWords(nw)
+		if err := fillWordsFromWire(words, b, n, nw, need); err != nil {
+			return nil, 0, false, err
+		}
+	} else if n&63 != 0 && nw > 0 {
+		// Same canonical-form check fillWordsFromWire applies: stray bits
+		// beyond the declared width make Equal and Count ill-defined.
+		if words[nw-1]&^((1<<(uint(n)&63))-1) != 0 {
+			return nil, 0, false, errors.New("bitvec: stray bits beyond declared width")
+		}
+	}
+	v = a.grabVec()
+	*v = Vector{n: n, words: words}
+	return v, need, ok, nil
 }

@@ -5,11 +5,16 @@ import "unsafe"
 // The wire format stores words little-endian. On little-endian hosts that
 // is exactly the in-memory representation of []uint64, so the serialize
 // kernels move label words with a single copy (memmove at full memory
-// bandwidth) instead of a bounds-checked load/store per word. Big-endian
-// hosts take the portable per-word path. This file is the only unsafe code
-// in the package; the views it creates never outlive the call and the
-// differential and fuzz tests pin byte-identical output against the
-// portable path's format.
+// bandwidth) instead of a bounds-checked load/store per word, and the
+// aliasing decode (Arena.AliasBinary) skips even that by viewing the wire
+// buffer in place. Big-endian hosts take the portable per-word path. This
+// file is the only unsafe code in the package. wordBytes views never
+// outlive the call; bytesWords views deliberately DO — they live inside
+// decoded vectors until the owning tree dies, which is why AliasBinary's
+// contract requires the caller to pin the buffer (the trace.Pin /
+// tbon.Lease machinery) for the vector's lifetime. The differential and
+// fuzz tests pin byte-identical output against the portable path's
+// format.
 
 // hostLittleEndian reports whether the host stores integers little-endian,
 // i.e. whether raw word bytes are already in wire order.
@@ -25,4 +30,26 @@ func wordBytes(w []uint64) []byte {
 		return nil
 	}
 	return unsafe.Slice((*byte)(unsafe.Pointer(&w[0])), 8*len(w))
+}
+
+// bytesWords is the inverse view: b's bytes as []uint64, for the aliasing
+// (zero-copy) decode path. It succeeds only when the reinterpretation is
+// legal everywhere the result may be used: the host must be little-endian
+// (so raw wire bytes already are word values), b must be a whole number of
+// words, and b's first byte must be 8-byte aligned in memory — unaligned
+// *uint64 conversions violate the unsafe.Pointer rules and are rejected by
+// checkptr under -race. Callers fall back to a copying decode when ok is
+// false; the view must not outlive b's backing array.
+func bytesWords(b []byte) (w []uint64, ok bool) {
+	if !hostLittleEndian || len(b)%8 != 0 {
+		return nil, false
+	}
+	if len(b) == 0 {
+		return nil, true
+	}
+	p := unsafe.Pointer(&b[0])
+	if uintptr(p)%unsafe.Alignof(uint64(0)) != 0 {
+		return nil, false
+	}
+	return unsafe.Slice((*uint64)(p), len(b)/8), true
 }

@@ -12,18 +12,48 @@ import (
 	"stat/internal/trace"
 )
 
-// codecPool shares wire codecs across filter invocations and workers. A
-// codec leaves the pool only for the duration of one mergeFilter call and
-// returns with no live trees, so its arena and intern table are reused by
-// whichever worker grabs it next.
-var codecPool = sync.Pool{New: func() any { return trace.NewCodec() }}
+// mergeScratch is the per-invocation state a filter worker borrows for
+// one mergeFilter call: a wire codec (arena, intern table, node and tree
+// free lists) plus every slice the call needs, kept warm across
+// invocations. A scratch leaves the pool only for the duration of one
+// call and returns with no live trees, so at steady state the whole
+// decode→merge→encode cycle runs without a single heap allocation.
+type mergeScratch struct {
+	codec *trace.Codec
+	flat  []*trace.Tree   // all decoded trees, in child order
+	lists [][]*trace.Tree // per-child views into flat
+	parts []*trace.Tree   // parallel trees handed to one MergeConcat
+	out   []*trace.Tree   // merged trees, in tree-index order
+}
+
+var scratchPool = sync.Pool{New: func() any {
+	return &mergeScratch{codec: trace.NewCodec()}
+}}
+
+// outBufs recycles filter output buffers. A filter's output payload is
+// consumed by the parent's filter (or by the front end) and released; the
+// lease's free hook brings the buffer back here, so the encode side of the
+// steady-state cycle writes into recycled storage. Capacity-matched reuse
+// (tbon.BufferPool) keeps the pool stable even though payloads grow
+// toward the root.
+var outBufs = tbon.NewBufferPool(32)
+
+// recycleOutBuf is the lease free hook for filter outputs; a bound method
+// value computed once so minting a lease captures nothing.
+var recycleOutBuf = outBufs.Put
 
 // encodeTrees serializes a list of prefix trees (count-prefixed,
 // length-framed) — the body of a MsgResult packet. A normal gather
-// carries two trees (2D then 3D). The output buffer is sized exactly once
-// up front and every tree is appended in place — no per-tree marshal and
-// copy.
+// carries two trees (2D then 3D).
 func encodeTrees(trees ...*trace.Tree) ([]byte, error) {
+	return encodeTreesInto(nil, trees...)
+}
+
+// encodeTreesInto appends the encoding to dst (which may be nil or a
+// recycled buffer) and returns the result. The destination is grown to
+// the exact encoded size once and every tree is appended in place — with
+// a dst of sufficient capacity the encode allocates nothing.
+func encodeTreesInto(dst []byte, trees ...*trace.Tree) ([]byte, error) {
 	if len(trees) > 255 {
 		return nil, fmt.Errorf("core: %d trees exceed payload count limit", len(trees))
 	}
@@ -31,8 +61,13 @@ func encodeTrees(trees ...*trace.Tree) ([]byte, error) {
 	for _, t := range trees {
 		size += 4 + t.SerializedSize()
 	}
-	out := make([]byte, 1, size)
-	out[0] = byte(len(trees))
+	base := len(dst)
+	if cap(dst)-base < size {
+		grown := make([]byte, base, base+size)
+		copy(grown, dst)
+		dst = grown
+	}
+	out := append(dst, byte(len(trees)))
 	for _, t := range trees {
 		lenPos := len(out)
 		out = append(out, 0, 0, 0, 0)
@@ -48,124 +83,181 @@ func encodeTrees(trees ...*trace.Tree) ([]byte, error) {
 
 // decodeTrees parses an encodeTrees body. The returned trees own their
 // storage outright (suitable for long-lived results); the filter hot path
-// uses decodeTreesWith to draw label storage from a pooled codec instead.
+// decodes through a pooled codec instead (see mergeFilter).
 func decodeTrees(b []byte) ([]*trace.Tree, error) {
-	return decodeTreesWith(nil, b)
+	return appendDecodedTrees(nil, nil, b, nil)
 }
 
-// decodeTreesWith parses an encodeTrees body through c's arena and intern
-// table; a nil codec falls back to trace.UnmarshalBinary. On error, any
-// trees already decoded are released.
-func decodeTreesWith(c *trace.Codec, b []byte) ([]*trace.Tree, error) {
+// appendDecodedTrees parses an encodeTrees body, appending the trees to
+// dst. With a codec, label storage comes from the codec's arena; with a
+// pin as well (the leased wire packet), the decode aliases label words
+// into b where alignment allows, pinning the lease under each aliasing
+// tree. A nil codec falls back to trace.UnmarshalBinary. On error, any
+// trees decoded by this call are released and dst's original prefix is
+// returned.
+func appendDecodedTrees(c *trace.Codec, dst []*trace.Tree, b []byte, pin trace.Pin) ([]*trace.Tree, error) {
+	base := len(dst)
 	if len(b) < 1 {
-		return nil, errors.New("core: empty tree payload")
+		return dst, errors.New("core: empty tree payload")
 	}
 	count := int(b[0])
 	b = b[1:]
-	trees := make([]*trace.Tree, 0, count)
-	fail := func(err error) ([]*trace.Tree, error) {
-		for _, t := range trees {
-			t.Release()
-		}
-		return nil, err
-	}
 	for i := 0; i < count; i++ {
 		if len(b) < 4 {
-			return fail(errors.New("core: truncated tree frame"))
+			return releaseDecoded(dst, base, errors.New("core: truncated tree frame"))
 		}
 		n := int(binary.LittleEndian.Uint32(b))
 		b = b[4:]
 		if len(b) < n {
-			return fail(errors.New("core: truncated tree body"))
+			return releaseDecoded(dst, base, errors.New("core: truncated tree body"))
 		}
 		var t *trace.Tree
 		var err error
-		if c != nil {
+		switch {
+		case c != nil && pin != nil:
+			t, err = c.DecodeTreeAliasing(b[:n], pin)
+		case c != nil:
 			t, err = c.DecodeTree(b[:n])
-		} else {
+		default:
 			t, err = trace.UnmarshalBinary(b[:n])
 		}
 		if err != nil {
-			return fail(err)
+			return releaseDecoded(dst, base, err)
 		}
-		trees = append(trees, t)
+		dst = append(dst, t)
 		b = b[n:]
 	}
 	if len(b) != 0 {
-		return fail(fmt.Errorf("core: %d trailing bytes after trees", len(b)))
+		return releaseDecoded(dst, base, fmt.Errorf("core: %d trailing bytes after trees", len(b)))
 	}
-	return trees, nil
+	return dst, nil
+}
+
+// releaseDecoded unwinds a partial appendDecodedTrees, releasing the
+// trees appended past base.
+func releaseDecoded(dst []*trace.Tree, base int, err error) ([]*trace.Tree, error) {
+	for _, t := range dst[base:] {
+		t.Release()
+	}
+	return dst[:base], err
 }
 
 // mergeFilter returns the tree-merge filter for the configured
-// representation, operating on encodeTrees bodies. Every input must carry
-// the same number of trees; tree i of every child merges into output
-// tree i. Every decoded and merged tree is dead once the output is
-// encoded, so the filter returns their nodes to the trace package's pool
-// and their label storage to a pooled codec's arena — the allocation path
-// that keeps concurrent reduction workers cheap across the whole
-// reduction, not just within one call.
+// representation, operating on leased encodeTrees bodies: the treeMerger
+// body encode wrapped in a pooled output lease.
 func (t *Tool) mergeFilter() tbon.Filter {
+	merge := t.treeMerger()
+	return func(children []*tbon.Lease) (*tbon.Lease, error) {
+		body, err := merge(children, 0)
+		if err != nil {
+			return nil, err
+		}
+		return tbon.NewLease(body, recycleOutBuf), nil
+	}
+}
+
+// treeMerger returns the merge kernel shared by mergeFilter and
+// resultFilter: decode every child's encodeTrees body, merge tree i of
+// every child into output tree i under the configured representation, and
+// encode the merged list into a pooled buffer, leaving prefixLen bytes
+// unwritten at the front for the caller's framing (zero for a bare body,
+// proto.HeaderSize for a result packet — written in place, so the payload
+// is never copied into a frame). The returned buffer belongs to outBufs;
+// callers hand it onward inside a lease whose free hook is recycleOutBuf.
+//
+// This is the showcase of the leased-buffer contract. In hierarchical
+// mode the decode aliases label words straight into the child packet
+// buffers (retaining each lease until the decoded tree is released), the
+// merge routes output labels through the codec's arena, and the encode
+// writes into a recycled buffer — so a warm steady-state cycle touches
+// the heap zero times and copies label words exactly once, from input
+// packet to output packet. Original mode merges by in-place union, which
+// must own its labels, so it keeps the copying decode. Everything decoded
+// or merged dies before the merger returns: nodes and tree headers return
+// to the codec's free lists, arena storage recycles, and the input leases
+// drop back to the engine's reference.
+func (t *Tool) treeMerger() func(children []*tbon.Lease, prefixLen int) ([]byte, error) {
 	hierarchical := t.opts.BitVec != Original
-	return func(children [][]byte) (out []byte, err error) {
+	return func(children []*tbon.Lease, prefixLen int) (out []byte, err error) {
 		if len(children) == 0 {
 			return nil, errors.New("core: filter with no inputs")
 		}
-		codec := codecPool.Get().(*trace.Codec)
-		lists := make([][]*trace.Tree, len(children))
-		var merged []*trace.Tree
+		s := scratchPool.Get().(*mergeScratch)
+		s.flat, s.lists, s.out = s.flat[:0], s.lists[:0], s.out[:0]
 		defer func() {
-			// All decoded inputs die here. In Original mode merged[ti]
-			// aliases lists[0][ti] (the union folds in place), so the
-			// sweep over lists covers it; hierarchical outputs are fresh
-			// trees and release separately. Once nothing borrows the
-			// codec's arena it goes back in the pool; a codec with live
-			// trees (an error path bailed early) is simply dropped.
-			for _, list := range lists {
-				for _, tr := range list {
+			// All decoded inputs die here. In Original mode the merged
+			// trees alias lists[*][ti] entries (the union folds in
+			// place), so the sweep over flat covers them; hierarchical
+			// outputs are fresh codec trees accumulated in s.out and
+			// release separately. Once nothing borrows the codec's arena
+			// the scratch goes back in the pool; a scratch whose codec
+			// still has live trees (an error path bailed early) is
+			// simply dropped.
+			for _, tr := range s.flat {
+				tr.Release()
+			}
+			if hierarchical {
+				for _, tr := range s.out {
 					tr.Release()
 				}
 			}
-			if hierarchical {
-				for _, tr := range merged {
-					if tr != nil {
-						tr.Release()
-					}
-				}
-			}
-			if codec.Live() == 0 {
-				codecPool.Put(codec)
+			if s.codec.Live() == 0 {
+				scratchPool.Put(s)
 			}
 		}()
-		for i, c := range children {
-			lists[i], err = decodeTreesWith(codec, c)
+		for _, c := range children {
+			start := len(s.flat)
+			if hierarchical {
+				s.flat, err = appendDecodedTrees(s.codec, s.flat, c.Bytes(), c)
+			} else {
+				s.flat, err = appendDecodedTrees(s.codec, s.flat, c.Bytes(), nil)
+			}
 			if err != nil {
 				return nil, err
 			}
-			if len(lists[i]) != len(lists[0]) {
+			s.lists = append(s.lists, s.flat[start:len(s.flat):len(s.flat)])
+		}
+		for i := 1; i < len(s.lists); i++ {
+			if len(s.lists[i]) != len(s.lists[0]) {
 				return nil, fmt.Errorf("core: child %d carries %d trees, child 0 carries %d",
-					i, len(lists[i]), len(lists[0]))
+					i, len(s.lists[i]), len(s.lists[0]))
 			}
 		}
-		merged = make([]*trace.Tree, len(lists[0]))
-		for ti := range merged {
+		for ti := range s.lists[0] {
 			if !hierarchical {
-				acc := lists[0][ti]
-				for ci := 1; ci < len(lists); ci++ {
-					if err := trace.MergeUnion(acc, lists[ci][ti]); err != nil {
+				acc := s.lists[0][ti]
+				for ci := 1; ci < len(s.lists); ci++ {
+					if err := trace.MergeUnion(acc, s.lists[ci][ti]); err != nil {
 						return nil, err
 					}
 				}
-				merged[ti] = acc
+				s.out = append(s.out, acc)
 			} else {
-				parts := make([]*trace.Tree, len(lists))
-				for ci := range lists {
-					parts[ci] = lists[ci][ti]
+				if cap(s.parts) < len(s.lists) {
+					s.parts = make([]*trace.Tree, len(s.lists))
 				}
-				merged[ti] = trace.MergeConcat(parts...)
+				parts := s.parts[:len(s.lists)]
+				for ci := range s.lists {
+					parts[ci] = s.lists[ci][ti]
+				}
+				s.out = append(s.out, s.codec.MergeConcat(parts...))
 			}
 		}
-		return encodeTrees(merged...)
+		// Size the output exactly, draw a capacity-matched recycled
+		// buffer, and encode after the caller's reserved prefix; the
+		// in-place append can never grow (and therefore never strands a
+		// pooled buffer).
+		size := 1
+		for _, tr := range s.out {
+			size += 4 + tr.SerializedSize()
+		}
+		buf := outBufs.Get(prefixLen + size)
+		body, err := encodeTreesInto(buf[:prefixLen], s.out...)
+		if err != nil {
+			outBufs.Put(buf)
+			return nil, err
+		}
+		return body, nil
 	}
 }
 

@@ -1,0 +1,197 @@
+package core
+
+import (
+	"testing"
+
+	"stat/internal/machine"
+	"stat/internal/proto"
+	"stat/internal/tbon"
+	"stat/internal/topology"
+	"stat/internal/trace"
+)
+
+// buildFilterChildren encodes two child payloads (each the usual 2D+3D
+// tree pair) the way daemons produce them, returned as leases the caller
+// owns across filter invocations.
+func buildFilterChildren(t testing.TB, hierarchical bool) []*tbon.Lease {
+	t.Helper()
+	children := make([]*tbon.Lease, 2)
+	for ci := range children {
+		width := 5 + ci*3 // ragged widths so label offsets hit every alignment
+		total := width
+		if !hierarchical {
+			total = 16
+		}
+		t2, t3 := trace.NewTree(total), trace.NewTree(total)
+		for local := 0; local < width; local++ {
+			task := local
+			if !hierarchical {
+				task = ci*8 + local
+			}
+			t2.AddStack(task, "main", "solve", "mpi_wait")
+			t2.AddStack(task, "main", "io")
+			t3.AddStack(task, "main", "solve", "mpi_wait")
+			t3.AddStack(task, "main", "solve", "barrier")
+		}
+		body, err := encodeTrees(t2, t3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t2.Release()
+		t3.Release()
+		children[ci] = tbon.NewLease(body, nil)
+	}
+	return children
+}
+
+func newAllocTool(t testing.TB, mode BitVecMode) *Tool {
+	t.Helper()
+	tool, err := New(Options{
+		Machine:  machine.Atlas(),
+		Tasks:    96,
+		Topology: topology.Spec{Kind: topology.KindBalanced, Depth: 2},
+		BitVec:   mode,
+		Samples:  3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tool
+}
+
+// TestFilterCycleZeroAllocs is the acceptance guard for the leased-buffer
+// refactor: one full decode→merge→encode filter cycle in hierarchical
+// mode, on a warm codec, must not touch the heap at all. Decode aliases
+// or arena-carves every label, nodes and tree headers cycle through the
+// codec free lists, the merge output routes through the codec arena, the
+// encode writes into a pooled buffer, and the output lease comes from the
+// lease pool.
+func TestFilterCycleZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are unstable under the race detector")
+	}
+	filter := newAllocTool(t, Hierarchical).mergeFilter()
+	children := buildFilterChildren(t, true)
+
+	cycle := func() {
+		out, err := filter(children)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out.Release()
+	}
+	// Warm every pool on the path: codec free lists, arena slabs, intern
+	// table, output buffer pool, lease pool.
+	for i := 0; i < 10; i++ {
+		cycle()
+	}
+	if n := testing.AllocsPerRun(200, cycle); n != 0 {
+		t.Errorf("steady-state hierarchical filter cycle allocates %v per op, want 0", n)
+	}
+	for _, c := range children {
+		c.Release()
+	}
+}
+
+// TestResultFilterCycleZeroAllocs guards the actual production path — the
+// session's resultFilter, which unwraps MsgResult packets into sub-leases,
+// runs the tree merger, and frames the output by writing the packet
+// header in place in the pooled buffer. It too must be allocation-free at
+// steady state, modulo the small fixed per-call slices (bodies, sub-lease
+// structs) that the lease pool absorbs.
+func TestResultFilterCycleZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are unstable under the race detector")
+	}
+	filter := newAllocTool(t, Hierarchical).resultFilter()
+	inner := buildFilterChildren(t, true)
+	children := make([]*tbon.Lease, len(inner))
+	for i, b := range inner {
+		p := proto.Packet{Stream: proto.DataStream, Type: proto.MsgResult, Payload: b.Bytes()}
+		children[i] = tbon.NewLease(p.Encode(), nil)
+		b.Release()
+	}
+	cycle := func() {
+		out, err := filter(children)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out.Release()
+	}
+	for i := 0; i < 10; i++ {
+		cycle()
+	}
+	// The bodies slice and release closure in resultFilter are the only
+	// per-call allocations left; they are O(children), not O(payload).
+	if n := testing.AllocsPerRun(200, cycle); n > 3 {
+		t.Errorf("steady-state result-packet filter cycle allocates %v per op, want <= 3", n)
+	}
+	for _, c := range children {
+		c.Release()
+	}
+}
+
+// BenchmarkFilterCycle is the per-interior-node cost of a reduction: one
+// decode→merge→encode cycle through the production filter on a warm
+// codec. Gated in CI by cmd/benchgate against the committed baseline.
+func BenchmarkFilterCycle(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		mode BitVecMode
+	}{
+		{"hierarchical", Hierarchical},
+		{"original", Original},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			filter := newAllocTool(b, tc.mode).mergeFilter()
+			children := buildFilterChildren(b, tc.mode == Hierarchical)
+			var bytes int64
+			for _, c := range children {
+				bytes += int64(c.Len())
+			}
+			b.SetBytes(bytes)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				out, err := filter(children)
+				if err != nil {
+					b.Fatal(err)
+				}
+				out.Release()
+			}
+			b.StopTimer()
+			for _, c := range children {
+				c.Release()
+			}
+		})
+	}
+}
+
+// TestFilterCycleOriginalModeAllocsBounded keeps the original (union)
+// representation honest too: it cannot be zero-alloc — the in-place union
+// inserts fresh nodes and full-width labels for paths the accumulator
+// lacks — but the decode and encode sides share the leased-buffer
+// machinery, so the per-cycle count must stay small and flat rather than
+// scaling with tree size.
+func TestFilterCycleOriginalModeAllocsBounded(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are unstable under the race detector")
+	}
+	filter := newAllocTool(t, Original).mergeFilter()
+	children := buildFilterChildren(t, false)
+	cycle := func() {
+		out, err := filter(children)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out.Release()
+	}
+	for i := 0; i < 10; i++ {
+		cycle()
+	}
+	if n := testing.AllocsPerRun(200, cycle); n > 8 {
+		t.Errorf("steady-state original-mode filter cycle allocates %v per op, want <= 8", n)
+	}
+	for _, c := range children {
+		c.Release()
+	}
+}

@@ -28,8 +28,10 @@ func (t *Tool) newSession() *session {
 	return s
 }
 
-// ackFilter merges MsgAck packets at every interior node.
-func ackFilter(children [][]byte) ([]byte, error) {
+// ackFilter merges MsgAck packets at every interior node. Acks are tiny
+// and fully parsed during the call, so the plain-bytes adapter suffices:
+// nothing outlives the child leases.
+var ackFilter = tbon.BytesFilter(func(children [][]byte) ([]byte, error) {
 	var total proto.Ack
 	for _, c := range children {
 		p, err := proto.Decode(c)
@@ -47,7 +49,7 @@ func ackFilter(children [][]byte) ([]byte, error) {
 	}
 	out := proto.Packet{Stream: proto.ControlStream, Type: proto.MsgAck, Payload: total.Encode()}
 	return out.Encode(), nil
-}
+})
 
 // control broadcasts one command to every daemon and reduces their acks.
 // It returns an error unless every daemon acknowledged success.
@@ -145,26 +147,41 @@ func (s *session) gather(which proto.TreeKind, detail bool) ([]byte, *tbon.Stats
 }
 
 // resultFilter merges MsgResult packets: unwrap, merge the carried trees
-// under the configured representation, rewrap.
+// under the configured representation, rewrap. proto.Decode aliases the
+// packet body rather than copying it, so each body is handed to the tree
+// merge as a sub-lease of the child packet: if the merge's zero-copy
+// decode pins a body (its labels view the wire bytes), the pin holds the
+// whole packet buffer alive through the sub-lease's parent reference. On
+// the way out, the merger encodes the merged trees directly after a
+// reserved frame header in the pooled output buffer, so the result packet
+// is built without copying the payload.
 func (t *Tool) resultFilter() tbon.Filter {
-	mergeTrees := t.mergeFilter()
-	return func(children [][]byte) ([]byte, error) {
-		bodies := make([][]byte, len(children))
+	merge := t.treeMerger()
+	return func(children []*tbon.Lease) (*tbon.Lease, error) {
+		bodies := make([]*tbon.Lease, len(children))
+		release := func(n int) {
+			for i := 0; i < n; i++ {
+				bodies[i].Release()
+			}
+		}
 		for i, c := range children {
-			p, err := proto.Decode(c)
+			p, err := proto.Decode(c.Bytes())
 			if err != nil {
+				release(i)
 				return nil, err
 			}
 			if p.Type != proto.MsgResult {
+				release(i)
 				return nil, fmt.Errorf("core: expected result, got %v", p.Type)
 			}
-			bodies[i] = p.Payload
+			bodies[i] = c.Sub(p.Payload)
 		}
-		merged, err := mergeTrees(bodies)
+		packet, err := merge(bodies, proto.HeaderSize)
+		release(len(bodies))
 		if err != nil {
 			return nil, err
 		}
-		out := proto.Packet{Stream: proto.DataStream, Type: proto.MsgResult, Payload: merged}
-		return out.Encode(), nil
+		proto.PutHeader(packet, proto.DataStream, proto.MsgResult, len(packet)-proto.HeaderSize)
+		return tbon.NewLease(packet, recycleOutBuf), nil
 	}
 }

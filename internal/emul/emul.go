@@ -145,7 +145,7 @@ func RunEngine(spec Spec, daemons int, topoSpec topology.Spec, hierarchical bool
 		t.Release()
 		return b, err
 	}
-	filter := func(children [][]byte) ([]byte, error) {
+	filter := tbon.BytesFilter(func(children [][]byte) ([]byte, error) {
 		trees := make([]*trace.Tree, len(children))
 		for i, c := range children {
 			var err error
@@ -179,7 +179,7 @@ func RunEngine(spec Spec, daemons int, topoSpec topology.Spec, hierarchical bool
 		}
 		merged.Release()
 		return out, nil
-	}
+	})
 
 	start := time.Now()
 	out, stats, err := net.ReduceWith(engine, leafData, filter)

@@ -70,20 +70,34 @@ const (
 
 var packetMagic = [2]byte{'S', 'P'}
 
+// HeaderSize is the fixed frame overhead preceding a packet's payload.
+const HeaderSize = 10
+
+// PutHeader writes a packet frame header for a payload of n bytes into b,
+// which must hold at least HeaderSize bytes. It exists for callers that
+// encode a payload in place directly after a reserved header — the
+// zero-copy path of the overlay's merge filter — instead of paying
+// Encode's payload copy.
+func PutHeader(b []byte, stream uint16, typ MsgType, n int) {
+	b[0], b[1] = packetMagic[0], packetMagic[1]
+	b[2] = Version
+	binary.LittleEndian.PutUint16(b[3:5], stream)
+	b[5] = byte(typ)
+	binary.LittleEndian.PutUint32(b[6:10], uint32(n))
+}
+
 // Encode frames the packet: magic, version, stream, type, length, payload.
 func (p Packet) Encode() []byte {
-	buf := make([]byte, 0, 10+len(p.Payload))
-	buf = append(buf, packetMagic[:]...)
-	buf = append(buf, Version)
-	buf = binary.LittleEndian.AppendUint16(buf, p.Stream)
-	buf = append(buf, byte(p.Type))
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(p.Payload)))
-	buf = append(buf, p.Payload...)
-	return buf
+	buf := make([]byte, HeaderSize, HeaderSize+len(p.Payload))
+	PutHeader(buf, p.Stream, p.Type, len(p.Payload))
+	return append(buf, p.Payload...)
 }
 
 // Decode parses a framed packet, rejecting bad magic, version skew and
-// truncation.
+// truncation. Payload aliases b rather than copying it — the overlay's
+// buffer-lifetime machinery (leases pinning packet buffers) exists so
+// views like this stay valid; callers that outlive b's buffer must either
+// pin it or copy the payload themselves.
 func Decode(b []byte) (Packet, error) {
 	if len(b) < 10 {
 		return Packet{}, errors.New("proto: packet too short")
@@ -102,7 +116,7 @@ func Decode(b []byte) (Packet, error) {
 	if len(b)-10 != n {
 		return Packet{}, fmt.Errorf("proto: payload length %d, frame carries %d", n, len(b)-10)
 	}
-	p.Payload = append([]byte(nil), b[10:]...)
+	p.Payload = b[10:]
 	return p, nil
 }
 

@@ -1,0 +1,55 @@
+package tbon
+
+import "sync"
+
+// BufferPool recycles payload buffers by capacity: Get returns a recycled
+// buffer that can hold n bytes (resliced to length n) or allocates a
+// fresh one; Put makes a dead buffer available again. It is the companion
+// of Lease — a lease's free hook is typically a pool's Put — and exists
+// instead of sync.Pool because putting a []byte into an interface boxes
+// it, one allocation per payload on exactly the paths the pool is meant
+// to keep allocation-free. Capacity-matched reuse means a mix of payload
+// sizes (leaf packets versus root-level accumulations) does not churn the
+// pool: a too-small candidate is left for a smaller request rather than
+// dropped.
+//
+// Safe for concurrent use.
+type BufferPool struct {
+	mu         sync.Mutex
+	bufs       [][]byte
+	maxEntries int
+}
+
+// NewBufferPool returns a pool retaining at most maxEntries dead buffers;
+// beyond that, Put drops buffers to the garbage collector.
+func NewBufferPool(maxEntries int) *BufferPool {
+	return &BufferPool{maxEntries: maxEntries}
+}
+
+// Get returns a buffer of length n, reusing the most recently released
+// buffer of sufficient capacity when one exists.
+func (p *BufferPool) Get(n int) []byte {
+	p.mu.Lock()
+	for i := len(p.bufs) - 1; i >= 0; i-- {
+		if cap(p.bufs[i]) >= n {
+			b := p.bufs[i]
+			p.bufs[i] = p.bufs[len(p.bufs)-1]
+			p.bufs[len(p.bufs)-1] = nil
+			p.bufs = p.bufs[:len(p.bufs)-1]
+			p.mu.Unlock()
+			return b[:n]
+		}
+	}
+	p.mu.Unlock()
+	return make([]byte, n)
+}
+
+// Put returns a dead buffer to the pool. The caller must not touch b
+// afterwards. Put's signature matches a Lease free hook.
+func (p *BufferPool) Put(b []byte) {
+	p.mu.Lock()
+	if len(p.bufs) < p.maxEntries {
+		p.bufs = append(p.bufs, b)
+	}
+	p.mu.Unlock()
+}

@@ -147,7 +147,7 @@ func TestDifferentialTraceMergeFilter(t *testing.T) {
 	// tree, interior nodes merge by hierarchical concatenation. This is
 	// the paper's optimized representation running through all engines.
 	const tasksPerLeaf = 3
-	mergeFilter := func(children [][]byte) ([]byte, error) {
+	mergeFilter := BytesFilter(func(children [][]byte) ([]byte, error) {
 		trees := make([]*trace.Tree, len(children))
 		for i, c := range children {
 			var err error
@@ -166,7 +166,7 @@ func TestDifferentialTraceMergeFilter(t *testing.T) {
 		}
 		merged.Release()
 		return out, nil
-	}
+	})
 	funcs := []string{"start", "mainloop", "solver", "exchange", "wait", "io"}
 	for name, topo := range diffTopologies(t) {
 		rng := rand.New(rand.NewSource(int64(len(name)) * 131))
@@ -230,7 +230,7 @@ func TestDifferentialTraceMergeFilter(t *testing.T) {
 func TestDifferentialUnionMergeFilter(t *testing.T) {
 	// The original representation: full-width labels merging by union.
 	const width = 24
-	unionFilter := func(children [][]byte) ([]byte, error) {
+	unionFilter := BytesFilter(func(children [][]byte) ([]byte, error) {
 		acc, err := trace.UnmarshalBinary(children[0])
 		if err != nil {
 			return nil, err
@@ -248,7 +248,7 @@ func TestDifferentialUnionMergeFilter(t *testing.T) {
 		out, err := acc.MarshalBinary()
 		acc.Release()
 		return out, err
-	}
+	})
 	topo, err := topology.Ragged(99, 3, 4)
 	if err != nil {
 		t.Fatal(err)

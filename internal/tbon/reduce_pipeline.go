@@ -24,6 +24,13 @@ import (
 // fold would consume next always bypasses the budget, so progress is
 // guaranteed at any budget; the hard bound is budget plus one payload
 // per worker, since a payload's size is only known once produced.
+//
+// Budget accounting follows the leased-buffer contract: a payload's bytes
+// stay charged from the moment it is produced until the last reference on
+// its lease is released — not merely until the consuming fold returns. A
+// filter that retains a child lease (a zero-copy decoder pinning the wire
+// buffer under its decoded tree) therefore holds budget for exactly as
+// long as it holds the bytes.
 func (n *Network) ReducePipelined(leafData func(leaf int) ([]byte, error), filter Filter) ([]byte, *Stats, error) {
 	return n.reducePipelined(leafData, filter, 0, 0)
 }
@@ -40,9 +47,8 @@ type pipeNode struct {
 	folding bool     // a worker is draining the in-order prefix
 	next    int      // next child position to fold
 	arrived []bool   // child payload delivered, by position
-	buf     [][]byte // delivered payloads awaiting their turn
-	acc     []byte
-	accSet  bool
+	buf     []*Lease // delivered payloads awaiting their turn
+	acc     *Lease
 }
 
 type pipeRun struct {
@@ -57,8 +63,7 @@ type pipeRun struct {
 	err      error
 	failed   atomic.Bool
 
-	out    []byte
-	outSet bool
+	out *Lease
 }
 
 func (r *pipeRun) fail(err error) {
@@ -87,7 +92,7 @@ func (n *Network) reducePipelined(leafData func(leaf int) ([]byte, error), filte
 		count++
 		if !node.IsLeaf() {
 			pn.arrived = make([]bool, len(node.Children))
-			pn.buf = make([][]byte, len(node.Children))
+			pn.buf = make([]*Lease, len(node.Children))
 		}
 		nodes[node.ID] = pn
 	}
@@ -128,38 +133,76 @@ func (n *Network) reducePipelined(leafData func(leaf int) ([]byte, error), filte
 					r.fail(fmt.Errorf("tbon: leaf %d: %w", leaf.LeafIndex, err))
 					return
 				}
-				r.complete(nodes[leaf.ID], out)
+				r.complete(nodes[leaf.ID], NewLease(out, nil))
 			}
 		}()
 	}
 	wg.Wait()
 
 	if r.err != nil {
+		// Release every lease stranded mid-flight by the failure —
+		// buffered-but-unfolded child payloads and partial accumulators —
+		// so their free hooks run and pooled buffers (filter output
+		// pools, transport receive pools) are not silently lost. The
+		// workers are gone, so the node locks are uncontended.
+		for _, pn := range nodes {
+			pn.mu.Lock()
+			for i, l := range pn.buf {
+				if l != nil {
+					pn.buf[i] = nil
+					l.Release()
+				}
+			}
+			if pn.acc != nil {
+				pn.acc.Release()
+				pn.acc = nil
+			}
+			pn.mu.Unlock()
+		}
+		if r.out != nil {
+			r.out.Release()
+			r.out = nil
+		}
 		return nil, stats, r.err
 	}
-	if !r.outSet {
+	if r.out == nil {
 		return nil, stats, fmt.Errorf("tbon: pipelined reduction finished without a root result")
 	}
 	stats.PeakInFlightBytes = r.gate.peakBytes()
-	return r.out, stats, nil
+	// The root lease is retired without recycling: the caller owns the
+	// result bytes outright.
+	return r.out.Bytes(), stats, nil
 }
 
 // complete handles a node whose output is final: the root's output is the
 // reduction result; any other node's output is charged against the budget
 // and delivered to its parent. Runs on the worker that produced the
 // output, so a completing subtree cascades toward the root in one thread.
-func (r *pipeRun) complete(pn *pipeNode, out []byte) {
+// Ownership of l transfers to complete.
+func (r *pipeRun) complete(pn *pipeNode, l *Lease) {
+	size := int64(l.Len())
 	r.statsMu.Lock()
-	r.stats.NodeOutBytes[pn.node.ID] = int64(len(out))
+	r.stats.NodeOutBytes[pn.node.ID] = size
 	r.statsMu.Unlock()
 	if pn.node.Parent == nil {
-		r.out, r.outSet = out, true
+		r.out = l
 		return
 	}
-	if !r.gate.acquire(pn.rank, int64(len(out))) {
+	// A pass-through filter may hand back a retained child lease that
+	// still carries its own edge's byte charge. The payload's accounting
+	// moves up an edge: refund the old charge before acquiring at this
+	// node's rank, so the same bytes are not counted twice.
+	l.dropGate()
+	if !r.gate.acquire(pn.rank, size) {
+		l.Release()
 		return // the run failed while we waited
 	}
-	r.deliver(r.nodes[pn.node.Parent.ID], pn.pos, out)
+	// The charge stays until the lease's last reference dies — the engine
+	// releases its reference after the consuming fold, but a filter that
+	// retained the payload keeps it charged. The engine holds the only
+	// references here, so setting the charge fields is safe.
+	l.chargeGate(r.gate, size)
+	r.deliver(r.nodes[pn.node.Parent.ID], pn.pos, l)
 }
 
 // deliver buffers one child payload at its parent and, unless another
@@ -167,7 +210,7 @@ func (r *pipeRun) complete(pn *pipeNode, out []byte) {
 // through the filter in child order. Filter calls run outside the node
 // lock so late siblings can buffer their payloads without waiting for a
 // merge in progress.
-func (r *pipeRun) deliver(pp *pipeNode, pos int, payload []byte) {
+func (r *pipeRun) deliver(pp *pipeNode, pos int, payload *Lease) {
 	pp.mu.Lock()
 	pp.buf[pos], pp.arrived[pos] = payload, true
 	if pp.folding {
@@ -179,37 +222,50 @@ func (r *pipeRun) deliver(pp *pipeNode, pos int, payload []byte) {
 		i := pp.next
 		p := pp.buf[i]
 		pp.buf[i] = nil
-		acc, accSet := pp.acc, pp.accSet
+		acc := pp.acc
 		pp.mu.Unlock()
 
 		r.statsMu.Lock()
-		r.stats.NodeInBytes[pp.node.ID] += int64(len(p))
-		r.stats.LevelInBytes[pp.node.Level] += int64(len(p))
+		r.stats.NodeInBytes[pp.node.ID] += int64(p.Len())
+		r.stats.LevelInBytes[pp.node.Level] += int64(p.Len())
 		r.stats.Packets++
 		r.statsMu.Unlock()
 
-		var folded []byte
+		var folded *Lease
 		var err error
-		if !accSet {
+		if acc == nil {
 			// Normalize even a single child through the filter so a
 			// node's output shape does not depend on its arity (the same
 			// rule ReduceSeq applies).
-			folded, err = r.filter([][]byte{p})
+			folded, err = r.filter([]*Lease{p})
 		} else {
-			folded, err = r.filter([][]byte{acc, p})
+			folded, err = r.filter([]*Lease{acc, p})
 		}
-		r.gate.release(r.nodes[pp.node.Children[i].ID].rank, int64(len(p)))
+		// The fold consumed this child's payload: advance the gate's
+		// rank order now (the head must track fold order even if the
+		// filter retained the payload), while the byte charge itself
+		// lifts only when every reference — including a filter's retain
+		// — is gone.
+		r.gate.consumeRank(r.nodes[pp.node.Children[i].ID].rank)
+		p.Release()
+		if acc != nil {
+			acc.Release()
+		}
 		if err != nil {
 			r.fail(fmt.Errorf("tbon: filter at node %d: %w", pp.node.ID, err))
 			pp.mu.Lock()
+			pp.acc = nil
 			break
 		}
 		pp.mu.Lock()
-		pp.acc, pp.accSet = folded, true
+		pp.acc = folded
 		pp.next = i + 1
 	}
 	done := pp.next == len(pp.arrived) && !r.failed.Load()
 	acc := pp.acc
+	if done {
+		pp.acc = nil
+	}
 	pp.folding = false
 	pp.mu.Unlock()
 	if done {
@@ -222,13 +278,22 @@ func (r *pipeRun) deliver(pp *pipeNode, pos int, payload []byte) {
 // so inFlight and the recorded peak are the true resident payload bytes,
 // including payloads held by workers still waiting for admission.
 // acquire then blocks while the total exceeds the budget — except for
-// the head rank, the smallest not-yet-released node, whose payload the
+// the head rank, the smallest not-yet-consumed node, whose payload the
 // sequential fold would consume next: it is always admitted. That bypass
 // is what makes any budget deadlock-free. A worker holds at most one
 // unadmitted payload at a time and admission only proceeds at or under
 // the budget, so resident bytes never exceed the budget plus one payload
 // per worker (production cannot be gated: a payload's size is unknown
 // until the leaf callback or fold producing it returns).
+//
+// Rank consumption (consumeRank, at fold time) and byte refund (refund,
+// at lease death) are separate operations: a filter may retain a folded
+// payload's lease, keeping its bytes charged long after the fold, and the
+// head must keep advancing regardless or the bypass would stop
+// guaranteeing progress. Retained bytes can hold inFlight over budget
+// indefinitely — then each successive payload is admitted exactly when it
+// becomes the head, degrading to sequential-fold order rather than
+// deadlocking.
 type byteGate struct {
 	mu       sync.Mutex
 	cond     *sync.Cond
@@ -268,15 +333,28 @@ func (g *byteGate) acquire(rank int, n int64) bool {
 	}
 }
 
-// release returns n bytes to the budget and marks rank consumed, which
-// may advance the head and wake blocked acquirers.
-func (g *byteGate) release(rank int, n int64) {
+// consumeRank marks rank's payload folded, which may advance the head
+// and wake blocked acquirers. Consumption and byte accounting are
+// deliberately decoupled: the head must advance in fold order even when a
+// filter retains the folded payload (keeping its bytes charged), or the
+// head-of-line bypass would wedge behind the first retained payload and
+// the deadlock-freedom guarantee would be lost.
+func (g *byteGate) consumeRank(rank int) {
 	g.mu.Lock()
-	g.inFlight -= n
 	g.released[rank] = true
 	for g.head < len(g.released) && g.released[g.head] {
 		g.head++
 	}
+	g.cond.Broadcast()
+	g.mu.Unlock()
+}
+
+// refund returns n bytes to the budget. Under the leased-buffer contract
+// it runs when the payload's last reference dies, on whichever goroutine
+// dropped it.
+func (g *byteGate) refund(n int64) {
+	g.mu.Lock()
+	g.inFlight -= n
 	g.cond.Broadcast()
 	g.mu.Unlock()
 }

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"stat/internal/topology"
@@ -116,7 +117,7 @@ func TestPipelinedFilterError(t *testing.T) {
 	boom := errors.New("merge exploded")
 	calls := 0
 	var mu sync.Mutex
-	filter := func(children [][]byte) ([]byte, error) {
+	filter := func(children []*Lease) (*Lease, error) {
 		mu.Lock()
 		calls++
 		n := calls
@@ -165,6 +166,83 @@ func TestPipelinedTinyBudgetDeepTree(t *testing.T) {
 	}
 }
 
+// TestPipelinedPassThroughFilterBudget drives the charge-transfer corner
+// of the leased-buffer budget accounting: a filter that returns a
+// retained child lease as its output moves the payload's charge up an
+// edge rather than stacking a second charge on the same lease. Without
+// chargeGate's release-then-replace rule this deadlocks under a tiny
+// budget — the child's charge leaks, the gate head never advances past
+// its rank, and every non-head acquire blocks forever (caught here by the
+// test timeout).
+func TestPipelinedPassThroughFilterBudget(t *testing.T) {
+	passThrough := func(children []*Lease) (*Lease, error) {
+		l := children[len(children)-1]
+		l.Retain()
+		return l, nil
+	}
+	for _, build := range []func() (*topology.Tree, error){
+		func() (*topology.Tree, error) { return topology.Chain(16) },
+		func() (*topology.Tree, error) { return topology.Balanced(2, 16) },
+		func() (*topology.Tree, error) { return topology.Ragged(5, 3, 5) },
+	} {
+		topo, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		net := New(topo, nil)
+		leaf := func(i int) ([]byte, error) {
+			b := make([]byte, 128)
+			b[0] = byte(i)
+			return b, nil
+		}
+		want, _, err := net.ReduceSeq(leaf, passThrough)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, budget := range []int64{1, 64, 1 << 20} {
+			got, _, err := net.ReduceWith(
+				ReduceOptions{Engine: EnginePipelined, Workers: 4, BudgetBytes: budget}, leaf, passThrough)
+			if err != nil {
+				t.Fatalf("budget %d: %v", budget, err)
+			}
+			if !bytes.Equal(want, got) {
+				t.Fatalf("budget %d: pass-through output differs from seq", budget)
+			}
+		}
+	}
+}
+
+// TestPipelinedFailureReleasesStrandedLeases pins the failed-run sweep:
+// after a filter error aborts a budgeted reduction, every lease that was
+// buffered or half-folded must still see its free hook run, or pooled
+// buffers leak from their pools for good.
+func TestPipelinedFailureReleasesStrandedLeases(t *testing.T) {
+	topo, err := topology.Balanced(2, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := New(topo, nil)
+	leaf := func(i int) ([]byte, error) { return []byte{byte(i)}, nil }
+	boom := errors.New("boom")
+	var calls, outs, freed atomic.Int64
+	filter := func(children []*Lease) (*Lease, error) {
+		if calls.Add(1) == 9 {
+			return nil, boom
+		}
+		outs.Add(1)
+		return NewLease([]byte{1}, func([]byte) { freed.Add(1) }), nil
+	}
+	_, _, err = net.ReduceWith(ReduceOptions{Engine: EnginePipelined, Workers: 4, BudgetBytes: 8}, leaf, filter)
+	if !errors.Is(err, boom) {
+		t.Fatalf("error %v does not wrap the filter error", err)
+	}
+	// Every hooked output lease must have been freed: consumed by a later
+	// fold, rolled back at the gate, or swept by the failure path.
+	if f, p := freed.Load(), outs.Load(); f != p {
+		t.Fatalf("%d filter outputs produced, only %d freed after failure", p, f)
+	}
+}
+
 func TestReduceWithUnknownEngine(t *testing.T) {
 	topo, err := topology.Flat(2)
 	if err != nil {
@@ -189,14 +267,14 @@ func TestEngineString(t *testing.T) {
 
 // TestByteGateHeadBypass exercises the gate directly: a payload larger
 // than the whole budget is admitted when its rank is the head, and a
-// later rank blocks until the head releases.
+// later rank blocks until the head's payload is consumed and refunded.
 func TestByteGateHeadBypass(t *testing.T) {
 	g := newByteGate(10, 3)
 	if !g.acquire(0, 100) {
 		t.Fatal("head rank not admitted over budget")
 	}
 	// Rank 1 must block: budget exhausted and it is not the head. Run it
-	// in a goroutine and require that release(0) unblocks it.
+	// in a goroutine and require that consuming+refunding 0 unblocks it.
 	admitted := make(chan struct{})
 	go func() {
 		g.acquire(1, 5)
@@ -207,10 +285,31 @@ func TestByteGateHeadBypass(t *testing.T) {
 		t.Fatal("non-head rank admitted while over budget")
 	default:
 	}
-	g.release(0, 100)
+	g.consumeRank(0)
+	g.refund(100)
 	<-admitted // head advanced to 1; must now be admitted
 	if got := g.peakBytes(); got != 100 {
 		t.Fatalf("peak %d, want 100", got)
+	}
+}
+
+// TestByteGateHeadAdvancesWithoutRefund pins the decoupling that keeps
+// retaining filters deadlock-free: consuming the head rank must admit the
+// next rank even while the consumed payload's bytes remain charged.
+func TestByteGateHeadAdvancesWithoutRefund(t *testing.T) {
+	g := newByteGate(10, 3)
+	if !g.acquire(0, 100) {
+		t.Fatal("head rank not admitted over budget")
+	}
+	admitted := make(chan struct{})
+	go func() {
+		g.acquire(1, 5)
+		close(admitted)
+	}()
+	g.consumeRank(0) // bytes NOT refunded — the payload is retained
+	<-admitted       // rank 1 is the head now; must be admitted over budget
+	if got := g.peakBytes(); got != 105 {
+		t.Fatalf("peak %d, want 105", got)
 	}
 }
 
@@ -268,13 +367,13 @@ func ExampleNetwork_ReduceWith() {
 	topo, _ := topology.Balanced(2, 9)
 	net := New(topo, nil)
 	leaf := func(i int) ([]byte, error) { return []byte{byte(i)}, nil }
-	concat := func(children [][]byte) ([]byte, error) {
+	concat := BytesFilter(func(children [][]byte) ([]byte, error) {
 		var out []byte
 		for _, c := range children {
 			out = append(out, c...)
 		}
 		return out, nil
-	}
+	})
 	out, _, _ := net.ReduceWith(ReduceOptions{
 		Engine:      EnginePipelined,
 		BudgetBytes: 1 << 20, // keep at most ~1 MiB of payloads in flight

@@ -19,42 +19,55 @@ import (
 // payload per tree level. Byte statistics are identical to Reduce's.
 // ReducePipelined runs this same fold with concurrent subtrees and a
 // tunable memory budget; see the package docs for when to use which.
+//
+// Payload ownership follows the package's leased-buffer contract: each
+// input lease is released as soon as the fold that consumed it returns,
+// so a filter that recycles its output buffers sees them come back after
+// exactly one fold step — unless it retained the lease, in which case the
+// buffer lives (and stays unrecycled) until the filter's own release.
 func (n *Network) ReduceSeq(leafData func(leaf int) ([]byte, error), filter Filter) ([]byte, *Stats, error) {
 	stats := newStats(len(n.topo.Levels))
 
-	var eval func(node *topology.Node) ([]byte, error)
-	eval = func(node *topology.Node) ([]byte, error) {
+	var eval func(node *topology.Node) (*Lease, error)
+	eval = func(node *topology.Node) (*Lease, error) {
 		if node.IsLeaf() {
 			out, err := leafData(node.LeafIndex)
 			if err != nil {
 				return nil, fmt.Errorf("tbon: leaf %d: %w", node.LeafIndex, err)
 			}
 			stats.NodeOutBytes[node.ID] = int64(len(out))
-			return out, nil
+			return NewLease(out, nil), nil
 		}
-		var acc []byte
-		first := true
-		for _, c := range node.Children {
+		var acc *Lease
+		for i, c := range node.Children {
 			p, err := eval(c)
 			if err != nil {
+				if acc != nil {
+					acc.Release()
+				}
 				return nil, err
 			}
-			stats.NodeInBytes[node.ID] += int64(len(p))
-			stats.LevelInBytes[node.Level] += int64(len(p))
+			stats.NodeInBytes[node.ID] += int64(p.Len())
+			stats.LevelInBytes[node.Level] += int64(p.Len())
 			stats.Packets++
-			if first {
+			var folded *Lease
+			if i == 0 {
 				// Normalize even a single child through the filter so a
 				// node's output shape does not depend on its arity.
-				acc, err = filter([][]byte{p})
-				first = false
+				folded, err = filter([]*Lease{p})
 			} else {
-				acc, err = filter([][]byte{acc, p})
+				folded, err = filter([]*Lease{acc, p})
+			}
+			p.Release()
+			if acc != nil {
+				acc.Release()
 			}
 			if err != nil {
 				return nil, fmt.Errorf("tbon: filter at node %d: %w", node.ID, err)
 			}
+			acc = folded
 		}
-		stats.NodeOutBytes[node.ID] = int64(len(acc))
+		stats.NodeOutBytes[node.ID] = int64(acc.Len())
 		return acc, nil
 	}
 
@@ -62,5 +75,7 @@ func (n *Network) ReduceSeq(leafData func(leaf int) ([]byte, error), filter Filt
 	if err != nil {
 		return nil, stats, err
 	}
-	return out, stats, nil
+	// The root lease is retired without recycling: the caller owns the
+	// result bytes outright.
+	return out.Bytes(), stats, nil
 }

@@ -37,6 +37,44 @@
 //     approaches full hardware parallelism.
 //
 // ReduceWith selects an engine at runtime from a ReduceOptions value.
+//
+// # Buffer lifetime
+//
+// Payloads move as refcounted leased buffers (Lease), not throwaway
+// byte slices. The contract, which every engine and transport obeys:
+//
+//   - A filter receives its child payloads as leases the engine owns. The
+//     bytes are valid for the duration of the call; a filter that wants
+//     them to outlive the call (a zero-copy decoder whose decoded tree
+//     views the wire buffer, say) calls Retain and pairs it with Release
+//     when the derived structure dies. Filters must not mutate input
+//     bytes: a retained buffer may still be counted, logged, or viewed by
+//     the engine.
+//
+//   - A filter returns its output as a lease it mints (NewLease), which
+//     transfers ownership to the engine. The free hook is how a filter
+//     recycles pooled output buffers: the engine releases its reference
+//     once the payload has been consumed upstream, and the buffer returns
+//     to the filter's pool with no copying anywhere in between. A
+//     pass-through filter may return a child lease itself (Retain it
+//     first), but must then hand the engine exclusive ownership of that
+//     return: keeping further references that other goroutines release
+//     concurrently races the engine's budget bookkeeping on the lease.
+//
+//   - Under EnginePipelined, a payload's bytes stay charged against
+//     ReduceOptions.BudgetBytes from the moment it is produced until the
+//     last reference is released — not merely until the consuming filter
+//     returns. A filter that pins child buffers therefore holds budget;
+//     the head-of-line bypass still guarantees progress, but a filter that
+//     pins payloads indefinitely starves the budget by design.
+//
+//   - The reduction result returned by the Reduce variants is an unleased
+//     byte slice owned by the caller: the root payload's lease is retired
+//     without recycling, so the bytes stay valid indefinitely.
+//
+// Leaf payloads returned by leafData callbacks are plain byte slices;
+// the engine wraps them. Ownership transfers to the engine — a leaf
+// callback must hand out a buffer it will not reuse.
 package tbon
 
 import (
@@ -107,7 +145,12 @@ func (n *Network) ReduceWith(opts ReduceOptions, leafData func(leaf int) ([]byte
 // payload forwarded to its parent. Inputs are ordered by child position.
 // Interior nodes receive their children's outputs; the root's filter output
 // is the reduction result.
-type Filter func(children [][]byte) ([]byte, error)
+//
+// Children are leases owned by the engine: their bytes are valid for the
+// duration of the call, and a filter retains any it needs longer. The
+// output lease transfers to the engine; see the package documentation's
+// buffer-lifetime contract. BytesFilter adapts plain []byte filters.
+type Filter func(children []*Lease) (*Lease, error)
 
 // Network is an overlay ready to run reductions and broadcasts over a
 // fixed topology.
@@ -166,7 +209,7 @@ func (s *Stats) MaxInBytesAtLevel(topo *topology.Tree, d int) int64 {
 }
 
 type result struct {
-	data []byte
+	data *Lease
 	err  error
 }
 
@@ -222,18 +265,24 @@ func (n *Network) Reduce(leafData func(leaf int) ([]byte, error), filter Filter)
 	}
 
 	// Each node runs as a goroutine: leaves produce, interior nodes gather
-	// in child order, filter, and forward.
+	// in child order, filter, and forward. Child leases are released once
+	// the filter returns (a filter that needs the bytes longer retains
+	// them); the output lease transfers to the transport on Send.
 	var wg sync.WaitGroup
 	rootCh := make(chan result, 1)
 	var run func(node *topology.Node)
 	run = func(node *topology.Node) {
 		defer wg.Done()
-		var out []byte
+		var out *Lease
 		var err error
 		if node.IsLeaf() {
-			out, err = leafData(node.LeafIndex)
+			var b []byte
+			b, err = leafData(node.LeafIndex)
+			if err == nil {
+				out = NewLease(b, nil)
+			}
 		} else {
-			inputs := make([][]byte, len(node.Children))
+			inputs := make([]*Lease, len(node.Children))
 			var in int64
 			for i, c := range node.Children {
 				inputs[i], err = conns[c.ID].parentEnd.Recv()
@@ -241,11 +290,20 @@ func (n *Network) Reduce(leafData func(leaf int) ([]byte, error), filter Filter)
 					err = fmt.Errorf("tbon: node %d recv from child %d: %w", node.ID, c.ID, err)
 					break
 				}
-				in += int64(len(inputs[i]))
+				in += int64(inputs[i].Len())
 			}
 			if err == nil {
 				out, err = filter(inputs)
-				record(node, in, int64(len(out)), int64(len(node.Children)))
+				var outLen int64
+				if err == nil {
+					outLen = int64(out.Len())
+				}
+				record(node, in, outLen, int64(len(node.Children)))
+			}
+			for _, l := range inputs {
+				if l != nil {
+					l.Release()
+				}
 			}
 		}
 		if node.Parent == nil {
@@ -259,7 +317,7 @@ func (n *Network) Reduce(leafData func(leaf int) ([]byte, error), filter Filter)
 			return
 		}
 		if node.IsLeaf() {
-			record(node, 0, int64(len(out)), 0)
+			record(node, 0, int64(out.Len()), 0)
 		}
 		if serr := conns[node.ID].childEnd.Send(out); serr != nil {
 			rootCh <- result{err: fmt.Errorf("tbon: node %d send: %w", node.ID, serr)}
@@ -279,17 +337,36 @@ func (n *Network) Reduce(leafData func(leaf int) ([]byte, error), filter Filter)
 	// the first error raised anywhere in the tree.
 	res := <-rootCh
 	if res.err != nil {
-		// Unblock any goroutines still waiting on closed peers, then drain.
+		// Unblock any goroutines still waiting on closed peers, then
+		// drain — releasing any leases riding on late results so their
+		// free hooks run and pooled buffers are not silently lost.
 		for _, c := range closers {
 			c.Close()
 		}
 		go func() { wg.Wait(); close(rootCh) }()
-		for range rootCh {
+		for late := range rootCh {
+			if late.data != nil {
+				late.data.Release()
+			}
+		}
+		if res.data != nil {
+			res.data.Release()
+		}
+		// Recover payloads stranded in transport buffers (a sender
+		// completed before the failure, the receiver never consumed):
+		// after close, the channel transport's Recv drains a raced
+		// message without blocking, and the TCP transport's fails fast.
+		for _, e := range conns {
+			if l, rerr := e.parentEnd.Recv(); rerr == nil && l != nil {
+				l.Release()
+			}
 		}
 		return nil, stats, res.err
 	}
 	wg.Wait()
-	return res.data, stats, nil
+	// Ownership of the result bytes passes to the caller: the root lease
+	// is retired without recycling, so the slice stays valid indefinitely.
+	return res.data.Bytes(), stats, nil
 }
 
 // Broadcast sends data from the front end to every daemon and returns the

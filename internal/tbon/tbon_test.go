@@ -7,6 +7,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"testing"
 
 	"stat/internal/sim"
@@ -15,7 +16,7 @@ import (
 
 // sumFilter parses child payloads as integers and sums them — an
 // associative reduction suitable for both Reduce and ReduceSeq.
-func sumFilter(children [][]byte) ([]byte, error) {
+var sumFilter = BytesFilter(func(children [][]byte) ([]byte, error) {
 	total := 0
 	for _, c := range children {
 		v, err := strconv.Atoi(string(c))
@@ -25,13 +26,13 @@ func sumFilter(children [][]byte) ([]byte, error) {
 		total += v
 	}
 	return []byte(strconv.Itoa(total)), nil
-}
+})
 
 // concatFilter joins child payloads in order — order-sensitive, verifying
 // deterministic child ordering.
-func concatFilter(children [][]byte) ([]byte, error) {
+var concatFilter = BytesFilter(func(children [][]byte) ([]byte, error) {
 	return bytes.Join(children, nil), nil
-}
+})
 
 func leafValue(leaf int) ([]byte, error) {
 	return []byte(strconv.Itoa(leaf + 1)), nil
@@ -134,10 +135,37 @@ func TestReduceLeafError(t *testing.T) {
 	}
 }
 
+// TestReduceFailureReleasesStrandedLeases pins the concurrent engine's
+// failure drain: output leases already sent into transport buffers, or
+// riding on late results, must still see their free hooks run after a
+// failed reduction, or pooled buffers would leak from their pools.
+func TestReduceFailureReleasesStrandedLeases(t *testing.T) {
+	topo, err := topology.Balanced(2, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := New(topo, nil)
+	boom := errors.New("boom")
+	var calls, outs, freed atomic.Int64
+	filter := func(children []*Lease) (*Lease, error) {
+		if calls.Add(1) == 5 {
+			return nil, boom
+		}
+		outs.Add(1)
+		return NewLease([]byte{1}, func([]byte) { freed.Add(1) }), nil
+	}
+	if _, _, err := n.Reduce(leafValue, filter); !errors.Is(err, boom) {
+		t.Fatalf("error %v does not wrap the filter error", err)
+	}
+	if f, p := freed.Load(), outs.Load(); f != p {
+		t.Fatalf("%d filter outputs produced, only %d freed after failure", p, f)
+	}
+}
+
 func TestReduceFilterError(t *testing.T) {
 	topo, _ := topology.Flat(4)
 	n := New(topo, nil)
-	bad := func([][]byte) ([]byte, error) { return nil, errors.New("filter died") }
+	bad := func([]*Lease) (*Lease, error) { return nil, errors.New("filter died") }
 	if _, _, err := n.Reduce(leafValue, bad); err == nil {
 		t.Error("parallel reduce swallowed filter error")
 	}
@@ -153,7 +181,7 @@ func TestReduceStatsBytes(t *testing.T) {
 	}
 	n := New(topo, nil)
 	leaf := func(l int) ([]byte, error) { return []byte("xxxx"), nil } // 4 bytes each
-	fixed := func(children [][]byte) ([]byte, error) { return []byte("yy"), nil }
+	fixed := func([]*Lease) (*Lease, error) { return NewLease([]byte("yy"), nil), nil }
 	_, stats, err := n.Reduce(leaf, fixed)
 	if err != nil {
 		t.Fatal(err)
@@ -212,23 +240,24 @@ func TestTCPTransportPair(t *testing.T) {
 
 	msgs := [][]byte{[]byte("hello"), {}, bytes.Repeat([]byte("x"), 100000)}
 	for _, m := range msgs {
-		if err := c.Send(m); err != nil {
+		if err := c.Send(NewLease(bytes.Clone(m), nil)); err != nil {
 			t.Fatal(err)
 		}
 		got, err := p.Recv()
 		if err != nil {
 			t.Fatal(err)
 		}
-		if !bytes.Equal(got, m) {
+		if !bytes.Equal(got.Bytes(), m) {
 			t.Errorf("round trip mismatch at %d bytes", len(m))
 		}
+		got.Release()
 	}
 	// Duplex.
-	if err := p.Send([]byte("down")); err != nil {
+	if err := p.Send(NewLease([]byte("down"), nil)); err != nil {
 		t.Fatal(err)
 	}
-	if got, err := c.Recv(); err != nil || string(got) != "down" {
-		t.Errorf("downstream: %q %v", got, err)
+	if got, err := c.Recv(); err != nil || string(got.Bytes()) != "down" {
+		t.Errorf("downstream: %v", err)
 	}
 }
 
@@ -266,7 +295,7 @@ func TestChannelConnCloseUnblocks(t *testing.T) {
 	if err := <-done; !errors.Is(err, ErrClosed) {
 		t.Errorf("Recv after close = %v, want ErrClosed", err)
 	}
-	if err := c.Send([]byte("x")); !errors.Is(err, ErrClosed) {
+	if err := c.Send(NewLease([]byte("x"), nil)); !errors.Is(err, ErrClosed) {
 		t.Errorf("Send after close = %v, want ErrClosed", err)
 	}
 }

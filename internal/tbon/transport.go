@@ -10,12 +10,20 @@ import (
 )
 
 // Conn is one end of a point-to-point message connection between a parent
-// and child in the overlay tree.
+// and child in the overlay tree. Messages are leased buffers: Send
+// consumes the caller's reference (the transport releases it once the
+// message is delivered or serialized), and Recv returns a lease the
+// receiver owns. The channel transport moves the lease itself — true
+// zero-copy hand-off — while the TCP transport copies through the socket
+// and leases its receive buffers from a pool, recycled when the receiver
+// releases them.
 type Conn interface {
-	// Send delivers one message to the peer.
-	Send([]byte) error
-	// Recv blocks for the next message from the peer.
-	Recv() ([]byte, error)
+	// Send delivers one message to the peer, consuming the caller's
+	// reference to l (on success and on error alike).
+	Send(l *Lease) error
+	// Recv blocks for the next message from the peer. The caller owns the
+	// returned lease and must release it when the payload is dead.
+	Recv() (*Lease, error)
 	// Close releases the connection; pending and future operations on
 	// either end fail. Close is idempotent.
 	Close() error
@@ -33,11 +41,12 @@ var ErrClosed = errors.New("tbon: connection closed")
 
 // ChannelTransport connects overlay processes with in-process channels.
 // This is the default: fast, deterministic, and sufficient for reductions
-// whose network timing is modeled rather than measured.
+// whose network timing is modeled rather than measured. Leases pass
+// through untouched, so a send is a pointer move, not a copy.
 type ChannelTransport struct{}
 
 type chanPipe struct {
-	msgs chan []byte
+	msgs chan *Lease
 	done chan struct{}
 	once sync.Once
 }
@@ -49,34 +58,38 @@ type chanEnd struct {
 
 // Pair implements Transport.
 func (ChannelTransport) Pair() (Conn, Conn, error) {
-	up := &chanPipe{msgs: make(chan []byte, 1), done: make(chan struct{})}
-	down := &chanPipe{msgs: make(chan []byte, 1), done: make(chan struct{})}
+	up := &chanPipe{msgs: make(chan *Lease, 1), done: make(chan struct{})}
+	down := &chanPipe{msgs: make(chan *Lease, 1), done: make(chan struct{})}
 	parent := &chanEnd{send: down, recv: up}
 	child := &chanEnd{send: up, recv: down}
 	return parent, child, nil
 }
 
-func (e *chanEnd) Send(b []byte) error {
+func (e *chanEnd) Send(l *Lease) error {
 	// Check for closure first: the buffered message channel may still have
 	// capacity, and select would otherwise pick the send case at random.
 	select {
 	case <-e.send.done:
+		l.Release()
 		return ErrClosed
 	case <-e.recv.done:
+		l.Release()
 		return ErrClosed
 	default:
 	}
 	select {
-	case e.send.msgs <- b:
+	case e.send.msgs <- l:
 		return nil
 	case <-e.send.done:
+		l.Release()
 		return ErrClosed
 	case <-e.recv.done:
+		l.Release()
 		return ErrClosed
 	}
 }
 
-func (e *chanEnd) Recv() ([]byte, error) {
+func (e *chanEnd) Recv() (*Lease, error) {
 	select {
 	case m := <-e.recv.msgs:
 		return m, nil
@@ -104,7 +117,13 @@ func (e *chanEnd) Close() error {
 type TCPTransport struct {
 	mu       sync.Mutex
 	listener net.Listener
+	bufs     *BufferPool
+	free     func([]byte) // t.bufs.Put, bound once
 }
+
+// recvBufPoolCap bounds the receive buffers a transport retains; beyond
+// it, released buffers are dropped to the garbage collector.
+const recvBufPoolCap = 16
 
 // NewTCPTransport listens on an ephemeral localhost port.
 func NewTCPTransport() (*TCPTransport, error) {
@@ -112,7 +131,9 @@ func NewTCPTransport() (*TCPTransport, error) {
 	if err != nil {
 		return nil, fmt.Errorf("tbon: listen: %w", err)
 	}
-	return &TCPTransport{listener: l}, nil
+	t := &TCPTransport{listener: l, bufs: NewBufferPool(recvBufPoolCap)}
+	t.free = t.bufs.Put
+	return t, nil
 }
 
 // Close shuts the transport's listener down.
@@ -140,11 +161,12 @@ func (t *TCPTransport) Pair() (Conn, Conn, error) {
 		dial.Close()
 		return nil, nil, fmt.Errorf("tbon: accept: %w", acc.err)
 	}
-	return &tcpConn{c: dial}, &tcpConn{c: acc.c}, nil
+	return &tcpConn{c: dial, t: t}, &tcpConn{c: acc.c, t: t}, nil
 }
 
 type tcpConn struct {
 	c    net.Conn
+	t    *TCPTransport
 	rmu  sync.Mutex
 	wmu  sync.Mutex
 	once sync.Once
@@ -154,9 +176,11 @@ type tcpConn struct {
 // tree at full BG/L scale fits comfortably.
 const maxFrame = 1 << 30
 
-func (t *tcpConn) Send(b []byte) error {
+func (t *tcpConn) Send(l *Lease) error {
+	defer l.Release()
 	t.wmu.Lock()
 	defer t.wmu.Unlock()
+	b := l.Bytes()
 	var hdr [4]byte
 	if len(b) > maxFrame {
 		return fmt.Errorf("tbon: frame of %d bytes exceeds limit", len(b))
@@ -169,7 +193,7 @@ func (t *tcpConn) Send(b []byte) error {
 	return err
 }
 
-func (t *tcpConn) Recv() ([]byte, error) {
+func (t *tcpConn) Recv() (*Lease, error) {
 	t.rmu.Lock()
 	defer t.rmu.Unlock()
 	var hdr [4]byte
@@ -180,11 +204,12 @@ func (t *tcpConn) Recv() ([]byte, error) {
 	if n > maxFrame {
 		return nil, fmt.Errorf("tbon: frame of %d bytes exceeds limit", n)
 	}
-	buf := make([]byte, n)
+	buf := t.t.bufs.Get(int(n))
 	if _, err := io.ReadFull(t.c, buf); err != nil {
+		t.t.bufs.Put(buf)
 		return nil, err
 	}
-	return buf, nil
+	return NewLease(buf, t.t.free), nil
 }
 
 func (t *tcpConn) Close() error {

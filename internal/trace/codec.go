@@ -42,56 +42,145 @@ func (t *internTable) intern(b []byte) string {
 	return s
 }
 
+// Pin is the retain/release surface of a leased wire buffer (a
+// tbon.Lease satisfies it). An aliasing decode retains the pin once per
+// tree whose labels view the buffer and releases it when that tree is
+// released, so the buffer provably outlives every label aliasing it.
+type Pin interface {
+	Retain()
+	Release()
+}
+
+// nodeFreeListCap and treeFreeListCap bound the codec free lists; beyond
+// them, released nodes and trees fall back to the shared pool / garbage
+// collector so one giant decode cannot pin memory on a codec that then
+// handles small packets forever.
+const (
+	nodeFreeListCap = 1 << 16
+	treeFreeListCap = 64
+)
+
 // Codec bundles the reusable allocation state of wire decoding: an intern
-// table for function names and a bitvec.Arena supplying decoded label
-// storage. A TBON merge filter decodes its children, merges, encodes and
-// releases everything before returning; with a Codec the decode side of
-// that cycle reuses the same arena slabs and name strings every invocation
-// instead of reallocating per packet. (The encode side needs no state:
-// Tree.AppendBinary writes into any caller buffer, allocation-free when
-// the buffer is pre-sized.)
+// table for function names, a bitvec.Arena supplying decoded label
+// storage, and free lists of recycled nodes and tree headers. A TBON
+// merge filter decodes its children, merges, encodes and releases
+// everything before returning; with a Codec every side of that cycle
+// reuses the same arena slabs, name strings, nodes and tree structs every
+// invocation instead of reallocating per packet — Release fills the free
+// lists, DecodeTree and MergeConcat drain them, with no per-node trip
+// through the shared sync.Pool and its synchronization. (The encode side
+// needs no state: Tree.AppendBinary writes into any caller buffer,
+// allocation-free when the buffer is pre-sized.)
 //
-// Lifecycle: every tree returned by DecodeTree borrows the codec's arena.
-// Tree.Release returns the borrow; when the last outstanding tree is
-// released the arena recycles automatically. The caller must release every
-// decoded tree before the codec may be shared onward (pooled, reused by
-// another goroutine): Live reports the outstanding count.
+// Lifecycle: every tree returned by DecodeTree, DecodeTreeAliasing or
+// MergeConcat borrows the codec's arena. Tree.Release returns the borrow;
+// when the last outstanding tree is released the arena recycles
+// automatically. The caller must release every such tree before the codec
+// may be shared onward (pooled, reused by another goroutine): Live
+// reports the outstanding count.
 //
 // Concurrency: a Codec is single-goroutine state. Decoded trees may be read
-// concurrently like any other tree, but DecodeTree and the Release calls
-// of the codec's trees must all happen on one goroutine at a time.
-// Concurrent filter workers each take their own Codec (sync.Pool is the
-// intended sharing mechanism).
+// concurrently like any other tree, but DecodeTree, MergeConcat and the
+// Release calls of the codec's trees must all happen on one goroutine at
+// a time. Concurrent filter workers each take their own Codec (sync.Pool
+// is the intended sharing mechanism).
 type Codec struct {
 	names internTable
 	arena bitvec.Arena
 	live  int
+	nodes []*Node // free list: filled by Tree.Release, drained by decodes and merges
+	trees []*Tree // free list of recycled tree headers
+	cm    concatMerger
 }
 
 // NewCodec returns an empty codec.
 func NewCodec() *Codec {
-	return &Codec{names: newInternTable()}
+	c := &Codec{names: newInternTable()}
+	c.cm.codec = c
+	return c
 }
 
 // DecodeTree decodes a tree encoded by Tree.MarshalBinary. The tree's
 // labels live in the codec's arena until the tree is released; see the
 // Codec lifecycle notes.
 func (c *Codec) DecodeTree(b []byte) (*Tree, error) {
-	t, err := decodeTree(b, &c.names, &c.arena, nil)
+	return c.decode(b, nil)
+}
+
+// DecodeTreeAliasing decodes like DecodeTree but zero-copy where
+// possible: on little-endian hosts, labels whose wire bytes land 8-byte
+// aligned become read-only views of b instead of copies (the rest copy
+// into the arena as usual — the decoded value is identical either way).
+// When any label aliases b, the codec retains pin once and the returned
+// tree releases it from Tree.Release, so the leased packet buffer stays
+// alive — and, under a budgeted reduction engine, stays charged — until
+// the tree is dead. The caller must keep b immutable and unrecycled for
+// the tree's lifetime; that is exactly what the pin enforces when b is a
+// tbon.Lease payload.
+//
+// The returned tree must be treated as read-only: mutating an aliased
+// label would corrupt the wire buffer. Merging it with MergeConcat (which
+// only reads its inputs) and encoding it are safe; the in-place MergeUnion
+// is not — original-mode filters use the copying DecodeTree.
+func (c *Codec) DecodeTreeAliasing(b []byte, pin Pin) (*Tree, error) {
+	return c.decode(b, pin)
+}
+
+func (c *Codec) decode(b []byte, pin Pin) (*Tree, error) {
+	t, aliased, err := decodeTree(b, &c.names, &c.arena, nil, c, pin != nil)
 	if err != nil {
 		// A failed decode may have carved label storage before erroring;
-		// reclaim it now if no live tree pins the arena.
+		// reclaim it now if no live tree pins the arena. (Nodes built
+		// before the error are dropped to the garbage collector.)
 		if c.live == 0 {
 			c.arena.Reset()
 		}
 		return nil, err
 	}
 	c.live++
-	t.release = c.noteRelease
+	t.owner = c
+	if aliased {
+		pin.Retain()
+		t.pin = pin
+	}
 	return t, nil
 }
 
-// Live reports how many trees decoded by this codec have not yet been
+// MergeConcat merges trees under the hierarchical representation exactly
+// like the package-level MergeConcat, but the output tree borrows the
+// codec: labels are carved from the codec's arena, nodes and the tree
+// header come from its free lists, and the tree must be Released (on the
+// codec's goroutine) like a decoded tree. At steady state — the
+// decode→merge→encode filter cycle on a warm codec — the merge performs
+// no heap allocation at all. Inputs are only read; merging aliasing
+// (read-only) trees is safe.
+func (c *Codec) MergeConcat(trees ...*Tree) *Tree {
+	total := 0
+	if cap(c.cm.offsets) < len(trees) {
+		c.cm.offsets = make([]int, len(trees))
+	}
+	offsets := c.cm.offsets[:len(trees)]
+	for i, tr := range trees {
+		offsets[i] = total
+		total += tr.NumTasks
+	}
+	c.cm.offsets, c.cm.total = offsets, total
+	if cap(c.cm.roots) < len(trees) {
+		c.cm.roots = make([]*Node, len(trees))
+	}
+	roots := c.cm.roots[:len(trees)]
+	for i, tr := range trees {
+		roots[i] = tr.Root
+	}
+	root := c.cm.merge(roots, 0)
+	t := c.getTree()
+	t.NumTasks, t.Root = total, root
+	c.live++
+	t.owner = c
+	return t
+}
+
+// Live reports how many trees handed out by this codec have not yet been
 // released. The codec must not be handed to another user while Live is
 // nonzero.
 func (c *Codec) Live() int { return c.live }
@@ -100,5 +189,38 @@ func (c *Codec) noteRelease() {
 	c.live--
 	if c.live == 0 {
 		c.arena.Reset()
+	}
+}
+
+// getNode pops a recycled node from the codec free list, falling back to
+// the shared pool. Free-list nodes, like pooled ones, keep their Children
+// backing arrays, so steady-state decodes regrow nothing.
+func (c *Codec) getNode(frame Frame, tasks *bitvec.Vector) *Node {
+	if n := len(c.nodes); n > 0 {
+		nd := c.nodes[n-1]
+		c.nodes[n-1] = nil
+		c.nodes = c.nodes[:n-1]
+		nd.Frame = frame
+		nd.Tasks = tasks
+		return nd
+	}
+	return newNode(frame, tasks)
+}
+
+// getTree pops a recycled tree header, reset for reuse.
+func (c *Codec) getTree() *Tree {
+	if n := len(c.trees); n > 0 {
+		t := c.trees[n-1]
+		c.trees[n-1] = nil
+		c.trees = c.trees[:n-1]
+		*t = Tree{}
+		return t
+	}
+	return &Tree{}
+}
+
+func (c *Codec) putTree(t *Tree) {
+	if len(c.trees) < treeFreeListCap {
+		c.trees = append(c.trees, t)
 	}
 }

@@ -13,6 +13,11 @@ import (
 // path. The pool is shared by every tree and safe for concurrent filter
 // workers; recycled nodes keep their Children backing array, so a
 // steady-state filter reuses child slices instead of regrowing them.
+// Codec-owned trees bypass this pool entirely: their nodes cycle through
+// the codec's single-goroutine free list (filled by Release, drained by
+// DecodeTree and MergeConcat), so the filter hot path pays no per-node
+// synchronization at all; the shared pool is the overflow and the home of
+// every tree built outside a codec.
 var nodePool = sync.Pool{New: func() any { return new(Node) }}
 
 // newNode returns a pooled node initialized with the given frame and
@@ -28,8 +33,9 @@ func newNode(frame Frame, tasks *bitvec.Vector) *Node {
 // decode paths whose trees are expected to outlive the call (the
 // package-level UnmarshalBinary), where slab locality and one allocation
 // per batch beat per-node pool misses. The filter cycle — decode, merge,
-// release, repeat — uses the pool instead (a nil *nodeBatch), because
-// released nodes return with warm Children capacity that slab nodes lack.
+// release, repeat — goes through the owning codec's free list instead,
+// because released nodes return with warm Children capacity that slab
+// nodes lack.
 // Releasing a slab-built tree is still safe: its nodes individually enter
 // the pool like any others.
 type nodeBatch struct {
@@ -59,36 +65,65 @@ func (b *nodeBatch) get(frame Frame, tasks *bitvec.Vector) *Node {
 	return n
 }
 
-// Release returns every node of the tree to the allocation pool and
-// clears the tree. The caller must own the tree outright: none of its
-// nodes may be shared with a live tree (the merge functions never share
-// nodes between input and output, so releasing a filter's decoded inputs
-// and encoded output is safe). Using the tree after Release is a bug.
+// Release returns every node of the tree to its allocation pool — the
+// owning codec's free list for codec-built trees, the shared sync.Pool
+// otherwise — and clears the tree. The caller must own the tree outright:
+// none of its nodes may be shared with a live tree (the merge functions
+// never share nodes between input and output, so releasing a filter's
+// decoded inputs and encoded output is safe). Using the tree after
+// Release is a bug; releasing it twice panics with a diagnostic, because
+// a double release would hand nodes now owned by a live tree back to the
+// allocator and corrupt whatever gets them next.
 //
 // A tree decoded by a Codec additionally returns its borrowed label
-// storage to the codec's arena (see the Codec lifecycle notes); releasing
-// such a tree on a goroutine other than the codec's is a data race.
+// storage to the codec's arena, and a tree decoded with
+// DecodeTreeAliasing drops its pin on the leased wire buffer (see the
+// Codec lifecycle notes); releasing such a tree on a goroutine other than
+// the codec's is a data race.
 func (t *Tree) Release() {
+	if t.released {
+		panic("trace: Tree.Release called twice (double release of a tree, or use of a released tree)")
+	}
+	t.released = true
 	if t.Root != nil {
-		var rec func(n *Node)
-		rec = func(n *Node) {
-			for _, c := range n.Children {
-				rec(c)
-			}
-			n.Frame = Frame{}
-			n.Tasks = nil
-			for i := range n.Children {
-				n.Children[i] = nil
-			}
-			n.Children = n.Children[:0]
-			nodePool.Put(n)
-		}
-		rec(t.Root)
+		recycleNodes(t.Root, t.owner)
 		t.Root = nil
 	}
-	if t.release != nil {
-		r := t.release
-		t.release = nil
-		r()
+	if t.pin != nil {
+		p := t.pin
+		t.pin = nil
+		p.Release()
 	}
+	if t.owner != nil {
+		o := t.owner
+		t.owner = nil
+		o.noteRelease()
+		o.putTree(t)
+	}
+}
+
+// recycleNodes is the one clear-and-recycle walk behind every release
+// path: each node is stripped of its payload (keeping the Children
+// backing array warm) and pushed to the owning codec's free list when
+// owner is non-nil — falling back to the shared pool when the list is
+// full — or straight to the shared pool otherwise.
+func recycleNodes(root *Node, owner *Codec) {
+	var rec func(n *Node)
+	rec = func(n *Node) {
+		for _, c := range n.Children {
+			rec(c)
+		}
+		n.Frame = Frame{}
+		n.Tasks = nil
+		for i := range n.Children {
+			n.Children[i] = nil
+		}
+		n.Children = n.Children[:0]
+		if owner != nil && len(owner.nodes) < nodeFreeListCap {
+			owner.nodes = append(owner.nodes, n)
+		} else {
+			nodePool.Put(n)
+		}
+	}
+	rec(root)
 }

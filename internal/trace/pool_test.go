@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"strings"
 	"sync"
 	"testing"
 )
@@ -72,8 +73,52 @@ func TestReleaseConcurrent(t *testing.T) {
 	wg.Wait()
 }
 
-func TestReleaseIdempotentOnEmpty(t *testing.T) {
+// TestDoubleReleasePanics pins the ownership guard: a second Release on
+// the same tree would hand nodes now owned by a live tree back to the
+// allocator, so it must fail loudly instead of corrupting the pool.
+func TestDoubleReleasePanics(t *testing.T) {
 	tr := NewTree(4)
+	tr.AddStack(1, "main", "f")
 	tr.Release()
-	tr.Release() // second release is a no-op, not a double-put
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("second Release did not panic")
+		}
+		if s, ok := r.(string); !ok || !strings.Contains(s, "Release called twice") {
+			t.Fatalf("panic %v does not carry the double-release diagnostic", r)
+		}
+	}()
+	tr.Release()
+}
+
+// TestCodecDoubleReleasePanics covers the codec-owned path, where the
+// stakes are higher: a double release would double-decrement the codec's
+// live count and recycle the arena under a live tree.
+func TestCodecDoubleReleasePanics(t *testing.T) {
+	src := NewTree(4)
+	src.AddStack(2, "main", "g")
+	enc, err := src.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	src.Release()
+	c := NewCodec()
+	tr, err := c.DecodeTree(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Release()
+	if c.Live() != 0 {
+		t.Fatalf("Live = %d after release", c.Live())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second Release of a codec tree did not panic")
+		}
+		if c.Live() != 0 {
+			t.Fatalf("double release corrupted Live: %d", c.Live())
+		}
+	}()
+	tr.Release()
 }

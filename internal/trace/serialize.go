@@ -99,7 +99,7 @@ var internPool = sync.Pool{New: func() any { t := newInternTable(); return &t }}
 func UnmarshalBinary(b []byte) (*Tree, error) {
 	names := internPool.Get().(*internTable)
 	var arena bitvec.Arena
-	t, err := decodeTree(b, names, &arena, &nodeBatch{})
+	t, _, err := decodeTree(b, names, &arena, &nodeBatch{}, nil, false)
 	internPool.Put(names)
 	return t, err
 }
@@ -114,10 +114,11 @@ func UnmarshalBinary(b []byte) (*Tree, error) {
 const maxDecodeDepth = 1 << 16
 
 // treeDecoder is the shared recursive decoder behind UnmarshalBinary and
-// Codec.DecodeTree: names are interned through names, label headers and
-// words are carved from arena, and nodes come from batch (nil means the
-// shared node pool). A struct with a method rather than a recursive
-// closure: no per-call closure allocation, direct recursive calls.
+// the Codec decodes: names are interned through names, label headers and
+// words are carved from arena (or alias the input in aliasing mode), and
+// nodes come from the codec free list, then batch, then the shared node
+// pool. A struct with a method rather than a recursive closure: no
+// per-call closure allocation, direct recursive calls.
 type treeDecoder struct {
 	b        []byte
 	pos      int
@@ -125,20 +126,26 @@ type treeDecoder struct {
 	names    *internTable
 	arena    *bitvec.Arena
 	batch    *nodeBatch
+	codec    *Codec // non-nil: draw nodes from the codec free list
+	alias    bool   // zero-copy labels where alignment allows
+	aliased  bool   // some label aliases b
 }
 
-func decodeTree(b []byte, names *internTable, arena *bitvec.Arena, batch *nodeBatch) (*Tree, error) {
+func decodeTree(b []byte, names *internTable, arena *bitvec.Arena, batch *nodeBatch, codec *Codec, alias bool) (*Tree, bool, error) {
 	if len(b) < 8 {
-		return nil, errors.New("trace: truncated header")
+		return nil, false, errors.New("trace: truncated header")
 	}
 	if [4]byte(b[0:4]) != magic {
-		return nil, errors.New("trace: bad magic")
+		return nil, false, errors.New("trace: bad magic")
 	}
-	// Label words can total at most len(b)/8; telling the arena up front
-	// lets a fresh (one-shot) arena allocate to fit rather than a default
-	// chunk, and costs a long-lived arena nothing once its slabs cover
-	// the working set.
-	arena.Grow(len(b) / 8)
+	if !alias {
+		// Label words can total at most len(b)/8; telling the arena up
+		// front lets a fresh (one-shot) arena allocate to fit rather than
+		// a default chunk, and costs a long-lived arena nothing once its
+		// slabs cover the working set. An aliasing decode skips the hint:
+		// most labels will view b, not the arena.
+		arena.Grow(len(b) / 8)
+	}
 	d := treeDecoder{
 		b:        b,
 		pos:      8,
@@ -146,15 +153,24 @@ func decodeTree(b []byte, names *internTable, arena *bitvec.Arena, batch *nodeBa
 		names:    names,
 		arena:    arena,
 		batch:    batch,
+		codec:    codec,
+		alias:    alias,
 	}
 	root, err := d.node(0)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	if d.pos != len(b) {
-		return nil, fmt.Errorf("trace: %d trailing bytes", len(b)-d.pos)
+		return nil, false, fmt.Errorf("trace: %d trailing bytes", len(b)-d.pos)
 	}
-	return &Tree{NumTasks: d.numTasks, Root: root}, nil
+	var t *Tree
+	if codec != nil {
+		t = codec.getTree()
+	} else {
+		t = &Tree{}
+	}
+	t.NumTasks, t.Root = d.numTasks, root
+	return t, d.aliased, nil
 }
 
 func (d *treeDecoder) node(depth int) (*Node, error) {
@@ -172,8 +188,19 @@ func (d *treeDecoder) node(depth int) (*Node, error) {
 	}
 	name := d.names.intern(b[d.pos : d.pos+nameLen])
 	d.pos += nameLen
-	// Label.
-	v, used, err := d.arena.UnmarshalBinary(b[d.pos:])
+	// Label: in aliasing mode the words view the wire buffer directly
+	// when the host and this label's alignment allow, and copy into the
+	// arena otherwise — byte-identical value either way.
+	var v *bitvec.Vector
+	var used int
+	var err error
+	if d.alias {
+		var aliased bool
+		v, used, aliased, err = d.arena.AliasBinary(b[d.pos:])
+		d.aliased = d.aliased || aliased
+	} else {
+		v, used, err = d.arena.UnmarshalBinary(b[d.pos:])
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -189,7 +216,12 @@ func (d *treeDecoder) node(depth int) (*Node, error) {
 	if nc > len(b)-d.pos { // each child needs ≥1 byte; cheap sanity bound
 		return nil, fmt.Errorf("trace: impossible child count %d", nc)
 	}
-	n := d.batch.get(Frame{Function: name}, v)
+	var n *Node
+	if d.codec != nil {
+		n = d.codec.getNode(Frame{Function: name}, v)
+	} else {
+		n = d.batch.get(Frame{Function: name}, v)
+	}
 	if nc > 0 && cap(n.Children) < nc {
 		n.Children = make([]*Node, 0, nc)
 	}

@@ -14,15 +14,28 @@
 // (see Release) so the concurrent merge path stays allocation-cheap.
 //
 // Wire encode/decode state follows the same discipline. A Codec — intern
-// table plus label arena — is single-goroutine state: DecodeTree and the
-// Release of that codec's decoded trees must be serial, so concurrent
-// filter workers take one Codec each (typically via sync.Pool) rather
-// than sharing one. The function-name strings a codec
-// interns are immutable and may be shared freely across trees and
-// goroutines; the package-level UnmarshalBinary draws its intern tables
-// from an internal pool, which is why concurrent decodes of the same
-// function namespace are safe yet still stop allocating name strings at
-// steady state.
+// table, label arena, node and tree free lists — is single-goroutine
+// state: DecodeTree, the codec's MergeConcat, and the Release of that
+// codec's trees must be serial, so concurrent filter workers take one
+// Codec each (typically via sync.Pool) rather than sharing one. The
+// function-name strings a codec interns are immutable and may be shared
+// freely across trees and goroutines; the package-level UnmarshalBinary
+// draws its intern tables from an internal pool, which is why concurrent
+// decodes of the same function namespace are safe yet still stop
+// allocating name strings at steady state.
+//
+// # Buffer lifetime
+//
+// Codec.DecodeTreeAliasing is the zero-copy decode: on little-endian
+// hosts, labels whose wire bytes land 8-byte aligned become read-only
+// views of the packet buffer instead of copies. Such a tree pins the
+// buffer — the codec retains the caller-supplied Pin (a tbon.Lease in
+// the reduction pipeline) once per aliasing tree and releases it from
+// Tree.Release, so the buffer provably outlives every label that views
+// it. Aliasing trees must be treated as immutable: mutating a label
+// would scribble on the wire buffer. The copying DecodeTree has no such
+// restriction and is what the in-place union merge of the original
+// representation uses.
 package trace
 
 import (
@@ -79,10 +92,17 @@ func (n *Node) insertChild(c *Node) {
 type Tree struct {
 	NumTasks int
 	Root     *Node
-	// release, when non-nil, is invoked once by Release after the nodes
-	// return to the pool. The wire Codec uses it to reclaim the arena
-	// backing this tree's labels.
-	release func()
+	// owner, when non-nil, is the Codec this tree borrows: Release
+	// returns the nodes (and the Tree struct itself) to the codec's free
+	// lists instead of the shared sync.Pool, and notifies the codec so it
+	// can recycle the label arena once nothing borrows it.
+	owner *Codec
+	// pin, when non-nil, is the leased wire buffer an aliasing decode
+	// left this tree's labels viewing; Release drops it last.
+	pin Pin
+	// released flips on Release so a second Release panics instead of
+	// silently double-recycling nodes shared with a now-live tree.
+	released bool
 }
 
 // NewTree returns an empty tree over a task space of n indexes.
@@ -271,11 +291,16 @@ func MergeConcat(trees ...*Tree) *Tree {
 // concatMerger carries one MergeConcat's state: the per-input bit offsets
 // and a per-depth scratch pool for the k-way walk (child cursors and the
 // parallel-node slice passed to the next level), reused across every node
-// at that depth.
+// at that depth. When codec is non-nil (Codec.MergeConcat), labels are
+// carved from the codec's arena and nodes are drawn from its free list,
+// making the steady-state merge allocation-free; the codec also keeps the
+// merger itself alive across calls so the scratch stays warm.
 type concatMerger struct {
 	offsets []int
 	total   int
 	scratch []concatScratch
+	codec   *Codec
+	roots   []*Node // call-level scratch for Codec.MergeConcat
 }
 
 type concatScratch struct {
@@ -288,7 +313,12 @@ type concatScratch struct {
 // scratch and is stable for the duration of the call.
 func (m *concatMerger) merge(parts []*Node, depth int) *Node {
 	// Label: concatenation with zero padding for absent parts.
-	label := bitvec.New(m.total)
+	var label *bitvec.Vector
+	if m.codec != nil {
+		label = m.codec.arena.New(m.total)
+	} else {
+		label = bitvec.New(m.total)
+	}
 	var frame Frame
 	for i, p := range parts {
 		if p == nil {
@@ -297,15 +327,24 @@ func (m *concatMerger) merge(parts []*Node, depth int) *Node {
 		frame = p.Frame
 		label.Blit(p.Tasks, m.offsets[i])
 	}
-	n := newNode(frame, label)
+	var n *Node
+	if m.codec != nil {
+		n = m.codec.getNode(frame, label)
+	} else {
+		n = newNode(frame, label)
+	}
 
 	if depth == len(m.scratch) {
-		m.scratch = append(m.scratch, concatScratch{
-			cur: make([]int, len(m.offsets)),
-			sub: make([]*Node, len(m.offsets)),
-		})
+		m.scratch = append(m.scratch, concatScratch{})
 	}
-	cur, sub := m.scratch[depth].cur, m.scratch[depth].sub
+	// A codec-held merger is reused across calls with varying input
+	// counts; (re)size this depth's scratch to the current width.
+	if cap(m.scratch[depth].cur) < len(m.offsets) {
+		m.scratch[depth].cur = make([]int, len(m.offsets))
+		m.scratch[depth].sub = make([]*Node, len(m.offsets))
+	}
+	cur := m.scratch[depth].cur[:len(m.offsets)]
+	sub := m.scratch[depth].sub[:len(m.offsets)]
 	for i := range cur {
 		cur[i] = 0
 	}
