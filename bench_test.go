@@ -172,6 +172,61 @@ func BenchmarkFig6BitVectorOps(b *testing.B) {
 			}
 		}
 	})
+	b.Run("frontend_remap_fused", func(b *testing.B) {
+		// The decode-fused formulation runMergePhase uses: a precompiled
+		// permutation applied while the label materializes from its wire
+		// bytes — one pass, arena-backed, no intermediate vector and no
+		// second scattered-store sweep. Comparable work to frontend_remap
+		// (same label, same permutation) minus the per-call validation,
+		// the decode-then-remap double pass and the output allocation.
+		v := bitvec.New(n)
+		for i := 0; i < n; i += 2 {
+			v.Set(i)
+		}
+		perm := make([]int, n)
+		for i := range perm {
+			perm[i] = (i*7919 + 13) % n
+		}
+		r, err := bitvec.NewRemapper(perm, n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		wire, err := v.MarshalBinary()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var arena bitvec.Arena
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := arena.RemapBinary(wire, r); err != nil {
+				b.Fatal(err)
+			}
+			arena.Reset()
+		}
+	})
+	b.Run("frontend_remap_inplace", func(b *testing.B) {
+		// The cycle-walking in-place form Tree.RemapWith falls back to:
+		// zero allocation, bits rotated along the permutation's cycles
+		// inside the vector's own words.
+		v := bitvec.New(n)
+		for i := 0; i < n; i += 2 {
+			v.Set(i)
+		}
+		perm := make([]int, n)
+		for i := range perm {
+			perm[i] = (i*7919 + 13) % n
+		}
+		r, err := bitvec.NewRemapper(perm, n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := r.ApplyInPlace(v); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkFig7OptimizedMerge regenerates the headline comparison:
@@ -516,7 +571,11 @@ func BenchmarkTreeMergeConcat(b *testing.B) {
 }
 
 // BenchmarkTreeSerialize measures the wire encode/decode of a daemon
-// payload in both representations.
+// payload in both representations and both wire formats. The wire_bytes
+// metric is the wire-size-vs-alias tradeoff at BG/L widths: STR2's
+// 8-byte padding costs a few percent on the narrow hierarchical payloads
+// whose labels are small, and a fraction of a percent at full job width
+// where labels dwarf names — the price of a 100% zero-copy alias rate.
 func BenchmarkTreeSerialize(b *testing.B) {
 	app, err := mpisim.NewRing(212992)
 	if err != nil {
@@ -529,30 +588,39 @@ func BenchmarkTreeSerialize(b *testing.B) {
 		{"original_208K_wide", 212992},
 		{"hierarchical_128_wide", 128},
 	} {
-		b.Run(mode.name, func(b *testing.B) {
-			t := trace.NewTree(mode.width)
-			for local := 0; local < 128; local++ {
-				idx := local
-				for s := 0; s < 3; s++ {
-					t.AddStack(idx, app.StackFuncs(local, 0, s)...)
+		for _, version := range []struct {
+			name string
+			v    uint8
+		}{
+			{"", trace.WireV1}, // unsuffixed = v1, keeping the gated series stable
+			{"_v2", trace.WireV2},
+		} {
+			b.Run(mode.name+version.name, func(b *testing.B) {
+				t := trace.NewTree(mode.width)
+				for local := 0; local < 128; local++ {
+					idx := local
+					for s := 0; s < 3; s++ {
+						t.AddStack(idx, app.StackFuncs(local, 0, s)...)
+					}
 				}
-			}
-			data, err := t.MarshalBinary()
-			if err != nil {
-				b.Fatal(err)
-			}
-			b.SetBytes(int64(len(data)))
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				enc, err := t.MarshalBinary()
+				data, err := t.MarshalBinaryV(version.v)
 				if err != nil {
 					b.Fatal(err)
 				}
-				if _, err := trace.UnmarshalBinary(enc); err != nil {
-					b.Fatal(err)
+				b.SetBytes(int64(len(data)))
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					enc, err := t.MarshalBinaryV(version.v)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if _, err := trace.UnmarshalBinary(enc); err != nil {
+						b.Fatal(err)
+					}
 				}
-			}
-		})
+				b.ReportMetric(float64(len(data)), "wire_bytes")
+			})
+		}
 	}
 }
 

@@ -4,7 +4,7 @@
 // baseline (a BENCH_*.json file) and fails when any gated benchmark
 // regressed by more than the threshold.
 //
-//	go run ./cmd/benchgate -baseline BENCH_3.json -results bench-datastructures.json
+//	go run ./cmd/benchgate -baseline BENCH_4.json -results bench-datastructures.json
 //
 // The baseline's "after" numbers are the gate. Because absolute ns/op is
 // host-dependent, the committed baseline should be refreshed from a
@@ -14,6 +14,16 @@
 // reported and ignored, so adding a benchmark never bricks CI; baseline
 // entries missing from the run fail the gate, so silently dropping a
 // gated benchmark cannot pass.
+//
+// With -write-baseline, benchgate instead distills a results stream into
+// a fresh baseline skeleton (the minimum schema the gate reads):
+//
+//	go run ./cmd/benchgate -results bench.json -write-baseline BENCH_next.json
+//
+// The manually-triggered bench-baseline CI job uses this to regenerate
+// the baseline on the GitHub-runner class and upload it as an artifact,
+// so the committed file can be refreshed from a CI-class host instead of
+// whatever laptop or container happens to run the benches.
 package main
 
 import (
@@ -141,6 +151,47 @@ func gate(baseline map[string]float64, results map[string]float64, maxRegress fl
 	return sb.String(), ok
 }
 
+// writeBaseline distills parsed results into a committed-baseline
+// skeleton: every benchmark's measured ns/op becomes its "after" gate
+// value. The emitted file parses with the same schema run() reads, so a
+// CI artifact can be committed as BENCH_N.json directly (adding the
+// description/host prose by hand).
+func writeBaseline(resultsPath, outPath string) error {
+	rf, err := os.Open(resultsPath)
+	if err != nil {
+		return err
+	}
+	defer rf.Close()
+	results, err := parseResults(rf)
+	if err != nil {
+		return err
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("benchgate: no benchmark results in %s", resultsPath)
+	}
+	type after struct {
+		NsOp float64 `json:"ns_op"`
+	}
+	type entry struct {
+		After after `json:"after"`
+	}
+	out := struct {
+		Description string           `json:"description"`
+		Benchmarks  map[string]entry `json:"benchmarks"`
+	}{
+		Description: "Regenerated benchgate baseline (ns/op gates only). Produced by `benchgate -write-baseline` from a fresh benchmark run; fill in host/before prose when committing as BENCH_N.json.",
+		Benchmarks:  map[string]entry{},
+	}
+	for name, ns := range results {
+		out.Benchmarks[name] = entry{After: after{NsOp: ns}}
+	}
+	buf, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(outPath, append(buf, '\n'), 0o644)
+}
+
 func run(baselinePath, resultsPath string, maxRegress float64) error {
 	bb, err := os.ReadFile(baselinePath)
 	if err != nil {
@@ -180,7 +231,20 @@ func main() {
 	baselinePath := flag.String("baseline", "", "committed BENCH_*.json baseline")
 	resultsPath := flag.String("results", "", "go test -json -bench output to gate")
 	maxRegress := flag.Float64("max-regress", 0.20, "maximum tolerated ns/op regression (0.20 = 20%)")
+	baselineOut := flag.String("write-baseline", "", "instead of gating, write a fresh baseline skeleton from -results to this path")
 	flag.Parse()
+	if *baselineOut != "" {
+		if *resultsPath == "" {
+			flag.Usage()
+			os.Exit(2)
+		}
+		if err := writeBaseline(*resultsPath, *baselineOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote baseline %s\n", *baselineOut)
+		return
+	}
 	if *baselinePath == "" || *resultsPath == "" {
 		flag.Usage()
 		os.Exit(2)

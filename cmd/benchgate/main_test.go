@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -67,5 +70,46 @@ func TestGate(t *testing.T) {
 		"BenchmarkA": 1100, "BenchmarkB": 900, "BenchmarkC": 1199,
 	}, 0.20); !ok {
 		t.Error("gate failed a run inside the margin")
+	}
+}
+
+// TestWriteBaselineRoundTrips: a baseline emitted from a results stream
+// must parse back through run()'s schema with identical gate values —
+// that is what lets a CI artifact be committed as BENCH_N.json directly.
+func TestWriteBaselineRoundTrips(t *testing.T) {
+	dir := t.TempDir()
+	results := filepath.Join(dir, "results.json")
+	resultsData := `{"Action":"output","Output":"BenchmarkFilterCycle/hierarchical-4   85050   1957 ns/op   0 B/op   0 allocs/op\n"}
+{"Action":"output","Output":"BenchmarkTreeMergeConcat-4   8000   14125 ns/op\n"}`
+	if err := os.WriteFile(results, []byte(resultsData), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "BENCH_next.json")
+	if err := writeBaseline(results, out); err != nil {
+		t.Fatal(err)
+	}
+	bb, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bf baselineFile
+	if err := json.Unmarshal(bb, &bf); err != nil {
+		t.Fatalf("emitted baseline does not parse with the gate's schema: %v", err)
+	}
+	want := map[string]float64{
+		"BenchmarkFilterCycle/hierarchical": 1957,
+		"BenchmarkTreeMergeConcat":          14125,
+	}
+	if len(bf.Benchmarks) != len(want) {
+		t.Fatalf("baseline has %d entries, want %d", len(bf.Benchmarks), len(want))
+	}
+	for name, ns := range want {
+		if got := bf.Benchmarks[name].After.NsOp; got != ns {
+			t.Errorf("%s: ns_op %v, want %v", name, got, ns)
+		}
+	}
+	// And the gate accepts its own emission against the same run.
+	if err := run(out, results, 0.20); err != nil {
+		t.Errorf("gate rejects its own baseline: %v", err)
 	}
 }

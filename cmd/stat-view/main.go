@@ -29,6 +29,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "stat-view:", err)
 		os.Exit(1)
 	}
+	// The decoder dispatches on the magic, so v1 captures from old builds
+	// and 8-aligned v2 saves open alike; sniff first only to report it.
+	version, err := trace.SniffWireVersion(data)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stat-view:", err)
+		os.Exit(1)
+	}
 	tree, err := trace.UnmarshalBinary(data)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "stat-view:", err)
@@ -42,8 +49,8 @@ func main() {
 		}
 		return
 	}
-	fmt.Printf("%s: %d tasks, %d nodes, depth %d\n\n",
-		flag.Arg(0), tree.NumTasks, tree.NodeCount(), tree.Depth())
+	fmt.Printf("%s: wire format v%d, %d tasks, %d nodes, depth %d\n\n",
+		flag.Arg(0), version, tree.NumTasks, tree.NodeCount(), tree.Depth())
 	if *outline {
 		fmt.Print(tree)
 	}

@@ -15,6 +15,7 @@ import (
 
 	"stat/internal/core"
 	"stat/internal/machine"
+	"stat/internal/proto"
 	"stat/internal/tbon"
 	"stat/internal/topology"
 )
@@ -46,9 +47,13 @@ func run() error {
 		engineName  = flag.String("engine", "seq", "TBON reduction engine: seq, concurrent, or pipelined")
 		workers     = flag.Int("reduce-workers", 0, "pipelined engine worker count (0 = GOMAXPROCS)")
 		budget      = flag.Int64("reduce-budget", 0, "pipelined engine in-flight payload byte budget (0 = unbounded)")
+		wireVersion = flag.Uint("wire", 0, "cap the negotiated wire format version (0 = build maximum; 1 = compact STR1, 2 = 8-aligned STR2)")
 	)
 	flag.Parse()
 
+	if *wireVersion > proto.MaxVersion {
+		return fmt.Errorf("unknown wire version %d (this build speaks 1..%d)", *wireVersion, proto.MaxVersion)
+	}
 	opts := core.Options{
 		Tasks:             *tasks,
 		Samples:           *samples,
@@ -58,6 +63,7 @@ func run() error {
 		Seed:              *seed,
 		ReduceWorkers:     *workers,
 		ReduceBudgetBytes: *budget,
+		WireVersion:       uint8(*wireVersion),
 	}
 	switch *engineName {
 	case "seq":
@@ -139,7 +145,8 @@ func run() error {
 		fmt.Printf("  sbrs     %8.3fs (relocated %d bytes)\n", res.Times.SBRS, res.SBRSReport.Bytes)
 	}
 	fmt.Printf("  sample   %8.2fs\n", res.Times.Sample)
-	fmt.Printf("  merge    %8.4fs (front end received %d bytes)\n", res.Times.Merge, res.FrontEndInBytes)
+	fmt.Printf("  merge    %8.4fs (front end received %d bytes, wire format v%d)\n",
+		res.Times.Merge, res.FrontEndInBytes, res.WireVersion)
 	if res.Times.Remap > 0 {
 		fmt.Printf("  remap    %8.3fs\n", res.Times.Remap)
 	}
@@ -184,14 +191,20 @@ func run() error {
 		fmt.Printf("\nwrote %s\n", *dotPath)
 	}
 	if *savePath != "" {
-		data, err := res.Tree3D.MarshalBinary()
+		// Save in the session's negotiated format; stat-view dispatches on
+		// the magic, and v1 captures stay readable forever.
+		saveVersion := res.WireVersion
+		if saveVersion == 0 {
+			saveVersion = proto.Version
+		}
+		data, err := res.Tree3D.MarshalBinaryV(saveVersion)
 		if err != nil {
 			return err
 		}
 		if err := os.WriteFile(*savePath, data, 0o644); err != nil {
 			return err
 		}
-		fmt.Printf("saved merged tree to %s (%d bytes)\n", *savePath, len(data))
+		fmt.Printf("saved merged tree to %s (%d bytes, wire format v%d)\n", *savePath, len(data), saveVersion)
 	}
 	return nil
 }

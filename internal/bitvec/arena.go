@@ -141,6 +141,32 @@ func (a *Arena) UnmarshalBinary(b []byte) (*Vector, int, error) {
 	return v, need, nil
 }
 
+// RemapBinary decodes a vector encoded by Vector.MarshalBinary directly
+// through a compiled permutation: the returned arena-backed vector has
+// width r.Width() and holds the wire label's members pushed through r.
+// The wire label's declared width must equal r.SourceLen(). This is the
+// decode-fused front-end remap — each wire word is read once and its set
+// bits scatter straight to their remapped targets, with no intermediate
+// vector and no second sweep — and it accepts exactly the encodings
+// UnmarshalBinary accepts (shared header parse, same canonical-form
+// check).
+func (a *Arena) RemapBinary(b []byte, r *Remapper) (*Vector, int, error) {
+	n, nw, need, err := parseWireHeader(b)
+	if err != nil {
+		return nil, 0, err
+	}
+	words := a.grabWords((r.Width() + 63) / 64)
+	for i := range words {
+		words[i] = 0
+	}
+	if err := r.scatterWire(words, b[8:need], n, nw); err != nil {
+		return nil, 0, err
+	}
+	v := a.grabVec()
+	*v = Vector{n: r.Width(), words: words}
+	return v, need, nil
+}
+
 // AliasBinary decodes like UnmarshalBinary but avoids the word copy when
 // it can: on little-endian hosts, when b's word bytes happen to be 8-byte
 // aligned in memory, the returned vector's words are a view of b itself.

@@ -1,8 +1,11 @@
 package bitvec
 
 import (
+	"encoding/binary"
+	"errors"
 	"fmt"
 	"math/bits"
+	"sync"
 )
 
 // Remapper is a compiled permutation from a source task space onto a target
@@ -13,12 +16,33 @@ import (
 // end remaps every node of two merged trees through the same permutation,
 // which is exactly the shape this type exists for.
 //
+// Three apply forms cover the front end's decode shapes:
+//
+//   - Apply/ApplyInto: scattered stores into a fresh (or caller-owned)
+//     target vector — the classic two-pass form.
+//   - ApplyInPlace: cycle-walking, for square permutations only. The bits
+//     rotate along the permutation's cycles inside the vector's own words,
+//     so no second buffer exists at all; Tree.RemapWith uses it as the
+//     fallback for trees that were decoded by copying.
+//   - ScatterWire (via Arena.RemapBinary): the decode-fused form. Each wire
+//     word is loaded once — a direct word view when the bytes land 8-byte
+//     aligned, as the STR2 wire format guarantees — and its set bits
+//     scatter straight to their remapped targets. One pass over the wire,
+//     no intermediate vector, no second scattered-store sweep.
+//
 // A Remapper keeps a reference to perm rather than copying it; the caller
 // must not mutate perm while the Remapper is in use. A Remapper is
 // read-only after construction and safe for concurrent Apply calls.
 type Remapper struct {
 	perm  []int
 	width int
+	// starts holds one entry per non-trivial permutation cycle, compiled
+	// lazily (walking the cycles costs one cache-hostile pass over perm,
+	// which callers that never ApplyInPlace should not pay) and only for
+	// square permutations. Guarded by startsOnce so the lazy compile
+	// preserves the concurrent-Apply contract.
+	starts     []int32
+	startsOnce sync.Once
 }
 
 // NewRemapper compiles and validates a permutation. perm maps source bit i
@@ -41,8 +65,37 @@ func NewRemapper(perm []int, width int) (*Remapper, error) {
 	return &Remapper{perm: perm, width: width}, nil
 }
 
+// cycleStarts decomposes a bijective perm into its non-trivial cycles and
+// returns one starting index per cycle. Fixed points are skipped: walking
+// them would be a no-op.
+func cycleStarts(perm []int) []int32 {
+	visited := New(len(perm))
+	var starts []int32
+	for i, t := range perm {
+		if visited.Get(i) {
+			continue
+		}
+		if t == i {
+			visited.Set(i)
+			continue
+		}
+		starts = append(starts, int32(i))
+		for j := i; !visited.Get(j); j = perm[j] {
+			visited.Set(j)
+		}
+	}
+	return starts
+}
+
 // Width reports the target task-space width.
 func (r *Remapper) Width() int { return r.width }
+
+// SourceLen reports the source task-space width (the permutation's length).
+func (r *Remapper) SourceLen() int { return len(r.perm) }
+
+// Square reports whether the permutation is a bijection on one task space
+// (source and target widths equal), the precondition of ApplyInPlace.
+func (r *Remapper) Square() bool { return len(r.perm) == r.width }
 
 // Apply returns a new vector of width r.Width() holding v's members pushed
 // through the permutation. v's width must equal the permutation's length.
@@ -74,6 +127,100 @@ func (r *Remapper) ApplyInto(dst, v *Vector) error {
 			w &= w - 1
 			target := r.perm[wi<<6+b]
 			dw[target>>6] |= 1 << (uint(target) & 63)
+		}
+	}
+	return nil
+}
+
+// ApplyInPlace rewrites v through the permutation inside v's own word
+// storage by walking the permutation's cycles: the bit values rotate along
+// each cycle, carried one step at a time, so no second buffer is ever
+// allocated or zeroed. It requires a square permutation (source width ==
+// target width) and a vector the caller owns outright — remapping a label
+// that aliases a wire buffer would scribble on the buffer.
+func (r *Remapper) ApplyInPlace(v *Vector) error {
+	if len(r.perm) != r.width {
+		return fmt.Errorf("bitvec: ApplyInPlace requires a square permutation (%d source bits onto %d)", len(r.perm), r.width)
+	}
+	if v.n != r.width {
+		return fmt.Errorf("%w: ApplyInPlace vector width %d, Remapper width %d", ErrWidthMismatch, v.n, r.width)
+	}
+	r.startsOnce.Do(func() { r.starts = cycleStarts(r.perm) })
+	w := v.words
+	for _, s := range r.starts {
+		i := int(s)
+		// new[perm[j]] = old[j] along the cycle: carry old[i] forward,
+		// swapping the carry with each successive position's bit.
+		carry := w[i>>6] >> (uint(i) & 63) & 1
+		for j := r.perm[i]; j != i; j = r.perm[j] {
+			wi, mask := j>>6, uint64(1)<<(uint(j)&63)
+			next := w[wi] & mask
+			if carry != 0 {
+				w[wi] |= mask
+			} else {
+				w[wi] &^= mask
+			}
+			if next != 0 {
+				carry = 1
+			} else {
+				carry = 0
+			}
+		}
+		wi, mask := i>>6, uint64(1)<<(uint(i)&63)
+		if carry != 0 {
+			w[wi] |= mask
+		} else {
+			w[wi] &^= mask
+		}
+	}
+	return nil
+}
+
+// scatterWire pushes the set bits of nw little-endian wire words in body
+// through the permutation into dst, a pre-zeroed word slice of width
+// r.width bits; n is the declared source width, which must equal the
+// permutation's length. Each wire word is loaded exactly once — via a
+// direct word view when the body bytes land 8-aligned in memory (what the
+// STR2 wire format arranges), via portable loads otherwise — and its set
+// bits scatter straight to their targets. This is the decode-fused remap
+// kernel: no intermediate vector is materialized and no second sweep over
+// the label ever runs. It applies the same canonical-form check as the
+// plain decode paths (no stray bits beyond the declared width).
+func (r *Remapper) scatterWire(dst []uint64, body []byte, n, nw int) error {
+	if n != len(r.perm) {
+		return fmt.Errorf("bitvec: Remap perm has %d entries for %d wire bits", len(r.perm), n)
+	}
+	perm := r.perm
+	tail := uint64(0)
+	if n&63 != 0 && nw > 0 {
+		tail = ^((1 << (uint(n) & 63)) - 1)
+	}
+	if ws, ok := bytesWords(body); ok {
+		for wi, w := range ws {
+			if wi == nw-1 && w&tail != 0 {
+				return errors.New("bitvec: stray bits beyond declared width")
+			}
+			base := wi << 6
+			for w != 0 {
+				b := bits.TrailingZeros64(w)
+				w &= w - 1
+				target := perm[base+b]
+				dst[target>>6] |= 1 << (uint(target) & 63)
+			}
+		}
+		return nil
+	}
+	for wi := 0; wi < nw; wi++ {
+		w := binary.LittleEndian.Uint64(body[8*wi:])
+		if wi == nw-1 && w&tail != 0 {
+			return errors.New("bitvec: stray bits beyond declared width")
+		}
+		base := wi << 6
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			w &= w - 1
+			target := perm[base+b]
+			dst[target>>6] |= 1 << (uint(target) & 63)
 		}
 	}
 	return nil

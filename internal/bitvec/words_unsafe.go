@@ -23,6 +23,12 @@ var hostLittleEndian = func() bool {
 	return *(*byte)(unsafe.Pointer(&x)) == 0x02
 }()
 
+// HostLittleEndian reports whether the zero-copy (aliasing) decode paths
+// can run on this host at all. Tests asserting a 100% alias rate on the
+// aligned wire format guard on it; big-endian hosts always take the
+// copying fallback and are correct, just not zero-copy.
+func HostLittleEndian() bool { return hostLittleEndian }
+
 // wordBytes views w's backing array as bytes in host order. The caller
 // must not retain the view beyond the life of w.
 func wordBytes(w []uint64) []byte {

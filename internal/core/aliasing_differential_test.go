@@ -17,13 +17,13 @@ import (
 // output buffer. It is the reference side of the aliasing-vs-copying
 // differential: if the leased-buffer path ever corrupts or reorders a
 // byte, the two sides diverge.
-func copyingMergeFilter(hierarchical bool) tbon.Filter {
+func copyingMergeFilter(hierarchical bool, version uint8) tbon.Filter {
 	return tbon.BytesFilter(func(children [][]byte) ([]byte, error) {
 		codec := trace.NewCodec()
 		lists := make([][]*trace.Tree, len(children))
 		for i, c := range children {
 			var err error
-			lists[i], err = appendDecodedTrees(codec, nil, c, nil)
+			lists[i], err = appendDecodedTrees(codec, nil, c, nil, nil)
 			if err != nil {
 				return nil, err
 			}
@@ -46,7 +46,7 @@ func copyingMergeFilter(hierarchical bool) tbon.Filter {
 				merged[ti] = acc
 			}
 		}
-		out, err := encodeTrees(merged...)
+		out, err := encodeTrees(version, merged...)
 		if err != nil {
 			return nil, err
 		}
@@ -93,6 +93,7 @@ func TestAliasingDecodeMatchesCopyingAcrossEngines(t *testing.T) {
 	// both the aliasing fast path and the copy fallback run.
 	funcs := []string{"m", "ab", "xyz", "solve", "mpi_wait_all", "io"}
 
+	for _, version := range []uint8{trace.WireV1, trace.WireV2} {
 	for _, mode := range []BitVecMode{Original, Hierarchical} {
 		tool, err := New(Options{
 			Machine:  machine.Atlas(),
@@ -141,7 +142,7 @@ func TestAliasingDecodeMatchesCopyingAcrossEngines(t *testing.T) {
 					}
 				}
 				off += widths[i]
-				body, err := encodeTrees(t2, t3)
+				body, err := encodeTrees(version, t2, t3)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -151,21 +152,22 @@ func TestAliasingDecodeMatchesCopyingAcrossEngines(t *testing.T) {
 			leaf := func(i int) ([]byte, error) { return leafBodies[i], nil }
 			net := tbon.New(topo, nil)
 			production := tool.mergeFilter()
-			reference := copyingMergeFilter(mode != Original)
+			reference := copyingMergeFilter(mode != Original, version)
 			for _, eng := range engines {
 				want, _, err := net.ReduceWith(eng.opts, leaf, reference)
 				if err != nil {
-					t.Fatalf("%v/%s/%s copying: %v", mode, tc.name, eng.name, err)
+					t.Fatalf("v%d/%v/%s/%s copying: %v", version, mode, tc.name, eng.name, err)
 				}
 				got, _, err := net.ReduceWith(eng.opts, leaf, production)
 				if err != nil {
-					t.Fatalf("%v/%s/%s aliasing: %v", mode, tc.name, eng.name, err)
+					t.Fatalf("v%d/%v/%s/%s aliasing: %v", version, mode, tc.name, eng.name, err)
 				}
 				if !bytes.Equal(got, want) {
-					t.Errorf("%v/%s/%s: aliasing filter output differs from copying filter",
-						mode, tc.name, eng.name)
+					t.Errorf("v%d/%v/%s/%s: aliasing filter output differs from copying filter",
+						version, mode, tc.name, eng.name)
 				}
 			}
 		}
+	}
 	}
 }

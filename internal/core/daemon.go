@@ -5,6 +5,7 @@ import (
 
 	"stat/internal/proto"
 	"stat/internal/stackwalk"
+	"stat/internal/tbon"
 	"stat/internal/trace"
 )
 
@@ -52,6 +53,10 @@ type daemon struct {
 	// one session observe fresh samples — how the tool distinguishes a
 	// task that is stuck from one that is merely waiting.
 	epoch int
+	// wireVersion is the data-stream wire version negotiated at attach:
+	// the highest version both the front end (per its attach request) and
+	// this daemon speak. Gather payloads are encoded in it.
+	wireVersion uint8
 }
 
 // handleControl advances the daemon's state machine for one control
@@ -65,8 +70,13 @@ func (d *daemon) handleControl(p proto.Packet) proto.Ack {
 		if d.state != stateInit && d.state != stateDetached {
 			return fail("attach while %s", d.state)
 		}
+		req, err := proto.DecodeAttachRequest(p.Payload)
+		if err != nil {
+			return fail("%v", err)
+		}
+		d.wireVersion = proto.Negotiate(req.MaxVersion, d.tool.maxWireVersion())
 		d.state = stateAttached
-		return proto.Ack{OK: 1}
+		return proto.Ack{OK: 1, Version: d.wireVersion}
 	case proto.MsgSample:
 		if d.state != stateAttached && d.state != stateSampled {
 			return fail("sample while %s", d.state)
@@ -94,10 +104,18 @@ func (d *daemon) handleControl(p proto.Packet) proto.Ack {
 	}
 }
 
-// gatherPayload performs the daemon's real work for a gather command:
-// walk every local task's stack for the recorded sample count, fold the
-// traces into the requested prefix trees, and return them serialized.
-func (d *daemon) gatherPayload(req proto.GatherRequest) ([]byte, error) {
+// gatherPacket performs the daemon's real work for a gather command: walk
+// every local task's stack for the recorded sample count, fold the traces
+// into the requested prefix trees, and return them serialized — in the
+// wire version negotiated at attach — as a complete MsgResult packet
+// minted from the shared buffer pool behind a lease. The payload is
+// encoded in place after a reserved packet header, and the lease's free
+// hook returns the buffer to the pool once the parent's filter is done
+// with it, so leaf payload production allocates nothing at steady state
+// (ROADMAP's "leased buffers end to end"). Under v2 the pooled buffer's
+// 8-aligned base plus the 16-byte header land every label word-aligned
+// for the upstream zero-copy decode.
+func (d *daemon) gatherPacket(req proto.GatherRequest) (*tbon.Lease, error) {
 	if d.state != stateSampled {
 		return nil, fmt.Errorf("core: daemon %d: gather while %s", d.leaf, d.state)
 	}
@@ -134,17 +152,29 @@ func (d *daemon) gatherPayload(req proto.GatherRequest) ([]byte, error) {
 			}
 		}
 	}
-	var out []byte
-	var err error
+	version := d.wireVersion
+	if version == 0 {
+		version = proto.Version
+	}
+	var trees []*trace.Tree
 	switch req.Which {
 	case proto.Tree2D:
-		out, err = encodeTrees(t2)
+		trees = []*trace.Tree{t2}
 	case proto.Tree3D:
-		out, err = encodeTrees(t3)
+		trees = []*trace.Tree{t3}
 	default:
-		out, err = encodeTrees(t2, t3)
+		trees = []*trace.Tree{t2, t3}
 	}
+	hdr := proto.HeaderSizeV(version)
+	size := encodedTreesSize(version, trees)
+	buf := outBufs.Get(hdr + size)
+	packet, err := encodeTreesInto(buf[:hdr], version, trees...)
 	t2.Release()
 	t3.Release()
-	return out, err
+	if err != nil {
+		outBufs.Put(buf)
+		return nil, err
+	}
+	proto.PutHeaderV(packet, version, proto.DataStream, proto.MsgResult, len(packet)-hdr)
+	return tbon.NewLease(packet, recycleOutBuf), nil
 }

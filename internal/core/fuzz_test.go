@@ -7,43 +7,57 @@ import (
 	"stat/internal/trace"
 )
 
-// FuzzDecodeTrees feeds arbitrary bytes to the MsgResult body parser: it
-// must never panic, must error on malformed frames, and must re-encode
-// whatever it accepts byte-identically.
+// FuzzDecodeTrees feeds arbitrary bytes to the version-dispatched
+// MsgResult body parser: it must never panic, must error on malformed
+// frames of either framing, and must re-encode whatever it accepts
+// byte-identically under the wire version the body was framed with.
 func FuzzDecodeTrees(f *testing.F) {
-	mk := func() []byte {
+	mk := func(version uint8) []byte {
 		t2 := trace.NewTree(4)
 		t2.AddStack(0, "main", "hang")
 		t3 := trace.NewTree(4)
 		t3.AddStack(1, "main", "spin", "lock")
-		b, err := encodeTrees(t2, t3)
+		b, err := encodeTrees(version, t2, t3)
 		if err != nil {
 			f.Fatal(err)
 		}
 		return b
 	}
-	valid := mk()
+	validV1 := mk(trace.WireV1)
+	validV2 := mk(trace.WireV2)
 	f.Add([]byte{})
-	f.Add([]byte{0}) // zero trees, empty body
-	f.Add([]byte{2}) // claims two trees, carries none
-	f.Add(valid)
-	f.Add(valid[:len(valid)-3])                // truncated tree body
-	f.Add(valid[:5])                           // truncated length frame
-	f.Add(append(bytes.Clone(valid), 1, 2, 3)) // trailing bytes
-	big := bytes.Clone(valid)
+	f.Add([]byte{0})                            // zero trees, empty v1 body
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0})      // zero trees, empty v2 body
+	f.Add([]byte{2})                            // claims two trees, carries none
+	f.Add(validV1)
+	f.Add(validV2)
+	f.Add(validV1[:len(validV1)-3])                // truncated tree body
+	f.Add(validV2[:len(validV2)-5])                // truncated v2 tree body
+	f.Add(validV1[:5])                             // truncated length frame
+	f.Add(validV2[:12])                            // truncated v2 length frame
+	f.Add(append(bytes.Clone(validV1), 1, 2, 3))   // trailing bytes
+	f.Add(append(bytes.Clone(validV2), 1, 2, 3))   // trailing bytes after v2
+	big := bytes.Clone(validV1)
 	big[1], big[2], big[3], big[4] = 0xFF, 0xFF, 0xFF, 0x7F // huge frame length
 	f.Add(big)
+	dirtyPad := bytes.Clone(validV2)
+	dirtyPad[3] = 0xAA // nonzero count padding
+	f.Add(dirtyPad)
 	f.Fuzz(func(t *testing.T, b []byte) {
 		trees, err := decodeTrees(b)
 		if err != nil {
 			return
 		}
-		enc, err := encodeTrees(trees...)
+		version, err := bodyWireVersion(b)
+		if err != nil {
+			t.Fatalf("accepted body has no sniffable version: %v", err)
+		}
+		enc, err := encodeTrees(version, trees...)
 		if err != nil {
 			t.Fatalf("accepted trees failed to re-encode: %v", err)
 		}
 		if !bytes.Equal(enc, b) {
-			t.Fatalf("decode/encode not canonical:\nin  %x\nout %x", b, enc)
+			t.Fatalf("decode/encode not canonical (v%d):\nin  %x\nout %x", version, b, enc)
 		}
 	})
 }

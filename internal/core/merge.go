@@ -30,37 +30,93 @@ var scratchPool = sync.Pool{New: func() any {
 	return &mergeScratch{codec: trace.NewCodec()}
 }}
 
-// outBufs recycles filter output buffers. A filter's output payload is
-// consumed by the parent's filter (or by the front end) and released; the
-// lease's free hook brings the buffer back here, so the encode side of the
-// steady-state cycle writes into recycled storage. Capacity-matched reuse
-// (tbon.BufferPool) keeps the pool stable even though payloads grow
+// outBufs recycles payload buffers across the whole reduction: filter
+// outputs and (since the leaves went leased) the daemons' gather payloads
+// alike. A buffer's consumer — the parent's filter, or the front end —
+// releases its lease and the free hook brings the buffer back here, so
+// every encode on the path writes into recycled storage. Capacity-matched
+// reuse (tbon.BufferPool) keeps the pool stable even though payloads grow
 // toward the root.
 var outBufs = tbon.NewBufferPool(32)
 
-// recycleOutBuf is the lease free hook for filter outputs; a bound method
+// recycleOutBuf is the lease free hook for pooled payloads; a bound method
 // value computed once so minting a lease captures nothing.
 var recycleOutBuf = outBufs.Put
 
-// encodeTrees serializes a list of prefix trees (count-prefixed,
-// length-framed) — the body of a MsgResult packet. A normal gather
-// carries two trees (2D then 3D).
-func encodeTrees(trees ...*trace.Tree) ([]byte, error) {
-	return encodeTreesInto(nil, trees...)
+// Tree-list (MsgResult body) framing, by wire version:
+//
+//	v1: u8 count, then per tree: u32 len, tree (v1 encoding)
+//	v2: u8 count + 7 zero bytes, then per tree: u32 len + 4 zero bytes,
+//	    tree (v2 encoding — itself a multiple of 8 bytes)
+//
+// The v2 framing keeps every tree start at a multiple of 8 from the body
+// start; with the body placed behind a v2 packet header (16 bytes) in an
+// 8-aligned buffer, every tree — and so every label word — lands
+// word-aligned in memory, which is what the zero-copy decode's 100%
+// alias rate rests on.
+
+// bodyWireVersion sniffs which framing a tree-list body uses. Both
+// layouts are self-evident: the tree magic sits at a fixed offset per
+// version, and an empty body is distinguished by the v2 count padding.
+func bodyWireVersion(b []byte) (uint8, error) {
+	if len(b) == 0 {
+		return 0, errors.New("core: empty tree payload")
+	}
+	if b[0] == 0 {
+		switch len(b) {
+		case 1:
+			return 1, nil
+		case 8:
+			return 2, nil
+		}
+		return 0, errors.New("core: malformed empty tree payload")
+	}
+	if len(b) >= 5+4 {
+		if v, err := trace.SniffWireVersion(b[5:]); err == nil && v == trace.WireV1 {
+			return 1, nil
+		}
+	}
+	if len(b) >= 16+4 {
+		if v, err := trace.SniffWireVersion(b[16:]); err == nil && v == trace.WireV2 {
+			return 2, nil
+		}
+	}
+	return 0, errors.New("core: unrecognized tree payload framing")
+}
+
+// encodedTreesSize reports the exact encodeTreesInto output size for the
+// given version without encoding.
+func encodedTreesSize(version uint8, trees []*trace.Tree) int {
+	countLen, frameLen := 1, 4
+	if version == trace.WireV2 {
+		countLen, frameLen = 8, 8
+	}
+	size := countLen
+	for _, t := range trees {
+		size += frameLen + t.SerializedSizeV(version)
+	}
+	return size
+}
+
+// encodeTrees serializes a list of prefix trees under the given wire
+// version (count-prefixed, length-framed; see bodyWireVersion) — the body
+// of a MsgResult packet. A normal gather carries two trees (2D then 3D).
+func encodeTrees(version uint8, trees ...*trace.Tree) ([]byte, error) {
+	return encodeTreesInto(nil, version, trees...)
 }
 
 // encodeTreesInto appends the encoding to dst (which may be nil or a
 // recycled buffer) and returns the result. The destination is grown to
 // the exact encoded size once and every tree is appended in place — with
 // a dst of sufficient capacity the encode allocates nothing.
-func encodeTreesInto(dst []byte, trees ...*trace.Tree) ([]byte, error) {
+func encodeTreesInto(dst []byte, version uint8, trees ...*trace.Tree) ([]byte, error) {
 	if len(trees) > 255 {
 		return nil, fmt.Errorf("core: %d trees exceed payload count limit", len(trees))
 	}
-	size := 1
-	for _, t := range trees {
-		size += 4 + t.SerializedSize()
+	if version != trace.WireV1 && version != trace.WireV2 {
+		return nil, fmt.Errorf("core: unknown wire version %d", version)
 	}
+	size := encodedTreesSize(version, trees)
 	base := len(dst)
 	if cap(dst)-base < size {
 		grown := make([]byte, base, base+size)
@@ -68,52 +124,100 @@ func encodeTreesInto(dst []byte, trees ...*trace.Tree) ([]byte, error) {
 		dst = grown
 	}
 	out := append(dst, byte(len(trees)))
+	if version == trace.WireV2 {
+		out = append(out, 0, 0, 0, 0, 0, 0, 0)
+	}
 	for _, t := range trees {
 		lenPos := len(out)
 		out = append(out, 0, 0, 0, 0)
+		if version == trace.WireV2 {
+			out = append(out, 0, 0, 0, 0)
+		}
+		treePos := len(out)
 		var err error
-		out, err = t.AppendBinary(out)
+		out, err = t.AppendBinaryV(out, version)
 		if err != nil {
 			return nil, err
 		}
-		binary.LittleEndian.PutUint32(out[lenPos:], uint32(len(out)-lenPos-4))
+		binary.LittleEndian.PutUint32(out[lenPos:], uint32(len(out)-treePos))
 	}
 	return out, nil
 }
 
-// decodeTrees parses an encodeTrees body. The returned trees own their
-// storage outright (suitable for long-lived results); the filter hot path
-// decodes through a pooled codec instead (see mergeFilter).
+// decodeTrees parses an encodeTrees body of either wire version. The
+// returned trees own their storage outright (suitable for long-lived
+// results); the filter hot path decodes through a pooled codec instead
+// (see mergeFilter).
 func decodeTrees(b []byte) ([]*trace.Tree, error) {
-	return appendDecodedTrees(nil, nil, b, nil)
+	return appendDecodedTrees(nil, nil, b, nil, nil)
 }
 
-// appendDecodedTrees parses an encodeTrees body, appending the trees to
+// decodeTreesRemapped parses an encodeTrees body with the front-end remap
+// fused into each tree's decode: every label is pushed through the
+// compiled permutation as it is materialized from the wire, so no second
+// scattered-store sweep over the decoded trees ever runs. The trees own
+// their storage outright.
+func decodeTreesRemapped(b []byte, r *bitvec.Remapper) ([]*trace.Tree, error) {
+	return appendDecodedTrees(nil, nil, b, nil, r)
+}
+
+// appendDecodedTrees parses an encodeTrees body (the framing version is
+// sniffed; each tree dispatches on its own magic), appending the trees to
 // dst. With a codec, label storage comes from the codec's arena; with a
 // pin as well (the leased wire packet), the decode aliases label words
 // into b where alignment allows, pinning the lease under each aliasing
-// tree. A nil codec falls back to trace.UnmarshalBinary. On error, any
-// trees decoded by this call are released and dst's original prefix is
-// returned.
-func appendDecodedTrees(c *trace.Codec, dst []*trace.Tree, b []byte, pin trace.Pin) ([]*trace.Tree, error) {
+// tree. With a remapper (exclusive with codec/pin), each tree decodes
+// through trace.UnmarshalBinaryRemapped. A nil codec falls back to
+// trace.UnmarshalBinary. On error, any trees decoded by this call are
+// released and dst's original prefix is returned.
+func appendDecodedTrees(c *trace.Codec, dst []*trace.Tree, b []byte, pin trace.Pin, remap *bitvec.Remapper) ([]*trace.Tree, error) {
 	base := len(dst)
-	if len(b) < 1 {
-		return dst, errors.New("core: empty tree payload")
+	version, err := bodyWireVersion(b)
+	if err != nil {
+		return dst, err
 	}
 	count := int(b[0])
-	b = b[1:]
+	frameLen := 4
+	if version == trace.WireV2 {
+		for _, p := range b[1:8] {
+			if p != 0 {
+				return dst, errors.New("core: nonzero tree payload padding")
+			}
+		}
+		b = b[8:]
+		frameLen = 8
+	} else {
+		b = b[1:]
+	}
 	for i := 0; i < count; i++ {
-		if len(b) < 4 {
+		if len(b) < frameLen {
 			return releaseDecoded(dst, base, errors.New("core: truncated tree frame"))
 		}
 		n := int(binary.LittleEndian.Uint32(b))
-		b = b[4:]
-		if len(b) < n {
+		if version == trace.WireV2 {
+			for _, p := range b[4:8] {
+				if p != 0 {
+					return releaseDecoded(dst, base, errors.New("core: nonzero tree frame padding"))
+				}
+			}
+		}
+		b = b[frameLen:]
+		if n < 0 || len(b) < n {
 			return releaseDecoded(dst, base, errors.New("core: truncated tree body"))
+		}
+		// The framing and the trees it carries must agree on the version:
+		// our encoders never mix them, and admitting a mix would break the
+		// decode∘encode identity the fuzz harness pins.
+		if tv, err := trace.SniffWireVersion(b[:n]); err != nil {
+			return releaseDecoded(dst, base, err)
+		} else if tv != version {
+			return releaseDecoded(dst, base, fmt.Errorf("core: v%d tree inside v%d framing", tv, version))
 		}
 		var t *trace.Tree
 		var err error
 		switch {
+		case remap != nil:
+			t, err = trace.UnmarshalBinaryRemapped(b[:n], remap)
 		case c != nil && pin != nil:
 			t, err = c.DecodeTreeAliasing(b[:n], pin)
 		case c != nil:
@@ -133,6 +237,18 @@ func appendDecodedTrees(c *trace.Codec, dst []*trace.Tree, b []byte, pin trace.P
 	return dst, nil
 }
 
+// rankRemapper compiles the concatenated-order → MPI-rank permutation
+// from the task map collected at setup: the hierarchical front end's
+// final remap, shared by the merge phase and the progress check so the
+// two can never diverge on rank-order semantics.
+func (t *Tool) rankRemapper() (*bitvec.Remapper, error) {
+	perm := make([]int, 0, t.opts.Tasks)
+	for _, ranks := range t.taskMap {
+		perm = append(perm, ranks...)
+	}
+	return bitvec.NewRemapper(perm, t.opts.Tasks)
+}
+
 // releaseDecoded unwinds a partial appendDecodedTrees, releasing the
 // trees appended past base.
 func releaseDecoded(dst []*trace.Tree, base int, err error) ([]*trace.Tree, error) {
@@ -144,11 +260,23 @@ func releaseDecoded(dst []*trace.Tree, base int, err error) ([]*trace.Tree, erro
 
 // mergeFilter returns the tree-merge filter for the configured
 // representation, operating on leased encodeTrees bodies: the treeMerger
-// body encode wrapped in a pooled output lease.
+// body encode wrapped in a pooled output lease. The output body carries
+// the highest wire version seen among the children — after negotiation
+// all children agree, so the version simply propagates.
 func (t *Tool) mergeFilter() tbon.Filter {
 	merge := t.treeMerger()
 	return func(children []*tbon.Lease) (*tbon.Lease, error) {
-		body, err := merge(children, 0)
+		version := uint8(0)
+		for _, c := range children {
+			v, err := bodyWireVersion(c.Bytes())
+			if err != nil {
+				return nil, err
+			}
+			if v > version {
+				version = v
+			}
+		}
+		body, err := merge(children, 0, version)
 		if err != nil {
 			return nil, err
 		}
@@ -159,11 +287,12 @@ func (t *Tool) mergeFilter() tbon.Filter {
 // treeMerger returns the merge kernel shared by mergeFilter and
 // resultFilter: decode every child's encodeTrees body, merge tree i of
 // every child into output tree i under the configured representation, and
-// encode the merged list into a pooled buffer, leaving prefixLen bytes
-// unwritten at the front for the caller's framing (zero for a bare body,
-// proto.HeaderSize for a result packet — written in place, so the payload
-// is never copied into a frame). The returned buffer belongs to outBufs;
-// callers hand it onward inside a lease whose free hook is recycleOutBuf.
+// encode the merged list — in the requested wire version — into a pooled
+// buffer, leaving prefixLen bytes unwritten at the front for the caller's
+// framing (zero for a bare body, the version's packet header size for a
+// result packet — written in place, so the payload is never copied into a
+// frame). The returned buffer belongs to outBufs; callers hand it onward
+// inside a lease whose free hook is recycleOutBuf.
 //
 // This is the showcase of the leased-buffer contract. In hierarchical
 // mode the decode aliases label words straight into the child packet
@@ -171,19 +300,24 @@ func (t *Tool) mergeFilter() tbon.Filter {
 // merge routes output labels through the codec's arena, and the encode
 // writes into a recycled buffer — so a warm steady-state cycle touches
 // the heap zero times and copies label words exactly once, from input
-// packet to output packet. Original mode merges by in-place union, which
-// must own its labels, so it keeps the copying decode. Everything decoded
-// or merged dies before the merger returns: nodes and tree headers return
-// to the codec's free lists, arena storage recycles, and the input leases
-// drop back to the engine's reference.
-func (t *Tool) treeMerger() func(children []*tbon.Lease, prefixLen int) ([]byte, error) {
+// packet to output packet. On a v2 (STR2) stream every label passes the
+// alignment check, so the copy count is exactly zero on the decode side;
+// the codec's alias hit/miss counters are folded into the Tool's totals
+// so the realized rate is observable per merge phase. Original mode
+// merges by in-place union, which must own its labels, so it keeps the
+// copying decode. Everything decoded or merged dies before the merger
+// returns: nodes and tree headers return to the codec's free lists, arena
+// storage recycles, and the input leases drop back to the engine's
+// reference.
+func (t *Tool) treeMerger() func(children []*tbon.Lease, prefixLen int, version uint8) ([]byte, error) {
 	hierarchical := t.opts.BitVec != Original
-	return func(children []*tbon.Lease, prefixLen int) (out []byte, err error) {
+	return func(children []*tbon.Lease, prefixLen int, version uint8) (out []byte, err error) {
 		if len(children) == 0 {
 			return nil, errors.New("core: filter with no inputs")
 		}
 		s := scratchPool.Get().(*mergeScratch)
 		s.flat, s.lists, s.out = s.flat[:0], s.lists[:0], s.out[:0]
+		hits0, misses0 := s.codec.AliasStats()
 		defer func() {
 			// All decoded inputs die here. In Original mode the merged
 			// trees alias lists[*][ti] entries (the union folds in
@@ -201,6 +335,9 @@ func (t *Tool) treeMerger() func(children []*tbon.Lease, prefixLen int) ([]byte,
 					tr.Release()
 				}
 			}
+			hits, misses := s.codec.AliasStats()
+			t.aliasHits.Add(hits - hits0)
+			t.aliasMisses.Add(misses - misses0)
 			if s.codec.Live() == 0 {
 				scratchPool.Put(s)
 			}
@@ -208,9 +345,9 @@ func (t *Tool) treeMerger() func(children []*tbon.Lease, prefixLen int) ([]byte,
 		for _, c := range children {
 			start := len(s.flat)
 			if hierarchical {
-				s.flat, err = appendDecodedTrees(s.codec, s.flat, c.Bytes(), c)
+				s.flat, err = appendDecodedTrees(s.codec, s.flat, c.Bytes(), c, nil)
 			} else {
-				s.flat, err = appendDecodedTrees(s.codec, s.flat, c.Bytes(), nil)
+				s.flat, err = appendDecodedTrees(s.codec, s.flat, c.Bytes(), nil, nil)
 			}
 			if err != nil {
 				return nil, err
@@ -247,12 +384,9 @@ func (t *Tool) treeMerger() func(children []*tbon.Lease, prefixLen int) ([]byte,
 		// buffer, and encode after the caller's reserved prefix; the
 		// in-place append can never grow (and therefore never strands a
 		// pooled buffer).
-		size := 1
-		for _, tr := range s.out {
-			size += 4 + tr.SerializedSize()
-		}
+		size := encodedTreesSize(version, s.out)
 		buf := outBufs.Get(prefixLen + size)
-		body, err := encodeTreesInto(buf[:prefixLen], s.out...)
+		body, err := encodeTreesInto(buf[:prefixLen], version, s.out...)
 		if err != nil {
 			outBufs.Put(buf)
 			return nil, err
@@ -261,10 +395,10 @@ func (t *Tool) treeMerger() func(children []*tbon.Lease, prefixLen int) ([]byte,
 	}
 }
 
-// runMergePhase drives the protocol session (attach → sample → gather →
-// detach), computes the modeled merge time from the gather's traffic, and
-// (in hierarchical mode) remaps the front end's result into MPI rank
-// order.
+// runMergePhase drives the protocol session (attach — which negotiates
+// the wire version — then sample → gather → detach), computes the modeled
+// merge time from the gather's traffic, and (in hierarchical mode) remaps
+// the front end's result into MPI rank order, fused into the final decode.
 func (t *Tool) runMergePhase(res *Result) error {
 	// Environment failure: one tool process cannot hold more child
 	// connections than its node's memory allows (the 1-deep BG/L failure
@@ -275,6 +409,8 @@ func (t *Tool) runMergePhase(res *Result) error {
 		return nil
 	}
 
+	t.aliasHits.Store(0)
+	t.aliasMisses.Store(0)
 	s := t.newSession()
 	if err := s.attach(); err != nil {
 		return err
@@ -282,7 +418,7 @@ func (t *Tool) runMergePhase(res *Result) error {
 	if err := s.sample(t.opts.Samples, t.opts.ThreadsPerTask); err != nil {
 		return err
 	}
-	payload, stats, err := s.gather(proto.TreeBoth, false)
+	payload, version, stats, err := s.gather(proto.TreeBoth, false)
 	if err != nil {
 		return err
 	}
@@ -291,6 +427,9 @@ func (t *Tool) runMergePhase(res *Result) error {
 	}
 
 	res.MergeStats = stats
+	res.WireVersion = version
+	res.AliasDecodeHits = t.aliasHits.Load()
+	res.AliasDecodeMisses = t.aliasMisses.Load()
 	for _, leafNode := range t.topo.Leaves {
 		if b := stats.NodeOutBytes[leafNode.ID]; b > res.MaxLeafPayloadBytes {
 			res.MaxLeafPayloadBytes = b
@@ -301,37 +440,30 @@ func (t *Tool) runMergePhase(res *Result) error {
 	model := tbon.TimingModel{Link: t.mach.TreeLink, CPU: t.mach.MergeCPU, ConstSec: t.mach.MergeConstSec}
 	res.Times.Merge = model.ReduceTime(t.topo, stats, nil)
 
-	trees, err := decodeTrees(payload)
-	if err != nil {
-		return err
+	var trees []*trace.Tree
+	if t.opts.BitVec == Hierarchical {
+		// Decode the gather payload through the compiled rank-order
+		// permutation: each label materializes from the wire already in
+		// rank order — one pass over each word, no separate RemapWith
+		// sweep over the decoded trees.
+		remapper, err := t.rankRemapper()
+		if err != nil {
+			return err
+		}
+		trees, err = decodeTreesRemapped(payload, remapper)
+		if err != nil {
+			return err
+		}
+		res.Times.Remap = t.mach.RemapPerTaskSec * float64(t.opts.Tasks)
+	} else {
+		trees, err = decodeTrees(payload)
+		if err != nil {
+			return err
+		}
 	}
 	if len(trees) != 2 {
 		return fmt.Errorf("core: gather returned %d trees, want 2", len(trees))
 	}
-	t2, t3 := trees[0], trees[1]
-
-	if t.opts.BitVec == Hierarchical {
-		// Build the concatenated-order → rank permutation from the task
-		// map collected at setup, compile it once, then remap both trees
-		// through the compiled form (validation happens once, not once
-		// per tree or node).
-		perm := make([]int, 0, t.opts.Tasks)
-		for _, ranks := range t.taskMap {
-			perm = append(perm, ranks...)
-		}
-		remapper, err := bitvec.NewRemapper(perm, t.opts.Tasks)
-		if err != nil {
-			return err
-		}
-		if err := t2.RemapWith(remapper); err != nil {
-			return err
-		}
-		if err := t3.RemapWith(remapper); err != nil {
-			return err
-		}
-		res.Times.Remap = t.mach.RemapPerTaskSec * float64(t.opts.Tasks)
-	}
-
-	res.Tree2D, res.Tree3D = t2, t3
+	res.Tree2D, res.Tree3D = trees[0], trees[1]
 	return nil
 }

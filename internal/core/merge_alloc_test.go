@@ -1,8 +1,10 @@
 package core
 
 import (
+	"fmt"
 	"testing"
 
+	"stat/internal/bitvec"
 	"stat/internal/machine"
 	"stat/internal/proto"
 	"stat/internal/tbon"
@@ -11,13 +13,13 @@ import (
 )
 
 // buildFilterChildren encodes two child payloads (each the usual 2D+3D
-// tree pair) the way daemons produce them, returned as leases the caller
-// owns across filter invocations.
-func buildFilterChildren(t testing.TB, hierarchical bool) []*tbon.Lease {
+// tree pair) the way daemons produce them, under the given wire version,
+// returned as leases the caller owns across filter invocations.
+func buildFilterChildren(t testing.TB, hierarchical bool, version uint8) []*tbon.Lease {
 	t.Helper()
 	children := make([]*tbon.Lease, 2)
 	for ci := range children {
-		width := 5 + ci*3 // ragged widths so label offsets hit every alignment
+		width := 5 + ci*3 // ragged widths so v1 label offsets hit every alignment
 		total := width
 		if !hierarchical {
 			total = 16
@@ -33,7 +35,7 @@ func buildFilterChildren(t testing.TB, hierarchical bool) []*tbon.Lease {
 			t3.AddStack(task, "main", "solve", "mpi_wait")
 			t3.AddStack(task, "main", "solve", "barrier")
 		}
-		body, err := encodeTrees(t2, t3)
+		body, err := encodeTrees(version, t2, t3)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -61,35 +63,75 @@ func newAllocTool(t testing.TB, mode BitVecMode) *Tool {
 
 // TestFilterCycleZeroAllocs is the acceptance guard for the leased-buffer
 // refactor: one full decode→merge→encode filter cycle in hierarchical
-// mode, on a warm codec, must not touch the heap at all. Decode aliases
-// or arena-carves every label, nodes and tree headers cycle through the
-// codec free lists, the merge output routes through the codec arena, the
-// encode writes into a pooled buffer, and the output lease comes from the
-// lease pool.
+// mode, on a warm codec, must not touch the heap at all — under both wire
+// versions. Decode aliases or arena-carves every label, nodes and tree
+// headers cycle through the codec free lists, the merge output routes
+// through the codec arena, the encode writes into a pooled buffer, and
+// the output lease comes from the lease pool.
 func TestFilterCycleZeroAllocs(t *testing.T) {
 	if raceEnabled {
 		t.Skip("allocation counts are unstable under the race detector")
 	}
-	filter := newAllocTool(t, Hierarchical).mergeFilter()
-	children := buildFilterChildren(t, true)
+	for _, version := range []uint8{trace.WireV1, trace.WireV2} {
+		t.Run(fmt.Sprintf("v%d", version), func(t *testing.T) {
+			filter := newAllocTool(t, Hierarchical).mergeFilter()
+			children := buildFilterChildren(t, true, version)
 
-	cycle := func() {
+			cycle := func() {
+				out, err := filter(children)
+				if err != nil {
+					t.Fatal(err)
+				}
+				out.Release()
+			}
+			// Warm every pool on the path: codec free lists, arena slabs,
+			// intern table, output buffer pool, lease pool.
+			for i := 0; i < 10; i++ {
+				cycle()
+			}
+			if n := testing.AllocsPerRun(200, cycle); n != 0 {
+				t.Errorf("steady-state hierarchical filter cycle allocates %v per op, want 0", n)
+			}
+			for _, c := range children {
+				c.Release()
+			}
+		})
+	}
+}
+
+// TestFilterCycleAliasRate pins the STR2 alignment guarantee through the
+// production filter: on a v2 stream every label passes the zero-copy
+// decode's alignment check (a 100% alias rate, misses exactly zero),
+// while the same trees on a v1 stream — whose varied name lengths push
+// label words onto every byte offset — must record misses, proving the
+// counter distinguishes the silent fallback from a hit.
+func TestFilterCycleAliasRate(t *testing.T) {
+	if !bitvec.HostLittleEndian() {
+		t.Skip("zero-copy decode only aliases on little-endian hosts")
+	}
+	run := func(version uint8) (hits, misses int64) {
+		tool := newAllocTool(t, Hierarchical)
+		filter := tool.mergeFilter()
+		children := buildFilterChildren(t, true, version)
 		out, err := filter(children)
 		if err != nil {
 			t.Fatal(err)
 		}
 		out.Release()
+		for _, c := range children {
+			c.Release()
+		}
+		return tool.aliasHits.Load(), tool.aliasMisses.Load()
 	}
-	// Warm every pool on the path: codec free lists, arena slabs, intern
-	// table, output buffer pool, lease pool.
-	for i := 0; i < 10; i++ {
-		cycle()
+	hits, misses := run(trace.WireV2)
+	if misses != 0 {
+		t.Errorf("STR2 stream recorded %d alias misses, want 0 (hits %d)", misses, hits)
 	}
-	if n := testing.AllocsPerRun(200, cycle); n != 0 {
-		t.Errorf("steady-state hierarchical filter cycle allocates %v per op, want 0", n)
+	if hits == 0 {
+		t.Error("STR2 stream recorded no alias hits")
 	}
-	for _, c := range children {
-		c.Release()
+	if _, v1Misses := run(trace.WireV1); v1Misses == 0 {
+		t.Error("v1 stream recorded no alias misses; the miss counter is not observing the fallback")
 	}
 }
 
@@ -104,10 +146,10 @@ func TestResultFilterCycleZeroAllocs(t *testing.T) {
 		t.Skip("allocation counts are unstable under the race detector")
 	}
 	filter := newAllocTool(t, Hierarchical).resultFilter()
-	inner := buildFilterChildren(t, true)
+	inner := buildFilterChildren(t, true, trace.WireV2)
 	children := make([]*tbon.Lease, len(inner))
 	for i, b := range inner {
-		p := proto.Packet{Stream: proto.DataStream, Type: proto.MsgResult, Payload: b.Bytes()}
+		p := proto.Packet{Stream: proto.DataStream, Type: proto.MsgResult, Version: 2, Payload: b.Bytes()}
 		children[i] = tbon.NewLease(p.Encode(), nil)
 		b.Release()
 	}
@@ -133,18 +175,23 @@ func TestResultFilterCycleZeroAllocs(t *testing.T) {
 
 // BenchmarkFilterCycle is the per-interior-node cost of a reduction: one
 // decode→merge→encode cycle through the production filter on a warm
-// codec. Gated in CI by cmd/benchgate against the committed baseline.
+// codec. The hierarchical/original cases run the negotiated default (v2,
+// STR2 trees); the hierarchical-v1 case keeps the compact format
+// measurable for the wire-size-vs-alias tradeoff. Gated in CI by
+// cmd/benchgate against the committed baseline.
 func BenchmarkFilterCycle(b *testing.B) {
 	for _, tc := range []struct {
-		name string
-		mode BitVecMode
+		name    string
+		mode    BitVecMode
+		version uint8
 	}{
-		{"hierarchical", Hierarchical},
-		{"original", Original},
+		{"hierarchical", Hierarchical, trace.WireV2},
+		{"original", Original, trace.WireV2},
+		{"hierarchical-v1", Hierarchical, trace.WireV1},
 	} {
 		b.Run(tc.name, func(b *testing.B) {
 			filter := newAllocTool(b, tc.mode).mergeFilter()
-			children := buildFilterChildren(b, tc.mode == Hierarchical)
+			children := buildFilterChildren(b, tc.mode == Hierarchical, tc.version)
 			var bytes int64
 			for _, c := range children {
 				bytes += int64(c.Len())
@@ -177,7 +224,7 @@ func TestFilterCycleOriginalModeAllocsBounded(t *testing.T) {
 		t.Skip("allocation counts are unstable under the race detector")
 	}
 	filter := newAllocTool(t, Original).mergeFilter()
-	children := buildFilterChildren(t, false)
+	children := buildFilterChildren(t, false, trace.WireV2)
 	cycle := func() {
 		out, err := filter(children)
 		if err != nil {

@@ -14,6 +14,7 @@ import (
 	"stat/internal/launch"
 	"stat/internal/machine"
 	"stat/internal/mpisim"
+	"stat/internal/proto"
 	"stat/internal/tbon"
 	"stat/internal/topology"
 )
@@ -74,6 +75,14 @@ type Options struct {
 	// ReduceBudgetBytes bounds tbon.EnginePipelined's in-flight payload
 	// bytes; 0 means unbounded.
 	ReduceBudgetBytes int64
+	// WireVersion caps the data-stream wire version this tool's front end
+	// and daemons advertise during the attach handshake; the session
+	// lands on the highest common version at or below the cap. Zero means
+	// the build's maximum (proto.MaxVersion). Pinning 1 forces the
+	// compact STR1 tree format — for interoperating with old captures, or
+	// for measuring the wire-size-vs-aliasing tradeoff of the 8-aligned
+	// STR2 format.
+	WireVersion uint8
 	// Parallel is a deprecated alias for Engine = tbon.EngineConcurrent.
 	Parallel  bool
 	Transport tbon.Transport
@@ -108,6 +117,9 @@ func (o *Options) fillDefaults() error {
 	}
 	if o.Parallel && o.Engine == tbon.EngineSeq {
 		o.Engine = tbon.EngineConcurrent
+	}
+	if o.WireVersion > proto.MaxVersion {
+		return fmt.Errorf("core: WireVersion %d exceeds this build's maximum %d", o.WireVersion, proto.MaxVersion)
 	}
 	return nil
 }

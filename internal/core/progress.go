@@ -32,32 +32,37 @@ func (t *Tool) ProgressCheck() (*ProgressReport, error) {
 	if err := s.attach(); err != nil {
 		return nil, err
 	}
+	// In hierarchical mode the rank-order remap is fused into the decode:
+	// one compiled permutation serves both rounds.
+	var remapper *bitvec.Remapper
+	if t.opts.BitVec == Hierarchical {
+		var err error
+		remapper, err = t.rankRemapper()
+		if err != nil {
+			return nil, err
+		}
+	}
 	round := func() (*trace.Tree, error) {
 		if err := s.sample(t.opts.Samples, t.opts.ThreadsPerTask); err != nil {
 			return nil, err
 		}
-		payload, _, err := s.gather(proto.Tree3D, true)
+		payload, _, _, err := s.gather(proto.Tree3D, true)
 		if err != nil {
 			return nil, err
 		}
-		trees, err := decodeTrees(payload)
+		var trees []*trace.Tree
+		if remapper != nil {
+			trees, err = decodeTreesRemapped(payload, remapper)
+		} else {
+			trees, err = decodeTrees(payload)
+		}
 		if err != nil {
 			return nil, err
 		}
 		if len(trees) != 1 {
 			return nil, fmt.Errorf("core: progress gather returned %d trees", len(trees))
 		}
-		tr := trees[0]
-		if t.opts.BitVec == Hierarchical {
-			perm := make([]int, 0, t.opts.Tasks)
-			for _, ranks := range t.taskMap {
-				perm = append(perm, ranks...)
-			}
-			if err := tr.Remap(perm, t.opts.Tasks); err != nil {
-				return nil, err
-			}
-		}
-		return tr, nil
+		return trees[0], nil
 	}
 
 	before, err := round()

@@ -12,15 +12,24 @@ import (
 // speaking the front-end↔daemon protocol: control commands broadcast down
 // the tree, acknowledgements aggregate upward through an ack-merging
 // filter, and the gather reply carries the merged prefix trees through
-// the tree-merge filter.
+// the tree-merge filter. The attach exchange doubles as the wire-version
+// handshake: the front end advertises the highest version it speaks, each
+// daemon acks with the highest version both share, and the ack merge's
+// minimum lands the session on the highest common version — which the
+// data stream (gather payloads and result packets) then carries, checked
+// against the negotiation when the result returns. The control stream
+// itself always uses the baseline framing, so control packets never
+// depend on the version still being negotiated.
 type session struct {
 	t       *Tool
 	net     *tbon.Network
 	daemons []*daemon
+	// wireVersion is the negotiated data-stream version, set by attach.
+	wireVersion uint8
 }
 
 func (t *Tool) newSession() *session {
-	s := &session{t: t, net: tbon.New(t.topo, t.opts.Transport)}
+	s := &session{t: t, net: tbon.New(t.topo, t.opts.Transport), wireVersion: proto.Version}
 	s.daemons = make([]*daemon, t.daemons)
 	for i := range s.daemons {
 		s.daemons[i] = &daemon{leaf: i, tool: t}
@@ -52,12 +61,13 @@ var ackFilter = tbon.BytesFilter(func(children [][]byte) ([]byte, error) {
 })
 
 // control broadcasts one command to every daemon and reduces their acks.
-// It returns an error unless every daemon acknowledged success.
-func (s *session) control(typ proto.MsgType, body []byte) error {
+// It returns the merged acknowledgement, or an error unless every daemon
+// acknowledged success.
+func (s *session) control(typ proto.MsgType, body []byte) (proto.Ack, error) {
 	cmd := proto.Packet{Stream: proto.ControlStream, Type: typ, Payload: body}
 	delivered, _, err := s.net.Broadcast(cmd.Encode())
 	if err != nil {
-		return err
+		return proto.Ack{}, err
 	}
 	leafData := func(leaf int) ([]byte, error) {
 		p, err := proto.Decode(delivered[leaf])
@@ -70,52 +80,74 @@ func (s *session) control(typ proto.MsgType, body []byte) error {
 	}
 	out, _, err := s.net.ReduceWith(s.t.opts.reduceOpts(), leafData, ackFilter)
 	if err != nil {
-		return err
+		return proto.Ack{}, err
 	}
 	p, err := proto.Decode(out)
 	if err != nil {
-		return err
+		return proto.Ack{}, err
 	}
 	ack, err := proto.DecodeAck(p.Payload)
 	if err != nil {
-		return err
+		return proto.Ack{}, err
 	}
 	if ack.FirstError != "" {
-		return errors.New("core: " + ack.FirstError)
+		return ack, errors.New("core: " + ack.FirstError)
 	}
 	if int(ack.OK) != len(s.daemons) {
-		return fmt.Errorf("core: %v acknowledged by %d of %d daemons", typ, ack.OK, len(s.daemons))
+		return ack, fmt.Errorf("core: %v acknowledged by %d of %d daemons", typ, ack.OK, len(s.daemons))
+	}
+	return ack, nil
+}
+
+// attach runs the attach command and records the negotiated wire version:
+// the minimum, over all daemons, of each daemon's highest common version
+// with the front end. An ack without a version (a pre-handshake build)
+// degrades the session to the baseline.
+func (s *session) attach() error {
+	req := proto.AttachRequest{MaxVersion: s.t.maxWireVersion()}
+	ack, err := s.control(proto.MsgAttach, req.Encode())
+	if err != nil {
+		return err
+	}
+	s.wireVersion = ack.Version
+	if s.wireVersion == 0 {
+		s.wireVersion = proto.Version
 	}
 	return nil
 }
-
-// attach / sample / detach are the session's control commands.
-func (s *session) attach() error { return s.control(proto.MsgAttach, nil) }
 
 func (s *session) sample(samples, threads int) error {
 	if samples > 0xFFFF || threads > 0xFFFF {
 		return fmt.Errorf("core: sample parameters exceed protocol range")
 	}
 	req := proto.SampleRequest{Samples: uint16(samples), Threads: uint16(threads)}
-	return s.control(proto.MsgSample, req.Encode())
+	_, err := s.control(proto.MsgSample, req.Encode())
+	return err
 }
 
-func (s *session) detach() error { return s.control(proto.MsgDetach, nil) }
+func (s *session) detach() error {
+	_, err := s.control(proto.MsgDetach, nil)
+	return err
+}
 
 // gather broadcasts the gather command and runs the data-stream reduction
 // whose filter performs the real prefix-tree merges. It returns the
-// merged tree payload and the traffic statistics the timing model needs.
-// detail selects function+offset frame granularity.
-func (s *session) gather(which proto.TreeKind, detail bool) ([]byte, *tbon.Stats, error) {
+// merged tree payload, the wire version it is encoded in, and the traffic
+// statistics the timing model needs. detail selects function+offset frame
+// granularity. Leaf payloads are minted by the daemons from the shared
+// buffer pool behind leases (daemon.gatherPacket), so the zero-allocation
+// payload cycle runs end to end: leaf encode → filter decode → merged
+// encode, every buffer recycled through outBufs.
+func (s *session) gather(which proto.TreeKind, detail bool) ([]byte, uint8, *tbon.Stats, error) {
 	req := proto.GatherRequest{Which: which, Detail: detail}
 	cmd := proto.Packet{Stream: proto.DataStream, Type: proto.MsgGather, Payload: req.Encode()}
 	delivered, _, err := s.net.Broadcast(cmd.Encode())
 	if err != nil {
-		return nil, nil, err
+		return nil, 0, nil, err
 	}
 
 	filter := s.t.resultFilter()
-	leafData := func(leaf int) ([]byte, error) {
+	leaf := func(leaf int) (*tbon.Lease, error) {
 		p, err := proto.Decode(delivered[leaf])
 		if err != nil {
 			return nil, err
@@ -124,32 +156,35 @@ func (s *session) gather(which proto.TreeKind, detail bool) ([]byte, *tbon.Stats
 		if err != nil {
 			return nil, err
 		}
-		payload, err := s.daemons[leaf].gatherPayload(greq)
-		if err != nil {
-			return nil, err
-		}
-		reply := proto.Packet{Stream: proto.DataStream, Type: proto.MsgResult, Payload: payload}
-		return reply.Encode(), nil
+		return s.daemons[leaf].gatherPacket(greq)
 	}
 
-	out, stats, err := s.net.ReduceWith(s.t.opts.reduceOpts(), leafData, filter)
+	out, stats, err := s.net.ReduceLeasedWith(s.t.opts.reduceOpts(), leaf, filter)
 	if err != nil {
-		return nil, nil, err
+		return nil, 0, nil, err
 	}
 	p, err := proto.Decode(out)
 	if err != nil {
-		return nil, nil, err
+		return nil, 0, nil, err
 	}
 	if p.Type != proto.MsgResult {
-		return nil, nil, fmt.Errorf("core: gather returned %v", p.Type)
+		return nil, 0, nil, fmt.Errorf("core: gather returned %v", p.Type)
 	}
-	return p.Payload, stats, nil
+	// The data stream must carry exactly the version attach negotiated:
+	// daemons encode at their handshake result and the filters propagate
+	// it, so a mismatch here means a filter or daemon ignored the
+	// negotiation.
+	if p.Version != s.wireVersion {
+		return nil, 0, nil, fmt.Errorf("core: result packet carries wire version %d, session negotiated %d", p.Version, s.wireVersion)
+	}
+	return p.Payload, p.Version, stats, nil
 }
 
 // resultFilter merges MsgResult packets: unwrap, merge the carried trees
-// under the configured representation, rewrap. proto.Decode aliases the
-// packet body rather than copying it, so each body is handed to the tree
-// merge as a sub-lease of the child packet: if the merge's zero-copy
+// under the configured representation, rewrap at the same wire version
+// the children carry (uniform after negotiation). proto.Decode aliases
+// the packet body rather than copying it, so each body is handed to the
+// tree merge as a sub-lease of the child packet: if the merge's zero-copy
 // decode pins a body (its labels view the wire bytes), the pin holds the
 // whole packet buffer alive through the sub-lease's parent reference. On
 // the way out, the merger encodes the merged trees directly after a
@@ -164,6 +199,7 @@ func (t *Tool) resultFilter() tbon.Filter {
 				bodies[i].Release()
 			}
 		}
+		version := uint8(proto.Version)
 		for i, c := range children {
 			p, err := proto.Decode(c.Bytes())
 			if err != nil {
@@ -174,14 +210,18 @@ func (t *Tool) resultFilter() tbon.Filter {
 				release(i)
 				return nil, fmt.Errorf("core: expected result, got %v", p.Type)
 			}
+			if p.Version > version {
+				version = p.Version
+			}
 			bodies[i] = c.Sub(p.Payload)
 		}
-		packet, err := merge(bodies, proto.HeaderSize)
+		hdr := proto.HeaderSizeV(version)
+		packet, err := merge(bodies, hdr, version)
 		release(len(bodies))
 		if err != nil {
 			return nil, err
 		}
-		proto.PutHeader(packet, proto.DataStream, proto.MsgResult, len(packet)-proto.HeaderSize)
+		proto.PutHeaderV(packet, version, proto.DataStream, proto.MsgResult, len(packet)-hdr)
 		return tbon.NewLease(packet, recycleOutBuf), nil
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"stat/internal/proto"
 	"stat/internal/tbon"
 	"stat/internal/topology"
+	"stat/internal/trace"
 )
 
 func newTestTool(t *testing.T, tasks int) *Tool {
@@ -34,9 +35,12 @@ func TestSessionFullCycle(t *testing.T) {
 	if err := s.sample(3, 1); err != nil {
 		t.Fatalf("sample: %v", err)
 	}
-	payload, stats, err := s.gather(proto.TreeBoth, false)
+	payload, version, stats, err := s.gather(proto.TreeBoth, false)
 	if err != nil {
 		t.Fatalf("gather: %v", err)
+	}
+	if version != proto.MaxVersion {
+		t.Errorf("negotiated wire version %d, want %d", version, proto.MaxVersion)
 	}
 	if stats.Packets == 0 {
 		t.Error("gather recorded no traffic")
@@ -66,7 +70,7 @@ func TestSessionGatherSingleTree(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, kind := range []proto.TreeKind{proto.Tree2D, proto.Tree3D} {
-		payload, _, err := s.gather(kind, false)
+		payload, _, _, err := s.gather(kind, false)
 		if err != nil {
 			t.Fatalf("gather(%d): %v", kind, err)
 		}
@@ -98,7 +102,7 @@ func TestSessionProtocolStateMachine(t *testing.T) {
 	if err := s2.attach(); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := s2.gather(proto.TreeBoth, false); err == nil {
+	if _, _, _, err := s2.gather(proto.TreeBoth, false); err == nil {
 		t.Error("gather before sample succeeded")
 	}
 
@@ -181,7 +185,7 @@ func TestEncodeDecodeTrees(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	enc, err := encodeTrees(res.Tree2D, res.Tree3D)
+	enc, err := encodeTrees(trace.WireV1, res.Tree2D, res.Tree3D)
 	if err != nil {
 		t.Fatal(err)
 	}

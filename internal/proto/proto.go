@@ -4,7 +4,11 @@
 // overlay tree (attach, sample, gather, detach), daemons reply with acks
 // that aggregate upward through a reduction filter, and the gather reply
 // carries the serialized prefix trees. Framing is explicit and versioned
-// so a daemon from a different build refuses to join the session.
+// per stream: the attach handshake negotiates the highest wire version the
+// front end and every daemon share (see Negotiate), the data stream then
+// carries that version in each packet header, and any version in
+// [Version, MaxVersion] stays decodable so old captures — saved trees and
+// v1 data packets — keep working.
 package proto
 
 import (
@@ -13,8 +17,40 @@ import (
 	"fmt"
 )
 
-// Version is the protocol version; mismatches are rejected at attach.
-const Version = 1
+// Version is the baseline protocol version: every build decodes packets
+// of any version in [Version, MaxVersion], so v1 packets (and captures)
+// remain readable forever. MaxVersion is the newest version this build
+// speaks; which version a stream actually carries is negotiated at attach
+// — the front end advertises its MaxVersion in the AttachRequest, each
+// daemon answers with the highest version both speak, and the ack merge
+// takes the minimum over daemons, so the session lands on the highest
+// common version. The packet version selects the frame layout (see
+// HeaderSizeV) and the tree wire format the data stream carries
+// (trace.WireV1 / trace.WireV2, numerically equal).
+const (
+	Version    = 1
+	MaxVersion = 2
+)
+
+// Negotiate picks the highest version two peers share: the smaller of the
+// two advertised maxima, clamped into [Version, MaxVersion]. The clamp is
+// defensive — DecodeAttachRequest already rejects below-baseline
+// advertisements, so in the attach path only the MaxVersion ceiling (a
+// newer peer) is ever exercised — but Negotiate is usable on raw maxima
+// too, and must never return a version outside what this build speaks.
+func Negotiate(a, b uint8) uint8 {
+	v := a
+	if b < v {
+		v = b
+	}
+	if v < Version {
+		v = Version
+	}
+	if v > MaxVersion {
+		v = MaxVersion
+	}
+	return v
+}
 
 // MsgType tags a packet.
 type MsgType uint8
@@ -58,6 +94,10 @@ type Packet struct {
 	// control stream and one data stream).
 	Stream uint16
 	Type   MsgType
+	// Version is the wire version the packet was framed with. Zero means
+	// "unset" and encodes as the baseline Version; Decode always fills it
+	// with the version it read.
+	Version uint8
 	// Payload is the type-specific body.
 	Payload []byte
 }
@@ -70,54 +110,127 @@ const (
 
 var packetMagic = [2]byte{'S', 'P'}
 
-// HeaderSize is the fixed frame overhead preceding a packet's payload.
+// HeaderSize is the v1 frame overhead preceding a packet's payload; use
+// HeaderSizeV for a version-correct size. The v2 header carries the same
+// fields padded with zeros to 16 bytes, so a v2 payload begins at a
+// multiple of 8 — when the packet buffer is 8-aligned in memory (pooled
+// buffers are), every v2 payload starts word-aligned, which is what lets
+// the data stream's 8-aligned tree format keep its alignment guarantee
+// end to end.
 const HeaderSize = 10
 
-// PutHeader writes a packet frame header for a payload of n bytes into b,
-// which must hold at least HeaderSize bytes. It exists for callers that
-// encode a payload in place directly after a reserved header — the
-// zero-copy path of the overlay's merge filter — instead of paying
-// Encode's payload copy.
+// HeaderSizeV reports the frame overhead preceding a packet's payload
+// under the given version.
+func HeaderSizeV(version uint8) int {
+	if version >= 2 {
+		return 16
+	}
+	return HeaderSize
+}
+
+// PutHeader writes a v1 packet frame header for a payload of n bytes into
+// b; see PutHeaderV.
 func PutHeader(b []byte, stream uint16, typ MsgType, n int) {
+	PutHeaderV(b, Version, stream, typ, n)
+}
+
+// PutHeaderV writes a packet frame header under the given version for a
+// payload of n bytes into b, which must hold at least HeaderSizeV(version)
+// bytes. It exists for callers that encode a payload in place directly
+// after a reserved header — the zero-copy path of the overlay's merge
+// filter and the leaf daemons' pooled payload buffers — instead of paying
+// Encode's payload copy.
+func PutHeaderV(b []byte, version uint8, stream uint16, typ MsgType, n int) {
 	b[0], b[1] = packetMagic[0], packetMagic[1]
-	b[2] = Version
+	b[2] = version
 	binary.LittleEndian.PutUint16(b[3:5], stream)
 	b[5] = byte(typ)
 	binary.LittleEndian.PutUint32(b[6:10], uint32(n))
+	for i := HeaderSize; i < HeaderSizeV(version); i++ {
+		b[i] = 0
+	}
 }
 
-// Encode frames the packet: magic, version, stream, type, length, payload.
+// Encode frames the packet: magic, version, stream, type, length,
+// (padding under v2), payload. A zero Version encodes as the baseline.
 func (p Packet) Encode() []byte {
-	buf := make([]byte, HeaderSize, HeaderSize+len(p.Payload))
-	PutHeader(buf, p.Stream, p.Type, len(p.Payload))
+	v := p.Version
+	if v == 0 {
+		v = Version
+	}
+	h := HeaderSizeV(v)
+	buf := make([]byte, h, h+len(p.Payload))
+	PutHeaderV(buf, v, p.Stream, p.Type, len(p.Payload))
 	return append(buf, p.Payload...)
 }
 
-// Decode parses a framed packet, rejecting bad magic, version skew and
-// truncation. Payload aliases b rather than copying it — the overlay's
-// buffer-lifetime machinery (leases pinning packet buffers) exists so
-// views like this stay valid; callers that outlive b's buffer must either
-// pin it or copy the payload themselves.
+// Decode parses a framed packet, rejecting bad magic, truncation, and
+// versions outside [Version, MaxVersion] — within the range, skew is a
+// negotiation matter, not an error, and the accepted version is reported
+// in Packet.Version. Payload aliases b rather than copying it — the
+// overlay's buffer-lifetime machinery (leases pinning packet buffers)
+// exists so views like this stay valid; callers that outlive b's buffer
+// must either pin it or copy the payload themselves.
 func Decode(b []byte) (Packet, error) {
-	if len(b) < 10 {
+	if len(b) < HeaderSize {
 		return Packet{}, errors.New("proto: packet too short")
 	}
 	if b[0] != packetMagic[0] || b[1] != packetMagic[1] {
 		return Packet{}, errors.New("proto: bad magic")
 	}
-	if b[2] != Version {
-		return Packet{}, fmt.Errorf("proto: version skew (daemon %d, front end %d)", b[2], Version)
+	if b[2] < Version || b[2] > MaxVersion {
+		return Packet{}, fmt.Errorf("proto: unsupported packet version %d (this build speaks %d..%d)", b[2], Version, MaxVersion)
 	}
 	p := Packet{
-		Stream: binary.LittleEndian.Uint16(b[3:5]),
-		Type:   MsgType(b[5]),
+		Stream:  binary.LittleEndian.Uint16(b[3:5]),
+		Type:    MsgType(b[5]),
+		Version: b[2],
+	}
+	h := HeaderSizeV(p.Version)
+	if len(b) < h {
+		return Packet{}, errors.New("proto: packet too short")
+	}
+	for i := HeaderSize; i < h; i++ {
+		if b[i] != 0 {
+			return Packet{}, errors.New("proto: nonzero header padding")
+		}
 	}
 	n := int(binary.LittleEndian.Uint32(b[6:10]))
-	if len(b)-10 != n {
-		return Packet{}, fmt.Errorf("proto: payload length %d, frame carries %d", n, len(b)-10)
+	if len(b)-h != n {
+		return Packet{}, fmt.Errorf("proto: payload length %d, frame carries %d", n, len(b)-h)
 	}
-	p.Payload = b[10:]
+	p.Payload = b[h:]
 	return p, nil
+}
+
+// AttachRequest is the attach command's body: the front end's side of the
+// version handshake. An empty body (no advertisement — the attach command
+// predates the handshake) decodes as MaxVersion 1, so negotiation
+// degrades to the baseline rather than failing. Note the degradation
+// covers the *data-stream formats*: the ack and body layouts of the
+// control stream itself are this build's, not version-gated — what stays
+// compatible across build generations is the v1 data (tree captures and
+// MsgResult payloads), which every decoder in the system still accepts.
+type AttachRequest struct {
+	// MaxVersion is the highest wire version the front end speaks.
+	MaxVersion uint8
+}
+
+// Encode serializes the request body.
+func (r AttachRequest) Encode() []byte { return []byte{r.MaxVersion} }
+
+// DecodeAttachRequest parses an attach command body.
+func DecodeAttachRequest(b []byte) (AttachRequest, error) {
+	switch len(b) {
+	case 0:
+		return AttachRequest{MaxVersion: Version}, nil
+	case 1:
+		if b[0] < Version {
+			return AttachRequest{}, fmt.Errorf("proto: attach advertises version %d below baseline %d", b[0], Version)
+		}
+		return AttachRequest{MaxVersion: b[0]}, nil
+	}
+	return AttachRequest{}, fmt.Errorf("proto: attach request body %d bytes, want 0 or 1", len(b))
 }
 
 // SampleRequest parameterizes a sampling command.
@@ -192,17 +305,29 @@ func DecodeGatherRequest(b []byte) (GatherRequest, error) {
 }
 
 // Ack is the aggregated acknowledgement flowing up the tree: a count of
-// daemons that succeeded and the first error, if any. Acks merge
-// associatively, so the overlay's reduction combines them at every level.
+// daemons that succeeded, the lowest wire version the acknowledging
+// daemons negotiated (how the attach handshake's result reaches the front
+// end), and the first error, if any. Acks merge associatively, so the
+// overlay's reduction combines them at every level.
 type Ack struct {
 	OK int32
+	// Version is the smallest wire version among the daemons this ack
+	// aggregates; zero means no daemon reported one (acks outside the
+	// attach exchange leave it unset), which the session treats as the
+	// baseline.
+	Version uint8
 	// FirstError is empty when every daemon succeeded.
 	FirstError string
 }
 
-// Merge combines acks (associative, order-preserving on the error).
+// Merge combines acks (associative, order-preserving on the error; the
+// version combines by minimum over nonzero values, zero acting as the
+// identity).
 func (a Ack) Merge(b Ack) Ack {
-	out := Ack{OK: a.OK + b.OK, FirstError: a.FirstError}
+	out := Ack{OK: a.OK + b.OK, Version: a.Version, FirstError: a.FirstError}
+	if b.Version != 0 && (out.Version == 0 || b.Version < out.Version) {
+		out.Version = b.Version
+	}
 	if out.FirstError == "" {
 		out.FirstError = b.FirstError
 	}
@@ -211,24 +336,26 @@ func (a Ack) Merge(b Ack) Ack {
 
 // Encode serializes the ack body.
 func (a Ack) Encode() []byte {
-	buf := make([]byte, 8+len(a.FirstError))
+	buf := make([]byte, 9+len(a.FirstError))
 	binary.LittleEndian.PutUint32(buf[0:4], uint32(a.OK))
-	binary.LittleEndian.PutUint32(buf[4:8], uint32(len(a.FirstError)))
-	copy(buf[8:], a.FirstError)
+	buf[4] = a.Version
+	binary.LittleEndian.PutUint32(buf[5:9], uint32(len(a.FirstError)))
+	copy(buf[9:], a.FirstError)
 	return buf
 }
 
 // DecodeAck parses an ack body.
 func DecodeAck(b []byte) (Ack, error) {
-	if len(b) < 8 {
+	if len(b) < 9 {
 		return Ack{}, errors.New("proto: ack too short")
 	}
-	n := int(binary.LittleEndian.Uint32(b[4:8]))
-	if len(b)-8 != n {
-		return Ack{}, fmt.Errorf("proto: ack error length %d, body carries %d", n, len(b)-8)
+	n := int(binary.LittleEndian.Uint32(b[5:9]))
+	if len(b)-9 != n {
+		return Ack{}, fmt.Errorf("proto: ack error length %d, body carries %d", n, len(b)-9)
 	}
 	return Ack{
 		OK:         int32(binary.LittleEndian.Uint32(b[0:4])),
-		FirstError: string(b[8:]),
+		Version:    b[4],
+		FirstError: string(b[9:]),
 	}, nil
 }

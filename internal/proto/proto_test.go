@@ -11,31 +11,95 @@ func TestPacketRoundTrip(t *testing.T) {
 		{Stream: ControlStream, Type: MsgSample, Payload: SampleRequest{Samples: 10, Threads: 1}.Encode()},
 		{Stream: DataStream, Type: MsgResult, Payload: make([]byte, 100000)},
 		{Stream: 0xFFFF, Type: MsgDetach, Payload: []byte{}},
+		{Stream: DataStream, Type: MsgResult, Version: 1, Payload: []byte("v1")},
+		{Stream: DataStream, Type: MsgResult, Version: 2, Payload: []byte("v2 body")},
 	}
 	for _, p := range cases {
-		got, err := Decode(p.Encode())
+		enc := p.Encode()
+		got, err := Decode(enc)
 		if err != nil {
 			t.Fatalf("%v: %v", p.Type, err)
 		}
 		if got.Stream != p.Stream || got.Type != p.Type || len(got.Payload) != len(p.Payload) {
 			t.Errorf("round trip mismatch: %+v vs %+v", got, p)
 		}
+		wantVersion := p.Version
+		if wantVersion == 0 {
+			wantVersion = Version
+		}
+		if got.Version != wantVersion {
+			t.Errorf("%v: decoded version %d, want %d", p.Type, got.Version, wantVersion)
+		}
+		if want := HeaderSizeV(wantVersion) + len(p.Payload); len(enc) != want {
+			t.Errorf("%v: frame is %d bytes, want %d", p.Type, len(enc), want)
+		}
 	}
 }
 
+// TestDecodeRejects exercises the negotiation semantics of version
+// handling: any version in [Version, MaxVersion] is accepted (skew inside
+// the supported range is settled by the attach handshake, not by
+// rejecting packets), while versions outside the range — a future build
+// or a zeroed byte — are refused.
 func TestDecodeRejects(t *testing.T) {
 	good := Packet{Stream: 1, Type: MsgAck, Payload: []byte("xy")}.Encode()
 	cases := map[string]func([]byte) []byte{
-		"short":        func(b []byte) []byte { return b[:5] },
-		"bad magic":    func(b []byte) []byte { c := clone(b); c[0] = 'X'; return c },
-		"version skew": func(b []byte) []byte { c := clone(b); c[2] = Version + 1; return c },
-		"truncated":    func(b []byte) []byte { return b[:len(b)-1] },
-		"oversized":    func(b []byte) []byte { return append(clone(b), 0) },
+		"short":            func(b []byte) []byte { return b[:5] },
+		"bad magic":        func(b []byte) []byte { c := clone(b); c[0] = 'X'; return c },
+		"version too new":  func(b []byte) []byte { c := clone(b); c[2] = MaxVersion + 1; return c },
+		"version zero":     func(b []byte) []byte { c := clone(b); c[2] = 0; return c },
+		"truncated":        func(b []byte) []byte { return b[:len(b)-1] },
+		"oversized":        func(b []byte) []byte { return append(clone(b), 0) },
+		"v2 header cut":    func([]byte) []byte { return Packet{Version: 2, Type: MsgAck}.Encode()[:12] },
+		"v2 dirty padding": func([]byte) []byte { c := Packet{Version: 2, Type: MsgAck}.Encode(); c[12] = 0xAA; return c },
 	}
 	for name, corrupt := range cases {
 		if _, err := Decode(corrupt(good)); err == nil {
 			t.Errorf("%s: accepted", name)
 		}
+	}
+	// Every version in the supported window decodes.
+	for v := uint8(Version); v <= MaxVersion; v++ {
+		if _, err := Decode(Packet{Version: v, Type: MsgAck}.Encode()); err != nil {
+			t.Errorf("version %d rejected: %v", v, err)
+		}
+	}
+}
+
+func TestNegotiate(t *testing.T) {
+	cases := []struct{ a, b, want uint8 }{
+		{1, 1, 1},
+		{2, 2, 2},
+		{1, 2, 1},
+		{2, 1, 1},
+		{MaxVersion, MaxVersion + 5, MaxVersion}, // future peer clamps to ours
+		{0, 2, 1},                                // garbage advertisement degrades to baseline
+		{2, 0, 1},
+	}
+	for _, c := range cases {
+		if got := Negotiate(c.a, c.b); got != c.want {
+			t.Errorf("Negotiate(%d, %d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestAttachRequestRoundTrip(t *testing.T) {
+	for v := uint8(Version); v <= MaxVersion; v++ {
+		got, err := DecodeAttachRequest(AttachRequest{MaxVersion: v}.Encode())
+		if err != nil || got.MaxVersion != v {
+			t.Errorf("round trip v%d: %+v, %v", v, got, err)
+		}
+	}
+	// A v1-era front end sends an empty attach body: baseline, not error.
+	got, err := DecodeAttachRequest(nil)
+	if err != nil || got.MaxVersion != Version {
+		t.Errorf("empty attach body: %+v, %v", got, err)
+	}
+	if _, err := DecodeAttachRequest([]byte{0}); err == nil {
+		t.Error("below-baseline advertisement accepted")
+	}
+	if _, err := DecodeAttachRequest([]byte{1, 2}); err == nil {
+		t.Error("oversized attach body accepted")
 	}
 }
 
@@ -83,8 +147,38 @@ func TestAckMerge(t *testing.T) {
 	}
 }
 
+// TestAckVersionMerge pins the handshake's aggregation rule: the merged
+// version is the minimum over daemons that reported one, zero (a
+// pre-handshake build) acting as the identity.
+func TestAckVersionMerge(t *testing.T) {
+	cases := []struct {
+		acks []Ack
+		want uint8
+	}{
+		{[]Ack{{OK: 1, Version: 2}, {OK: 1, Version: 2}}, 2},
+		{[]Ack{{OK: 1, Version: 2}, {OK: 1, Version: 1}, {OK: 1, Version: 2}}, 1},
+		{[]Ack{{OK: 1}, {OK: 1, Version: 2}}, 2},
+		{[]Ack{{OK: 1}, {OK: 1}}, 0},
+	}
+	for _, c := range cases {
+		var total Ack
+		for _, a := range c.acks {
+			total = total.Merge(a)
+		}
+		if total.Version != c.want {
+			t.Errorf("merge %v: version %d, want %d", c.acks, total.Version, c.want)
+		}
+	}
+	// Order independence on the version (min is commutative).
+	x := Ack{OK: 1, Version: 1}.Merge(Ack{OK: 1, Version: 2})
+	y := Ack{OK: 1, Version: 2}.Merge(Ack{OK: 1, Version: 1})
+	if x.Version != y.Version {
+		t.Errorf("version merge order-dependent: %d vs %d", x.Version, y.Version)
+	}
+}
+
 func TestAckRoundTrip(t *testing.T) {
-	for _, a := range []Ack{{OK: 0}, {OK: 1664}, {OK: 2, FirstError: "daemon 7: gather while init"}} {
+	for _, a := range []Ack{{OK: 0}, {OK: 1664}, {OK: 1664, Version: 2}, {OK: 2, Version: 1, FirstError: "daemon 7: gather while init"}} {
 		got, err := DecodeAck(a.Encode())
 		if err != nil || got != a {
 			t.Errorf("round trip %+v: %+v, %v", a, got, err)

@@ -32,7 +32,7 @@ import (
 // buffer under its decoded tree) therefore holds budget for exactly as
 // long as it holds the bytes.
 func (n *Network) ReducePipelined(leafData func(leaf int) ([]byte, error), filter Filter) ([]byte, *Stats, error) {
-	return n.reducePipelined(leafData, filter, 0, 0)
+	return n.reducePipelined(wrapLeafBytes(leafData), filter, 0, 0)
 }
 
 // pipeNode is the scheduler's per-node state. rank is the node's position
@@ -74,7 +74,7 @@ func (r *pipeRun) fail(err error) {
 	})
 }
 
-func (n *Network) reducePipelined(leafData func(leaf int) ([]byte, error), filter Filter, workers int, budget int64) ([]byte, *Stats, error) {
+func (n *Network) reducePipelined(leaf LeafFunc, filter Filter, workers int, budget int64) ([]byte, *Stats, error) {
 	stats := newStats(len(n.topo.Levels))
 
 	// Post-order ranks: children before parents, left before right. This
@@ -127,13 +127,13 @@ func (n *Network) reducePipelined(leafData func(leaf int) ([]byte, error), filte
 				if i >= len(leaves) {
 					return
 				}
-				leaf := leaves[i]
-				out, err := leafData(leaf.LeafIndex)
+				ln := leaves[i]
+				out, err := leaf(ln.LeafIndex)
 				if err != nil {
-					r.fail(fmt.Errorf("tbon: leaf %d: %w", leaf.LeafIndex, err))
+					r.fail(fmt.Errorf("tbon: leaf %d: %w", ln.LeafIndex, err))
 					return
 				}
-				r.complete(nodes[leaf.ID], NewLease(out, nil))
+				r.complete(nodes[ln.ID], out)
 			}
 		}()
 	}

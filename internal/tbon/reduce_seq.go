@@ -26,17 +26,21 @@ import (
 // exactly one fold step — unless it retained the lease, in which case the
 // buffer lives (and stays unrecycled) until the filter's own release.
 func (n *Network) ReduceSeq(leafData func(leaf int) ([]byte, error), filter Filter) ([]byte, *Stats, error) {
+	return n.reduceSeq(wrapLeafBytes(leafData), filter)
+}
+
+func (n *Network) reduceSeq(leaf LeafFunc, filter Filter) ([]byte, *Stats, error) {
 	stats := newStats(len(n.topo.Levels))
 
 	var eval func(node *topology.Node) (*Lease, error)
 	eval = func(node *topology.Node) (*Lease, error) {
 		if node.IsLeaf() {
-			out, err := leafData(node.LeafIndex)
+			out, err := leaf(node.LeafIndex)
 			if err != nil {
 				return nil, fmt.Errorf("tbon: leaf %d: %w", node.LeafIndex, err)
 			}
-			stats.NodeOutBytes[node.ID] = int64(len(out))
-			return NewLease(out, nil), nil
+			stats.NodeOutBytes[node.ID] = int64(out.Len())
+			return out, nil
 		}
 		var acc *Lease
 		for i, c := range node.Children {

@@ -72,9 +72,14 @@
 //     byte slice owned by the caller: the root payload's lease is retired
 //     without recycling, so the bytes stay valid indefinitely.
 //
-// Leaf payloads returned by leafData callbacks are plain byte slices;
-// the engine wraps them. Ownership transfers to the engine — a leaf
-// callback must hand out a buffer it will not reuse.
+// Leaf payloads come in two forms. The plain leafData callbacks return
+// byte slices the engine wraps in hookless leases; ownership transfers to
+// the engine — a leaf callback must hand out a buffer it will not reuse.
+// The leased form (LeafFunc, via ReduceLeasedWith) lets leaves mint their
+// payloads from pooled buffers behind real leases — the lease's free hook
+// returns the buffer to the leaf's pool once the consuming filter (and
+// anything that retained the payload) is done with it, extending the
+// zero-allocation payload cycle all the way down to payload production.
 package tbon
 
 import (
@@ -127,16 +132,42 @@ type ReduceOptions struct {
 	BudgetBytes int64
 }
 
+// LeafFunc supplies one leaf daemon's payload as a lease whose single
+// reference transfers to the engine. A leaf that mints its payload from a
+// pooled buffer hands the pool's Put as the lease's free hook and sees the
+// buffer come back once the payload dies — the leased-buffer contract's
+// leaf end.
+type LeafFunc func(leaf int) (*Lease, error)
+
+// wrapLeafBytes adapts a plain byte-slice leaf callback to the leased
+// form: the returned buffer is wrapped in a hookless lease, exactly the
+// ownership transfer the plain Reduce variants have always performed.
+func wrapLeafBytes(leafData func(leaf int) ([]byte, error)) LeafFunc {
+	return func(leaf int) (*Lease, error) {
+		b, err := leafData(leaf)
+		if err != nil {
+			return nil, err
+		}
+		return NewLease(b, nil), nil
+	}
+}
+
 // ReduceWith runs one upstream reduction under the selected engine. See
 // the package documentation for the engine trade-offs.
 func (n *Network) ReduceWith(opts ReduceOptions, leafData func(leaf int) ([]byte, error), filter Filter) ([]byte, *Stats, error) {
+	return n.ReduceLeasedWith(opts, wrapLeafBytes(leafData), filter)
+}
+
+// ReduceLeasedWith is ReduceWith for leaves that produce leased payloads;
+// see LeafFunc.
+func (n *Network) ReduceLeasedWith(opts ReduceOptions, leaf LeafFunc, filter Filter) ([]byte, *Stats, error) {
 	switch opts.Engine {
 	case EngineSeq:
-		return n.ReduceSeq(leafData, filter)
+		return n.reduceSeq(leaf, filter)
 	case EngineConcurrent:
-		return n.Reduce(leafData, filter)
+		return n.reduceConcurrent(leaf, filter)
 	case EnginePipelined:
-		return n.reducePipelined(leafData, filter, opts.Workers, opts.BudgetBytes)
+		return n.reducePipelined(leaf, filter, opts.Workers, opts.BudgetBytes)
 	}
 	return nil, nil, fmt.Errorf("tbon: unknown reduction engine %d", int(opts.Engine))
 }
@@ -218,6 +249,10 @@ type result struct {
 // node (including the root). The returned Stats describe exactly what
 // moved where.
 func (n *Network) Reduce(leafData func(leaf int) ([]byte, error), filter Filter) ([]byte, *Stats, error) {
+	return n.reduceConcurrent(wrapLeafBytes(leafData), filter)
+}
+
+func (n *Network) reduceConcurrent(leaf LeafFunc, filter Filter) ([]byte, *Stats, error) {
 	stats := newStats(len(n.topo.Levels))
 	var mu sync.Mutex // guards stats
 
@@ -276,11 +311,7 @@ func (n *Network) Reduce(leafData func(leaf int) ([]byte, error), filter Filter)
 		var out *Lease
 		var err error
 		if node.IsLeaf() {
-			var b []byte
-			b, err = leafData(node.LeafIndex)
-			if err == nil {
-				out = NewLease(b, nil)
-			}
+			out, err = leaf(node.LeafIndex)
 		} else {
 			inputs := make([]*Lease, len(node.Children))
 			var in int64

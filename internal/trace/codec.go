@@ -91,6 +91,11 @@ type Codec struct {
 	nodes []*Node // free list: filled by Tree.Release, drained by decodes and merges
 	trees []*Tree // free list of recycled tree headers
 	cm    concatMerger
+	// aliasHits / aliasMisses count labels DecodeTreeAliasing aliased in
+	// place versus copied because the alignment check failed. Single-
+	// goroutine like the rest of the codec; see AliasStats.
+	aliasHits   int64
+	aliasMisses int64
 }
 
 // NewCodec returns an empty codec.
@@ -100,9 +105,10 @@ func NewCodec() *Codec {
 	return c
 }
 
-// DecodeTree decodes a tree encoded by Tree.MarshalBinary. The tree's
-// labels live in the codec's arena until the tree is released; see the
-// Codec lifecycle notes.
+// DecodeTree decodes a tree encoded by Tree.MarshalBinary or
+// Tree.MarshalBinaryV, dispatching on the wire magic (v1 and v2 alike).
+// The tree's labels live in the codec's arena until the tree is released;
+// see the Codec lifecycle notes.
 func (c *Codec) DecodeTree(b []byte) (*Tree, error) {
 	return c.decode(b, nil)
 }
@@ -126,8 +132,16 @@ func (c *Codec) DecodeTreeAliasing(b []byte, pin Pin) (*Tree, error) {
 	return c.decode(b, pin)
 }
 
+// AliasStats reports how many labels this codec's aliasing decodes viewed
+// in place (hits) versus copied into the arena because the label's wire
+// bytes failed the word-alignment check (misses). On a v2 (STR2) stream
+// landing in an 8-aligned buffer the miss count stays zero; a nonzero
+// count under v2 means the enclosing framing broke the alignment
+// guarantee. Counters accumulate for the life of the codec.
+func (c *Codec) AliasStats() (hits, misses int64) { return c.aliasHits, c.aliasMisses }
+
 func (c *Codec) decode(b []byte, pin Pin) (*Tree, error) {
-	t, aliased, err := decodeTree(b, &c.names, &c.arena, nil, c, pin != nil)
+	t, aliased, err := decodeTree(b, &c.names, &c.arena, nil, c, pin != nil, nil)
 	if err != nil {
 		// A failed decode may have carved label storage before erroring;
 		// reclaim it now if no live tree pins the arena. (Nodes built

@@ -19,7 +19,7 @@ import (
 // refMarshalTree is the original append-per-field tree encoder.
 func refMarshalTree(t *Tree) ([]byte, error) {
 	buf := make([]byte, 0, t.SerializedSize())
-	buf = append(buf, magic[:]...)
+	buf = append(buf, magicV1[:]...)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(t.NumTasks))
 	var rec func(n *Node) error
 	rec = func(n *Node) error {

@@ -16,36 +16,55 @@ func corpusTree() *trace.Tree {
 	return t
 }
 
-// FuzzUnmarshalBinary feeds arbitrary bytes to the wire decoder: it must
-// never panic, and anything it accepts must re-marshal to the identical
-// byte string (the decoder admits only canonical encodings).
+// FuzzUnmarshalBinary feeds arbitrary bytes to the version-dispatched
+// wire decoder: it must never panic, and anything it accepts — v1 or v2
+// magic — must re-marshal, under the version it was encoded in, to the
+// identical byte string (each decoder admits only canonical encodings of
+// its version).
 func FuzzUnmarshalBinary(f *testing.F) {
 	valid, err := corpusTree().MarshalBinary()
 	if err != nil {
 		f.Fatal(err)
 	}
+	validV2, err := corpusTree().MarshalBinaryV(trace.WireV2)
+	if err != nil {
+		f.Fatal(err)
+	}
 	f.Add([]byte{})
 	f.Add(valid)
+	f.Add(validV2)
 	f.Add(valid[:len(valid)/2])                 // truncated mid-node
+	f.Add(validV2[:len(validV2)/2])             // truncated mid-node, v2
 	f.Add(append([]byte("XTR1"), valid[4:]...)) // bad magic
 	f.Add(append(bytes.Clone(valid), 0xFF))     // trailing garbage
+	f.Add(append(bytes.Clone(validV2), 0xFF))   // trailing garbage after v2
 	corrupted := bytes.Clone(valid)
 	corrupted[9] ^= 0x40 // flip a width bit
 	f.Add(corrupted)
+	crossed := bytes.Clone(validV2)
+	copy(crossed, "STR1") // v2 layout under v1 magic
+	f.Add(crossed)
+	dirtyPad := bytes.Clone(validV2)
+	dirtyPad[10] = 0x55 // root name padding must be zero
+	f.Add(dirtyPad)
 	f.Fuzz(func(t *testing.T, b []byte) {
 		tr, err := trace.UnmarshalBinary(b)
 		if err != nil {
 			return
 		}
-		enc, err := tr.MarshalBinary()
+		version, err := trace.SniffWireVersion(b)
+		if err != nil {
+			t.Fatalf("accepted input has no sniffable version: %v", err)
+		}
+		enc, err := tr.MarshalBinaryV(version)
 		if err != nil {
 			t.Fatalf("decoded tree failed to re-marshal: %v", err)
 		}
 		if !bytes.Equal(enc, b) {
-			t.Fatalf("decode/encode not canonical:\nin  %x\nout %x", b, enc)
+			t.Fatalf("decode/encode not canonical (v%d):\nin  %x\nout %x", version, b, enc)
 		}
-		if got := tr.SerializedSize(); got != len(enc) {
-			t.Fatalf("SerializedSize %d != encoded %d", got, len(enc))
+		if got := tr.SerializedSizeV(version); got != len(enc) {
+			t.Fatalf("SerializedSizeV(%d) %d != encoded %d", version, got, len(enc))
 		}
 	})
 }

@@ -10,11 +10,45 @@ import (
 	"stat/internal/bitvec"
 )
 
-// Wire format (little endian):
+// # Wire format specification
 //
-//	magic "STR1" (4 bytes)
-//	u32 numTasks
-//	node := u16 nameLen, name, label (bitvec binary), u32 childCount, node*
+// Two tree wire formats exist, distinguished by magic and negotiated per
+// stream by the protocol layer (see package proto). All integers are
+// little endian; a label is a bitvec binary value (u32 width, u32 word
+// count, words).
+//
+// Version 1, magic "STR1" — the compact original layout:
+//
+//	tree := magic "STR1" (4 bytes), u32 numTasks, node
+//	node := u16 nameLen, name, label, u32 childCount, node*
+//
+// Version 2, magic "STR2" — the 8-aligned layout. Every field group is
+// padded with zero bytes to the next 8-byte boundary, measured from the
+// start of the tree encoding:
+//
+//	tree := magic "STR2" (4 bytes), u32 numTasks, node
+//	node := u16 nameLen, name, pad8, label, u32 childCount, u32 zero, node*
+//
+// where pad8 is 0–7 zero bytes advancing the offset to a multiple of 8.
+// The tree header is 8 bytes, the padded name record and the trailing
+// child-count group are multiples of 8, and a label (8-byte header plus
+// whole words) is a multiple of 8, so by induction every node — and in
+// particular every label's word area — begins at an offset that is a
+// multiple of 8 from the tree start. When the enclosing framing places the
+// tree start 8-aligned in memory (the v2 packet and tree-list framings
+// do), every label word lands word-aligned and the zero-copy decode
+// aliases 100% of labels instead of the ~1/8 that happen to align under
+// v1. The price is the padding: at BG/L widths labels dwarf names, so the
+// overhead is a few percent of wire size.
+//
+// Alignment rule: decoders measure padding from the start of the tree
+// encoding (offset 0 = first magic byte), so a v2 tree is self-consistent
+// wherever it lands; only the *aliasing* payoff needs the enclosing buffer
+// to be 8-aligned in memory.
+//
+// Both decoders admit only canonical encodings — nonzero padding, stray
+// label bits, non-sorted children and trailing bytes are all rejected — so
+// decode∘encode is the identity on accepted inputs, per version.
 //
 // The format is deliberately explicit about label width: in the original
 // representation every label is full-job width, so the encoded size of a
@@ -22,41 +56,108 @@ import (
 // set. That blowup — visible directly in SerializedSize — is the network
 // pressure behind Figure 5.
 
-var magic = [4]byte{'S', 'T', 'R', '1'}
+// Wire format versions. The values match the protocol versions carried in
+// packet headers (proto.Version / proto.MaxVersion): a stream negotiated
+// to version v carries trees in tree wire format v.
+const (
+	// WireV1 is the compact v1 layout (magic "STR1").
+	WireV1 uint8 = 1
+	// WireV2 is the 8-aligned layout (magic "STR2") whose labels always
+	// land word-aligned for the zero-copy decode.
+	WireV2 uint8 = 2
+	// MaxWireVersion is the newest format this build encodes and decodes.
+	MaxWireVersion = WireV2
+)
+
+var (
+	magicV1 = [4]byte{'S', 'T', 'R', '1'}
+	magicV2 = [4]byte{'S', 'T', 'R', '2'}
+)
+
+// SniffWireVersion reports which wire format b begins with, from the
+// magic alone. It is how version-dispatched decoders (UnmarshalBinary,
+// the codec decodes, core's tree-list framing) pick a layout.
+func SniffWireVersion(b []byte) (uint8, error) {
+	if len(b) < 4 {
+		return 0, errors.New("trace: truncated header")
+	}
+	switch [4]byte(b[0:4]) {
+	case magicV1:
+		return WireV1, nil
+	case magicV2:
+		return WireV2, nil
+	}
+	return 0, errors.New("trace: bad magic")
+}
+
+// pad8 reports the zero padding that advances offset n to the next 8-byte
+// boundary.
+func pad8(n int) int { return -n & 7 }
 
 // SerializedSize reports the exact size of MarshalBinary's output without
-// allocating it.
-func (t *Tree) SerializedSize() int {
+// allocating it (the v1 encoding; use SerializedSizeV for a specific
+// version).
+func (t *Tree) SerializedSize() int { return t.SerializedSizeV(WireV1) }
+
+// SerializedSizeV reports the exact encoded size under the given wire
+// version without allocating it.
+func (t *Tree) SerializedSizeV(version uint8) int {
 	size := 4 + 4
-	t.walk(func(n *Node, _ int) {
-		size += 2 + len(n.Frame.Function) + n.Tasks.SerializedSize() + 4
-	})
+	if version == WireV2 {
+		t.walk(func(n *Node, _ int) {
+			name := 2 + len(n.Frame.Function)
+			size += name + pad8(name) + n.Tasks.SerializedSize() + 8
+		})
+	} else {
+		t.walk(func(n *Node, _ int) {
+			size += 2 + len(n.Frame.Function) + n.Tasks.SerializedSize() + 4
+		})
+	}
 	return size
 }
 
-// MarshalBinary encodes the tree in the wire format above.
+// MarshalBinary encodes the tree in the v1 wire format.
 func (t *Tree) MarshalBinary() ([]byte, error) {
-	return t.AppendBinary(make([]byte, 0, t.SerializedSize()))
+	return t.AppendBinaryV(make([]byte, 0, t.SerializedSizeV(WireV1)), WireV1)
 }
 
-// AppendBinary appends the wire encoding to dst in place and returns the
-// result. The destination is grown to the exact encoded size once and every
-// field is written by index — no per-node allocation and no append
-// bookkeeping per field. With a dst of sufficient capacity the encode
-// performs no allocation at all.
+// MarshalBinaryV encodes the tree in the requested wire format version.
+func (t *Tree) MarshalBinaryV(version uint8) ([]byte, error) {
+	return t.AppendBinaryV(make([]byte, 0, t.SerializedSizeV(version)), version)
+}
+
+// AppendBinary appends the v1 wire encoding to dst in place and returns
+// the result; see AppendBinaryV.
 func (t *Tree) AppendBinary(dst []byte) ([]byte, error) {
+	return t.AppendBinaryV(dst, WireV1)
+}
+
+// AppendBinaryV appends the wire encoding under the given version to dst
+// in place and returns the result. The destination is grown to the exact
+// encoded size once and every field is written by index — no per-node
+// allocation and no append bookkeeping per field. With a dst of sufficient
+// capacity the encode performs no allocation at all.
+func (t *Tree) AppendBinaryV(dst []byte, version uint8) ([]byte, error) {
+	if version != WireV1 && version != WireV2 {
+		return nil, fmt.Errorf("trace: unknown wire version %d", version)
+	}
 	base := len(dst)
-	need := t.SerializedSize()
+	need := t.SerializedSizeV(version)
 	if cap(dst)-base < need {
 		grown := make([]byte, base, base+need)
 		copy(grown, dst)
 		dst = grown
 	}
-	// The writer below fills every byte of [base, base+need); growing by
-	// reslice (not zero-fill) is safe because the encoding is gapless.
+	// The writer below fills every byte of [base, base+need) — padding
+	// included; growing by reslice (not zero-fill) is safe because the
+	// encoding is gapless.
 	dst = dst[:base+need]
 	o := base
-	o += copy(dst[o:], magic[:])
+	if version == WireV2 {
+		o += copy(dst[o:], magicV2[:])
+	} else {
+		o += copy(dst[o:], magicV1[:])
+	}
 	binary.LittleEndian.PutUint32(dst[o:], uint32(t.NumTasks))
 	o += 4
 	var rec func(n *Node) error
@@ -68,9 +169,21 @@ func (t *Tree) AppendBinary(dst []byte) ([]byte, error) {
 		binary.LittleEndian.PutUint16(dst[o:], uint16(len(name)))
 		o += 2
 		o += copy(dst[o:], name)
+		if version == WireV2 {
+			// Offsets are tracked relative to dst's base; the pad depends
+			// only on o-base mod 8, and base is 0 mod 8 relative to itself.
+			for p := pad8(o - base); p > 0; p-- {
+				dst[o] = 0
+				o++
+			}
+		}
 		o += n.Tasks.PutBinary(dst[o:])
 		binary.LittleEndian.PutUint32(dst[o:], uint32(len(n.Children)))
 		o += 4
+		if version == WireV2 {
+			binary.LittleEndian.PutUint32(dst[o:], 0)
+			o += 4
+		}
 		for _, c := range n.Children {
 			if err := rec(c); err != nil {
 				return err
@@ -91,15 +204,32 @@ func (t *Tree) AppendBinary(dst []byte) ([]byte, error) {
 // time; the strings they hand out are immutable and safely shared.
 var internPool = sync.Pool{New: func() any { t := newInternTable(); return &t }}
 
-// UnmarshalBinary decodes a tree encoded by MarshalBinary. Labels are
-// decoded into a fresh arena owned by the returned tree, and function names
-// are interned across calls. For the filter hot path, which decodes and
-// releases trees at steady state, use Codec.DecodeTree instead: it also
-// recycles the label arena.
+// UnmarshalBinary decodes a tree encoded by MarshalBinary or
+// MarshalBinaryV, dispatching on the wire magic — both v1 and v2
+// encodings are accepted. Labels are decoded into a fresh arena owned by
+// the returned tree, and function names are interned across calls. For the
+// filter hot path, which decodes and releases trees at steady state, use
+// Codec.DecodeTree instead: it also recycles the label arena.
 func UnmarshalBinary(b []byte) (*Tree, error) {
 	names := internPool.Get().(*internTable)
 	var arena bitvec.Arena
-	t, _, err := decodeTree(b, names, &arena, &nodeBatch{}, nil, false)
+	t, _, err := decodeTree(b, names, &arena, &nodeBatch{}, nil, false, nil)
+	internPool.Put(names)
+	return t, err
+}
+
+// UnmarshalBinaryRemapped decodes like UnmarshalBinary but fuses the
+// front-end remap into the decode: every label is pushed through the
+// compiled permutation as it is materialized from the wire — one pass over
+// each wire word, no second scattered-store sweep over a decoded tree.
+// The wire tree's task width must equal r.SourceLen(); the returned tree
+// spans r.Width() tasks. This is the hierarchical front end's final
+// decode; Tree.RemapWith remains the fallback for trees already decoded
+// by copying.
+func UnmarshalBinaryRemapped(b []byte, r *bitvec.Remapper) (*Tree, error) {
+	names := internPool.Get().(*internTable)
+	var arena bitvec.Arena
+	t, _, err := decodeTree(b, names, &arena, &nodeBatch{}, nil, false, r)
 	internPool.Put(names)
 	return t, err
 }
@@ -115,46 +245,56 @@ const maxDecodeDepth = 1 << 16
 
 // treeDecoder is the shared recursive decoder behind UnmarshalBinary and
 // the Codec decodes: names are interned through names, label headers and
-// words are carved from arena (or alias the input in aliasing mode), and
-// nodes come from the codec free list, then batch, then the shared node
-// pool. A struct with a method rather than a recursive closure: no
-// per-call closure allocation, direct recursive calls.
+// words are carved from arena (or alias the input in aliasing mode, or
+// scatter through remap in fused-remap mode), and nodes come from the
+// codec free list, then batch, then the shared node pool. A struct with a
+// method rather than a recursive closure: no per-call closure allocation,
+// direct recursive calls.
 type treeDecoder struct {
 	b        []byte
 	pos      int
 	numTasks int
+	version  uint8
 	names    *internTable
 	arena    *bitvec.Arena
 	batch    *nodeBatch
-	codec    *Codec // non-nil: draw nodes from the codec free list
-	alias    bool   // zero-copy labels where alignment allows
-	aliased  bool   // some label aliases b
+	codec    *Codec           // non-nil: draw nodes from the codec free list
+	alias    bool             // zero-copy labels where alignment allows
+	aliased  bool             // some label aliases b
+	remap    *bitvec.Remapper // non-nil: labels remapped as they materialize
 }
 
-func decodeTree(b []byte, names *internTable, arena *bitvec.Arena, batch *nodeBatch, codec *Codec, alias bool) (*Tree, bool, error) {
+func decodeTree(b []byte, names *internTable, arena *bitvec.Arena, batch *nodeBatch, codec *Codec, alias bool, remap *bitvec.Remapper) (*Tree, bool, error) {
+	version, err := SniffWireVersion(b)
+	if err != nil {
+		return nil, false, err
+	}
 	if len(b) < 8 {
 		return nil, false, errors.New("trace: truncated header")
-	}
-	if [4]byte(b[0:4]) != magic {
-		return nil, false, errors.New("trace: bad magic")
 	}
 	if !alias {
 		// Label words can total at most len(b)/8; telling the arena up
 		// front lets a fresh (one-shot) arena allocate to fit rather than
 		// a default chunk, and costs a long-lived arena nothing once its
 		// slabs cover the working set. An aliasing decode skips the hint:
-		// most labels will view b, not the arena.
+		// most labels will view b, not the arena. (A square fused remap
+		// preserves label width, so the bound holds there too.)
 		arena.Grow(len(b) / 8)
 	}
 	d := treeDecoder{
 		b:        b,
 		pos:      8,
 		numTasks: int(binary.LittleEndian.Uint32(b[4:8])),
+		version:  version,
 		names:    names,
 		arena:    arena,
 		batch:    batch,
 		codec:    codec,
 		alias:    alias,
+		remap:    remap,
+	}
+	if remap != nil && d.numTasks != remap.SourceLen() {
+		return nil, false, fmt.Errorf("trace: remap has %d source bits for tree width %d", remap.SourceLen(), d.numTasks)
 	}
 	root, err := d.node(0)
 	if err != nil {
@@ -170,7 +310,27 @@ func decodeTree(b []byte, names *internTable, arena *bitvec.Arena, batch *nodeBa
 		t = &Tree{}
 	}
 	t.NumTasks, t.Root = d.numTasks, root
+	if remap != nil {
+		t.NumTasks = remap.Width()
+	}
 	return t, d.aliased, nil
+}
+
+// pad consumes the zero bytes advancing the cursor to the next 8-byte
+// boundary of the tree encoding, rejecting nonzero padding so the v2
+// decode admits only canonical input.
+func (d *treeDecoder) pad() error {
+	p := pad8(d.pos)
+	if len(d.b)-d.pos < p {
+		return errors.New("trace: truncated padding")
+	}
+	for ; p > 0; p-- {
+		if d.b[d.pos] != 0 {
+			return errors.New("trace: nonzero padding byte")
+		}
+		d.pos++
+	}
+	return nil
 }
 
 func (d *treeDecoder) node(depth int) (*Node, error) {
@@ -188,24 +348,43 @@ func (d *treeDecoder) node(depth int) (*Node, error) {
 	}
 	name := d.names.intern(b[d.pos : d.pos+nameLen])
 	d.pos += nameLen
-	// Label: in aliasing mode the words view the wire buffer directly
-	// when the host and this label's alignment allow, and copy into the
-	// arena otherwise — byte-identical value either way.
+	if d.version == WireV2 {
+		if err := d.pad(); err != nil {
+			return nil, err
+		}
+	}
+	// Label: in fused-remap mode the wire words scatter straight through
+	// the permutation into arena storage; in aliasing mode the words view
+	// the wire buffer directly when the host and this label's alignment
+	// allow, and copy into the arena otherwise — byte-identical value
+	// either way. The codec's alias hit/miss counters record which path
+	// each label took, so a label that fails the alignment check is never
+	// indistinguishable from an aliased one.
 	var v *bitvec.Vector
 	var used int
 	var err error
-	if d.alias {
+	switch {
+	case d.remap != nil:
+		v, used, err = d.arena.RemapBinary(b[d.pos:], d.remap)
+	case d.alias:
 		var aliased bool
 		v, used, aliased, err = d.arena.AliasBinary(b[d.pos:])
+		if err == nil && d.codec != nil {
+			if aliased {
+				d.codec.aliasHits++
+			} else {
+				d.codec.aliasMisses++
+			}
+		}
 		d.aliased = d.aliased || aliased
-	} else {
+	default:
 		v, used, err = d.arena.UnmarshalBinary(b[d.pos:])
 	}
 	if err != nil {
 		return nil, err
 	}
 	d.pos += used
-	if v.Len() != d.numTasks {
+	if d.remap == nil && v.Len() != d.numTasks {
 		return nil, fmt.Errorf("trace: label width %d != tree width %d", v.Len(), d.numTasks)
 	}
 	if len(b)-d.pos < 4 {
@@ -213,6 +392,11 @@ func (d *treeDecoder) node(depth int) (*Node, error) {
 	}
 	nc := int(binary.LittleEndian.Uint32(b[d.pos:]))
 	d.pos += 4
+	if d.version == WireV2 {
+		if err := d.pad(); err != nil {
+			return nil, err
+		}
+	}
 	if nc > len(b)-d.pos { // each child needs ≥1 byte; cheap sanity bound
 		return nil, fmt.Errorf("trace: impossible child count %d", nc)
 	}

@@ -24,6 +24,21 @@
 // decodes of the same function namespace are safe yet still stop
 // allocating name strings at steady state.
 //
+// # Wire formats
+//
+// Trees serialize in one of two wire formats — compact v1 ("STR1") and
+// 8-aligned v2 ("STR2") — specified field by field in serialize.go. Every
+// decoder in the package dispatches on the magic, so either format is
+// accepted everywhere; encoders take an explicit version
+// (Tree.AppendBinaryV), with the v1-emitting MarshalBinary retained for
+// compatibility. Which version a stream carries is negotiated by the
+// protocol layer (package proto): the attach handshake picks the highest
+// version both ends speak, so old v1 captures and peers keep working
+// while upgraded sessions get v2's alignment guarantee — under which the
+// zero-copy decode below aliases every label, not just the ~1/8 whose v1
+// offsets happen to land word-aligned. Codec.AliasStats exposes the
+// realized hit/miss counts.
+//
 // # Buffer lifetime
 //
 // Codec.DecodeTreeAliasing is the zero-copy decode: on little-endian
@@ -397,16 +412,30 @@ func (t *Tree) Remap(perm []int, width int) error {
 	return t.RemapWith(r)
 }
 
-// RemapWith rewrites every label through a compiled permutation. Applying
-// costs O(words + set bits) per node — no per-node validation pass.
+// RemapWith rewrites every label through a compiled permutation. For a
+// square permutation the labels rotate in place along the permutation's
+// cycles (bitvec.Remapper.ApplyInPlace) — no per-node allocation, no
+// second buffer; otherwise each label is rebuilt through Remapper.Apply.
+// The tree must own its labels outright: remapping a tree whose labels
+// alias a wire buffer (Codec.DecodeTreeAliasing) would scribble on the
+// buffer. This is the fallback path for trees already decoded by copying;
+// the hierarchical front end fuses the remap into the final decode
+// instead (UnmarshalBinaryRemapped), skipping the second pass entirely.
 func (t *Tree) RemapWith(r *bitvec.Remapper) error {
+	inPlace := r.Square()
 	var rec func(n *Node) error
 	rec = func(n *Node) error {
-		nv, err := r.Apply(n.Tasks)
-		if err != nil {
-			return err
+		if inPlace {
+			if err := r.ApplyInPlace(n.Tasks); err != nil {
+				return err
+			}
+		} else {
+			nv, err := r.Apply(n.Tasks)
+			if err != nil {
+				return err
+			}
+			n.Tasks = nv
 		}
-		n.Tasks = nv
 		for _, c := range n.Children {
 			if err := rec(c); err != nil {
 				return err
