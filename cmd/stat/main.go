@@ -48,6 +48,8 @@ func run() error {
 		workers     = flag.Int("reduce-workers", 0, "pipelined engine worker count (0 = GOMAXPROCS)")
 		budget      = flag.Int64("reduce-budget", 0, "pipelined engine in-flight payload byte budget (0 = unbounded)")
 		wireVersion = flag.Uint("wire", 0, "cap the negotiated wire format version (0 = build maximum; 1 = compact STR1, 2 = 8-aligned STR2)")
+		samplerName = flag.String("sampler", "batched", "daemon sampling engine: batched (direct-to-tree trie) or legacy (per-sample loop)")
+		sampWorkers = flag.Int("sample-workers", 0, "batched sampler's concurrent daemon-walker bound (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -64,6 +66,15 @@ func run() error {
 		ReduceWorkers:     *workers,
 		ReduceBudgetBytes: *budget,
 		WireVersion:       uint8(*wireVersion),
+		SampleWorkers:     *sampWorkers,
+	}
+	switch *samplerName {
+	case "batched":
+		opts.Sampler = core.SamplerBatched
+	case "legacy":
+		opts.Sampler = core.SamplerLegacy
+	default:
+		return fmt.Errorf("unknown sampler %q (batched|legacy)", *samplerName)
 	}
 	switch *engineName {
 	case "seq":
@@ -151,6 +162,17 @@ func run() error {
 		fmt.Printf("  remap    %8.3fs\n", res.Times.Remap)
 	}
 	fmt.Printf("  total    %8.2fs\n", res.Times.Total())
+
+	if ss := res.SampleStats; ss.SampledStacks > 0 {
+		memoRate := float64(ss.StackMemoHits) / float64(ss.SampledStacks)
+		pcRate := 0.0
+		if ss.PCsResolved > 0 {
+			pcRate = 1 - float64(ss.PCCacheMisses)/float64(ss.PCsResolved)
+		}
+		fmt.Printf("\nsampling engine: %d stacks walked, %d distinct (%.1f%% stack-memo hits), "+
+			"%d PCs resolved (%.1f%% cache hits)\n",
+			ss.SampledStacks, ss.DistinctStacks, 100*memoRate, ss.PCsResolved, 100*pcRate)
+	}
 
 	if *progress {
 		// A fresh Tool: each carries single-use virtual-clock state.

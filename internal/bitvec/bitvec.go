@@ -45,27 +45,35 @@ func (v *Vector) Len() int { return v.n }
 
 // Set marks task i as a member. Out-of-range indexes panic: labels are
 // always constructed against a known task space and a violation is a bug.
+// The panic lives in a helper so Set itself stays inlinable — it is the
+// innermost operation of the sampling walk, called once per stack frame
+// per sample.
 func (v *Vector) Set(i int) {
-	if i < 0 || i >= v.n {
-		panic(fmt.Sprintf("bitvec: Set(%d) out of range [0,%d)", i, v.n))
+	if uint(i) >= uint(v.n) {
+		v.rangePanic("Set", i)
 	}
 	v.words[i>>6] |= 1 << (uint(i) & 63)
 }
 
 // Clear removes task i from the set.
 func (v *Vector) Clear(i int) {
-	if i < 0 || i >= v.n {
-		panic(fmt.Sprintf("bitvec: Clear(%d) out of range [0,%d)", i, v.n))
+	if uint(i) >= uint(v.n) {
+		v.rangePanic("Clear", i)
 	}
 	v.words[i>>6] &^= 1 << (uint(i) & 63)
 }
 
 // Get reports whether task i is a member.
 func (v *Vector) Get(i int) bool {
-	if i < 0 || i >= v.n {
-		panic(fmt.Sprintf("bitvec: Get(%d) out of range [0,%d)", i, v.n))
+	if uint(i) >= uint(v.n) {
+		v.rangePanic("Get", i)
 	}
 	return v.words[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+//go:noinline
+func (v *Vector) rangePanic(op string, i int) {
+	panic(fmt.Sprintf("bitvec: %s(%d) out of range [0,%d)", op, i, v.n))
 }
 
 // Count reports the number of members.

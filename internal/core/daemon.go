@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"stat/internal/proto"
+	"stat/internal/sample"
 	"stat/internal/stackwalk"
 	"stat/internal/tbon"
 	"stat/internal/trace"
@@ -57,6 +58,11 @@ type daemon struct {
 	// the highest version both the front end (per its attach request) and
 	// this daemon speak. Gather payloads are encoded in it.
 	wireVersion uint8
+	// capVersion, when nonzero, caps the version this daemon advertises —
+	// a simulated older daemon build inside a newer fleet
+	// (Options.DaemonWireCaps). The attach negotiation can land at most
+	// here, and the session-wide minimum then carries the downgrade.
+	capVersion uint8
 }
 
 // handleControl advances the daemon's state machine for one control
@@ -74,7 +80,11 @@ func (d *daemon) handleControl(p proto.Packet) proto.Ack {
 		if err != nil {
 			return fail("%v", err)
 		}
-		d.wireVersion = proto.Negotiate(req.MaxVersion, d.tool.maxWireVersion())
+		limit := d.tool.maxWireVersion()
+		if d.capVersion != 0 && d.capVersion < limit {
+			limit = d.capVersion
+		}
+		d.wireVersion = proto.Negotiate(req.MaxVersion, limit)
 		d.state = stateAttached
 		return proto.Ack{OK: 1, Version: d.wireVersion}
 	case proto.MsgSample:
@@ -104,31 +114,66 @@ func (d *daemon) handleControl(p proto.Packet) proto.Ack {
 	}
 }
 
-// gatherPacket performs the daemon's real work for a gather command: walk
-// every local task's stack for the recorded sample count, fold the traces
-// into the requested prefix trees, and return them serialized — in the
-// wire version negotiated at attach — as a complete MsgResult packet
-// minted from the shared buffer pool behind a lease. The payload is
-// encoded in place after a reserved packet header, and the lease's free
-// hook returns the buffer to the pool once the parent's filter is done
-// with it, so leaf payload production allocates nothing at steady state
-// (ROADMAP's "leased buffers end to end"). Under v2 the pooled buffer's
-// 8-aligned base plus the 16-byte header land every label word-aligned
-// for the upstream zero-copy decode.
-func (d *daemon) gatherPacket(req proto.GatherRequest) (*tbon.Lease, error) {
+// sampleBatch is one gather round's sampled trees plus the hook returning
+// their storage: a sample.Batch on the engine path, the trees' own Release
+// on the legacy path. A value type so the per-gather hot path carries no
+// closure.
+type sampleBatch struct {
+	t2, t3 *trace.Tree
+	batch  sample.Batch
+	legacy bool
+}
+
+func (b *sampleBatch) release() {
+	if b.legacy {
+		if b.t2 != nil {
+			b.t2.Release()
+		}
+		if b.t3 != nil {
+			b.t3.Release()
+		}
+		return
+	}
+	b.batch.Release()
+}
+
+// sampleTrees runs the daemon's sampling for one gather command — the
+// real per-daemon work of the tool's sample phase — and returns the
+// requested prefix trees. On the batched path (the default) the walk runs
+// through the shared direct-to-tree engine: raw PC stacks accumulate in
+// the daemon walker's persistent trie, symbols resolve through the
+// memoized cache, and the trees emit without any per-sample allocation.
+// The legacy path materializes resolved frames per sample and folds each
+// trace into a fresh tree, kept as the differential reference.
+func (d *daemon) sampleTrees(req proto.GatherRequest) (sampleBatch, error) {
 	if d.state != stateSampled {
-		return nil, fmt.Errorf("core: daemon %d: gather while %s", d.leaf, d.state)
+		return sampleBatch{}, fmt.Errorf("core: daemon %d: gather while %s", d.leaf, d.state)
 	}
 	ranks := d.tool.taskMap[d.leaf]
 	width := len(ranks)
 	if d.tool.opts.BitVec == Original {
 		width = d.tool.opts.Tasks
 	}
+	base := d.epoch - d.samples
+
+	if eng := d.tool.sampler; eng != nil {
+		batch := eng.Sample(sample.Request{
+			Ranks:       ranks,
+			GlobalIndex: d.tool.opts.BitVec == Original,
+			Width:       width,
+			Samples:     d.samples,
+			Threads:     d.threads,
+			Base:        base,
+			Detail:      req.Detail,
+			Want2D:      req.Which&proto.Tree2D != 0,
+			Want3D:      req.Which&proto.Tree3D != 0,
+		})
+		return sampleBatch{t2: batch.Tree2D, t3: batch.Tree3D, batch: batch}, nil
+	}
+
 	t2 := trace.NewTree(width)
 	t3 := trace.NewTree(width)
 	walker := stackwalk.NewWalker(d.tool.app, d.tool.symtab)
-
-	base := d.epoch - d.samples
 	for local, rank := range ranks {
 		idx := local
 		if d.tool.opts.BitVec == Original {
@@ -152,25 +197,47 @@ func (d *daemon) gatherPacket(req proto.GatherRequest) (*tbon.Lease, error) {
 			}
 		}
 	}
+	return sampleBatch{t2: t2, t3: t3, legacy: true}, nil
+}
+
+// gatherPacket performs the daemon's real work for a gather command: walk
+// every local task's stack for the recorded sample count (sampleTrees),
+// fold the traces into the requested prefix trees, and return them
+// serialized — in the wire version negotiated at attach — as a complete
+// MsgResult packet minted from the shared buffer pool behind a lease. The
+// payload is encoded in place after a reserved packet header, and the
+// lease's free hook returns the buffer to the pool once the parent's
+// filter is done with it, so leaf payload production allocates nothing at
+// steady state (ROADMAP's "leased buffers end to end"). Under v2 the
+// pooled buffer's 8-aligned base plus the 16-byte header land every label
+// word-aligned for the upstream zero-copy decode.
+func (d *daemon) gatherPacket(req proto.GatherRequest) (*tbon.Lease, error) {
+	sb, err := d.sampleTrees(req)
+	if err != nil {
+		return nil, err
+	}
 	version := d.wireVersion
 	if version == 0 {
 		version = proto.Version
 	}
+	var treeBuf [2]*trace.Tree
 	var trees []*trace.Tree
 	switch req.Which {
 	case proto.Tree2D:
-		trees = []*trace.Tree{t2}
+		treeBuf[0] = sb.t2
+		trees = treeBuf[:1]
 	case proto.Tree3D:
-		trees = []*trace.Tree{t3}
+		treeBuf[0] = sb.t3
+		trees = treeBuf[:1]
 	default:
-		trees = []*trace.Tree{t2, t3}
+		treeBuf[0], treeBuf[1] = sb.t2, sb.t3
+		trees = treeBuf[:2]
 	}
 	hdr := proto.HeaderSizeV(version)
 	size := encodedTreesSize(version, trees)
 	buf := outBufs.Get(hdr + size)
 	packet, err := encodeTreesInto(buf[:hdr], version, trees...)
-	t2.Release()
-	t3.Release()
+	sb.release()
 	if err != nil {
 		outBufs.Put(buf)
 		return nil, err

@@ -261,8 +261,13 @@ func releaseDecoded(dst []*trace.Tree, base int, err error) ([]*trace.Tree, erro
 // mergeFilter returns the tree-merge filter for the configured
 // representation, operating on leased encodeTrees bodies: the treeMerger
 // body encode wrapped in a pooled output lease. The output body carries
-// the highest wire version seen among the children — after negotiation
-// all children agree, so the version simply propagates.
+// the LOWEST wire version seen among the children — the min-merge rule.
+// In a homogeneous session (the common case) every child agrees after
+// negotiation and the version simply propagates; in a mixed-version fleet
+// (per-daemon caps) a v1-era daemon's subtree downgrades every merge on
+// its path to the root, while disjoint subtrees keep shipping v2 until
+// the join — mirroring how the ack merge's minimum carries the negotiated
+// session version upward.
 func (t *Tool) mergeFilter() tbon.Filter {
 	merge := t.treeMerger()
 	return func(children []*tbon.Lease) (*tbon.Lease, error) {
@@ -272,7 +277,7 @@ func (t *Tool) mergeFilter() tbon.Filter {
 			if err != nil {
 				return nil, err
 			}
-			if v > version {
+			if version == 0 || v < version {
 				version = v
 			}
 		}
@@ -430,6 +435,9 @@ func (t *Tool) runMergePhase(res *Result) error {
 	res.WireVersion = version
 	res.AliasDecodeHits = t.aliasHits.Load()
 	res.AliasDecodeMisses = t.aliasMisses.Load()
+	if t.sampler != nil {
+		res.SampleStats = t.sampler.Stats()
+	}
 	for _, leafNode := range t.topo.Leaves {
 		if b := stats.NodeOutBytes[leafNode.ID]; b > res.MaxLeafPayloadBytes {
 			res.MaxLeafPayloadBytes = b

@@ -38,6 +38,28 @@ func (m BitVecMode) String() string {
 	return "original"
 }
 
+// Sampler selects the daemon-side sampling implementation.
+type Sampler int
+
+const (
+	// SamplerBatched is the batched direct-to-tree engine
+	// (internal/sample): raw PC stacks walk into a persistent prefix trie
+	// with memoized symbol resolution and whole-stack short-circuiting,
+	// and the trie emits the gather trees directly. The default.
+	SamplerBatched Sampler = iota
+	// SamplerLegacy is the original per-sample loop: materialize resolved
+	// frames per sample and fold each trace into a fresh tree. Kept as
+	// the differential reference and for measuring the engine's win.
+	SamplerLegacy
+)
+
+func (s Sampler) String() string {
+	if s == SamplerLegacy {
+		return "legacy"
+	}
+	return "batched"
+}
+
 // Options configure one STAT run.
 type Options struct {
 	// Machine is the platform model (machine.Atlas() or machine.BGL()).
@@ -83,6 +105,23 @@ type Options struct {
 	// for measuring the wire-size-vs-aliasing tradeoff of the 8-aligned
 	// STR2 format.
 	WireVersion uint8
+	// Sampler selects the daemon sampling implementation; the zero value
+	// is the batched direct-to-tree engine.
+	Sampler Sampler
+	// SampleWorkers bounds the batched engine's pool of daemon walkers
+	// (how many daemons may walk stacks concurrently, each on its own
+	// warm trie); 0 means GOMAXPROCS. Ignored by SamplerLegacy.
+	SampleWorkers int
+	// DaemonWireCaps caps individual daemons' advertised data-stream wire
+	// version, keyed by leaf index — simulating a mixed-version fleet. A
+	// capped daemon negotiates at most its cap at attach, the ack merge's
+	// minimum carries the downgrade to the front end, and the data
+	// stream's merge filters re-encode at the minimum of their children,
+	// so one v1-era daemon degrades the whole session's result to v1
+	// while uncapped subtrees still ship v2 up to the join. Daemons
+	// absent from the map advertise the build maximum (still subject to
+	// WireVersion).
+	DaemonWireCaps map[int]uint8
 	// Parallel is a deprecated alias for Engine = tbon.EngineConcurrent.
 	Parallel  bool
 	Transport tbon.Transport
@@ -120,6 +159,18 @@ func (o *Options) fillDefaults() error {
 	}
 	if o.WireVersion > proto.MaxVersion {
 		return fmt.Errorf("core: WireVersion %d exceeds this build's maximum %d", o.WireVersion, proto.MaxVersion)
+	}
+	if o.Sampler != SamplerBatched && o.Sampler != SamplerLegacy {
+		return fmt.Errorf("core: unknown sampler %d", int(o.Sampler))
+	}
+	if o.SampleWorkers < 0 {
+		return fmt.Errorf("core: SampleWorkers must be >= 0, got %d", o.SampleWorkers)
+	}
+	for leaf, cap := range o.DaemonWireCaps {
+		if cap < proto.Version || cap > proto.MaxVersion {
+			return fmt.Errorf("core: daemon %d wire cap %d outside this build's range %d..%d",
+				leaf, cap, proto.Version, proto.MaxVersion)
+		}
 	}
 	return nil
 }

@@ -52,12 +52,21 @@ func (t *Tool) runLaunchPhase() (float64, error) {
 	return doneAt - start, r.Err
 }
 
-// runSamplePhase models every daemon gathering its samples: sequentially
-// opening and parsing the binaries it needs symbols from (contending on
-// shared file systems unless SBRS redirected the opens), then walking each
-// local task's stack Samples times per thread and merging locally. The
-// phase time is the slowest daemon's completion (Section VI measures
-// exactly this quantity).
+// runSamplePhase models the wall-clock of every daemon gathering its
+// samples: sequentially opening and parsing the binaries it needs symbols
+// from (contending on shared file systems unless SBRS redirected the
+// opens), then the per-task stack walks. The phase time is the slowest
+// daemon's completion (Section VI measures exactly this quantity).
+//
+// Only the clock is modeled here. The real sampling work — the walks that
+// produce the trees the merge phase reduces — runs at gather time in
+// daemon.sampleTrees, and is no longer the sequential per-sample
+// walk→resolve→merge loop this comment once described: by default it goes
+// through the batched direct-to-tree engine (internal/sample), where raw
+// PC stacks accumulate in a per-walker trie, symbols resolve through a
+// shared memoized cache, and concurrency is bounded by the engine's
+// walker pool (Options.SampleWorkers) rather than being strictly
+// sequential per daemon.
 func (t *Tool) runSamplePhase() float64 {
 	start := t.eng.Now()
 	end := start

@@ -1,0 +1,254 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"stat/internal/machine"
+	"stat/internal/proto"
+	"stat/internal/tbon"
+	"stat/internal/topology"
+	"stat/internal/trace"
+)
+
+// TestSamplerDifferentialAcrossTopologies is the acceptance differential
+// for the batched sampling engine: real daemon payloads produced by the
+// engine, folded through the production result filter over every
+// adversarial topology shape, must yield a root result packet
+// byte-identical to the legacy per-sample path — across both
+// representations and both wire versions. Identical packets imply
+// identical merged trees; we decode and Equal-check them anyway so a
+// failure localizes.
+func TestSamplerDifferentialAcrossTopologies(t *testing.T) {
+	topos := []struct {
+		name  string
+		build func() (*topology.Tree, error)
+	}{
+		{"flat", func() (*topology.Tree, error) { return topology.Flat(9) }},
+		{"chain", func() (*topology.Tree, error) { return topology.Chain(5) }},
+		{"ragged", func() (*topology.Tree, error) { return topology.Ragged(42, 3, 5) }},
+		{"balanced", func() (*topology.Tree, error) { return topology.Balanced(2, 16) }},
+		{"bgl", func() (*topology.Tree, error) { return topology.BGL2Deep(32) }},
+	}
+	gathers := []struct {
+		name string
+		req  proto.GatherRequest
+	}{
+		{"both", proto.GatherRequest{Which: proto.TreeBoth}},
+		{"3d-detail", proto.GatherRequest{Which: proto.Tree3D, Detail: true}},
+	}
+	for _, mode := range []BitVecMode{Original, Hierarchical} {
+		for _, version := range []uint8{1, 2} {
+			for _, tc := range topos {
+				topo, err := tc.build()
+				if err != nil {
+					t.Fatal(err)
+				}
+				nLeaves := topo.NumLeaves()
+				// Atlas runs 8 tasks per daemon, so this pins the tool's
+				// daemon count to the test topology's leaf count.
+				tasks := 8 * nLeaves
+
+				runTool := func(s Sampler, greq proto.GatherRequest) []byte {
+					tool, err := New(Options{
+						Machine:        machine.Atlas(),
+						Tasks:          tasks,
+						Topology:       topology.Spec{Kind: topology.KindBalanced, Depth: 2},
+						BitVec:         mode,
+						Samples:        3,
+						ThreadsPerTask: 2,
+						WireVersion:    version,
+						Sampler:        s,
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if tool.Daemons() != nLeaves {
+						t.Fatalf("%s: tool has %d daemons, topology %d leaves", tc.name, tool.Daemons(), nLeaves)
+					}
+					daemons := make([]*daemon, nLeaves)
+					for i := range daemons {
+						daemons[i] = &daemon{
+							leaf: i, tool: tool, state: stateSampled,
+							samples: 3, threads: 2, epoch: 3, wireVersion: version,
+						}
+					}
+					net := tbon.New(topo, nil)
+					leaf := func(i int) (*tbon.Lease, error) {
+						return daemons[i].gatherPacket(greq)
+					}
+					out, _, err := net.ReduceLeasedWith(tbon.ReduceOptions{}, leaf, tool.resultFilter())
+					if err != nil {
+						t.Fatalf("%v/v%d/%s: %v", mode, version, tc.name, err)
+					}
+					return out
+				}
+
+				for _, g := range gathers {
+					legacy := runTool(SamplerLegacy, g.req)
+					batched := runTool(SamplerBatched, g.req)
+					if !bytes.Equal(legacy, batched) {
+						t.Errorf("%v/v%d/%s/%s: engine result packet differs from legacy path",
+							mode, version, tc.name, g.name)
+						continue
+					}
+					p, err := proto.Decode(batched)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if p.Version != version {
+						t.Errorf("%v/v%d/%s/%s: packet carries v%d", mode, version, tc.name, g.name, p.Version)
+					}
+					trees, err := decodeTrees(p.Payload)
+					if err != nil {
+						t.Fatalf("%v/v%d/%s/%s: decode: %v", mode, version, tc.name, g.name, err)
+					}
+					for ti, tr := range trees {
+						if err := tr.Validate(); err != nil {
+							t.Errorf("%v/v%d/%s/%s: tree %d invalid: %v", mode, version, tc.name, g.name, ti, err)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSamplerDifferentialFullSession runs complete sessions (attach →
+// sample → gather → remap → classes) under both samplers and pins the
+// final rank-ordered trees and equivalence classes against each other —
+// the end-to-end form of the differential, progress check included.
+func TestSamplerDifferentialFullSession(t *testing.T) {
+	for _, mode := range []BitVecMode{Original, Hierarchical} {
+		base := Options{
+			Machine:        machine.Atlas(),
+			Tasks:          96,
+			Topology:       topology.Spec{Kind: topology.KindBalanced, Depth: 2},
+			BitVec:         mode,
+			Samples:        4,
+			ThreadsPerTask: 2,
+		}
+		results := make([]*Result, 2)
+		reports := make([]*ProgressReport, 2)
+		for i, s := range []Sampler{SamplerLegacy, SamplerBatched} {
+			opts := base
+			opts.Sampler = s
+			tool, err := New(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if results[i], err = tool.MeasureMerge(); err != nil {
+				t.Fatal(err)
+			}
+			if results[i].MergeErr != nil {
+				t.Fatal(results[i].MergeErr)
+			}
+			ptool, err := New(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if reports[i], err = ptool.ProgressCheck(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, pair := range []struct {
+			name           string
+			legacy, engine *trace.Tree
+		}{
+			{"2D", results[0].Tree2D, results[1].Tree2D},
+			{"3D", results[0].Tree3D, results[1].Tree3D},
+			{"progress-before", reports[0].Before, reports[1].Before},
+			{"progress-after", reports[0].After, reports[1].After},
+		} {
+			if !pair.legacy.Equal(pair.engine) {
+				t.Errorf("%v/%s: engine tree differs from legacy", mode, pair.name)
+				continue
+			}
+			el, err := pair.legacy.MarshalBinary()
+			if err != nil {
+				t.Fatal(err)
+			}
+			ee, err := pair.engine.MarshalBinary()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(el, ee) {
+				t.Errorf("%v/%s: encodings differ", mode, pair.name)
+			}
+		}
+		if len(results[0].Classes) != len(results[1].Classes) {
+			t.Fatalf("%v: %d vs %d classes", mode, len(results[0].Classes), len(results[1].Classes))
+		}
+		if !reports[0].Stuck.Equal(reports[1].Stuck) {
+			t.Errorf("%v: progress checks disagree on stuck tasks", mode)
+		}
+		// The engine's counters must be live on the batched run and silent
+		// on the legacy one.
+		if results[0].SampleStats.SampledStacks != 0 {
+			t.Error("legacy run reported engine sampling counters")
+		}
+		ss := results[1].SampleStats
+		wantStacks := int64(96 * 4 * 2) // tasks × samples × threads
+		if ss.SampledStacks != wantStacks {
+			t.Errorf("%v: SampledStacks = %d, want %d", mode, ss.SampledStacks, wantStacks)
+		}
+		if ss.DistinctStacks == 0 || ss.PCCacheMisses == 0 {
+			t.Errorf("%v: distinct-stack/cache counters silent: %+v", mode, ss)
+		}
+	}
+}
+
+// TestSamplePhaseZeroAllocs is the acceptance guard for the batched
+// engine: a steady-state daemon sampling round — walk every local stack,
+// emit both trees, release — must not touch the heap at all. The legacy
+// path allocated frames, trees and labels per sample; the engine's trie,
+// memo, resolver cache and emitted-node pool absorb all of it.
+func TestSamplePhaseZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are unstable under the race detector")
+	}
+	tool, err := New(Options{
+		Machine:        machine.Atlas(),
+		Tasks:          96,
+		Topology:       topology.Spec{Kind: topology.KindBalanced, Depth: 2},
+		BitVec:         Hierarchical,
+		Samples:        5,
+		ThreadsPerTask: 2,
+		SampleWorkers:  1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := &daemon{leaf: 0, tool: tool, state: stateSampled, samples: 5, threads: 2, epoch: 5, wireVersion: 2}
+	req := proto.GatherRequest{Which: proto.TreeBoth}
+	cycle := func() {
+		sb, err := d.sampleTrees(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sb.release()
+	}
+	for i := 0; i < 10; i++ {
+		cycle()
+	}
+	if n := testing.AllocsPerRun(200, cycle); n != 0 {
+		t.Errorf("steady-state sample phase allocates %v per round, want 0", n)
+	}
+
+	// The full leaf product — sampling plus the leased packet encode —
+	// stays zero-alloc too, extending PR 3/4's guarantee through the new
+	// engine.
+	packetCycle := func() {
+		lease, err := d.gatherPacket(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lease.Release()
+	}
+	for i := 0; i < 10; i++ {
+		packetCycle()
+	}
+	if n := testing.AllocsPerRun(200, packetCycle); n != 0 {
+		t.Errorf("steady-state gather packet cycle allocates %v per round, want 0", n)
+	}
+}

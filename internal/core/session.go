@@ -32,7 +32,7 @@ func (t *Tool) newSession() *session {
 	s := &session{t: t, net: tbon.New(t.topo, t.opts.Transport), wireVersion: proto.Version}
 	s.daemons = make([]*daemon, t.daemons)
 	for i := range s.daemons {
-		s.daemons[i] = &daemon{leaf: i, tool: t}
+		s.daemons[i] = &daemon{leaf: i, tool: t, capVersion: t.opts.DaemonWireCaps[i]}
 	}
 	return s
 }
@@ -181,8 +181,13 @@ func (s *session) gather(which proto.TreeKind, detail bool) ([]byte, uint8, *tbo
 }
 
 // resultFilter merges MsgResult packets: unwrap, merge the carried trees
-// under the configured representation, rewrap at the same wire version
-// the children carry (uniform after negotiation). proto.Decode aliases
+// under the configured representation, rewrap at the LOWEST wire version
+// the children carry — uniform after negotiation in a homogeneous
+// session, and the min-merge downgrade rule when per-daemon caps put a
+// v1-era daemon inside a v2 fleet (see Options.DaemonWireCaps: the
+// session version is the minimum over daemons, and taking the minimum at
+// every join is what makes the root packet land exactly there).
+// proto.Decode aliases
 // the packet body rather than copying it, so each body is handed to the
 // tree merge as a sub-lease of the child packet: if the merge's zero-copy
 // decode pins a body (its labels view the wire bytes), the pin holds the
@@ -199,7 +204,7 @@ func (t *Tool) resultFilter() tbon.Filter {
 				bodies[i].Release()
 			}
 		}
-		version := uint8(proto.Version)
+		version := uint8(0)
 		for i, c := range children {
 			p, err := proto.Decode(c.Bytes())
 			if err != nil {
@@ -210,10 +215,13 @@ func (t *Tool) resultFilter() tbon.Filter {
 				release(i)
 				return nil, fmt.Errorf("core: expected result, got %v", p.Type)
 			}
-			if p.Version > version {
+			if version == 0 || p.Version < version {
 				version = p.Version
 			}
 			bodies[i] = c.Sub(p.Payload)
+		}
+		if version == 0 {
+			version = proto.Version
 		}
 		hdr := proto.HeaderSizeV(version)
 		packet, err := merge(bodies, hdr, version)

@@ -8,6 +8,7 @@ import (
 	"stat/internal/machine"
 	"stat/internal/mpisim"
 	"stat/internal/proto"
+	"stat/internal/sample"
 	"stat/internal/sbrs"
 	"stat/internal/sim"
 	"stat/internal/stackwalk"
@@ -28,6 +29,10 @@ type Tool struct {
 	app     *mpisim.App
 	symtab  *stackwalk.SymbolTable
 	rng     *sim.RNG
+	// sampler is the batched direct-to-tree sampling engine shared by
+	// every daemon of this tool; nil when Options.Sampler selects the
+	// legacy per-sample loop.
+	sampler *sample.Engine
 	// aliasHits / aliasMisses aggregate the pooled codecs' zero-copy
 	// decode counters across a merge phase's filter workers (hence
 	// atomic); runMergePhase resets them and copies the totals into the
@@ -86,6 +91,13 @@ type Result struct {
 	MaxLeafPayloadBytes int64
 	// FrontEndInBytes is the root's total merge-phase ingress.
 	FrontEndInBytes int64
+	// SampleStats are the batched sampling engine's cumulative counters —
+	// stacks walked, whole-stack memo hits, distinct stacks, per-PC
+	// resolver lookups and their cache misses. The hit rates they imply
+	// are what the direct-to-tree engine exploits: spinning tasks
+	// resample a small population of distinct stacks and a tiny
+	// population of distinct PCs. All zero on the legacy sampler.
+	SampleStats sample.Stats
 	// SBRSReport is non-nil when SBRS ran.
 	SBRSReport *sbrs.Report
 }
@@ -123,11 +135,20 @@ func New(opts Options) (*Tool, error) {
 		return nil, fmt.Errorf("core: app has %d tasks, options say %d", t.app.N, opts.Tasks)
 	}
 
+	for leaf := range opts.DaemonWireCaps {
+		if leaf < 0 || leaf >= t.daemons {
+			return nil, fmt.Errorf("core: DaemonWireCaps names daemon %d, run has %d daemons", leaf, t.daemons)
+		}
+	}
+
 	if err := t.populateFS(); err != nil {
 		return nil, err
 	}
 	if err := t.loadSymbols(); err != nil {
 		return nil, err
+	}
+	if opts.Sampler == SamplerBatched {
+		t.sampler = sample.New(t.app, t.symtab, opts.SampleWorkers)
 	}
 
 	// Per-run stream: identical configurations reproduce exactly; any

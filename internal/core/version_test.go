@@ -192,6 +192,86 @@ func TestWireVersionNegotiation(t *testing.T) {
 	}
 }
 
+// TestMixedVersionFleetDowngrade pins per-daemon wire caps over a real
+// (paper) topology: a single v1-era daemon inside an otherwise-v2 BG/L
+// fleet must drag the session down to v1 at attach — the ack merge's
+// minimum — and the data stream's min-merge must land the root result at
+// exactly that version, with trees identical to a homogeneous session's.
+func TestMixedVersionFleetDowngrade(t *testing.T) {
+	run := func(caps map[int]uint8) *Result {
+		tool, err := New(Options{
+			Machine:        machine.BGL(),
+			Mode:           machine.CO,
+			Tasks:          1024, // 16 daemons at 64 tasks per I/O node
+			Topology:       topology.Spec{Kind: topology.KindBGL2Deep},
+			BitVec:         Hierarchical,
+			Samples:        3,
+			DaemonWireCaps: caps,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := tool.MeasureMerge()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.MergeErr != nil {
+			t.Fatal(res.MergeErr)
+		}
+		return res
+	}
+
+	uncapped := run(nil)
+	if uncapped.WireVersion != proto.MaxVersion {
+		t.Fatalf("uncapped fleet negotiated v%d, want v%d", uncapped.WireVersion, proto.MaxVersion)
+	}
+
+	// One old daemon in the middle of the fleet forces the downgrade.
+	mixed := run(map[int]uint8{5: 1})
+	if mixed.WireVersion != 1 {
+		t.Errorf("mixed fleet negotiated v%d, want 1", mixed.WireVersion)
+	}
+	if !mixed.Tree2D.Equal(uncapped.Tree2D) || !mixed.Tree3D.Equal(uncapped.Tree3D) {
+		t.Error("mixed-version fleet produced different trees")
+	}
+	if bitvec.HostLittleEndian() && mixed.AliasDecodeMisses == 0 {
+		t.Error("v1-downgraded stream recorded no alias misses; the downgrade did not reach the decode")
+	}
+
+	// A cap at the build maximum is a no-op.
+	capped2 := run(map[int]uint8{5: 2})
+	if capped2.WireVersion != proto.MaxVersion {
+		t.Errorf("v2-capped daemon degraded the session to v%d", capped2.WireVersion)
+	}
+
+	// Every daemon capped: equivalent to pinning the tool.
+	allV1 := make(map[int]uint8)
+	for i := 0; i < 16; i++ {
+		allV1[i] = 1
+	}
+	whole := run(allV1)
+	if whole.WireVersion != 1 {
+		t.Errorf("fully-capped fleet negotiated v%d, want 1", whole.WireVersion)
+	}
+
+	// Caps outside the build's range, or naming a daemon the run does not
+	// have, are configuration errors.
+	if _, err := New(Options{
+		Machine: machine.Atlas(), Tasks: 64,
+		Topology:       topology.Spec{Kind: topology.KindBalanced, Depth: 2},
+		DaemonWireCaps: map[int]uint8{0: proto.MaxVersion + 1},
+	}); err == nil {
+		t.Error("out-of-range daemon cap accepted")
+	}
+	if _, err := New(Options{
+		Machine: machine.Atlas(), Tasks: 64,
+		Topology:       topology.Spec{Kind: topology.KindBalanced, Depth: 2},
+		DaemonWireCaps: map[int]uint8{99: 1},
+	}); err == nil {
+		t.Error("cap for a nonexistent daemon accepted")
+	}
+}
+
 // TestGatherLeafPayloadsRecycle pins the leased-leaf satellite: the
 // buffers daemons mint for gather packets come back to the shared pool
 // once the parent filter is done, so repeated sessions reuse rather than

@@ -1,0 +1,85 @@
+package mpisim
+
+import "testing"
+
+// TestAddrIndexesMatchLayout guards the hot-path index constants against a
+// reorder of functionNames: every idx* constant must address the same
+// function addrOf finds by name.
+func TestAddrIndexesMatchLayout(t *testing.T) {
+	pairs := []struct {
+		idx  int
+		name string
+	}{
+		{idxStart, FnStart}, {idxMain, FnMain}, {idxBarrier, FnBarrier},
+		{idxSendOrStall, FnSendOrStall}, {idxWaitall, FnWaitall},
+		{idxProgressWait, FnProgressWait}, {idxGettimeofday, FnGettimeofday},
+		{idxBGLGIBarrier, FnBGLGIBarrier}, {idxGIBarrier, FnGIBarrier},
+		{idxPollfcn, FnPollfcn}, {idxMessagerAdvance, FnMessagerAdvance},
+		{idxMessagerCM, FnMessagerCM}, {idxWorkerLoop, FnWorkerLoop},
+		{idxComputeKernel, FnComputeKernel}, {idxCondWait, FnCondWait},
+	}
+	if len(pairs) != len(functionNames) {
+		t.Fatalf("index table covers %d functions, layout has %d", len(pairs), len(functionNames))
+	}
+	for _, p := range pairs {
+		if got, want := addrAt(p.idx, 0), addrOf(p.name, 0); got != want {
+			t.Errorf("addrAt(%d, 0) = %#x, addrOf(%q, 0) = %#x", p.idx, got, p.name, want)
+		}
+	}
+}
+
+// TestAppendStackPCsAppends pins the batch-emission contract: the dst
+// prefix is preserved, the appended PCs equal StackPCs for the same
+// coordinates, and repeated emissions are deterministic.
+func TestAppendStackPCsAppends(t *testing.T) {
+	app, err := NewRing(8, WithThreads(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prefix := []uint64{0xDEAD, 0xBEEF}
+	for task := 0; task < 8; task++ {
+		for thread := 0; thread < 2; thread++ {
+			for sample := 0; sample < 4; sample++ {
+				want := app.StackPCs(task, thread, sample)
+				got := app.AppendStackPCs(append([]uint64(nil), prefix...), task, thread, sample)
+				if len(got) != len(prefix)+len(want) {
+					t.Fatalf("task %d thread %d sample %d: got %d PCs, want %d",
+						task, thread, sample, len(got), len(prefix)+len(want))
+				}
+				for i, pc := range prefix {
+					if got[i] != pc {
+						t.Fatalf("prefix clobbered at %d", i)
+					}
+				}
+				for i, pc := range want {
+					if got[len(prefix)+i] != pc {
+						t.Fatalf("task %d thread %d sample %d: PC %d differs", task, thread, sample, i)
+					}
+				}
+			}
+		}
+	}
+	// A wedged task's PCs must stay frozen across samples (the progress
+	// check depends on it) while a spinning task's drift.
+	hung := app.AppendStackPCs(nil, 1, 0, 0)
+	hung2 := app.AppendStackPCs(nil, 1, 0, 7)
+	for i := range hung {
+		if hung[i] != hung2[i] {
+			t.Fatalf("hung task PCs drifted at frame %d", i)
+		}
+	}
+	spin0 := app.AppendStackPCs(nil, 3, 0, 0)
+	spin1 := app.AppendStackPCs(nil, 3, 0, 1)
+	same := len(spin0) == len(spin1)
+	if same {
+		for i := range spin0 {
+			if spin0[i] != spin1[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("spinning task PCs identical across samples; drift model broken")
+	}
+}

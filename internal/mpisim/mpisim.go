@@ -91,12 +91,39 @@ func Functions() []Function {
 	return out
 }
 
+// Indexes into functionNames, fixed by the layout above. AppendStackPCs
+// addresses functions by index so the per-sample hot path never compares
+// names.
+const (
+	idxStart = iota
+	idxMain
+	idxBarrier
+	idxSendOrStall
+	idxWaitall
+	idxProgressWait
+	idxGettimeofday
+	idxBGLGIBarrier
+	idxGIBarrier
+	idxPollfcn
+	idxMessagerAdvance
+	idxMessagerCM
+	idxWorkerLoop
+	idxComputeKernel
+	idxCondWait
+)
+
+// addrAt returns a PC inside the function at layout index i, displaced by
+// off bytes from the entry (off taken modulo funcSpan).
+func addrAt(i int, off uint64) uint64 {
+	return uint64(textBase+i*funcSpan) + off%funcSpan
+}
+
 // addrOf returns a PC inside the named function, displaced by off bytes
 // from the entry (off < funcSpan).
 func addrOf(name string, off uint64) uint64 {
 	for i, n := range functionNames {
 		if n == name {
-			return uint64(textBase+i*funcSpan) + off%funcSpan
+			return addrAt(i, off)
 		}
 	}
 	panic(fmt.Sprintf("mpisim: unknown function %q", name))
@@ -205,59 +232,72 @@ func (a *App) State(task int) State {
 // depth varies pseudo-randomly with (task, thread, sample), producing the
 // divergent subtrees visible in Figure 1.
 func (a *App) StackPCs(task, thread, sample int) []uint64 {
+	return a.AppendStackPCs(nil, task, thread, sample)
+}
+
+// AppendStackPCs is the batch-emission form of StackPCs: it appends the
+// same program counters, in the same order, to dst and returns the
+// extended slice. A caller that reuses dst across samples (the batched
+// sampling engine walks thousands of stacks per gather) pays no per-sample
+// allocation: the derived random streams live on the stack and the PC
+// storage amortizes to zero.
+func (a *App) AppendStackPCs(dst []uint64, task, thread, sample int) []uint64 {
 	if thread < 0 || thread >= a.ThreadsPerTask {
 		panic(fmt.Sprintf("mpisim: thread %d out of range [0,%d)", thread, a.ThreadsPerTask))
 	}
-	r := a.rng.Derive(uint64(task), uint64(thread), uint64(sample))
-	off := func() uint64 { return 16 + r.Uint64()%0x200 }
+	r := a.rng.Stream(uint64(task), uint64(thread), uint64(sample))
 	// A genuinely wedged task has a frozen stack: its program counters are
 	// identical from sample to sample (the basis of the tool's progress
-	// check). Every other task is executing, so its PCs drift.
+	// check). Every other task is executing, so its PCs drift. step is the
+	// stream frame offsets draw from; r keeps driving the branch decisions.
+	step := &r
+	var rf sim.Stream
 	if thread == 0 && a.State(task) == StateHung {
-		rf := a.rng.Derive(uint64(task), uint64(thread), 0xF1302E)
-		off = func() uint64 { return 16 + rf.Uint64()%0x200 }
+		rf = a.rng.Stream(uint64(task), uint64(thread), 0xF1302E)
+		step = &rf
 	}
+	off := func() uint64 { return 16 + step.Uint64()%0x200 }
 
-	pcs := []uint64{addrOf(FnStart, off()), addrOf(FnMain, off())}
+	dst = append(dst, addrAt(idxStart, off()), addrAt(idxMain, off()))
 	if thread > 0 {
 		// Worker threads alternate between compute and condition wait.
-		pcs = append(pcs, addrOf(FnWorkerLoop, off()))
+		dst = append(dst, addrAt(idxWorkerLoop, off()))
 		if r.Intn(2) == 0 {
-			pcs = append(pcs, addrOf(FnComputeKernel, off()))
+			dst = append(dst, addrAt(idxComputeKernel, off()))
 		} else {
-			pcs = append(pcs, addrOf(FnCondWait, off()))
+			dst = append(dst, addrAt(idxCondWait, off()))
 		}
-		return pcs
+		return dst
 	}
 	switch a.State(task) {
 	case StateHung:
-		pcs = append(pcs, addrOf(FnSendOrStall, off()), addrOf(FnGettimeofday, off()))
+		dst = append(dst, addrAt(idxSendOrStall, off()), addrAt(idxGettimeofday, off()))
 	case StateWaitall:
-		pcs = append(pcs,
-			addrOf(FnWaitall, off()),
-			addrOf(FnProgressWait, off()),
-			addrOf(FnPollfcn, off()))
-		pcs = a.appendProgress(pcs, r)
+		dst = append(dst,
+			addrAt(idxWaitall, off()),
+			addrAt(idxProgressWait, off()),
+			addrAt(idxPollfcn, off()))
+		dst = a.appendProgress(dst, &r)
 	case StateBarrier:
-		pcs = append(pcs,
-			addrOf(FnBarrier, off()),
-			addrOf(FnBGLGIBarrier, off()),
-			addrOf(FnGIBarrier, off()),
-			addrOf(FnPollfcn, off()))
-		pcs = a.appendProgress(pcs, r)
+		dst = append(dst,
+			addrAt(idxBarrier, off()),
+			addrAt(idxBGLGIBarrier, off()),
+			addrAt(idxGIBarrier, off()),
+			addrAt(idxPollfcn, off()))
+		dst = a.appendProgress(dst, &r)
 	case StateCompute:
-		pcs = append(pcs, addrOf(FnComputeKernel, off()))
+		dst = append(dst, addrAt(idxComputeKernel, off()))
 	}
-	return pcs
+	return dst
 }
 
 // appendProgress extends a stack with 0–3 advance/CMadvance pairs: the
 // BG/L messager's polling loop caught at varying depth.
-func (a *App) appendProgress(pcs []uint64, r *sim.RNG) []uint64 {
+func (a *App) appendProgress(pcs []uint64, r *sim.Stream) []uint64 {
 	depth := r.Intn(4)
 	for i := 0; i < depth; i++ {
-		pcs = append(pcs, addrOf(FnMessagerAdvance, 16+r.Uint64()%0x200))
-		pcs = append(pcs, addrOf(FnMessagerCM, 16+r.Uint64()%0x200))
+		pcs = append(pcs, addrAt(idxMessagerAdvance, 16+r.Uint64()%0x200))
+		pcs = append(pcs, addrAt(idxMessagerCM, 16+r.Uint64()%0x200))
 	}
 	return pcs
 }

@@ -1,0 +1,199 @@
+// Package sample implements the batched direct-to-tree sampling engine:
+// the daemon-side replacement for the per-sample walk→resolve→merge loop
+// that Section VI of the paper identifies as the daemon bottleneck at
+// 208K tasks. Instead of materializing a fresh []trace.Frame per sample,
+// binary-searching the symbol table per frame, and folding one trace at a
+// time into a prefix tree, a daemon's whole gather round runs as one
+// batched pipeline:
+//
+//  1. Raw PC stacks walk straight into a prefix trie — one node per
+//     distinct call-path edge, with the task-set bit vectors (all-samples
+//     and last-sample) accumulated in place. No per-sample frame slice,
+//     no intermediate trees, no tree merges.
+//  2. Symbols resolve through a shared memoized resolver
+//     (stackwalk.Cache): raw PC → interned name with a lock-free read
+//     path, so a PC any walker has seen before costs one hash probe
+//     instead of a symbol-table search. Trie edges compare by the cache's
+//     dense name IDs — integer compares where the legacy path compared
+//     strings.
+//  3. Whole identical stacks short-circuit: a memo keyed by the raw PC
+//     sequence maps straight to the trie path, so a wedged task's frozen
+//     stack — or any exact resample — skips resolution and descent
+//     entirely and just ticks bits along the memoized path. This is the
+//     stack memoization the package is named for.
+//  4. The finished trie emits trace.Trees directly: pooled nodes
+//     (trace.NewPooledNode) referencing the trie's own label vectors, so
+//     emission copies nothing and the wire encode reads labels exactly
+//     where the walk accumulated them.
+//
+// # Contracts
+//
+// Trie and labels: a walker's trie persists across rounds (epochs) — the
+// structural working set of a spinning application is stable, so
+// steady-state rounds create no nodes, no vectors and no memo entries, and
+// the whole sample phase runs allocation-free. Labels are reset lazily by
+// epoch stamp on first touch, so untouched branches cost nothing. The trie
+// is bounded by the distinct call-path population at symbol granularity
+// (small by construction); the stack memo is capped at memoCap entries.
+//
+// Batches: the trees returned by Engine.Sample alias walker-owned state —
+// labels live in the trie, headers are the walker's two reusable Tree
+// structs. They are read-only and die at Batch.Release, which also returns
+// the walker to the engine's pool; encode before releasing, and never
+// retain the trees past it.
+//
+// Workers: Engine.Sample draws a walker from a bounded pool (the
+// "parallel daemon walkers"): at most `workers` daemon walks run
+// concurrently, each on its own warm trie, and callers past the bound
+// block until a walker frees up. Concurrency comes from the caller — the
+// overlay's concurrent reduction engines invoke daemon leaf functions in
+// parallel — while the pool bounds memory the way the paper's co-located
+// daemons bound their footprint.
+package sample
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"stat/internal/mpisim"
+	"stat/internal/stackwalk"
+	"stat/internal/trace"
+)
+
+// memoCap bounds one walker's stack memo; beyond it, novel stacks still
+// merge correctly but stop being memoized.
+const memoCap = 1 << 16
+
+// Engine is the shared sampling state of one tool instance: the resolver
+// caches (one per frame granularity) and the bounded walker pool. Safe for
+// concurrent Sample calls.
+type Engine struct {
+	app    *mpisim.App
+	plain  *stackwalk.Cache
+	detail *stackwalk.Cache
+
+	// walkers is both the concurrency bound and the reuse pool: it holds
+	// `workers` slots, each either a warm walker or nil (not yet built).
+	walkers chan *walker
+
+	sampled  atomic.Int64
+	memoHits atomic.Int64
+	distinct atomic.Int64
+	resolved atomic.Int64
+}
+
+// New builds an engine sampling the given application through the given
+// symbol table. workers bounds concurrent daemon walks; <= 0 means
+// GOMAXPROCS.
+func New(app *mpisim.App, st *stackwalk.SymbolTable, workers int) *Engine {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	e := &Engine{
+		app:     app,
+		plain:   stackwalk.NewCache(st, false),
+		detail:  stackwalk.NewCache(st, true),
+		walkers: make(chan *walker, workers),
+	}
+	for i := 0; i < workers; i++ {
+		e.walkers <- nil
+	}
+	return e
+}
+
+// Request describes one daemon's gather round.
+type Request struct {
+	// Ranks are the daemon's global MPI ranks in local order.
+	Ranks []int
+	// GlobalIndex selects the bit index each rank sets: its global rank
+	// (the original full-width representation) when true, its local
+	// position in Ranks (the hierarchical subtree-local representation)
+	// when false.
+	GlobalIndex bool
+	// Width is the task-space width of the emitted trees.
+	Width int
+	// Samples and Threads are the walk counts per task, Base the first
+	// sample index of the round (the daemon's epoch minus Samples).
+	Samples, Threads int
+	Base             int
+	// Detail selects function+offset frame granularity.
+	Detail bool
+	// Want2D / Want3D select which trees to emit: the last-sample
+	// trace×space tree and/or the all-samples trace×space×time tree.
+	Want2D, Want3D bool
+}
+
+// Batch is one gather round's product. The trees alias walker-owned
+// storage; see the package contract notes.
+type Batch struct {
+	// Tree2D and Tree3D are the requested trees (nil when not requested).
+	Tree2D, Tree3D *trace.Tree
+	w              *walker
+	e              *Engine
+}
+
+// Release ends the batch: the emitted trees die and the walker returns to
+// the engine's pool. Release is idempotent on the zero Batch but must be
+// called exactly once per Sample.
+func (b *Batch) Release() {
+	if b.w == nil {
+		return
+	}
+	if b.Tree2D != nil {
+		b.Tree2D.Release()
+		b.Tree2D = nil
+	}
+	if b.Tree3D != nil {
+		b.Tree3D.Release()
+		b.Tree3D = nil
+	}
+	w := b.w
+	b.w = nil
+	b.e.walkers <- w
+}
+
+// Sample runs one daemon's batched walk and emits its trees. It blocks
+// while all pooled walkers are busy — the bounded-worker guarantee.
+func (e *Engine) Sample(req Request) Batch {
+	w := <-e.walkers
+	if w == nil {
+		w = &walker{eng: e}
+	}
+	w.run(req)
+	b := Batch{w: w, e: e}
+	if req.Want2D {
+		b.Tree2D = &w.t2h
+	}
+	if req.Want3D {
+		b.Tree3D = &w.t3h
+	}
+	return b
+}
+
+// Stats are the engine's cumulative sampling counters.
+type Stats struct {
+	// SampledStacks counts stack walks (task × thread × sample).
+	SampledStacks int64
+	// StackMemoHits counts walks short-circuited by the whole-stack memo;
+	// DistinctStacks counts the memo entries built (distinct raw-PC
+	// stacks observed).
+	StackMemoHits  int64
+	DistinctStacks int64
+	// PCsResolved counts per-PC resolver lookups (memo hits skip them);
+	// PCCacheMisses counts the ones that fell through to a real
+	// symbol-table search — each distinct PC pays exactly once while the
+	// cache is below its cap.
+	PCsResolved   int64
+	PCCacheMisses int64
+}
+
+// Stats reports the engine's counters.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		SampledStacks:  e.sampled.Load(),
+		StackMemoHits:  e.memoHits.Load(),
+		DistinctStacks: e.distinct.Load(),
+		PCsResolved:    e.resolved.Load(),
+		PCCacheMisses:  e.plain.Misses() + e.detail.Misses(),
+	}
+}

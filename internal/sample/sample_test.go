@@ -1,0 +1,274 @@
+package sample
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"stat/internal/mpisim"
+	"stat/internal/stackwalk"
+	"stat/internal/trace"
+)
+
+func testApp(t testing.TB, n, threads int) (*mpisim.App, *stackwalk.SymbolTable) {
+	t.Helper()
+	app, err := mpisim.NewRing(n, mpisim.WithThreads(threads))
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := stackwalk.StaticImage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := stackwalk.ParseImage(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return app, st
+}
+
+// legacyTrees is the per-sample reference loop: resolve frames per sample
+// through the plain Walker, fold each trace via Tree.Add — exactly what
+// the daemons did before the batched engine.
+func legacyTrees(app *mpisim.App, st *stackwalk.SymbolTable, req Request) (t2, t3 *trace.Tree) {
+	t2, t3 = trace.NewTree(req.Width), trace.NewTree(req.Width)
+	w := stackwalk.NewWalker(app, st)
+	for local, rank := range req.Ranks {
+		idx := local
+		if req.GlobalIndex {
+			idx = rank
+		}
+		for thread := 0; thread < req.Threads; thread++ {
+			for s := 0; s < req.Samples; s++ {
+				var frames []trace.Frame
+				if req.Detail {
+					frames = w.SampleDetailed(rank, thread, req.Base+s)
+				} else {
+					frames = w.Sample(rank, thread, req.Base+s)
+				}
+				tr := trace.Trace{Task: idx, Frames: frames}
+				t3.Add(tr)
+				if s == req.Samples-1 {
+					t2.Add(tr)
+				}
+			}
+		}
+	}
+	return t2, t3
+}
+
+func assertTreesMatch(t *testing.T, label string, got, want *trace.Tree) {
+	t.Helper()
+	if err := got.Validate(); err != nil {
+		t.Fatalf("%s: emitted tree invalid: %v", label, err)
+	}
+	if !got.Equal(want) {
+		t.Fatalf("%s: emitted tree differs from legacy reference\n got:\n%s\nwant:\n%s", label, got, want)
+	}
+	for _, version := range []uint8{trace.WireV1, trace.WireV2} {
+		g, err := got.MarshalBinaryV(version)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := want.MarshalBinaryV(version)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(g, w) {
+			t.Fatalf("%s: v%d encoding differs from legacy reference", label, version)
+		}
+	}
+}
+
+// TestEngineMatchesLegacy is the package-level differential: for every
+// combination of granularity, index mapping, thread count and round shape,
+// the trie-emitted trees must be Equal to — and encode byte-identically
+// with — the legacy per-sample fold. Repeated rounds on the same engine
+// exercise the epoch-reset and memoization paths.
+func TestEngineMatchesLegacy(t *testing.T) {
+	app, st := testApp(t, 12, 2)
+	eng := New(app, st, 2)
+	ranks := []int{3, 7, 1, 9, 0}
+	cases := []struct {
+		name string
+		req  Request
+	}{
+		{"hier", Request{Ranks: ranks, Width: len(ranks), Samples: 4, Threads: 1, Want2D: true, Want3D: true}},
+		{"hier-threads", Request{Ranks: ranks, Width: len(ranks), Samples: 3, Threads: 2, Want2D: true, Want3D: true}},
+		{"original", Request{Ranks: ranks, GlobalIndex: true, Width: 12, Samples: 4, Threads: 1, Want2D: true, Want3D: true}},
+		{"detail", Request{Ranks: ranks, Width: len(ranks), Samples: 3, Threads: 1, Detail: true, Want2D: true, Want3D: true}},
+		{"hier-later-epoch", Request{Ranks: ranks, Width: len(ranks), Samples: 4, Threads: 1, Base: 8, Want2D: true, Want3D: true}},
+		{"single-sample", Request{Ranks: ranks[:2], Width: 2, Samples: 1, Threads: 1, Want2D: true, Want3D: true}},
+	}
+	for round := 0; round < 3; round++ {
+		for _, tc := range cases {
+			b := eng.Sample(tc.req)
+			w2, w3 := legacyTrees(app, st, tc.req)
+			assertTreesMatch(t, tc.name+"/3D", b.Tree3D, w3)
+			assertTreesMatch(t, tc.name+"/2D", b.Tree2D, w2)
+			b.Release()
+			w2.Release()
+			w3.Release()
+		}
+	}
+}
+
+// TestEngineTreeSelection: unrequested trees stay nil and the requested
+// one still matches.
+func TestEngineTreeSelection(t *testing.T) {
+	app, st := testApp(t, 8, 1)
+	eng := New(app, st, 1)
+	req := Request{Ranks: []int{2, 5}, Width: 2, Samples: 3, Threads: 1, Want3D: true}
+	b := eng.Sample(req)
+	if b.Tree2D != nil {
+		t.Error("unrequested 2D tree emitted")
+	}
+	_, w3 := legacyTrees(app, st, req)
+	assertTreesMatch(t, "3D-only", b.Tree3D, w3)
+	b.Release()
+	w3.Release()
+
+	req2 := Request{Ranks: []int{2, 5}, Width: 2, Samples: 3, Threads: 1, Want2D: true}
+	b2 := eng.Sample(req2)
+	if b2.Tree3D != nil {
+		t.Error("unrequested 3D tree emitted")
+	}
+	w2, _ := legacyTrees(app, st, req2)
+	assertTreesMatch(t, "2D-only", b2.Tree2D, w2)
+	b2.Release()
+	w2.Release()
+}
+
+// TestEngineConcurrentDaemons runs many daemon walks through a small pool
+// concurrently — under -race this checks the shared resolver cache and
+// the walker hand-off; the results must still match the legacy fold.
+func TestEngineConcurrentDaemons(t *testing.T) {
+	app, st := testApp(t, 32, 1)
+	eng := New(app, st, 2)
+	reqs := make([]Request, 8)
+	for d := range reqs {
+		ranks := []int{d, d + 8, d + 16, d + 24}
+		reqs[d] = Request{Ranks: ranks, Width: len(ranks), Samples: 5, Threads: 1, Want2D: true, Want3D: true}
+	}
+	var wg sync.WaitGroup
+	type pair struct{ e2, e3 []byte }
+	got := make([]pair, len(reqs))
+	for d := range reqs {
+		wg.Add(1)
+		go func(d int) {
+			defer wg.Done()
+			b := eng.Sample(reqs[d])
+			e2, err := b.Tree2D.MarshalBinary()
+			if err != nil {
+				t.Error(err)
+			}
+			e3, err := b.Tree3D.MarshalBinary()
+			if err != nil {
+				t.Error(err)
+			}
+			got[d] = pair{e2, e3}
+			b.Release()
+		}(d)
+	}
+	wg.Wait()
+	for d := range reqs {
+		w2, w3 := legacyTrees(app, st, reqs[d])
+		e2, _ := w2.MarshalBinary()
+		e3, _ := w3.MarshalBinary()
+		if !bytes.Equal(got[d].e2, e2) || !bytes.Equal(got[d].e3, e3) {
+			t.Errorf("daemon %d: concurrent engine trees differ from legacy", d)
+		}
+		w2.Release()
+		w3.Release()
+	}
+}
+
+// TestEngineStats checks the counters tell the memoization story: a
+// second identical round is mostly memo hits (the hung task's frozen
+// stack repeats exactly), distinct PCs stay bounded by the symbol
+// population, and sampled counts add up.
+func TestEngineStats(t *testing.T) {
+	app, st := testApp(t, 8, 1)
+	eng := New(app, st, 1)
+	req := Request{Ranks: []int{0, 1, 2, 3, 4, 5, 6, 7}, Width: 8, Samples: 5, Threads: 1, Want2D: true, Want3D: true}
+	b := eng.Sample(req)
+	b.Release()
+	s1 := eng.Stats()
+	if want := int64(8 * 5); s1.SampledStacks != want {
+		t.Errorf("SampledStacks = %d, want %d", s1.SampledStacks, want)
+	}
+	if s1.StackMemoHits == 0 {
+		t.Error("no stack-memo hits in a round containing a frozen stack")
+	}
+	if s1.DistinctStacks == 0 || s1.DistinctStacks+s1.StackMemoHits != s1.SampledStacks {
+		t.Errorf("DistinctStacks %d + StackMemoHits %d != SampledStacks %d",
+			s1.DistinctStacks, s1.StackMemoHits, s1.SampledStacks)
+	}
+	if s1.PCCacheMisses == 0 || s1.PCCacheMisses > s1.PCsResolved {
+		t.Errorf("PCCacheMisses %d outside (0, PCsResolved %d]", s1.PCCacheMisses, s1.PCsResolved)
+	}
+	// Same round again: every stack was seen, so no new distinct stacks
+	// and no new PC-cache misses.
+	b = eng.Sample(req)
+	b.Release()
+	s2 := eng.Stats()
+	if s2.DistinctStacks != s1.DistinctStacks {
+		t.Errorf("second identical round created %d new distinct stacks", s2.DistinctStacks-s1.DistinctStacks)
+	}
+	if s2.PCCacheMisses != s1.PCCacheMisses {
+		t.Errorf("second identical round took %d new PC-cache misses", s2.PCCacheMisses-s1.PCCacheMisses)
+	}
+	if s2.StackMemoHits-s1.StackMemoHits != s1.SampledStacks {
+		t.Errorf("second identical round memo hits %d, want %d", s2.StackMemoHits-s1.StackMemoHits, s1.SampledStacks)
+	}
+}
+
+// TestBatchReleaseIdempotent: releasing a zero Batch or a released Batch
+// is a no-op, and the walker returns exactly once.
+func TestBatchReleaseIdempotent(t *testing.T) {
+	var zero Batch
+	zero.Release() // must not panic
+	app, st := testApp(t, 8, 1)
+	eng := New(app, st, 1)
+	b := eng.Sample(Request{Ranks: []int{0}, Width: 1, Samples: 1, Threads: 1, Want3D: true})
+	b.Release()
+	b.Release() // second release of the same batch: no-op, no double walker return
+	// The pool must still hand out a walker (capacity 1): a deadlock here
+	// would mean the double release corrupted the pool.
+	b2 := eng.Sample(Request{Ranks: []int{0}, Width: 1, Samples: 1, Threads: 1, Want3D: true})
+	b2.Release()
+}
+
+// TestGranularityFlipResetsTrie: alternating detailed and plain rounds on
+// one walker must stay correct — the ID namespaces differ, so the trie
+// resets on each flip.
+func TestGranularityFlipResetsTrie(t *testing.T) {
+	app, st := testApp(t, 8, 1)
+	eng := New(app, st, 1)
+	ranks := []int{1, 4, 6}
+	for round := 0; round < 4; round++ {
+		req := Request{Ranks: ranks, Width: len(ranks), Samples: 3, Threads: 1,
+			Detail: round%2 == 1, Want2D: true, Want3D: true}
+		b := eng.Sample(req)
+		w2, w3 := legacyTrees(app, st, req)
+		assertTreesMatch(t, "flip/3D", b.Tree3D, w3)
+		assertTreesMatch(t, "flip/2D", b.Tree2D, w2)
+		b.Release()
+		w2.Release()
+		w3.Release()
+	}
+}
+
+// TestEmptyRanks: a daemon with no local tasks still emits the sentinel
+// root with an empty label, like trace.NewTree.
+func TestEmptyRanks(t *testing.T) {
+	app, st := testApp(t, 8, 1)
+	eng := New(app, st, 1)
+	b := eng.Sample(Request{Ranks: nil, Width: 4, Samples: 2, Threads: 1, Want2D: true, Want3D: true})
+	for _, tr := range []*trace.Tree{b.Tree2D, b.Tree3D} {
+		if tr.NumTasks != 4 || tr.Root == nil || len(tr.Root.Children) != 0 || !tr.Root.Tasks.Empty() {
+			t.Errorf("empty round emitted %v", tr)
+		}
+	}
+	b.Release()
+}

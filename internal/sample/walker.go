@@ -1,0 +1,358 @@
+package sample
+
+import (
+	"sort"
+
+	"stat/internal/bitvec"
+	"stat/internal/stackwalk"
+	"stat/internal/trace"
+)
+
+// walker is one pooled daemon-walk state: the persistent trie, the stack
+// memo, the PC scratch buffer, and two reusable tree headers. A walker is
+// used by one Sample call at a time (the pool enforces it) and keeps its
+// trie warm across rounds — the memoization that makes steady-state
+// sampling allocation-free.
+type walker struct {
+	eng   *Engine
+	cache *stackwalk.Cache
+	width int
+	// epoch advances per round; trie labels reset lazily on first touch of
+	// the round, so stale branches cost nothing until revisited.
+	epoch uint64
+
+	root trieNode
+	free []*trieNode // recycled trie nodes (after a granularity flip)
+
+	pcs  []uint64
+	path []*trieNode
+	memo memoTable
+
+	t2h, t3h trace.Tree
+}
+
+// memoTable is the walker-local whole-stack memo: open addressing keyed
+// by the already-computed stack hash, so a probe is an array walk rather
+// than a runtime map access (which would hash the key a second time and
+// cannot reuse ours). Single-goroutine, like the rest of the walker.
+type memoTable struct {
+	mask  uint64
+	slots []*memoStack
+	count int
+}
+
+// lookup returns the entry whose hash matches, or nil. The caller must
+// verify the stored PCs — two stacks may share a hash.
+func (t *memoTable) lookup(h uint64) *memoStack {
+	if t.slots == nil {
+		return nil
+	}
+	for i := h & t.mask; ; i = (i + 1) & t.mask {
+		e := t.slots[i]
+		if e == nil {
+			return nil
+		}
+		if e.hash == h {
+			return e
+		}
+	}
+}
+
+// insert places a new entry, growing at 1/2 load. The caller has already
+// established no entry with this hash exists.
+func (t *memoTable) insert(e *memoStack) {
+	if t.slots == nil || (t.count+1)*2 > len(t.slots) {
+		size := 256
+		if t.slots != nil {
+			size = len(t.slots) * 2
+		}
+		old := t.slots
+		t.slots = make([]*memoStack, size)
+		t.mask = uint64(size - 1)
+		for _, oe := range old {
+			if oe != nil {
+				t.place(oe)
+			}
+		}
+	}
+	t.place(e)
+	t.count++
+}
+
+func (t *memoTable) place(e *memoStack) {
+	for i := e.hash & t.mask; ; i = (i + 1) & t.mask {
+		if t.slots[i] == nil {
+			t.slots[i] = e
+			return
+		}
+	}
+}
+
+func (t *memoTable) clear() {
+	clear(t.slots)
+	t.count = 0
+}
+
+// trieNode is one distinct call-path edge. Edges compare by the resolver
+// cache's dense name ID; children stay sorted by name so emission walks in
+// the order trace trees require.
+type trieNode struct {
+	name string
+	id   uint32
+	// all accumulates every sample's tasks; last only the final sample's
+	// (the 2D tree). Both are valid only at their epoch stamps.
+	all       *bitvec.Vector
+	last      *bitvec.Vector
+	epoch     uint64
+	lastEpoch uint64
+	children  []*trieNode
+}
+
+// memoStack is one memoized whole stack: the raw PCs (verified on hit, so
+// a hash collision degrades to a normal walk instead of corrupting) and
+// the trie path they map to, root included.
+type memoStack struct {
+	hash uint64
+	pcs  []uint64
+	path []*trieNode
+}
+
+// child finds the edge for a resolved frame. The dense ID is the fast
+// discriminator; the name is verified on an ID match because IDs are only
+// guaranteed unique for interned names — past the resolver cache's cap,
+// novel names all carry stackwalk.OverflowID, and the name check keeps
+// them on distinct edges.
+func (n *trieNode) child(id uint32, name string) *trieNode {
+	for _, c := range n.children {
+		if c.id == id && c.name == name {
+			return c
+		}
+	}
+	return nil
+}
+
+func (n *trieNode) insertChild(c *trieNode) {
+	i := sort.Search(len(n.children), func(i int) bool {
+		return n.children[i].name >= c.name
+	})
+	n.children = append(n.children, nil)
+	copy(n.children[i+1:], n.children[i:])
+	n.children[i] = c
+}
+
+// touch stamps a node into the current round (lazily resetting its
+// labels) and sets the task bit.
+func (w *walker) touch(n *trieNode, idx int, last bool) {
+	if n.epoch != w.epoch {
+		n.epoch = w.epoch
+		if n.all == nil {
+			n.all = bitvec.New(w.width)
+		} else {
+			n.all.Reset(w.width)
+		}
+	}
+	n.all.Set(idx)
+	if last {
+		if n.lastEpoch != w.epoch {
+			n.lastEpoch = w.epoch
+			if n.last == nil {
+				n.last = bitvec.New(w.width)
+			} else {
+				n.last.Reset(w.width)
+			}
+		}
+		n.last.Set(idx)
+	}
+}
+
+// newNode draws a trie node from the free list or the heap.
+func (w *walker) newNode(id uint32, name string) *trieNode {
+	var n *trieNode
+	if k := len(w.free); k > 0 {
+		n = w.free[k-1]
+		w.free[k-1] = nil
+		w.free = w.free[:k-1]
+	} else {
+		n = &trieNode{}
+	}
+	n.id, n.name = id, name
+	n.epoch, n.lastEpoch = 0, 0
+	return n
+}
+
+// resetTrie drops every edge (recycling the nodes, labels attached, onto
+// the free list) and clears the memo. Run on a frame-granularity flip:
+// IDs from the plain and detailed caches live in different namespaces, so
+// a trie built under one cannot be probed under the other.
+func (w *walker) resetTrie() {
+	var rec func(n *trieNode)
+	rec = func(n *trieNode) {
+		for _, c := range n.children {
+			rec(c)
+			w.free = append(w.free, c)
+		}
+		for i := range n.children {
+			n.children[i] = nil
+		}
+		n.children = n.children[:0]
+	}
+	rec(&w.root)
+	w.memo.clear()
+	w.root.epoch, w.root.lastEpoch = 0, 0
+}
+
+// run executes one gather round: walk every (rank, thread, sample) stack
+// into the trie, then emit the requested trees.
+func (w *walker) run(req Request) {
+	cache := w.eng.plain
+	if req.Detail {
+		cache = w.eng.detail
+	}
+	if cache != w.cache {
+		w.resetTrie()
+		w.cache = cache
+	}
+	w.width = req.Width
+	w.epoch++
+
+	// The root participates in every trace (its label is every
+	// contributing task) and must exist even for an empty round, exactly
+	// like trace.NewTree's sentinel.
+	r := &w.root
+	r.epoch = w.epoch
+	if r.all == nil {
+		r.all = bitvec.New(w.width)
+	} else {
+		r.all.Reset(w.width)
+	}
+	if req.Want2D {
+		r.lastEpoch = w.epoch
+		if r.last == nil {
+			r.last = bitvec.New(w.width)
+		} else {
+			r.last.Reset(w.width)
+		}
+	}
+
+	var sampled, memoHits, resolved, distinct int64
+	lastSample := req.Samples - 1
+	for local, rank := range req.Ranks {
+		idx := local
+		if req.GlobalIndex {
+			idx = rank
+		}
+		for thread := 0; thread < req.Threads; thread++ {
+			for s := 0; s < req.Samples; s++ {
+				w.pcs = w.eng.app.AppendStackPCs(w.pcs[:0], rank, thread, req.Base+s)
+				sampled++
+				last := req.Want2D && s == lastSample
+
+				h := hashPCs(w.pcs)
+				m := w.memo.lookup(h)
+				if m != nil && equalPCs(m.pcs, w.pcs) {
+					// Whole-stack memo hit: tick bits along the known
+					// path, no resolution, no descent. Split on the
+					// last-sample flag so the common loop carries no
+					// per-node branch.
+					memoHits++
+					if last {
+						for _, n := range m.path {
+							w.touch(n, idx, true)
+						}
+					} else {
+						for _, n := range m.path {
+							if n.epoch == w.epoch {
+								n.all.Set(idx)
+							} else {
+								w.touch(n, idx, false)
+							}
+						}
+					}
+					continue
+				}
+
+				resolved += int64(len(w.pcs))
+				n := r
+				w.touch(n, idx, last)
+				w.path = append(w.path[:0], n)
+				for _, pc := range w.pcs {
+					id, name := cache.Resolve(pc)
+					c := n.child(id, name)
+					if c == nil {
+						c = w.newNode(id, name)
+						n.insertChild(c)
+					}
+					w.touch(c, idx, last)
+					w.path = append(w.path, c)
+					n = c
+				}
+				if m == nil && w.memo.count < memoCap {
+					w.memo.insert(&memoStack{
+						hash: h,
+						pcs:  append([]uint64(nil), w.pcs...),
+						path: append([]*trieNode(nil), w.path...),
+					})
+					distinct++
+				}
+			}
+		}
+	}
+
+	w.eng.sampled.Add(sampled)
+	w.eng.memoHits.Add(memoHits)
+	w.eng.resolved.Add(resolved)
+	w.eng.distinct.Add(distinct)
+
+	if req.Want3D {
+		w.t3h.AdoptRoot(w.width, w.emit(r, false))
+	}
+	if req.Want2D {
+		w.t2h.AdoptRoot(w.width, w.emit(r, true))
+	}
+}
+
+// emit converts the current epoch's trie slice into pooled trace nodes.
+// last selects the 2D view (last-sample labels, last-sample reach);
+// otherwise the 3D view over the all-samples labels. Labels are shared,
+// not copied: the emitted tree is read-only and must be released before
+// the walker's next round.
+func (w *walker) emit(n *trieNode, last bool) *trace.Node {
+	label := n.all
+	if last {
+		label = n.last
+	}
+	out := trace.NewPooledNode(trace.Frame{Function: n.name}, label)
+	for _, c := range n.children {
+		if c.epoch != w.epoch {
+			continue
+		}
+		if last && c.lastEpoch != w.epoch {
+			continue
+		}
+		out.Children = append(out.Children, w.emit(c, last))
+	}
+	return out
+}
+
+// hashPCs is FNV-1a folded over whole words — cheap, and collisions are
+// harmless (verified against the stored PCs on every hit).
+func hashPCs(pcs []uint64) uint64 {
+	h := uint64(14695981039346656037)
+	for _, pc := range pcs {
+		h ^= pc
+		h *= 1099511628211
+	}
+	return h
+}
+
+func equalPCs(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -28,13 +28,48 @@ func mix64(z uint64) uint64 {
 	return z ^ (z >> 31)
 }
 
-// Uint64 returns the next value in the stream.
+// Stream returns a value-typed generator whose stream is a pure function
+// of the parent seed and the given coordinates, identical to the stream of
+// Derive with the same arguments. It exists for hot paths that derive one
+// generator per sample: a Stream lives on the caller's stack, so deriving
+// it performs no heap allocation, where Derive returns a fresh *RNG.
+func (r *RNG) Stream(coords ...uint64) Stream {
+	s := r.state
+	for _, c := range coords {
+		s = mix64(s ^ (c + 0x9e3779b97f4a7c15))
+	}
+	return Stream{state: s}
+}
+
+// Stream is the value-typed counterpart of RNG: the same splitmix64
+// sequence, held by value so derived per-sample streams stay off the heap.
+type Stream struct {
+	state uint64
+}
+
+// Uint64 returns the next value in the stream. mix64 adds the golden
+// increment before finalizing, so mixing the pre-advance state and then
+// advancing is exactly the classic advance-then-finalize step.
+func (s *Stream) Uint64() uint64 {
+	v := mix64(s.state)
+	s.state += 0x9e3779b97f4a7c15
+	return v
+}
+
+// Intn returns a value uniformly distributed in [0, n). n must be positive.
+func (s *Stream) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(s.Uint64() % uint64(n))
+}
+
+// Uint64 returns the next value in the stream (see Stream.Uint64 for why
+// this equals mix64 of the pre-advance state).
 func (r *RNG) Uint64() uint64 {
+	v := mix64(r.state)
 	r.state += 0x9e3779b97f4a7c15
-	z := r.state
-	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	return z ^ (z >> 31)
+	return v
 }
 
 // Float64 returns a value uniformly distributed in [0, 1).

@@ -1,0 +1,45 @@
+package sim
+
+import "testing"
+
+// TestStreamMatchesDerive pins the value-typed Stream to the reference
+// Derive semantics: same coordinates, same sequence. The batched sampling
+// path derives one Stream per stack walk, so any divergence here would
+// silently change every sampled stack.
+func TestStreamMatchesDerive(t *testing.T) {
+	root := NewRNG(0x5747)
+	coordSets := [][]uint64{
+		{},
+		{0},
+		{1, 2, 3},
+		{7, 0, 0xF1302E},
+		{0xFFFFFFFFFFFFFFFF, 42},
+	}
+	for _, coords := range coordSets {
+		ref := root.Derive(coords...)
+		s := root.Stream(coords...)
+		for i := 0; i < 64; i++ {
+			if got, want := s.Uint64(), ref.Uint64(); got != want {
+				t.Fatalf("coords %v draw %d: stream %#x, derive %#x", coords, i, got, want)
+			}
+		}
+		// Intn must agree too (it is a modulo of the same draw).
+		ref2 := root.Derive(coords...)
+		s2 := root.Stream(coords...)
+		for i := 0; i < 16; i++ {
+			if got, want := s2.Intn(7), ref2.Intn(7); got != want {
+				t.Fatalf("coords %v Intn draw %d: stream %d, derive %d", coords, i, got, want)
+			}
+		}
+	}
+}
+
+// TestStreamDeriveDoesNotAdvanceParent mirrors the Derive contract.
+func TestStreamDeriveDoesNotAdvanceParent(t *testing.T) {
+	r := NewRNG(9)
+	before := *r
+	_ = r.Stream(1, 2)
+	if *r != before {
+		t.Fatal("Stream advanced the parent generator")
+	}
+}

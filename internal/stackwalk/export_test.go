@@ -1,0 +1,10 @@
+package stackwalk
+
+// SetCacheEntryCapForTest lowers the cache's memoization bound so tests
+// can exercise the overflow path without a million distinct PCs. Returns
+// a restore func.
+func SetCacheEntryCapForTest(n int) (restore func()) {
+	old := cacheEntryCap
+	cacheEntryCap = n
+	return func() { cacheEntryCap = old }
+}

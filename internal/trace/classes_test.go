@@ -1,0 +1,209 @@
+// Equivalence-class extraction tests: the hand-built Figure-1 hang
+// population pinned literally, and the batched sampling engine's emitted
+// 2D/3D trees checked against an independent reconstruction of the
+// classes from the simulator's raw stacks. An external test package so it
+// can drive internal/sample (which imports trace) without a cycle.
+package trace_test
+
+import (
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"stat/internal/mpisim"
+	"stat/internal/sample"
+	"stat/internal/stackwalk"
+	"stat/internal/trace"
+)
+
+// TestClassesFigure1HandBuilt pins EquivalenceClasses on a literal
+// reconstruction of the paper's Figure 1: task 1 hung before its send,
+// task 2 blocked in MPI_Waitall on it, everyone else polling in the
+// barrier at two progress depths. Every class — path, members, and the
+// size-descending-then-path order — is written out by hand.
+func TestClassesFigure1HandBuilt(t *testing.T) {
+	tr := trace.NewTree(8)
+	hang := []string{"_start_blrts", "main", "do_SendOrStall", "__gettimeofday"}
+	wait := []string{"_start_blrts", "main", "PMPI_Waitall", "MPID_Progress_wait", "BGLML_pollfcn"}
+	barrier := []string{"_start_blrts", "main", "PMPI_Barrier", "MPIDI_BGLGI_Barrier", "BGLMP_GIBarrier", "BGLML_pollfcn"}
+	deep := append(append([]string(nil), barrier...), "BGLML_Messager_advance", "BGLML_Messager_CMadvance")
+
+	tr.AddStack(1, hang...)
+	tr.AddStack(2, wait...)
+	for _, task := range []int{0, 4, 6} {
+		tr.AddStack(task, barrier...)
+	}
+	for _, task := range []int{3, 5, 7} {
+		tr.AddStack(task, deep...)
+	}
+
+	got := tr.EquivalenceClasses()
+	want := []trace.Class{
+		// Size ties (3, 3, then 1, 1) break on byte-wise path order: the
+		// barrier path sorts before its own Messager_advance extension,
+		// and "PMPI_Waitall" (upper case) before "do_SendOrStall".
+		{Path: barrier, Tasks: []int{0, 4, 6}},
+		{Path: deep, Tasks: []int{3, 5, 7}},
+		{Path: wait, Tasks: []int{2}},
+		{Path: hang, Tasks: []int{1}},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d classes, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if !reflect.DeepEqual(got[i].Path, want[i].Path) {
+			t.Errorf("class %d path = %v, want %v", i, got[i].Path, want[i].Path)
+		}
+		if !reflect.DeepEqual(got[i].Tasks, want[i].Tasks) {
+			t.Errorf("class %d tasks = %v, want %v", i, got[i].Tasks, want[i].Tasks)
+		}
+	}
+	if got[3].Representative() != 1 {
+		t.Errorf("hung class representative = %d, want 1", got[3].Representative())
+	}
+}
+
+// refClasses reconstructs the expected equivalence classes of a tree
+// built from the given per-task path sets, straight from the class
+// definition: a task belongs to the class at path P iff P is one of its
+// sampled paths and none of its sampled paths strictly extends P (a
+// maximal sampled prefix). Ordering matches EquivalenceClasses: size
+// descending, then path ascending.
+func refClasses(paths map[int][][]string) []trace.Class {
+	key := func(p []string) string { return strings.Join(p, "\x00") }
+	extends := func(long, short []string) bool {
+		if len(long) <= len(short) {
+			return false
+		}
+		for i := range short {
+			if long[i] != short[i] {
+				return false
+			}
+		}
+		return true
+	}
+	members := map[string][]int{}
+	byKey := map[string][]string{}
+	tasks := make([]int, 0, len(paths))
+	for task := range paths {
+		tasks = append(tasks, task)
+	}
+	sort.Ints(tasks)
+	for _, task := range tasks {
+		for _, p := range paths[task] {
+			maximal := true
+			for _, q := range paths[task] {
+				if extends(q, p) {
+					maximal = false
+					break
+				}
+			}
+			if !maximal {
+				continue
+			}
+			k := key(p)
+			if m := members[k]; len(m) == 0 || m[len(m)-1] != task {
+				members[k] = append(members[k], task)
+				byKey[k] = p
+			}
+		}
+	}
+	out := make([]trace.Class, 0, len(members))
+	for k, m := range members {
+		out = append(out, trace.Class{Path: byKey[k], Tasks: m})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i].Tasks) != len(out[j].Tasks) {
+			return len(out[i].Tasks) > len(out[j].Tasks)
+		}
+		return strings.Join(out[i].Path, "/") < strings.Join(out[j].Path, "/")
+	})
+	return out
+}
+
+// TestClassesOverSampleEngineTrees runs the batched sampling engine over
+// the Figure-1 hang population (the default buggy ring) and pins the
+// extracted classes of both emitted trees against refClasses fed from the
+// simulator's raw stacks — an independent path from PCs to classes that
+// never touches the trie, the resolver cache, or the tree code's own
+// residual logic.
+func TestClassesOverSampleEngineTrees(t *testing.T) {
+	const (
+		n       = 16
+		samples = 6
+	)
+	app, err := mpisim.NewRing(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := stackwalk.StaticImage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := stackwalk.ParseImage(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sample.New(app, st, 1)
+	ranks := make([]int, n)
+	for i := range ranks {
+		ranks[i] = i
+	}
+	b := eng.Sample(sample.Request{
+		Ranks: ranks, GlobalIndex: true, Width: n,
+		Samples: samples, Threads: 1,
+		Want2D: true, Want3D: true,
+	})
+	defer b.Release()
+
+	// Ground truth from the simulator: every sampled path per task, and
+	// the last sample's path alone for the 2D view.
+	all := map[int][][]string{}
+	last := map[int][][]string{}
+	for task := 0; task < n; task++ {
+		for s := 0; s < samples; s++ {
+			path := app.StackFuncs(task, 0, s)
+			all[task] = append(all[task], path)
+			if s == samples-1 {
+				last[task] = [][]string{path}
+			}
+		}
+	}
+
+	check := func(name string, tr *trace.Tree, want []trace.Class) {
+		t.Helper()
+		got := tr.EquivalenceClasses()
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d classes, want %d\n got: %v\nwant: %v", name, len(got), len(want), got, want)
+		}
+		for i := range want {
+			if !reflect.DeepEqual(got[i].Path, want[i].Path) || !reflect.DeepEqual(got[i].Tasks, want[i].Tasks) {
+				t.Errorf("%s: class %d = %v @ %v, want %v @ %v",
+					name, i, got[i].Tasks, got[i].Path, want[i].Tasks, want[i].Path)
+			}
+		}
+	}
+	check("2D", b.Tree2D, refClasses(last))
+	check("3D", b.Tree3D, refClasses(all))
+
+	// The hang population must be visible in the 2D classes: the hung
+	// task and its waitall victim are singleton classes at their
+	// characteristic leaves.
+	var sawHang, sawWait bool
+	for _, c := range b.Tree2D.EquivalenceClasses() {
+		leaf := c.Path[len(c.Path)-1]
+		if reflect.DeepEqual(c.Tasks, []int{1}) && leaf == mpisim.FnGettimeofday {
+			sawHang = true
+		}
+		if reflect.DeepEqual(c.Tasks, []int{2}) && c.Path[2] == mpisim.FnWaitall {
+			sawWait = true
+		}
+	}
+	if !sawHang {
+		t.Error("2D classes missing the hung task's __gettimeofday singleton")
+	}
+	if !sawWait {
+		t.Error("2D classes missing the waitall victim's singleton")
+	}
+}

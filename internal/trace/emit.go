@@ -1,0 +1,47 @@
+package trace
+
+import (
+	"stat/internal/bitvec"
+)
+
+// This file is the emission surface external tree builders use — today the
+// batched sampling engine (internal/sample), which accumulates a gather's
+// stacks in its own PC-keyed trie and then emits a Tree directly, without
+// ever materializing per-sample Trace values or folding through Tree.Add.
+//
+// An emitted tree may share its labels with the emitter: NewPooledNode
+// takes the label by reference, and Release nils the pointer without
+// recycling the vector's storage, so an engine that owns its labels
+// (resetting them in place between rounds) hands them to the tree for the
+// encode and gets them back intact when the tree is released. Such a tree
+// follows the aliasing-tree discipline: it is read-only, and it must die
+// before the emitter reuses the labels.
+
+// NewPooledNode returns a node drawn from the shared node pool, carrying
+// the given frame and label. It is the external-builder counterpart of the
+// pooled allocation every decode and merge path in this package uses:
+// nodes released by Tree.Release (on trees without a codec owner) cycle
+// back to the same pool with their Children capacity warm, so a builder
+// that emits and releases a tree per gather allocates no nodes at steady
+// state. Children must be appended in sorted Frame.Function order — the
+// tree invariant every consumer relies on.
+func NewPooledNode(frame Frame, tasks *bitvec.Vector) *Node {
+	return newNode(frame, tasks)
+}
+
+// AdoptRoot points a reusable tree header at an externally assembled node
+// structure, clearing the release guard. The header must not be live: only
+// a zero Tree or one already passed through Release may adopt a new root
+// (adopting over live nodes would leak them past the pool). This is how a
+// long-lived emitter cycles the same two Tree headers through
+// emit→encode→Release every round instead of allocating headers per
+// gather.
+func (t *Tree) AdoptRoot(numTasks int, root *Node) {
+	if t.Root != nil && !t.released {
+		panic("trace: AdoptRoot on a live tree")
+	}
+	if numTasks < 0 {
+		panic("trace: negative task-space size")
+	}
+	*t = Tree{NumTasks: numTasks, Root: root}
+}
