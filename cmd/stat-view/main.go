@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"os"
 
+	"stat/internal/bitvec"
 	"stat/internal/trace"
 )
 
@@ -49,8 +50,24 @@ func main() {
 		}
 		return
 	}
-	fmt.Printf("%s: wire format v%d, %d tasks, %d nodes, depth %d\n\n",
+	fmt.Printf("%s: wire format v%d, %d tasks, %d nodes, depth %d\n",
 		flag.Arg(0), version, tree.NumTasks, tree.NodeCount(), tree.Depth())
+	// The root sentinel's label holds every task that contributed a trace,
+	// so it doubles as the capture's coverage record: a tree saved from a
+	// degraded (fault-tolerant) gather covers only the surviving ranks.
+	if covered := tree.Root.Tasks.Count(); covered < tree.NumTasks {
+		var missing []int
+		for r := 0; r < tree.NumTasks; r++ {
+			if !tree.Root.Tasks.Get(r) {
+				missing = append(missing, r)
+			}
+		}
+		fmt.Printf("coverage: PARTIAL — %d of %d ranks (missing %s)\n",
+			covered, tree.NumTasks, bitvec.FormatRanges(missing))
+	} else {
+		fmt.Printf("coverage: complete (%d ranks)\n", covered)
+	}
+	fmt.Println()
 	if *outline {
 		fmt.Print(tree)
 	}

@@ -12,7 +12,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
+	"stat/internal/bitvec"
 	"stat/internal/core"
 	"stat/internal/machine"
 	"stat/internal/proto"
@@ -25,6 +27,75 @@ func main() {
 		fmt.Fprintln(os.Stderr, "stat:", err)
 		os.Exit(1)
 	}
+}
+
+// fillFaultPlan populates an injection plan from the CLI's range flags once
+// the topology exists: daemon ranges are leaf indexes, node ranges are
+// breadth-first node IDs.
+func fillFaultPlan(plan *tbon.FaultPlan, topo *topology.Tree,
+	crashDaemons, crashNodes, cutNodes, slowNodes string, slowLink time.Duration) error {
+	nodeCount := 0
+	for _, lvl := range topo.Levels {
+		nodeCount += len(lvl)
+	}
+	parseNodes := func(flagName, s string) ([]int, error) {
+		ids, err := bitvec.ParseRanges(s)
+		if err != nil {
+			return nil, fmt.Errorf("-%s: %w", flagName, err)
+		}
+		for _, id := range ids {
+			if id >= nodeCount {
+				return nil, fmt.Errorf("-%s: node %d out of range (topology has nodes 0..%d)", flagName, id, nodeCount-1)
+			}
+		}
+		return ids, nil
+	}
+	crash := map[int]bool{}
+	if crashDaemons != "" {
+		leaves, err := bitvec.ParseRanges(crashDaemons)
+		if err != nil {
+			return fmt.Errorf("-crash-daemons: %w", err)
+		}
+		for _, leaf := range leaves {
+			if leaf >= len(topo.Leaves) {
+				return fmt.Errorf("-crash-daemons: daemon %d out of range (run has %d daemons)", leaf, len(topo.Leaves))
+			}
+			crash[topo.Leaves[leaf].ID] = true
+		}
+	}
+	if crashNodes != "" {
+		ids, err := parseNodes("crash-nodes", crashNodes)
+		if err != nil {
+			return err
+		}
+		for _, id := range ids {
+			crash[id] = true
+		}
+	}
+	if len(crash) > 0 {
+		plan.Crash = crash
+	}
+	if cutNodes != "" {
+		ids, err := parseNodes("cut-nodes", cutNodes)
+		if err != nil {
+			return err
+		}
+		plan.CutLinks = map[int]bool{}
+		for _, id := range ids {
+			plan.CutLinks[id] = true
+		}
+	}
+	if slowNodes != "" {
+		ids, err := parseNodes("slow-nodes", slowNodes)
+		if err != nil {
+			return err
+		}
+		plan.SlowLinks = map[int]time.Duration{}
+		for _, id := range ids {
+			plan.SlowLinks[id] = slowLink
+		}
+	}
+	return nil
 }
 
 func run() error {
@@ -50,6 +121,13 @@ func run() error {
 		wireVersion = flag.Uint("wire", 0, "cap the negotiated wire format version (0 = build maximum; 1 = compact STR1, 2 = 8-aligned STR2)")
 		samplerName = flag.String("sampler", "batched", "daemon sampling engine: batched (direct-to-tree trie) or legacy (per-sample loop)")
 		sampWorkers = flag.Int("sample-workers", 0, "batched sampler's concurrent daemon-walker bound (0 = GOMAXPROCS)")
+		faultTol    = flag.Bool("fault-tolerant", false, "degrade gracefully when overlay subtrees fail: report partial results with a surviving-rank set instead of failing the run")
+		subTimeout  = flag.Duration("subtree-timeout", 0, "per-subtree gather timeout under -fault-tolerant (0 = 5s default)")
+		crashDaemon = flag.String("crash-daemons", "", "inject: crash these daemons mid-gather (leaf-index ranges, e.g. 0-3,7); requires -fault-tolerant")
+		crashNodes  = flag.String("crash-nodes", "", "inject: crash these overlay nodes mid-gather (node-ID ranges); requires -fault-tolerant")
+		cutNodes    = flag.String("cut-nodes", "", "inject: partition these overlay nodes' uplinks (node-ID ranges); requires -fault-tolerant")
+		slowNodes   = flag.String("slow-nodes", "", "inject: delay these overlay nodes' uplinks (node-ID ranges); requires -fault-tolerant")
+		slowLink    = flag.Duration("slow-link", 50*time.Millisecond, "delay applied to -slow-nodes uplinks")
 	)
 	flag.Parse()
 
@@ -67,6 +145,18 @@ func run() error {
 		ReduceBudgetBytes: *budget,
 		WireVersion:       uint8(*wireVersion),
 		SampleWorkers:     *sampWorkers,
+		FaultTolerant:     *faultTol,
+		SubtreeTimeout:    *subTimeout,
+	}
+	injecting := *crashDaemon != "" || *crashNodes != "" || *cutNodes != "" || *slowNodes != ""
+	if injecting {
+		if !*faultTol {
+			return fmt.Errorf("fault injection flags require -fault-tolerant")
+		}
+		// The plan's node IDs depend on the topology, which core.New
+		// builds; the engines read the plan at gather time, so an empty
+		// plan registered now is filled in below.
+		opts.GatherFaults = &tbon.FaultPlan{}
 	}
 	switch *samplerName {
 	case "batched":
@@ -134,6 +224,12 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	if injecting {
+		if err := fillFaultPlan(opts.GatherFaults, tool.Topology(),
+			*crashDaemon, *crashNodes, *cutNodes, *slowNodes, *slowLink); err != nil {
+			return err
+		}
+	}
 	fmt.Printf("STAT: %s, %d tasks, %d daemons, %s tree, %s bit vectors\n",
 		opts.Machine.Name, *tasks, tool.Daemons(), *topoName, opts.BitVec)
 
@@ -148,6 +244,16 @@ func run() error {
 	if res.MergeErr != nil {
 		fmt.Printf("merge FAILED: %v\n", res.MergeErr)
 		return nil
+	}
+	if res.Liveness != nil {
+		var missing []int
+		for r := 0; r < *tasks; r++ {
+			if !res.Liveness.Get(r) {
+				missing = append(missing, r)
+			}
+		}
+		fmt.Printf("\nDEGRADED RESULT: %d of %d ranks missing (ranks %s); trees cover the %d surviving ranks\n",
+			res.MissingRanks, *tasks, bitvec.FormatRanges(missing), res.Liveness.Count())
 	}
 
 	fmt.Printf("\nphase times (modeled):\n")

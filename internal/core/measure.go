@@ -28,7 +28,11 @@ func (t *Tool) MeasureSample(useSBRS bool) (float64, *sbrs.Report, error) {
 			return 0, nil, err
 		}
 	}
-	return t.runSamplePhase(), rep, nil
+	sampleTime, err := t.runSamplePhase()
+	if err != nil {
+		return 0, nil, err
+	}
+	return sampleTime, rep, nil
 }
 
 // MeasureMerge runs the real merge through the TBON (building every

@@ -423,7 +423,7 @@ func (t *Tool) runMergePhase(res *Result) error {
 	if err := s.sample(t.opts.Samples, t.opts.ThreadsPerTask); err != nil {
 		return err
 	}
-	payload, version, stats, err := s.gather(proto.TreeBoth, false)
+	payload, version, live, stats, err := s.gather(proto.TreeBoth, false)
 	if err != nil {
 		return err
 	}
@@ -433,6 +433,10 @@ func (t *Tool) runMergePhase(res *Result) error {
 
 	res.MergeStats = stats
 	res.WireVersion = version
+	res.Liveness = live
+	if live != nil {
+		res.MissingRanks = t.opts.Tasks - live.Count()
+	}
 	res.AliasDecodeHits = t.aliasHits.Load()
 	res.AliasDecodeMisses = t.aliasMisses.Load()
 	if t.sampler != nil {
@@ -453,8 +457,15 @@ func (t *Tool) runMergePhase(res *Result) error {
 		// Decode the gather payload through the compiled rank-order
 		// permutation: each label materializes from the wire already in
 		// rank order — one pass over each word, no separate RemapWith
-		// sweep over the decoded trees.
-		remapper, err := t.rankRemapper()
+		// sweep over the decoded trees. A degraded gather concatenated
+		// only the surviving subtrees, so its permutation lists only the
+		// surviving daemons' ranks (rankRemapperLive).
+		var remapper *bitvec.Remapper
+		if live == nil {
+			remapper, err = t.rankRemapper()
+		} else {
+			remapper, err = t.rankRemapperLive(live)
+		}
 		if err != nil {
 			return err
 		}

@@ -154,7 +154,7 @@ func TestResultFilterCycleZeroAllocs(t *testing.T) {
 		b.Release()
 	}
 	cycle := func() {
-		out, err := filter(children)
+		out, err := filter(nil, children)
 		if err != nil {
 			t.Fatal(err)
 		}

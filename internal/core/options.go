@@ -6,10 +6,36 @@
 // mode) the front end's rank-order remap — producing both the real merged
 // prefix trees and the modeled wall-clock time of each phase at machine
 // scale.
+//
+// # Failure semantics
+//
+// By default every phase is all-or-nothing: any daemon, link, or filter
+// failure fails the run with an attributed error, and no partial state
+// escapes. Options.FaultTolerant relaxes this for the data gather only —
+// control traffic (attach, sample requests, detach) always runs
+// fault-free, so a degraded gather never strands the session protocol.
+//
+// A fault-tolerant gather drops subtrees lost to a crash, a partitioned
+// link, or a per-subtree timeout (Options.SubtreeTimeout), re-parents
+// orphaned subtrees where the engine supports it, and merges what
+// survives. The result filter attaches an explicit liveness set to every
+// partial packet (proto.MsgPartialResult): full subtrees contribute the
+// task coverage of their topology span, partial subtrees contribute the
+// liveness they decoded, so subtrees recovered by orphan adoption count
+// as surviving without re-deriving engine semantics. The front end
+// surfaces the outcome in Result.Liveness (nil means every rank is
+// accounted for) and Result.MissingRanks; in hierarchical mode the final
+// rank remap permutes only the surviving daemons' ranks. A degraded tree
+// equals the fault-free merge restricted (trace.Tree.Focus) to the
+// surviving ranks — the differential suites pin both directions.
+//
+// Filter and merge logic errors remain fatal in every mode: fault
+// tolerance forgives the fabric, never the data.
 package core
 
 import (
 	"fmt"
+	"time"
 
 	"stat/internal/launch"
 	"stat/internal/machine"
@@ -127,6 +153,21 @@ type Options struct {
 	Transport tbon.Transport
 	// App overrides the default buggy ring application.
 	App *mpisim.App
+	// FaultTolerant makes the gather degrade gracefully instead of failing
+	// whole-run: subtrees lost to a crash, partition, or timeout are
+	// dropped, the merged result carries a liveness set of the surviving
+	// ranks (Result.Liveness), and orphaned subtrees are re-parented where
+	// the engine supports it. Control traffic (attach/sample/detach) stays
+	// fault-free — fault tolerance is a property of the data gather.
+	FaultTolerant bool
+	// SubtreeTimeout bounds how long a gather node waits on any one child
+	// subtree before declaring it lost. Zero defaults to 5s when
+	// FaultTolerant is set; ignored otherwise.
+	SubtreeTimeout time.Duration
+	// GatherFaults injects scripted failures (crashes, slow links,
+	// partitions — see tbon.FaultPlan) into the gather reduction. Requires
+	// FaultTolerant. nil injects nothing.
+	GatherFaults *tbon.FaultPlan
 }
 
 func (o *Options) fillDefaults() error {
@@ -172,16 +213,39 @@ func (o *Options) fillDefaults() error {
 				leaf, cap, proto.Version, proto.MaxVersion)
 		}
 	}
+	if o.GatherFaults != nil && !o.FaultTolerant {
+		return fmt.Errorf("core: GatherFaults requires FaultTolerant")
+	}
+	if o.SubtreeTimeout < 0 {
+		return fmt.Errorf("core: SubtreeTimeout must be >= 0, got %v", o.SubtreeTimeout)
+	}
+	if o.FaultTolerant && o.SubtreeTimeout == 0 {
+		o.SubtreeTimeout = 5 * time.Second
+	}
 	return nil
 }
 
-// reduceOpts assembles the tbon engine selection from the options.
+// reduceOpts assembles the tbon engine selection from the options. Control
+// reductions (attach acks, sample acks, detach) use it directly: they run
+// fault-free so a scripted gather fault never strands the session protocol.
 func (o *Options) reduceOpts() tbon.ReduceOptions {
 	return tbon.ReduceOptions{
 		Engine:      o.Engine,
 		Workers:     o.ReduceWorkers,
 		BudgetBytes: o.ReduceBudgetBytes,
 	}
+}
+
+// gatherReduceOpts is reduceOpts plus the fault-tolerance knobs; only the
+// data gather uses it.
+func (o *Options) gatherReduceOpts() tbon.ReduceOptions {
+	ro := o.reduceOpts()
+	if o.FaultTolerant {
+		ro.Partial = true
+		ro.SubtreeTimeout = o.SubtreeTimeout
+		ro.Faults = o.GatherFaults
+	}
+	return ro
 }
 
 // PhaseTimes holds the modeled duration of each tool phase in seconds.

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"stat/internal/launch"
 	"stat/internal/rm"
 )
@@ -67,9 +69,15 @@ func (t *Tool) runLaunchPhase() (float64, error) {
 // shared memoized cache, and concurrency is bounded by the engine's
 // walker pool (Options.SampleWorkers) rather than being strictly
 // sequential per daemon.
-func (t *Tool) runSamplePhase() float64 {
+//
+// A binary that cannot be stat'ed or read aborts the phase with an error —
+// daemons cannot sample without symbols — which Run surfaces to the caller;
+// a malformed session degrades instead of crashing the process. The first
+// failure wins and the remaining chains stop scheduling work.
+func (t *Tool) runSamplePhase() (float64, error) {
 	start := t.eng.Now()
 	end := start
+	var phaseErr error
 
 	for d := 0; d < t.daemons; d++ {
 		d := d
@@ -84,6 +92,9 @@ func (t *Tool) runSamplePhase() float64 {
 		// Chain: open binary 0 → parse → open binary 1 → … → walk.
 		var step func(i int)
 		step = func(i int) {
+			if phaseErr != nil {
+				return
+			}
 			if i >= len(t.mach.Binaries) {
 				t.eng.After(walk, func() {
 					if t.eng.Now() > end {
@@ -95,11 +106,15 @@ func (t *Tool) runSamplePhase() float64 {
 			path := t.mach.Binaries[i].Path
 			size, err := t.fs.Size(path)
 			if err != nil {
-				panic(err) // populated in New; absence is a bug
+				phaseErr = fmt.Errorf("core: sample phase: daemon %d stat %s: %w", d, path, err)
+				return
 			}
 			t.fs.ReadFile(d, path, func(_ float64, _ []byte, err error) {
 				if err != nil {
-					panic(err)
+					if phaseErr == nil {
+						phaseErr = fmt.Errorf("core: sample phase: daemon %d read %s: %w", d, path, err)
+					}
+					return
 				}
 				parse := float64(size) * t.mach.ParsePerByteSec * t.mach.CPUContention
 				t.eng.After(parse, func() { step(i + 1) })
@@ -108,5 +123,8 @@ func (t *Tool) runSamplePhase() float64 {
 		step(0)
 	}
 	t.eng.Run()
-	return end - start
+	if phaseErr != nil {
+		return 0, phaseErr
+	}
+	return end - start, nil
 }

@@ -46,9 +46,16 @@ func (t *Tool) ProgressCheck() (*ProgressReport, error) {
 		if err := s.sample(t.opts.Samples, t.opts.ThreadsPerTask); err != nil {
 			return nil, err
 		}
-		payload, _, _, err := s.gather(proto.Tree3D, true)
+		payload, _, live, _, err := s.gather(proto.Tree3D, true)
 		if err != nil {
 			return nil, err
+		}
+		// The stuck-task comparison needs every task's paths in both
+		// rounds; a degraded round would turn lost ranks into false
+		// "stuck" negatives, so refuse rather than mislead.
+		if live != nil {
+			return nil, fmt.Errorf("core: progress check ran degraded: %d ranks missing from the gather",
+				t.opts.Tasks-live.Count())
 		}
 		var trees []*trace.Tree
 		if remapper != nil {

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"stat/internal/bitvec"
 	"stat/internal/proto"
 	"stat/internal/tbon"
 )
@@ -132,18 +133,22 @@ func (s *session) detach() error {
 
 // gather broadcasts the gather command and runs the data-stream reduction
 // whose filter performs the real prefix-tree merges. It returns the
-// merged tree payload, the wire version it is encoded in, and the traffic
+// merged tree payload, the wire version it is encoded in, the liveness set
+// of the ranks the payload covers (nil when the gather completed in full —
+// the only outcome unless Options.FaultTolerant is set), and the traffic
 // statistics the timing model needs. detail selects function+offset frame
 // granularity. Leaf payloads are minted by the daemons from the shared
 // buffer pool behind leases (daemon.gatherPacket), so the zero-allocation
 // payload cycle runs end to end: leaf encode → filter decode → merged
-// encode, every buffer recycled through outBufs.
-func (s *session) gather(which proto.TreeKind, detail bool) ([]byte, uint8, *tbon.Stats, error) {
+// encode, every buffer recycled through outBufs. The gather is the only
+// reduction that runs under the fault-tolerance options (gatherReduceOpts):
+// control acks stay fault-free.
+func (s *session) gather(which proto.TreeKind, detail bool) ([]byte, uint8, *bitvec.Vector, *tbon.Stats, error) {
 	req := proto.GatherRequest{Which: which, Detail: detail}
 	cmd := proto.Packet{Stream: proto.DataStream, Type: proto.MsgGather, Payload: req.Encode()}
 	delivered, _, err := s.net.Broadcast(cmd.Encode())
 	if err != nil {
-		return nil, 0, nil, err
+		return nil, 0, nil, nil, err
 	}
 
 	filter := s.t.resultFilter()
@@ -159,25 +164,38 @@ func (s *session) gather(which proto.TreeKind, detail bool) ([]byte, uint8, *tbo
 		return s.daemons[leaf].gatherPacket(greq)
 	}
 
-	out, stats, err := s.net.ReduceLeasedWith(s.t.opts.reduceOpts(), leaf, filter)
+	out, stats, err := s.net.ReduceNodeLeasedWith(s.t.opts.gatherReduceOpts(), leaf, filter)
 	if err != nil {
-		return nil, 0, nil, err
+		return nil, 0, nil, nil, err
 	}
 	p, err := proto.Decode(out)
 	if err != nil {
-		return nil, 0, nil, err
+		return nil, 0, nil, nil, err
 	}
-	if p.Type != proto.MsgResult {
-		return nil, 0, nil, fmt.Errorf("core: gather returned %v", p.Type)
+	if p.Type != proto.MsgResult && p.Type != proto.MsgPartialResult {
+		return nil, 0, nil, nil, fmt.Errorf("core: gather returned %v", p.Type)
 	}
 	// The data stream must carry exactly the version attach negotiated:
 	// daemons encode at their handshake result and the filters propagate
 	// it, so a mismatch here means a filter or daemon ignored the
 	// negotiation.
 	if p.Version != s.wireVersion {
-		return nil, 0, nil, fmt.Errorf("core: result packet carries wire version %d, session negotiated %d", p.Version, s.wireVersion)
+		return nil, 0, nil, nil, fmt.Errorf("core: result packet carries wire version %d, session negotiated %d", p.Version, s.wireVersion)
 	}
-	return p.Payload, p.Version, stats, nil
+	payload := p.Payload
+	var live *bitvec.Vector
+	if p.Type == proto.MsgPartialResult {
+		lv, body, err := proto.SplitPartialPayload(p.Payload, p.Version)
+		if err != nil {
+			return nil, 0, nil, nil, err
+		}
+		live, _, err = bitvec.UnmarshalBinary(lv)
+		if err != nil {
+			return nil, 0, nil, nil, err
+		}
+		payload = body
+	}
+	return payload, p.Version, live, stats, nil
 }
 
 // resultFilter merges MsgResult packets: unwrap, merge the carried trees
@@ -195,9 +213,18 @@ func (s *session) gather(which proto.TreeKind, detail bool) ([]byte, uint8, *tbo
 // the way out, the merger encodes the merged trees directly after a
 // reserved frame header in the pooled output buffer, so the result packet
 // is built without copying the payload.
-func (t *Tool) resultFilter() tbon.Filter {
+//
+// Under fault tolerance the filter has a second job: whenever its output
+// cannot claim complete coverage — a child delivered a MsgPartialResult, or
+// the engine's FilterCtx reports missing child subtrees — it switches to
+// mergePartial, which computes the surviving-rank liveness set and emits a
+// MsgPartialResult carrying it ahead of the tree body. The complete case
+// below is byte-for-byte the fault-free filter, so fault-free runs (with or
+// without Options.FaultTolerant) produce identical packets and keep the
+// zero-allocation cycle.
+func (t *Tool) resultFilter() tbon.NodeFilter {
 	merge := t.treeMerger()
-	return func(children []*tbon.Lease) (*tbon.Lease, error) {
+	return func(ctx *tbon.FilterCtx, children []*tbon.Lease) (*tbon.Lease, error) {
 		bodies := make([]*tbon.Lease, len(children))
 		release := func(n int) {
 			for i := 0; i < n; i++ {
@@ -205,15 +232,19 @@ func (t *Tool) resultFilter() tbon.Filter {
 			}
 		}
 		version := uint8(0)
+		anyPartial := false
 		for i, c := range children {
 			p, err := proto.Decode(c.Bytes())
 			if err != nil {
 				release(i)
 				return nil, err
 			}
-			if p.Type != proto.MsgResult {
+			if p.Type != proto.MsgResult && p.Type != proto.MsgPartialResult {
 				release(i)
 				return nil, fmt.Errorf("core: expected result, got %v", p.Type)
+			}
+			if p.Type == proto.MsgPartialResult {
+				anyPartial = true
 			}
 			if version == 0 || p.Version < version {
 				version = p.Version
@@ -224,6 +255,9 @@ func (t *Tool) resultFilter() tbon.Filter {
 			version = proto.Version
 		}
 		hdr := proto.HeaderSizeV(version)
+		if anyPartial || ctx.Incomplete() {
+			return t.mergePartial(ctx, children, bodies, merge, version, hdr)
+		}
 		packet, err := merge(bodies, hdr, version)
 		release(len(bodies))
 		if err != nil {

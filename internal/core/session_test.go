@@ -35,9 +35,12 @@ func TestSessionFullCycle(t *testing.T) {
 	if err := s.sample(3, 1); err != nil {
 		t.Fatalf("sample: %v", err)
 	}
-	payload, version, stats, err := s.gather(proto.TreeBoth, false)
+	payload, version, live, stats, err := s.gather(proto.TreeBoth, false)
 	if err != nil {
 		t.Fatalf("gather: %v", err)
+	}
+	if live != nil {
+		t.Errorf("fault-free gather reported a liveness set")
 	}
 	if version != proto.MaxVersion {
 		t.Errorf("negotiated wire version %d, want %d", version, proto.MaxVersion)
@@ -70,7 +73,7 @@ func TestSessionGatherSingleTree(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, kind := range []proto.TreeKind{proto.Tree2D, proto.Tree3D} {
-		payload, _, _, err := s.gather(kind, false)
+		payload, _, _, _, err := s.gather(kind, false)
 		if err != nil {
 			t.Fatalf("gather(%d): %v", kind, err)
 		}
@@ -102,7 +105,7 @@ func TestSessionProtocolStateMachine(t *testing.T) {
 	if err := s2.attach(); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, _, err := s2.gather(proto.TreeBoth, false); err == nil {
+	if _, _, _, _, err := s2.gather(proto.TreeBoth, false); err == nil {
 		t.Error("gather before sample succeeded")
 	}
 

@@ -2,8 +2,10 @@ package core
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 
+	"stat/internal/bitvec"
 	"stat/internal/fsim"
 	"stat/internal/machine"
 	"stat/internal/mpisim"
@@ -39,6 +41,12 @@ type Tool struct {
 	// Result.
 	aliasHits   atomic.Int64
 	aliasMisses atomic.Int64
+	// cov caches per-node subtree rank coverage for the fault-tolerant
+	// merge's liveness accounting (see coverage); populated lazily, only
+	// when a gather actually degrades. Guarded by covMu because the
+	// concurrent and pipelined engines run filters from many goroutines.
+	covMu sync.Mutex
+	cov   map[int]*bitvec.Vector
 }
 
 // maxWireVersion is the highest wire version this tool's processes
@@ -91,6 +99,13 @@ type Result struct {
 	MaxLeafPayloadBytes int64
 	// FrontEndInBytes is the root's total merge-phase ingress.
 	FrontEndInBytes int64
+	// Liveness is the set of MPI ranks the merged trees account for. nil
+	// means the gather completed in full (every run without
+	// Options.FaultTolerant, and fault-tolerant runs that saw no fault);
+	// non-nil means subtrees were lost and the trees cover exactly the set
+	// bits. MissingRanks is the complement's count, Tasks − Liveness.Count().
+	Liveness     *bitvec.Vector
+	MissingRanks int
 	// SampleStats are the batched sampling engine's cumulative counters —
 	// stacks walked, whole-stack memo hits, distinct stacks, per-PC
 	// resolver lookups and their cache misses. The hit rates they imply
@@ -245,7 +260,11 @@ func (t *Tool) Run() (*Result, error) {
 		res.Times.SBRS = rep.TotalSec
 	}
 
-	res.Times.Sample = t.runSamplePhase()
+	sampleTime, err := t.runSamplePhase()
+	if err != nil {
+		return nil, err
+	}
+	res.Times.Sample = sampleTime
 
 	if err := t.runMergePhase(res); err != nil {
 		return nil, err

@@ -107,6 +107,12 @@ type Result struct {
 	// scale and is engine-independent.
 	MeasuredSec float64
 	Stats       *tbon.Stats
+	// Live is the set of ranks the merged tree accounts for; nil when the
+	// run completed in full (always, outside RunFaulty). RunFaulty tracks
+	// it end to end — every payload carries its liveness — so recovered
+	// subtrees (orphan adoption) count as surviving without the harness
+	// having to re-derive engine semantics from the fault plan.
+	Live *bitvec.Vector
 }
 
 // Run drives a full emulated merge under the sequential reduction engine:
@@ -211,6 +217,185 @@ func RunEngine(spec Spec, daemons int, topoSpec topology.Spec, hierarchical bool
 	}
 	res.ModeledSec = model.ReduceTime(topo, stats, nil)
 	return res, nil
+}
+
+// RunFaulty is RunEngine under fault injection: the plan's crashes, cut
+// links, and slow links are wired into the reduction (per-node, through the
+// overlay's emulated transport), subtree waits are bounded by timeout, and
+// lost subtrees degrade the result instead of failing it. Every payload
+// carries an explicit liveness prefix (u32 length, bitvec, tree), unioned at
+// each merge, so Result.Live reports exactly the ranks that reached the
+// front end — including subtrees recovered by orphan re-parenting, which a
+// static reading of the plan would miss. In hierarchical mode the final
+// remap permutes only the surviving daemons' ranks. Live is nil when every
+// rank survived.
+func RunFaulty(spec Spec, daemons int, topoSpec topology.Spec, hierarchical bool,
+	model tbon.TimingModel, engine tbon.ReduceOptions,
+	plan *tbon.FaultPlan, timeout time.Duration) (*Result, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if daemons < 1 || daemons > spec.Tasks {
+		return nil, fmt.Errorf("emul: %d daemons for %d tasks", daemons, spec.Tasks)
+	}
+	topo, err := topoSpec.Build(daemons)
+	if err != nil {
+		return nil, err
+	}
+
+	taskMap := make([][]int, daemons)
+	for rank := 0; rank < spec.Tasks; rank++ {
+		d := rank % daemons
+		taskMap[d] = append(taskMap[d], rank)
+	}
+
+	engine.Partial = true
+	engine.Faults = plan
+	engine.SubtreeTimeout = timeout
+
+	net := tbon.New(topo, nil)
+	leafData := func(leaf int) ([]byte, error) {
+		live := bitvec.New(spec.Tasks)
+		for _, r := range taskMap[leaf] {
+			live.Set(r)
+		}
+		t := spec.DaemonTree(taskMap[leaf], hierarchical)
+		b, err := t.MarshalBinary()
+		t.Release()
+		if err != nil {
+			return nil, err
+		}
+		return prependLiveness(live, b)
+	}
+	filter := func(_ *tbon.FilterCtx, children []*tbon.Lease) (*tbon.Lease, error) {
+		// Liveness is explicit in every payload, so the filter ignores the
+		// ctx's span bookkeeping: merging whatever arrived and unioning the
+		// carried liveness is already exact, under adoption included.
+		live := bitvec.New(spec.Tasks)
+		trees := make([]*trace.Tree, len(children))
+		for i, c := range children {
+			l, body, err := splitLiveness(c.Bytes())
+			if err != nil {
+				return nil, err
+			}
+			if err := live.UnionWith(l); err != nil {
+				return nil, err
+			}
+			if trees[i], err = trace.UnmarshalBinary(body); err != nil {
+				return nil, err
+			}
+		}
+		var merged *trace.Tree
+		if hierarchical {
+			merged = trace.MergeConcat(trees...)
+		} else {
+			merged = trees[0]
+			for _, t := range trees[1:] {
+				if err := trace.MergeUnion(merged, t); err != nil {
+					return nil, err
+				}
+			}
+		}
+		out, err := merged.MarshalBinary()
+		if err != nil {
+			return nil, err
+		}
+		for _, t := range trees[1:] {
+			t.Release()
+		}
+		if hierarchical {
+			trees[0].Release()
+		}
+		merged.Release()
+		framed, err := prependLiveness(live, out)
+		if err != nil {
+			return nil, err
+		}
+		return tbon.NewLease(framed, nil), nil
+	}
+
+	start := time.Now()
+	out, stats, err := net.ReduceNodeWith(engine, leafData, filter)
+	measured := time.Since(start).Seconds()
+	if err != nil {
+		return nil, err
+	}
+	live, body, err := splitLiveness(out)
+	if err != nil {
+		return nil, err
+	}
+	tree, err := trace.UnmarshalBinary(body)
+	if err != nil {
+		return nil, err
+	}
+	if hierarchical {
+		perm := make([]int, 0, live.Count())
+		for d, ranks := range taskMap {
+			n := 0
+			for _, r := range ranks {
+				if live.Get(r) {
+					n++
+				}
+			}
+			switch n {
+			case 0:
+			case len(ranks):
+				perm = append(perm, ranks...)
+			default:
+				return nil, fmt.Errorf("emul: daemon %d liveness is torn: %d of %d ranks survive", d, n, len(ranks))
+			}
+		}
+		if err := tree.Remap(perm, spec.Tasks); err != nil {
+			return nil, err
+		}
+	}
+
+	res := &Result{Tree: tree, Stats: stats, MeasuredSec: measured}
+	if live.Count() < spec.Tasks {
+		res.Live = live
+	}
+	res.Classes = tree.EquivalenceClasses()
+	res.FrontEndInBytes = stats.NodeInBytes[topo.Root.ID]
+	for _, leaf := range topo.Leaves {
+		if b := stats.NodeOutBytes[leaf.ID]; b > res.MaxLeafBytes {
+			res.MaxLeafBytes = b
+		}
+	}
+	res.ModeledSec = model.ReduceTime(topo, stats, nil)
+	return res, nil
+}
+
+// prependLiveness frames a payload as u32 liveness length, the serialized
+// liveness, then the body.
+func prependLiveness(live *bitvec.Vector, body []byte) ([]byte, error) {
+	lv, err := live.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, 4+len(lv)+len(body))
+	out[0] = byte(len(lv))
+	out[1] = byte(len(lv) >> 8)
+	out[2] = byte(len(lv) >> 16)
+	out[3] = byte(len(lv) >> 24)
+	copy(out[4:], lv)
+	copy(out[4+len(lv):], body)
+	return out, nil
+}
+
+// splitLiveness undoes prependLiveness.
+func splitLiveness(b []byte) (*bitvec.Vector, []byte, error) {
+	if len(b) < 4 {
+		return nil, nil, fmt.Errorf("emul: truncated liveness frame")
+	}
+	n := int(b[0]) | int(b[1])<<8 | int(b[2])<<16 | int(b[3])<<24
+	if n < 0 || len(b) < 4+n {
+		return nil, nil, fmt.Errorf("emul: liveness length %d exceeds frame", n)
+	}
+	live, _, err := bitvec.UnmarshalBinary(b[4 : 4+n])
+	if err != nil {
+		return nil, nil, err
+	}
+	return live, b[4+n:], nil
 }
 
 // ExpectedClasses reports how many equivalence classes a run must find:

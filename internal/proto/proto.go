@@ -68,6 +68,12 @@ const (
 	MsgAck
 	// MsgResult carries serialized prefix trees upward.
 	MsgResult
+	// MsgPartialResult carries serialized prefix trees covering only part
+	// of the job: the payload is a liveness prefix (the set of surviving
+	// ranks, see PutPartialPrefix) followed by the same tree body a
+	// MsgResult would carry. Emitted by the overlay's result filter when a
+	// subtree is lost in a fault-tolerant gather.
+	MsgPartialResult
 )
 
 func (m MsgType) String() string {
@@ -84,6 +90,8 @@ func (m MsgType) String() string {
 		return "ack"
 	case MsgResult:
 		return "result"
+	case MsgPartialResult:
+		return "partial-result"
 	}
 	return fmt.Sprintf("MsgType(%d)", uint8(m))
 }
@@ -342,6 +350,53 @@ func (a Ack) Encode() []byte {
 	binary.LittleEndian.PutUint32(buf[5:9], uint32(len(a.FirstError)))
 	copy(buf[9:], a.FirstError)
 	return buf
+}
+
+// PartialPrefixLen reports the size of a MsgPartialResult's liveness
+// prefix for a serialized liveness set of n bytes: a u32 length, the
+// liveness bytes, and — under v2 frames — zero padding up to the next
+// multiple of 8, so the tree body that follows keeps the 8-aligned
+// guarantee the v2 format promises (the v2 header is itself 16 bytes, so
+// body alignment is exactly prefix alignment).
+func PartialPrefixLen(version uint8, n int) int {
+	p := 4 + n
+	if version >= 2 {
+		p = (p + 7) &^ 7
+	}
+	return p
+}
+
+// PutPartialPrefix writes a MsgPartialResult liveness prefix into b, which
+// must hold at least PartialPrefixLen(version, len(liveness)) bytes. The
+// liveness bytes are opaque to proto (core serializes a bitvec.Vector of
+// surviving ranks); padding bytes are written as zeros — callers encode
+// into pooled, dirty buffers.
+func PutPartialPrefix(b []byte, version uint8, liveness []byte) {
+	binary.LittleEndian.PutUint32(b[0:4], uint32(len(liveness)))
+	copy(b[4:], liveness)
+	for i := 4 + len(liveness); i < PartialPrefixLen(version, len(liveness)); i++ {
+		b[i] = 0
+	}
+}
+
+// SplitPartialPayload splits a MsgPartialResult payload into its liveness
+// bytes and the tree body that follows, under the given frame version.
+// Both returned slices alias payload.
+func SplitPartialPayload(payload []byte, version uint8) (liveness, body []byte, err error) {
+	if len(payload) < 4 {
+		return nil, nil, errors.New("proto: partial result payload too short")
+	}
+	n := int(binary.LittleEndian.Uint32(payload[0:4]))
+	p := PartialPrefixLen(version, n)
+	if n < 0 || len(payload) < p {
+		return nil, nil, fmt.Errorf("proto: partial result liveness length %d exceeds payload", n)
+	}
+	for i := 4 + n; i < p; i++ {
+		if payload[i] != 0 {
+			return nil, nil, errors.New("proto: nonzero partial result padding")
+		}
+	}
+	return payload[4 : 4+n], payload[p:], nil
 }
 
 // DecodeAck parses an ack body.

@@ -61,6 +61,17 @@ const leasePoison = -1 << 24
 
 var leasePool = sync.Pool{New: func() any { return new(Lease) }}
 
+// liveLeases counts leases minted but not yet fully released, across the
+// whole process. It exists for leak detection: every engine error path
+// must sweep stranded payloads, and the fault-injection tests assert the
+// counter returns to its baseline after induced failures.
+var liveLeases atomic.Int64
+
+// LiveLeases reports the number of leases currently alive process-wide.
+// A reduction that has returned — successfully or not — must leave this
+// where it found it, modulo leases the caller itself still holds.
+func LiveLeases() int64 { return liveLeases.Load() }
+
 // NewLease wraps b in a lease with one reference, owned by the caller.
 // free, if non-nil, is called exactly once with b when the last reference
 // is released — the hook for returning pooled buffers.
@@ -71,6 +82,7 @@ func NewLease(b []byte, free func([]byte)) *Lease {
 	l.parent = nil
 	l.gate = nil
 	l.refs.Store(1)
+	liveLeases.Add(1)
 	return l
 }
 
@@ -112,6 +124,7 @@ func (l *Lease) Release() {
 	l.b, l.free, l.parent, l.gate = nil, nil, nil, nil
 	l.refs.Store(leasePoison)
 	leasePool.Put(l)
+	liveLeases.Add(-1)
 	if gate != nil {
 		gate.refund(gateSize)
 	}
@@ -133,6 +146,22 @@ func (l *Lease) Sub(b []byte) *Lease {
 	s := NewLease(b, nil)
 	s.parent = l
 	return s
+}
+
+// retire transfers the buffer to the reduction's caller permanently: the
+// bytes stay valid indefinitely, no free hook runs, and the lease leaves
+// the live count so LiveLeases sees a completed reduction as balanced.
+// Engine-internal, called exactly once on the root result lease — the
+// engine holds the sole reference by contract, so no other goroutine can
+// touch the lease. Any budget charge is refunded; a parent (the root
+// output aliasing a child packet via Sub) stays pinned, since the caller's
+// view of the bytes lives inside it.
+func (l *Lease) retire() {
+	if l.gate != nil {
+		l.gate.refund(l.gateSize)
+		l.gate = nil
+	}
+	liveLeases.Add(-1)
 }
 
 // chargeGate records a byte-budget charge to be refunded when the lease's

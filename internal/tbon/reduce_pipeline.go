@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"stat/internal/topology"
 )
@@ -32,7 +33,7 @@ import (
 // buffer under its decoded tree) therefore holds budget for exactly as
 // long as it holds the bytes.
 func (n *Network) ReducePipelined(leafData func(leaf int) ([]byte, error), filter Filter) ([]byte, *Stats, error) {
-	return n.reducePipelined(wrapLeafBytes(leafData), filter, 0, 0)
+	return n.reducePipelined(wrapLeafBytes(leafData), asNodeFilter(filter), ReduceOptions{})
 }
 
 // pipeNode is the scheduler's per-node state. rank is the node's position
@@ -42,19 +43,31 @@ type pipeNode struct {
 	node *topology.Node
 	rank int
 	pos  int // index among the parent's children
+	// dead marks a node inside a fault plan's crashed or partitioned
+	// subtree: workers skip its leaf, and its rank is pre-consumed so the
+	// budget gate's head never waits on it.
+	dead bool
 
 	mu      sync.Mutex
 	folding bool     // a worker is draining the in-order prefix
 	next    int      // next child position to fold
 	arrived []bool   // child payload delivered, by position
 	buf     []*Lease // delivered payloads awaiting their turn
+	missing []int    // child positions whose subtrees delivered tombstones
 	acc     *Lease
+
+	// ctx and spanBuf are this node's reused filter-call context; only the
+	// single folding worker touches them, and filters must not retain the
+	// ctx past the call.
+	ctx     FilterCtx
+	spanBuf [2]Span
 }
 
 type pipeRun struct {
-	filter Filter
-	gate   *byteGate
-	nodes  map[int]*pipeNode // by topology node ID
+	filter  NodeFilter
+	gate    *byteGate
+	nodes   map[int]*pipeNode // by topology node ID
+	partial bool
 
 	statsMu sync.Mutex
 	stats   *Stats
@@ -74,8 +87,10 @@ func (r *pipeRun) fail(err error) {
 	})
 }
 
-func (n *Network) reducePipelined(leaf LeafFunc, filter Filter, workers int, budget int64) ([]byte, *Stats, error) {
+func (n *Network) reducePipelined(leaf LeafFunc, filter NodeFilter, opts ReduceOptions) ([]byte, *Stats, error) {
 	stats := newStats(len(n.topo.Levels))
+	plan, partial, timeout := opts.Faults, opts.Partial, opts.SubtreeTimeout
+	workers, budget := opts.Workers, opts.BudgetBytes
 
 	// Post-order ranks: children before parents, left before right. This
 	// is the order ReduceSeq releases payloads in, so the gate's
@@ -99,10 +114,56 @@ func (n *Network) reducePipelined(leaf LeafFunc, filter Filter, workers int, bud
 	index(n.topo.Root, 0)
 
 	r := &pipeRun{
-		filter: filter,
-		gate:   newByteGate(budget, count),
-		nodes:  nodes,
-		stats:  stats,
+		filter:  filter,
+		gate:    newByteGate(budget, count),
+		nodes:   nodes,
+		partial: partial,
+		stats:   stats,
+	}
+
+	// Fault-plan pre-pass: a crashed or partitioned subtree delivers
+	// nothing. Its ranks are consumed up front — the budget gate's head
+	// must advance through dead nodes or every acquirer wedges behind them
+	// — and its top node's parent is handed a tombstone. Without Partial,
+	// any dead node fails the run, matching the other engines.
+	if plan != nil {
+		if plan.dead(n.topo.Root.ID) {
+			return nil, stats, fmt.Errorf("tbon: front end crashed by fault plan")
+		}
+		var consume func(d *topology.Node)
+		consume = func(d *topology.Node) {
+			pn := nodes[d.ID]
+			pn.dead = true
+			r.gate.consumeRank(pn.rank)
+			for _, dc := range d.Children {
+				consume(dc)
+			}
+		}
+		var walk func(node *topology.Node) error
+		walk = func(node *topology.Node) error {
+			for i, c := range node.Children {
+				if plan.dead(c.ID) {
+					if !partial {
+						return fmt.Errorf("tbon: node %d crashed by fault plan", c.ID)
+					}
+					consume(c)
+					r.deliver(nodes[node.ID], i, nil)
+					continue
+				}
+				if err := walk(c); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		if err := walk(n.topo.Root); err != nil {
+			return nil, stats, err
+		}
+		if r.err != nil {
+			// Tombstone cascades can decide the run before any worker
+			// starts (every subtree dead).
+			return nil, stats, r.err
+		}
 	}
 
 	if workers <= 0 {
@@ -128,12 +189,29 @@ func (n *Network) reducePipelined(leaf LeafFunc, filter Filter, workers int, bud
 					return
 				}
 				ln := leaves[i]
-				out, err := leaf(ln.LeafIndex)
+				pn := nodes[ln.ID]
+				if pn.dead {
+					continue
+				}
+				lf := leaf
+				if d := plan.slow(ln.ID); d > 0 {
+					lf = func(idx int) (*Lease, error) {
+						time.Sleep(d)
+						return leaf(idx)
+					}
+				}
+				out, err := callLeafTimed(lf, ln.LeafIndex, timeout)
 				if err != nil {
+					if r.partial {
+						// A lost daemon, not a bug: tombstone the leaf and
+						// keep reducing.
+						r.deliver(nodes[ln.Parent.ID], pn.pos, nil)
+						continue
+					}
 					r.fail(fmt.Errorf("tbon: leaf %d: %w", ln.LeafIndex, err))
 					return
 				}
-				r.complete(nodes[ln.ID], out)
+				r.complete(pn, out)
 			}
 		}()
 	}
@@ -171,7 +249,9 @@ func (n *Network) reducePipelined(leaf LeafFunc, filter Filter, workers int, bud
 	stats.PeakInFlightBytes = r.gate.peakBytes()
 	// The root lease is retired without recycling: the caller owns the
 	// result bytes outright.
-	return r.out.Bytes(), stats, nil
+	b := r.out.Bytes()
+	r.out.retire()
+	return b, stats, nil
 }
 
 // complete handles a node whose output is final: the root's output is the
@@ -209,7 +289,10 @@ func (r *pipeRun) complete(pn *pipeNode, l *Lease) {
 // worker is already folding there, drains the contiguous arrived prefix
 // through the filter in child order. Filter calls run outside the node
 // lock so late siblings can buffer their payloads without waiting for a
-// merge in progress.
+// merge in progress. A nil payload is a tombstone: the child subtree
+// delivered nothing (fault plan or timed-out leaf), the position is
+// recorded missing, and — if every child was a tombstone — the node
+// propagates a tombstone of its own.
 func (r *pipeRun) deliver(pp *pipeNode, pos int, payload *Lease) {
 	pp.mu.Lock()
 	pp.buf[pos], pp.arrived[pos] = payload, true
@@ -222,6 +305,16 @@ func (r *pipeRun) deliver(pp *pipeNode, pos int, payload *Lease) {
 		i := pp.next
 		p := pp.buf[i]
 		pp.buf[i] = nil
+		if p == nil {
+			// Tombstone. Fold order must keep advancing through the dead
+			// rank or the gate's head-of-line bypass wedges behind it
+			// (consumeRank is idempotent, so a pre-consumed dead subtree
+			// is fine).
+			pp.missing = append(pp.missing, i)
+			pp.next = i + 1
+			r.gate.consumeRank(r.nodes[pp.node.Children[i].ID].rank)
+			continue
+		}
 		acc := pp.acc
 		pp.mu.Unlock()
 
@@ -233,13 +326,20 @@ func (r *pipeRun) deliver(pp *pipeNode, pos int, payload *Lease) {
 
 		var folded *Lease
 		var err error
+		// pp.missing is only touched by the single folding worker, so
+		// reading it outside the lock is safe.
+		pp.ctx.Node, pp.ctx.Missing = pp.node, pp.missing
 		if acc == nil {
 			// Normalize even a single child through the filter so a
 			// node's output shape does not depend on its arity (the same
 			// rule ReduceSeq applies).
-			folded, err = r.filter([]*Lease{p})
+			pp.spanBuf[0] = Span{i, i + 1}
+			pp.ctx.Spans = pp.spanBuf[:1]
+			folded, err = r.filter(&pp.ctx, []*Lease{p})
 		} else {
-			folded, err = r.filter([]*Lease{acc, p})
+			pp.spanBuf[0], pp.spanBuf[1] = Span{0, i}, Span{i, i + 1}
+			pp.ctx.Spans = pp.spanBuf[:2]
+			folded, err = r.filter(&pp.ctx, []*Lease{acc, p})
 		}
 		// The fold consumed this child's payload: advance the gate's
 		// rank order now (the head must track fold order even if the
@@ -263,14 +363,41 @@ func (r *pipeRun) deliver(pp *pipeNode, pos int, payload *Lease) {
 	}
 	done := pp.next == len(pp.arrived) && !r.failed.Load()
 	acc := pp.acc
+	missing := pp.missing
 	if done {
 		pp.acc = nil
 	}
 	pp.folding = false
 	pp.mu.Unlock()
-	if done {
-		r.complete(pp, acc)
+	if !done {
+		return
 	}
+	if acc == nil {
+		// Every child was a tombstone: this node dies silently too.
+		if pp.node.Parent == nil {
+			r.fail(fmt.Errorf("tbon: no surviving subtree reached the front end"))
+			return
+		}
+		r.deliver(r.nodes[pp.node.Parent.ID], pp.pos, nil)
+		return
+	}
+	if len(missing) > 0 {
+		// Seal: one final call whose ctx carries the node's complete
+		// missing set, so a loss after the last fold (a dead trailing
+		// child) still surfaces in the output. No other worker can reach
+		// this node again — every position has arrived — so touching ctx
+		// without the lock is safe.
+		pp.spanBuf[0] = Span{0, len(pp.node.Children)}
+		pp.ctx.Node, pp.ctx.Spans, pp.ctx.Missing = pp.node, pp.spanBuf[:1], missing
+		folded, err := r.filter(&pp.ctx, []*Lease{acc})
+		acc.Release()
+		if err != nil {
+			r.fail(fmt.Errorf("tbon: filter at node %d: %w", pp.node.ID, err))
+			return
+		}
+		acc = folded
+	}
+	r.complete(pp, acc)
 }
 
 // byteGate is a rank-ordered byte semaphore. A payload's size is charged

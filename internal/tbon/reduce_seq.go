@@ -2,6 +2,7 @@ package tbon
 
 import (
 	"fmt"
+	"time"
 
 	"stat/internal/topology"
 )
@@ -26,24 +27,58 @@ import (
 // exactly one fold step — unless it retained the lease, in which case the
 // buffer lives (and stays unrecycled) until the filter's own release.
 func (n *Network) ReduceSeq(leafData func(leaf int) ([]byte, error), filter Filter) ([]byte, *Stats, error) {
-	return n.reduceSeq(wrapLeafBytes(leafData), filter)
+	return n.reduceSeq(wrapLeafBytes(leafData), asNodeFilter(filter), ReduceOptions{})
 }
 
-func (n *Network) reduceSeq(leaf LeafFunc, filter Filter) ([]byte, *Stats, error) {
+func (n *Network) reduceSeq(leaf LeafFunc, filter NodeFilter, opts ReduceOptions) ([]byte, *Stats, error) {
 	stats := newStats(len(n.topo.Levels))
+	plan, partial, timeout := opts.Faults, opts.Partial, opts.SubtreeTimeout
+	if plan.dead(n.topo.Root.ID) {
+		return nil, stats, fmt.Errorf("tbon: front end crashed by fault plan")
+	}
 
+	// One FilterCtx and span buffer reused across every call — the engine
+	// is single-threaded and filters must not retain the ctx, so the
+	// fault-free fold stays allocation-free.
+	ctx := &FilterCtx{}
+	var spanBuf [2]Span
+
+	// eval returns (nil, nil) for a subtree lost to a fault in partial
+	// mode — the parent records it missing. Non-nil errors are fatal in
+	// every mode: filter logic errors, and any fault when Partial is off.
 	var eval func(node *topology.Node) (*Lease, error)
 	eval = func(node *topology.Node) (*Lease, error) {
 		if node.IsLeaf() {
-			out, err := leaf(node.LeafIndex)
+			lf := leaf
+			if d := plan.slow(node.ID); d > 0 {
+				lf = func(i int) (*Lease, error) {
+					time.Sleep(d)
+					return leaf(i)
+				}
+			}
+			out, err := callLeafTimed(lf, node.LeafIndex, timeout)
 			if err != nil {
+				if partial {
+					return nil, nil
+				}
 				return nil, fmt.Errorf("tbon: leaf %d: %w", node.LeafIndex, err)
 			}
 			stats.NodeOutBytes[node.ID] = int64(out.Len())
 			return out, nil
 		}
 		var acc *Lease
+		var missing []int
 		for i, c := range node.Children {
+			if plan.dead(c.ID) {
+				if !partial {
+					if acc != nil {
+						acc.Release()
+					}
+					return nil, fmt.Errorf("tbon: node %d crashed by fault plan", c.ID)
+				}
+				missing = append(missing, i)
+				continue
+			}
 			p, err := eval(c)
 			if err != nil {
 				if acc != nil {
@@ -51,21 +86,48 @@ func (n *Network) reduceSeq(leaf LeafFunc, filter Filter) ([]byte, *Stats, error
 				}
 				return nil, err
 			}
+			if p == nil {
+				// Lost subtree (partial mode): record and keep folding.
+				missing = append(missing, i)
+				continue
+			}
 			stats.NodeInBytes[node.ID] += int64(p.Len())
 			stats.LevelInBytes[node.Level] += int64(p.Len())
 			stats.Packets++
 			var folded *Lease
-			if i == 0 {
+			ctx.Node, ctx.Missing = node, missing
+			if acc == nil {
 				// Normalize even a single child through the filter so a
 				// node's output shape does not depend on its arity.
-				folded, err = filter([]*Lease{p})
+				spanBuf[0] = Span{i, i + 1}
+				ctx.Spans = spanBuf[:1]
+				folded, err = filter(ctx, []*Lease{p})
 			} else {
-				folded, err = filter([]*Lease{acc, p})
+				spanBuf[0], spanBuf[1] = Span{0, i}, Span{i, i + 1}
+				ctx.Spans = spanBuf[:2]
+				folded, err = filter(ctx, []*Lease{acc, p})
 			}
 			p.Release()
 			if acc != nil {
 				acc.Release()
 			}
+			if err != nil {
+				return nil, fmt.Errorf("tbon: filter at node %d: %w", node.ID, err)
+			}
+			acc = folded
+		}
+		if acc == nil {
+			// Every child subtree was lost; this node dies silently too.
+			return nil, nil
+		}
+		if len(missing) > 0 {
+			// Seal: one final call whose ctx carries the node's complete
+			// missing set, so a loss after the last fold (a dead trailing
+			// child) still surfaces in the output.
+			spanBuf[0] = Span{0, len(node.Children)}
+			ctx.Node, ctx.Spans, ctx.Missing = node, spanBuf[:1], missing
+			folded, err := filter(ctx, []*Lease{acc})
+			acc.Release()
 			if err != nil {
 				return nil, fmt.Errorf("tbon: filter at node %d: %w", node.ID, err)
 			}
@@ -79,7 +141,12 @@ func (n *Network) reduceSeq(leaf LeafFunc, filter Filter) ([]byte, *Stats, error
 	if err != nil {
 		return nil, stats, err
 	}
+	if out == nil {
+		return nil, stats, fmt.Errorf("tbon: no surviving subtree reached the front end")
+	}
 	// The root lease is retired without recycling: the caller owns the
 	// result bytes outright.
-	return out.Bytes(), stats, nil
+	b := out.Bytes()
+	out.retire()
+	return b, stats, nil
 }

@@ -80,11 +80,55 @@
 // returns the buffer to the leaf's pool once the consuming filter (and
 // anything that retained the payload) is done with it, extending the
 // zero-allocation payload cycle all the way down to payload production.
+//
+// # Failure semantics
+//
+// By default a reduction is all-or-nothing: the first error anywhere in
+// the overlay — a leaf callback failing, a transport breaking, a filter
+// rejecting its inputs — fails the whole run, and the engine sweeps every
+// stranded lease on the way out so pooled buffers survive the failure
+// (LiveLeases must return to its pre-reduction baseline, which the
+// fault-injection tests assert).
+//
+// ReduceOptions.Partial switches the contract from all-or-nothing to
+// degrade-gracefully, the regime the paper's scale demands:
+//
+//   - Faults are tolerated; bugs are not. A subtree that crashes, times
+//     out (ReduceOptions.SubtreeTimeout), or partitions is dropped — its
+//     child position is reported in FilterCtx.Missing and the surviving
+//     children still merge. A filter error remains fatal in every mode:
+//     it indicts the data, not the fabric.
+//
+//   - Filters see what is missing. Partial reductions require a
+//     position-aware NodeFilter (ReduceNodeWith/ReduceNodeLeasedWith):
+//     each call carries a FilterCtx naming the topology node, the child
+//     span each input covers, and the missing positions, which is what
+//     lets core's result filter attach an explicit liveness set to a
+//     partial packet. A node all of whose children are lost emits nothing
+//     and is itself reported missing one level up; if nothing reaches the
+//     front end the reduction fails ("no surviving subtree").
+//
+//   - Orphans are re-parented when possible. Under EngineConcurrent a
+//     crashed interior node leaves its children's payloads buffered in
+//     their uplink edges; the node's parent orders the first surviving
+//     interior sibling to adopt them (or gathers them itself when no
+//     sibling qualifies), so a single comm-process crash typically loses
+//     nothing at all. Only an unrecoverable subtree is declared missing.
+//
+//   - Lease lifetime on error paths is unchanged: every engine sweeps
+//     stranded payloads on both failed and partial runs — timed-out
+//     receives, tombstoned subtrees, parked adoption edges — before
+//     returning.
+//
+// FaultPlan scripts crashes, slow links, and partitioned links per node
+// for tests and the emulation harness; see its documentation for how each
+// engine realizes the faults.
 package tbon
 
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"stat/internal/topology"
 )
@@ -130,6 +174,24 @@ type ReduceOptions struct {
 	// deadlock, however small the budget. Stats.PeakInFlightBytes
 	// reports the realized peak. Ignored by the other engines.
 	BudgetBytes int64
+	// SubtreeTimeout bounds how long a node waits on any one child
+	// subtree's payload (threaded through the transports' recv deadlines
+	// under EngineConcurrent, and wrapped around leaf production in the
+	// in-process engines). Zero waits forever. A timeout surfaces as a
+	// failed run unless Partial is set, in which case the subtree is
+	// dropped and the reduction degrades.
+	SubtreeTimeout time.Duration
+	// Partial makes the reduction degrade instead of failing whole-run: a
+	// child subtree that times out, crashes, or partitions is marked
+	// missing (FilterCtx.Missing) and the surviving children still merge.
+	// Filter logic errors remain fatal — only faults are tolerated. Under
+	// EngineConcurrent a dead interior node's orphaned children are
+	// re-parented onto a surviving sibling filter node (or onto the
+	// parent itself when no sibling qualifies) before being declared lost.
+	Partial bool
+	// Faults scripts injected failures for this reduction — the
+	// fault-injection harness. nil injects nothing.
+	Faults *FaultPlan
 }
 
 // LeafFunc supplies one leaf daemon's payload as a lease whose single
@@ -161,13 +223,26 @@ func (n *Network) ReduceWith(opts ReduceOptions, leafData func(leaf int) ([]byte
 // ReduceLeasedWith is ReduceWith for leaves that produce leased payloads;
 // see LeafFunc.
 func (n *Network) ReduceLeasedWith(opts ReduceOptions, leaf LeafFunc, filter Filter) ([]byte, *Stats, error) {
+	return n.ReduceNodeLeasedWith(opts, leaf, asNodeFilter(filter))
+}
+
+// ReduceNodeWith runs one upstream reduction through a position-aware
+// NodeFilter — required for partial-result reductions, where the filter
+// must know which children each input covers (FilterCtx).
+func (n *Network) ReduceNodeWith(opts ReduceOptions, leafData func(leaf int) ([]byte, error), filter NodeFilter) ([]byte, *Stats, error) {
+	return n.ReduceNodeLeasedWith(opts, wrapLeafBytes(leafData), filter)
+}
+
+// ReduceNodeLeasedWith is ReduceNodeWith for leaves that produce leased
+// payloads; see LeafFunc.
+func (n *Network) ReduceNodeLeasedWith(opts ReduceOptions, leaf LeafFunc, filter NodeFilter) ([]byte, *Stats, error) {
 	switch opts.Engine {
 	case EngineSeq:
-		return n.reduceSeq(leaf, filter)
+		return n.reduceSeq(leaf, filter, opts)
 	case EngineConcurrent:
-		return n.reduceConcurrent(leaf, filter)
+		return n.reduceConcurrent(leaf, filter, opts)
 	case EnginePipelined:
-		return n.reducePipelined(leaf, filter, opts.Workers, opts.BudgetBytes)
+		return n.reducePipelined(leaf, filter, opts)
 	}
 	return nil, nil, fmt.Errorf("tbon: unknown reduction engine %d", int(opts.Engine))
 }
@@ -249,12 +324,13 @@ type result struct {
 // node (including the root). The returned Stats describe exactly what
 // moved where.
 func (n *Network) Reduce(leafData func(leaf int) ([]byte, error), filter Filter) ([]byte, *Stats, error) {
-	return n.reduceConcurrent(wrapLeafBytes(leafData), filter)
+	return n.reduceConcurrent(wrapLeafBytes(leafData), asNodeFilter(filter), ReduceOptions{})
 }
 
-func (n *Network) reduceConcurrent(leaf LeafFunc, filter Filter) ([]byte, *Stats, error) {
+func (n *Network) reduceConcurrent(leaf LeafFunc, filter NodeFilter, opts ReduceOptions) ([]byte, *Stats, error) {
 	stats := newStats(len(n.topo.Levels))
 	var mu sync.Mutex // guards stats
+	plan, partial, timeout := opts.Faults, opts.Partial, opts.SubtreeTimeout
 
 	record := func(node *topology.Node, in int64, out int64, packetsIn int64) {
 		mu.Lock()
@@ -271,7 +347,8 @@ func (n *Network) reduceConcurrent(leaf LeafFunc, filter Filter) ([]byte, *Stats
 	}
 
 	// Build one connection per edge. Parent end index i corresponds to
-	// child i, preserving deterministic input order for the filter.
+	// child i, preserving deterministic input order for the filter. A
+	// link fault in the plan wraps both ends of the child's uplink edge.
 	type edge struct{ parentEnd, childEnd Conn }
 	conns := make(map[int]edge) // keyed by child node ID
 	var closers []Conn
@@ -288,6 +365,10 @@ func (n *Network) reduceConcurrent(leaf LeafFunc, filter Filter) ([]byte, *Stats
 				return err
 			}
 			closers = append(closers, pe, ce)
+			if d, cutLink := plan.slow(c.ID), plan.cut(c.ID); d > 0 || cutLink {
+				pe = &faultConn{Conn: pe, delay: d, cut: cutLink}
+				ce = &faultConn{Conn: ce, delay: d, cut: cutLink}
+			}
 			conns[c.ID] = edge{parentEnd: pe, childEnd: ce}
 			if err := connect(c); err != nil {
 				return err
@@ -299,59 +380,344 @@ func (n *Network) reduceConcurrent(leaf LeafFunc, filter Filter) ([]byte, *Stats
 		return nil, stats, err
 	}
 
+	// A child subtree gathers its own children sequentially, each under
+	// its own deadline, so the worst-case time for its payload to surface
+	// is the sum of every edge's wait below it plus its own. The deadline
+	// a parent applies to a child therefore scales with the child's
+	// subtree size; with a flat deadline, a parent would give up exactly
+	// when its child gives up on one slow grandchild, cascading a single
+	// slow link into the loss of every subtree on the path to the root.
+	subtreeWait := map[int]time.Duration{}
+	if timeout > 0 {
+		var size func(*topology.Node) int64
+		size = func(nd *topology.Node) int64 {
+			s := int64(1)
+			for _, c := range nd.Children {
+				s += size(c)
+			}
+			subtreeWait[nd.ID] = timeout * time.Duration(s)
+			return s
+		}
+		size(n.topo.Root)
+	}
+	waitFor := func(nd *topology.Node) time.Duration { return subtreeWait[nd.ID] }
+
+	// recvTimed applies the per-subtree deadline to one receive.
+	recvTimed := func(c Conn, wait time.Duration) (*Lease, error) {
+		if wait > 0 {
+			c.SetRecvDeadline(time.Now().Add(wait))
+		}
+		return c.Recv()
+	}
+
+	// drainEdges recovers payloads stranded in transport buffers (a sender
+	// completed, the receiver never consumed — a timed-out gather, a parked
+	// adoption listener's unserved edge). Must run only after every node
+	// goroutine has exited: the closed conns then hand back buffered
+	// messages without blocking, and every recovered lease's free hook runs
+	// so pooled buffers are not silently lost.
+	drainEdges := func() {
+		for _, e := range conns {
+			for {
+				l, err := e.parentEnd.Recv()
+				if err != nil {
+					break
+				}
+				l.Release()
+			}
+			for {
+				l, err := e.childEnd.Recv()
+				if err != nil {
+					break
+				}
+				l.Release()
+			}
+		}
+	}
+
+	// gatherOrphans collects a dead node's children and merges them with
+	// the filter on the dead node's behalf — the re-parenting primitive,
+	// run either by an adopting sibling or by the dead node's parent.
+	// Orphans that are themselves dead are reported missing; the second
+	// return is false when nothing at all was recovered or the filter
+	// failed. The caller owns the returned payload.
+	gatherOrphans := func(dead *topology.Node) (*Lease, int64, bool) {
+		inputs := make([]*Lease, 0, len(dead.Children))
+		spans := make([]Span, 0, len(dead.Children))
+		var missing []int
+		var in int64
+		for i, o := range dead.Children {
+			l, err := recvTimed(conns[o.ID].parentEnd, waitFor(o))
+			if err != nil {
+				missing = append(missing, i)
+				continue
+			}
+			in += int64(l.Len())
+			inputs = append(inputs, l)
+			spans = append(spans, Span{i, i + 1})
+		}
+		if len(inputs) == 0 {
+			return nil, 0, false
+		}
+		ctx := &FilterCtx{Node: dead, Spans: spans, Missing: missing}
+		out, err := filter(ctx, inputs)
+		for _, l := range inputs {
+			l.Release()
+		}
+		if err != nil {
+			return nil, in, false
+		}
+		return out, in, true
+	}
+
+	// nodesByID resolves adoption orders; only partial mode pays for it.
+	var nodesByID map[int]*topology.Node
+	if partial {
+		nodesByID = make(map[int]*topology.Node)
+		for _, lvl := range n.topo.Levels {
+			for _, node := range lvl {
+				nodesByID[node.ID] = node
+			}
+		}
+	}
+
+	// listenAdopt is an interior node's post-send phase in partial mode:
+	// it serves adoption orders arriving on its own uplink's downstream
+	// direction until the front end tears the overlay down. The reply is
+	// a status message, then the adoption payload when the gather
+	// recovered anything.
+	listenAdopt := func(node *topology.Node) {
+		ce := conns[node.ID].childEnd
+		ce.SetRecvDeadline(time.Time{})
+		for {
+			msg, err := ce.Recv()
+			if err != nil {
+				return
+			}
+			deadID, ok := decodeAdoptOrder(msg.Bytes())
+			msg.Release()
+			if !ok {
+				continue
+			}
+			var payload *Lease
+			if dead := nodesByID[deadID]; dead != nil {
+				payload, _, _ = gatherOrphans(dead)
+			}
+			if payload == nil {
+				if ce.Send(encodeAdoptReply(false)) != nil {
+					return
+				}
+				continue
+			}
+			record(node, int64(payload.Len()), 0, int64(len(nodesByID[deadID].Children)))
+			if ce.Send(encodeAdoptReply(true)) != nil {
+				payload.Release()
+				return
+			}
+			if ce.Send(payload) != nil {
+				return
+			}
+		}
+	}
+
+	// adoptChild recovers a dead interior child's subtree: the first
+	// surviving interior sibling is ordered to adopt the orphans; with no
+	// such sibling the parent gathers them itself. One delegate only — a
+	// failed delegation must not cascade into concurrent consumers of the
+	// orphan connections.
+	adoptChild := func(parent *topology.Node, pos int, payloads []*Lease) (*Lease, int64) {
+		dead := parent.Children[pos]
+		var sib *topology.Node
+		for j, s := range parent.Children {
+			if j != pos && payloads[j] != nil && !s.IsLeaf() {
+				sib = s
+				break
+			}
+		}
+		// The delegate needs time to collect every orphan subtree —
+		// each under its own scaled deadline — before its reply can
+		// arrive, so it gets the dead node's whole subtree allowance.
+		wait := waitFor(dead)
+		if sib == nil {
+			out, in, ok := gatherOrphans(dead)
+			if !ok {
+				return nil, 0
+			}
+			return out, in
+		}
+		pe := conns[sib.ID].parentEnd
+		if pe.Send(encodeAdoptOrder(dead.ID)) != nil {
+			return nil, 0
+		}
+		st, err := recvTimed(pe, wait)
+		if err != nil {
+			return nil, 0
+		}
+		ok, valid := decodeAdoptReply(st.Bytes())
+		st.Release()
+		if !valid || !ok {
+			return nil, 0
+		}
+		pl, err := recvTimed(pe, wait)
+		if err != nil {
+			return nil, 0
+		}
+		return pl, int64(pl.Len())
+	}
+
+	// gatherNode runs one interior node's receive/merge step. A non-nil
+	// error is fatal (filter logic errors stay loud even in partial
+	// mode); a nil, nil return is a silent death — every subtree below
+	// was lost, and the parent's own deadline will account for it.
+	gatherNode := func(node *topology.Node) (*Lease, error) {
+		payloads := make([]*Lease, len(node.Children))
+		releaseAll := func() {
+			for i, p := range payloads {
+				if p != nil {
+					p.Release()
+					payloads[i] = nil
+				}
+			}
+		}
+		var in, packets int64
+		deadCount := 0
+		for i, c := range node.Children {
+			l, err := recvTimed(conns[c.ID].parentEnd, waitFor(c))
+			if err != nil {
+				if !partial {
+					releaseAll()
+					return nil, fmt.Errorf("tbon: node %d recv from child %d: %w", node.ID, c.ID, err)
+				}
+				deadCount++
+				continue
+			}
+			payloads[i] = l
+			in += int64(l.Len())
+			packets++
+		}
+		if !partial {
+			packets = int64(len(node.Children))
+		}
+		var spans []Span
+		var missing []int
+		inputs := payloads
+		if deadCount > 0 {
+			// Re-parent dead interior children's orphans, then assemble
+			// the surviving inputs in child-position order so
+			// concatenation semantics (and the front end's rank
+			// permutation) are preserved.
+			for i, c := range node.Children {
+				if payloads[i] != nil || c.IsLeaf() {
+					continue
+				}
+				if adoptedPayload, adoptedBytes := adoptChild(node, i, payloads); adoptedPayload != nil {
+					payloads[i] = adoptedPayload
+					in += adoptedBytes
+					packets++
+					deadCount--
+				}
+			}
+			inputs = make([]*Lease, 0, len(payloads))
+			spans = make([]Span, 0, len(payloads))
+			for i, p := range payloads {
+				if p == nil {
+					missing = append(missing, i)
+					continue
+				}
+				inputs = append(inputs, p)
+				spans = append(spans, Span{i, i + 1})
+			}
+			if len(inputs) == 0 {
+				return nil, nil
+			}
+		}
+		ctx := &FilterCtx{Node: node, Spans: spans, Missing: missing}
+		out, err := filter(ctx, inputs)
+		var outLen int64
+		if err == nil {
+			outLen = int64(out.Len())
+		}
+		record(node, in, outLen, packets)
+		releaseAll()
+		if err != nil {
+			return nil, fmt.Errorf("tbon: filter at node %d: %w", node.ID, err)
+		}
+		return out, nil
+	}
+
 	// Each node runs as a goroutine: leaves produce, interior nodes gather
 	// in child order, filter, and forward. Child leases are released once
 	// the filter returns (a filter that needs the bytes longer retains
 	// them); the output lease transfers to the transport on Send.
 	var wg sync.WaitGroup
 	rootCh := make(chan result, 1)
-	var run func(node *topology.Node)
-	run = func(node *topology.Node) {
+	run := func(node *topology.Node) {
 		defer wg.Done()
+		if plan.crashed(node.ID) {
+			// A crashed node abandons its post without consuming its
+			// children's payloads — they stay buffered in the orphan
+			// edges for an adopter to recover. Closing the uplink is the
+			// crash's only observable effect.
+			if node.Parent == nil {
+				rootCh <- result{err: fmt.Errorf("tbon: front end crashed by fault plan")}
+				return
+			}
+			conns[node.ID].childEnd.Close()
+			return
+		}
 		var out *Lease
 		var err error
 		if node.IsLeaf() {
 			out, err = leaf(node.LeafIndex)
+			if err != nil {
+				err = fmt.Errorf("tbon: leaf %d: %w", node.LeafIndex, err)
+			}
 		} else {
-			inputs := make([]*Lease, len(node.Children))
-			var in int64
-			for i, c := range node.Children {
-				inputs[i], err = conns[c.ID].parentEnd.Recv()
-				if err != nil {
-					err = fmt.Errorf("tbon: node %d recv from child %d: %w", node.ID, c.ID, err)
-					break
-				}
-				in += int64(inputs[i].Len())
-			}
-			if err == nil {
-				out, err = filter(inputs)
-				var outLen int64
-				if err == nil {
-					outLen = int64(out.Len())
-				}
-				record(node, in, outLen, int64(len(node.Children)))
-			}
-			for _, l := range inputs {
-				if l != nil {
-					l.Release()
-				}
-			}
+			out, err = gatherNode(node)
 		}
 		if node.Parent == nil {
+			if out == nil && err == nil {
+				err = fmt.Errorf("tbon: no surviving subtree reached the front end")
+			}
 			rootCh <- result{data: out, err: err}
 			return
 		}
 		if err != nil {
-			// Propagate failure upward as a transport error by closing.
 			conns[node.ID].childEnd.Close()
+			if partial {
+				if node.IsLeaf() {
+					// A failing daemon is a fault, not a bug: die silently
+					// and let the parent's deadline account for the loss.
+					return
+				}
+				// Fatal (filter) error. The root may already have reported
+				// a partial result, so the post must not block — a late
+				// fatal after the run is decided is dropped at teardown.
+				select {
+				case rootCh <- result{err: err}:
+				default:
+				}
+				return
+			}
 			rootCh <- result{err: err}
+			return
+		}
+		if out == nil {
+			// Partial mode: everything below was lost; die silently.
+			conns[node.ID].childEnd.Close()
 			return
 		}
 		if node.IsLeaf() {
 			record(node, 0, int64(out.Len()), 0)
 		}
 		if serr := conns[node.ID].childEnd.Send(out); serr != nil {
-			rootCh <- result{err: fmt.Errorf("tbon: node %d send: %w", node.ID, serr)}
+			if !partial {
+				rootCh <- result{err: fmt.Errorf("tbon: node %d send: %w", node.ID, serr)}
+			}
+			return
+		}
+		if partial && !node.IsLeaf() {
+			listenAdopt(node)
 		}
 	}
 	var spawn func(node *topology.Node)
@@ -365,7 +731,8 @@ func (n *Network) reduceConcurrent(leaf LeafFunc, filter Filter) ([]byte, *Stats
 	spawn(n.topo.Root)
 
 	// First result on rootCh decides: either the root's reduction value or
-	// the first error raised anywhere in the tree.
+	// the first error raised anywhere in the tree. (In partial mode only
+	// the root reports — fault-tolerant subtrees never post errors.)
 	res := <-rootCh
 	if res.err != nil {
 		// Unblock any goroutines still waiting on closed peers, then
@@ -383,21 +750,37 @@ func (n *Network) reduceConcurrent(leaf LeafFunc, filter Filter) ([]byte, *Stats
 		if res.data != nil {
 			res.data.Release()
 		}
-		// Recover payloads stranded in transport buffers (a sender
-		// completed before the failure, the receiver never consumed):
-		// after close, the channel transport's Recv drains a raced
-		// message without blocking, and the TCP transport's fails fast.
-		for _, e := range conns {
-			if l, rerr := e.parentEnd.Recv(); rerr == nil && l != nil {
-				l.Release()
-			}
-		}
+		drainEdges()
 		return nil, stats, res.err
 	}
-	wg.Wait()
+	if partial {
+		// Success-path sweep: adoption listeners are still parked on
+		// their uplinks, and dropped subtrees may have left payloads
+		// buffered in edges nobody consumed (a child that sent just as
+		// its parent's deadline expired). Tear the overlay down, wait
+		// the goroutines out, and drain every edge in both directions so
+		// no lease outlives the reduction.
+		for _, c := range closers {
+			c.Close()
+		}
+		wg.Wait()
+		drainEdges()
+		// A fatal error posted after the root's result was consumed.
+		select {
+		case late := <-rootCh:
+			if late.data != nil {
+				late.data.Release()
+			}
+		default:
+		}
+	} else {
+		wg.Wait()
+	}
 	// Ownership of the result bytes passes to the caller: the root lease
 	// is retired without recycling, so the slice stays valid indefinitely.
-	return res.data.Bytes(), stats, nil
+	b := res.data.Bytes()
+	res.data.retire()
+	return b, stats, nil
 }
 
 // Broadcast sends data from the front end to every daemon and returns the

@@ -6,7 +6,9 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"os"
 	"sync"
+	"time"
 )
 
 // Conn is one end of a point-to-point message connection between a parent
@@ -24,6 +26,12 @@ type Conn interface {
 	// Recv blocks for the next message from the peer. The caller owns the
 	// returned lease and must release it when the payload is dead.
 	Recv() (*Lease, error)
+	// SetRecvDeadline bounds subsequent Recv calls: a Recv that has not
+	// produced a message by t fails with an error satisfying
+	// errors.Is(err, os.ErrDeadlineExceeded). The zero time clears the
+	// deadline. On the TCP transport this is the socket's SetReadDeadline,
+	// so a timed-out conn may be mid-frame and must not be recv'd again.
+	SetRecvDeadline(t time.Time) error
 	// Close releases the connection; pending and future operations on
 	// either end fail. Close is idempotent.
 	Close() error
@@ -54,6 +62,11 @@ type chanPipe struct {
 type chanEnd struct {
 	send *chanPipe
 	recv *chanPipe
+
+	// dmu guards deadline; Recv reads it once at entry, so changing the
+	// deadline does not interrupt a Recv already blocked.
+	dmu      sync.Mutex
+	deadline time.Time
 }
 
 // Pair implements Transport.
@@ -90,18 +103,58 @@ func (e *chanEnd) Send(l *Lease) error {
 }
 
 func (e *chanEnd) Recv() (*Lease, error) {
+	e.dmu.Lock()
+	deadline := e.deadline
+	e.dmu.Unlock()
+	if deadline.IsZero() {
+		select {
+		case m := <-e.recv.msgs:
+			return m, nil
+		case <-e.recv.done:
+			return e.drainClosed()
+		}
+	}
+	// Timed path: the timer is allocated per call, but only connections
+	// under an active deadline — the fault-tolerant gather — ever take it.
+	remaining := time.Until(deadline)
+	if remaining <= 0 {
+		select {
+		case m := <-e.recv.msgs:
+			return m, nil
+		case <-e.recv.done:
+			return e.drainClosed()
+		default:
+			return nil, os.ErrDeadlineExceeded
+		}
+	}
+	timer := time.NewTimer(remaining)
+	defer timer.Stop()
 	select {
 	case m := <-e.recv.msgs:
 		return m, nil
 	case <-e.recv.done:
-		// Drain any message raced with close so shutdown is not lossy.
-		select {
-		case m := <-e.recv.msgs:
-			return m, nil
-		default:
-		}
-		return nil, ErrClosed
+		return e.drainClosed()
+	case <-timer.C:
+		return nil, os.ErrDeadlineExceeded
 	}
+}
+
+// drainClosed recovers a message that raced with close so shutdown is not
+// lossy, then reports the closure.
+func (e *chanEnd) drainClosed() (*Lease, error) {
+	select {
+	case m := <-e.recv.msgs:
+		return m, nil
+	default:
+	}
+	return nil, ErrClosed
+}
+
+func (e *chanEnd) SetRecvDeadline(t time.Time) error {
+	e.dmu.Lock()
+	e.deadline = t
+	e.dmu.Unlock()
+	return nil
 }
 
 func (e *chanEnd) Close() error {
@@ -228,6 +281,15 @@ func (t *tcpConn) Recv() (*Lease, error) {
 		return nil, err
 	}
 	return NewLease(buf, t.t.free), nil
+}
+
+// SetRecvDeadline delegates to the socket's read deadline; the net package
+// already reports expiry with errors that satisfy
+// errors.Is(err, os.ErrDeadlineExceeded). A frame interrupted by the
+// deadline leaves the stream mid-frame, so the overlay abandons a
+// timed-out TCP conn rather than retrying the Recv.
+func (t *tcpConn) SetRecvDeadline(dl time.Time) error {
+	return t.c.SetReadDeadline(dl)
 }
 
 func (t *tcpConn) Close() error {

@@ -27,6 +27,20 @@ type Node struct {
 // IsLeaf reports whether the node is a tool daemon.
 func (n *Node) IsLeaf() bool { return len(n.Children) == 0 }
 
+// SubtreeLeaves appends the leaves of n's subtree to dst in left-to-right
+// order and returns the extended slice. A leaf appends itself. This is the
+// coverage primitive of the fault-tolerant gather: the ranks a subtree's
+// payload accounts for are exactly the taskMap entries of its leaves.
+func (n *Node) SubtreeLeaves(dst []*Node) []*Node {
+	if n.IsLeaf() {
+		return append(dst, n)
+	}
+	for _, c := range n.Children {
+		dst = c.SubtreeLeaves(dst)
+	}
+	return dst
+}
+
 // Tree is a rooted analysis-tree layout.
 type Tree struct {
 	Root *Node
