@@ -30,14 +30,17 @@ func main() {
 		fmt.Fprintln(os.Stderr, "stat-view:", err)
 		os.Exit(1)
 	}
-	// The decoder dispatches on the magic, so v1 captures from old builds
-	// and 8-aligned v2 saves open alike; sniff first only to report it.
+	// The decoder dispatches on the magic, so v1 captures from old builds,
+	// 8-aligned v2 saves, and compressed-label v3 saves open alike; sniff
+	// first only to report it. Decoding through a codec additionally
+	// collects the v3 container mix for the header line.
 	version, err := trace.SniffWireVersion(data)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "stat-view:", err)
 		os.Exit(1)
 	}
-	tree, err := trace.UnmarshalBinary(data)
+	codec := trace.NewCodec()
+	tree, err := codec.DecodeTree(data)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "stat-view:", err)
 		os.Exit(1)
@@ -52,6 +55,10 @@ func main() {
 	}
 	fmt.Printf("%s: wire format v%d, %d tasks, %d nodes, depth %d\n",
 		flag.Arg(0), version, tree.NumTasks, tree.NodeCount(), tree.Depth())
+	if ls := codec.LabelStats(); ls.Labels() > 0 {
+		fmt.Printf("label containers: %d run, %d array, %d dense (%d label bytes on the wire)\n",
+			ls.Run, ls.Array, ls.Dense, ls.Bytes())
+	}
 	// The root sentinel's label holds every task that contributed a trace,
 	// so it doubles as the capture's coverage record: a tree saved from a
 	// degraded (fault-tolerant) gather covers only the surviving ranks.

@@ -98,6 +98,19 @@ func fillFaultPlan(plan *tbon.FaultPlan, topo *topology.Tree,
 	return nil
 }
 
+// byteCount renders a byte total with a binary-unit suffix for the
+// container-mix report.
+func byteCount(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}
+
 func run() error {
 	var (
 		machineName = flag.String("machine", "atlas", "machine model: atlas or bgl")
@@ -118,7 +131,7 @@ func run() error {
 		engineName  = flag.String("engine", "seq", "TBON reduction engine: seq, concurrent, or pipelined")
 		workers     = flag.Int("reduce-workers", 0, "pipelined engine worker count (0 = GOMAXPROCS)")
 		budget      = flag.Int64("reduce-budget", 0, "pipelined engine in-flight payload byte budget (0 = unbounded)")
-		wireVersion = flag.Uint("wire", 0, "cap the negotiated wire format version (0 = build maximum; 1 = compact STR1, 2 = 8-aligned STR2)")
+		wireVersion = flag.Uint("wire", 0, "cap the negotiated wire format version (0 = build maximum; 1 = compact STR1, 2 = 8-aligned STR2, 3 = compressed-label STR3)")
 		samplerName = flag.String("sampler", "batched", "daemon sampling engine: batched (direct-to-tree trie) or legacy (per-sample loop)")
 		sampWorkers = flag.Int("sample-workers", 0, "batched sampler's concurrent daemon-walker bound (0 = GOMAXPROCS)")
 		faultTol    = flag.Bool("fault-tolerant", false, "degrade gracefully when overlay subtrees fail: report partial results with a surviving-rank set instead of failing the run")
@@ -268,6 +281,15 @@ func run() error {
 		fmt.Printf("  remap    %8.3fs\n", res.Times.Remap)
 	}
 	fmt.Printf("  total    %8.2fs\n", res.Times.Total())
+
+	if hits, misses := res.AliasDecodeHits, res.AliasDecodeMisses; hits+misses > 0 {
+		fmt.Printf("\nmerge codec: %d label decodes, %.1f%% zero-copy (%d aliased, %d copied)\n",
+			hits+misses, 100*float64(hits)/float64(hits+misses), hits, misses)
+	}
+	if ls := res.LabelStats; ls.Labels() > 0 {
+		fmt.Printf("v3 label containers: %d run (%s), %d array (%s), %d dense (%s)\n",
+			ls.Run, byteCount(ls.RunBytes), ls.Array, byteCount(ls.ArrayBytes), ls.Dense, byteCount(ls.DenseBytes))
+	}
 
 	if ss := res.SampleStats; ss.SampledStacks > 0 {
 		memoRate := float64(ss.StackMemoHits) / float64(ss.SampledStacks)

@@ -28,6 +28,8 @@ type Arena struct {
 	wi, woff   int
 	vecChunks  [][]Vector
 	vi, voff   int
+	setChunks  [][]Set
+	si, soff   int
 }
 
 // Reset recycles every slab. All Vectors allocated from the arena must be
@@ -35,6 +37,7 @@ type Arena struct {
 func (a *Arena) Reset() {
 	a.wi, a.woff = 0, 0
 	a.vi, a.voff = 0, 0
+	a.si, a.soff = 0, 0
 }
 
 // Grow ensures at least nw words of free capacity, allocating one slab of
@@ -106,6 +109,69 @@ func (a *Arena) grabVec() *Vector {
 	a.vi = len(a.vecChunks) - 1
 	a.voff = 1
 	return &c[0]
+}
+
+// grabSet carves one Set header, with the same geometric slab growth as
+// grabVec. The header is dirty; callers assign every field.
+func (a *Arena) grabSet() *Set {
+	for a.si < len(a.setChunks) {
+		c := a.setChunks[a.si]
+		if a.soff < len(c) {
+			s := &c[a.soff]
+			a.soff++
+			return s
+		}
+		a.si++
+		a.soff = 0
+	}
+	size := arenaVecChunkMin << len(a.setChunks)
+	if size > arenaVecChunkMax || size < arenaVecChunkMin {
+		size = arenaVecChunkMax
+	}
+	c := make([]Set, size)
+	a.setChunks = append(a.setChunks, c)
+	a.si = len(a.setChunks) - 1
+	a.soff = 1
+	return &c[0]
+}
+
+// GrabExtents carves storage for n extents (dirty — callers must assign
+// every entry) from the word slabs: an Extent is exactly one word, so
+// extent storage shares the arena's word budget via an in-memory
+// reinterpretation (endianness-irrelevant; fields are written as fields).
+func (a *Arena) GrabExtents(n int) []Extent {
+	if n == 0 {
+		return nil
+	}
+	return wordsExtents(a.grabWords(n))[:n:n]
+}
+
+// GrabU32s carves storage for n uint32s (dirty) from the word slabs, two
+// per word.
+func (a *Arena) GrabU32s(n int) []uint32 {
+	if n == 0 {
+		return nil
+	}
+	return wordsU32s(a.grabWords((n + 1) / 2))[:n:n]
+}
+
+// NewRunSet returns an arena-backed run-container Set adopting extents —
+// the compressed counterpart of New for merge outputs. The extents must
+// be canonical (sorted, non-empty, separated) and are retained; callers
+// carve them with GrabExtents so the whole label lives in arena storage.
+// Like every Set, the result is frozen: it dies with the arena's Reset
+// cycle exactly as arena vectors do.
+func (a *Arena) NewRunSet(width int, extents []Extent) *Set {
+	card := 0
+	for _, e := range extents {
+		card += int(e.Count)
+	}
+	if len(extents) == 0 {
+		extents = nil
+	}
+	s := a.grabSet()
+	*s = Set{width: width, card: card, runs: len(extents), extents: extents}
+	return s
 }
 
 // New returns an empty arena-backed vector of width n bits.

@@ -6,6 +6,13 @@
 // concatenation and are remapped into MPI rank order once, at the front end.
 // Both representations share this Vector type: what differs is the width a
 // given analysis node uses and whether merging is Union or Concat.
+//
+// On v3 (STR3) wire streams a label additionally travels as whichever of
+// three containers — dense words, run extents, or a member array — is
+// smallest for its population (see the label3 format comment in
+// label3.go), and decoders may surface it in memory as a frozen
+// compressed Set instead of a Vector (see the sharing contract in
+// set.go). The Label interface is the common currency.
 package bitvec
 
 import (

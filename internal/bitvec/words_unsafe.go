@@ -59,3 +59,59 @@ func bytesWords(b []byte) (w []uint64, ok bool) {
 	}
 	return unsafe.Slice((*uint64)(p), len(b)/8), true
 }
+
+// bytesExtents views b — a v3 run-container payload of (u32 start, u32
+// length) pairs — as []Extent for the aliasing decode, under the same
+// rules as bytesWords: little-endian host (so wire u32 pairs already are
+// the in-memory Extent layout), whole extents, aligned first byte. The
+// view must not outlive b's backing array.
+func bytesExtents(b []byte) (e []Extent, ok bool) {
+	if !hostLittleEndian || len(b)%8 != 0 {
+		return nil, false
+	}
+	if len(b) == 0 {
+		return nil, true
+	}
+	p := unsafe.Pointer(&b[0])
+	if uintptr(p)%unsafe.Alignof(Extent{}) != 0 {
+		return nil, false
+	}
+	return unsafe.Slice((*Extent)(p), len(b)/8), true
+}
+
+// bytesU32s views b — a v3 array-container payload — as []uint32 for the
+// aliasing decode; same contract as bytesExtents. The returned slice
+// includes the 4-byte pad word when the payload carries one.
+func bytesU32s(b []byte) (u []uint32, ok bool) {
+	if !hostLittleEndian || len(b)%4 != 0 {
+		return nil, false
+	}
+	if len(b) == 0 {
+		return nil, true
+	}
+	p := unsafe.Pointer(&b[0])
+	if uintptr(p)%unsafe.Alignof(uint32(0)) != 0 {
+		return nil, false
+	}
+	return unsafe.Slice((*uint32)(p), len(b)/4), true
+}
+
+// wordsExtents views word storage as extent storage — an Extent is
+// exactly 8 bytes — so the arena can carve extent slices from its word
+// slabs. In-memory only (fields are written as fields), so unlike the
+// bytes views this is endianness-independent.
+func wordsExtents(w []uint64) []Extent {
+	if len(w) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*Extent)(unsafe.Pointer(&w[0])), len(w))
+}
+
+// wordsU32s views word storage as uint32 storage, two per word; the
+// in-memory counterpart of bytesU32s for arena carving.
+func wordsU32s(w []uint64) []uint32 {
+	if len(w) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*uint32)(unsafe.Pointer(&w[0])), 2*len(w))
+}

@@ -167,6 +167,11 @@ func (d *daemon) sampleTrees(req proto.GatherRequest) (sampleBatch, error) {
 			Detail:      req.Detail,
 			Want2D:      req.Which&proto.Tree2D != 0,
 			Want3D:      req.Which&proto.Tree3D != 0,
+			// On a v3 stream the encode would pick compressed containers
+			// anyway; emitting them from the trie means the leaf serialize
+			// reads extents the walk already computed. Older streams carry
+			// dense labels, so compression would be pure overhead there.
+			Compress: d.wireVersion >= trace.WireV3,
 		})
 		return sampleBatch{t2: batch.Tree2D, t3: batch.Tree3D, batch: batch}, nil
 	}

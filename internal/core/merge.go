@@ -48,16 +48,21 @@ var recycleOutBuf = outBufs.Put
 //	v1: u8 count, then per tree: u32 len, tree (v1 encoding)
 //	v2: u8 count + 7 zero bytes, then per tree: u32 len + 4 zero bytes,
 //	    tree (v2 encoding — itself a multiple of 8 bytes)
+//	v3: the v2 framing carrying v3 trees (compressed labels; also
+//	    multiples of 8 bytes)
 //
-// The v2 framing keeps every tree start at a multiple of 8 from the body
-// start; with the body placed behind a v2 packet header (16 bytes) in an
-// 8-aligned buffer, every tree — and so every label word — lands
-// word-aligned in memory, which is what the zero-copy decode's 100%
-// alias rate rests on.
+// The v2/v3 framing keeps every tree start at a multiple of 8 from the
+// body start; with the body placed behind a v2 packet header (16 bytes)
+// in an 8-aligned buffer, every tree — and so every label payload —
+// lands word-aligned in memory, which is what the zero-copy decode's
+// 100% alias rate rests on.
 
-// bodyWireVersion sniffs which framing a tree-list body uses. Both
+// bodyWireVersion sniffs which framing a tree-list body uses. The
 // layouts are self-evident: the tree magic sits at a fixed offset per
 // version, and an empty body is distinguished by the v2 count padding.
+// An empty v3 body is byte-identical to an empty v2 body and reports 2 —
+// harmless, since with no trees the two framings are the same bytes and
+// gather payloads always carry at least one tree.
 func bodyWireVersion(b []byte) (uint8, error) {
 	if len(b) == 0 {
 		return 0, errors.New("core: empty tree payload")
@@ -77,8 +82,8 @@ func bodyWireVersion(b []byte) (uint8, error) {
 		}
 	}
 	if len(b) >= 16+4 {
-		if v, err := trace.SniffWireVersion(b[16:]); err == nil && v == trace.WireV2 {
-			return 2, nil
+		if v, err := trace.SniffWireVersion(b[16:]); err == nil && v >= trace.WireV2 {
+			return v, nil
 		}
 	}
 	return 0, errors.New("core: unrecognized tree payload framing")
@@ -88,7 +93,7 @@ func bodyWireVersion(b []byte) (uint8, error) {
 // given version without encoding.
 func encodedTreesSize(version uint8, trees []*trace.Tree) int {
 	countLen, frameLen := 1, 4
-	if version == trace.WireV2 {
+	if version >= trace.WireV2 {
 		countLen, frameLen = 8, 8
 	}
 	size := countLen
@@ -113,8 +118,8 @@ func encodeTreesInto(dst []byte, version uint8, trees ...*trace.Tree) ([]byte, e
 	if len(trees) > 255 {
 		return nil, fmt.Errorf("core: %d trees exceed payload count limit", len(trees))
 	}
-	if version != trace.WireV1 && version != trace.WireV2 {
-		return nil, fmt.Errorf("core: unknown wire version %d", version)
+	if version < trace.WireV1 || version > trace.MaxWireVersion {
+		return nil, fmt.Errorf("core: unknown wire version %d (this build speaks v%d..v%d)", version, trace.WireV1, trace.MaxWireVersion)
 	}
 	size := encodedTreesSize(version, trees)
 	base := len(dst)
@@ -124,13 +129,13 @@ func encodeTreesInto(dst []byte, version uint8, trees ...*trace.Tree) ([]byte, e
 		dst = grown
 	}
 	out := append(dst, byte(len(trees)))
-	if version == trace.WireV2 {
+	if version >= trace.WireV2 {
 		out = append(out, 0, 0, 0, 0, 0, 0, 0)
 	}
 	for _, t := range trees {
 		lenPos := len(out)
 		out = append(out, 0, 0, 0, 0)
-		if version == trace.WireV2 {
+		if version >= trace.WireV2 {
 			out = append(out, 0, 0, 0, 0)
 		}
 		treePos := len(out)
@@ -178,7 +183,7 @@ func appendDecodedTrees(c *trace.Codec, dst []*trace.Tree, b []byte, pin trace.P
 	}
 	count := int(b[0])
 	frameLen := 4
-	if version == trace.WireV2 {
+	if version >= trace.WireV2 {
 		for _, p := range b[1:8] {
 			if p != 0 {
 				return dst, errors.New("core: nonzero tree payload padding")
@@ -194,7 +199,7 @@ func appendDecodedTrees(c *trace.Codec, dst []*trace.Tree, b []byte, pin trace.P
 			return releaseDecoded(dst, base, errors.New("core: truncated tree frame"))
 		}
 		n := int(binary.LittleEndian.Uint32(b))
-		if version == trace.WireV2 {
+		if version >= trace.WireV2 {
 			for _, p := range b[4:8] {
 				if p != 0 {
 					return releaseDecoded(dst, base, errors.New("core: nonzero tree frame padding"))
@@ -323,6 +328,7 @@ func (t *Tool) treeMerger() func(children []*tbon.Lease, prefixLen int, version 
 		s := scratchPool.Get().(*mergeScratch)
 		s.flat, s.lists, s.out = s.flat[:0], s.lists[:0], s.out[:0]
 		hits0, misses0 := s.codec.AliasStats()
+		labels0 := s.codec.LabelStats()
 		defer func() {
 			// All decoded inputs die here. In Original mode the merged
 			// trees alias lists[*][ti] entries (the union folds in
@@ -343,6 +349,11 @@ func (t *Tool) treeMerger() func(children []*tbon.Lease, prefixLen int, version 
 			hits, misses := s.codec.AliasStats()
 			t.aliasHits.Add(hits - hits0)
 			t.aliasMisses.Add(misses - misses0)
+			if delta := s.codec.LabelStats().Sub(labels0); delta.Labels() != 0 {
+				t.labelStatsMu.Lock()
+				t.labelStats.Add(delta)
+				t.labelStatsMu.Unlock()
+			}
 			if s.codec.Live() == 0 {
 				scratchPool.Put(s)
 			}
@@ -416,6 +427,9 @@ func (t *Tool) runMergePhase(res *Result) error {
 
 	t.aliasHits.Store(0)
 	t.aliasMisses.Store(0)
+	t.labelStatsMu.Lock()
+	t.labelStats = trace.LabelStats{}
+	t.labelStatsMu.Unlock()
 	s := t.newSession()
 	if err := s.attach(); err != nil {
 		return err
@@ -439,6 +453,9 @@ func (t *Tool) runMergePhase(res *Result) error {
 	}
 	res.AliasDecodeHits = t.aliasHits.Load()
 	res.AliasDecodeMisses = t.aliasMisses.Load()
+	t.labelStatsMu.Lock()
+	res.LabelStats = t.labelStats
+	t.labelStatsMu.Unlock()
 	if t.sampler != nil {
 		res.SampleStats = t.sampler.Stats()
 	}

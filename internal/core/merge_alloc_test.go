@@ -72,7 +72,7 @@ func TestFilterCycleZeroAllocs(t *testing.T) {
 	if raceEnabled {
 		t.Skip("allocation counts are unstable under the race detector")
 	}
-	for _, version := range []uint8{trace.WireV1, trace.WireV2} {
+	for _, version := range []uint8{trace.WireV1, trace.WireV2, trace.WireV3} {
 		t.Run(fmt.Sprintf("v%d", version), func(t *testing.T) {
 			filter := newAllocTool(t, Hierarchical).mergeFilter()
 			children := buildFilterChildren(t, true, version)
@@ -123,12 +123,14 @@ func TestFilterCycleAliasRate(t *testing.T) {
 		}
 		return tool.aliasHits.Load(), tool.aliasMisses.Load()
 	}
-	hits, misses := run(trace.WireV2)
-	if misses != 0 {
-		t.Errorf("STR2 stream recorded %d alias misses, want 0 (hits %d)", misses, hits)
-	}
-	if hits == 0 {
-		t.Error("STR2 stream recorded no alias hits")
+	for _, version := range []uint8{trace.WireV2, trace.WireV3} {
+		hits, misses := run(version)
+		if misses != 0 {
+			t.Errorf("v%d stream recorded %d alias misses, want 0 (hits %d)", version, misses, hits)
+		}
+		if hits == 0 {
+			t.Errorf("v%d stream recorded no alias hits", version)
+		}
 	}
 	if _, v1Misses := run(trace.WireV1); v1Misses == 0 {
 		t.Error("v1 stream recorded no alias misses; the miss counter is not observing the fallback")
@@ -175,18 +177,20 @@ func TestResultFilterCycleZeroAllocs(t *testing.T) {
 
 // BenchmarkFilterCycle is the per-interior-node cost of a reduction: one
 // decode→merge→encode cycle through the production filter on a warm
-// codec. The hierarchical/original cases run the negotiated default (v2,
-// STR2 trees); the hierarchical-v1 case keeps the compact format
-// measurable for the wire-size-vs-alias tradeoff. Gated in CI by
-// cmd/benchgate against the committed baseline.
+// codec. The hierarchical/original cases run their negotiated defaults
+// (v3 compressed and v2 dense STR trees respectively); the explicit v2
+// and v1 hierarchical cases keep the older formats measurable for the
+// wire-size-vs-alias tradeoff. Gated in CI by cmd/benchgate against the
+// committed baseline.
 func BenchmarkFilterCycle(b *testing.B) {
 	for _, tc := range []struct {
 		name    string
 		mode    BitVecMode
 		version uint8
 	}{
-		{"hierarchical", Hierarchical, trace.WireV2},
+		{"hierarchical", Hierarchical, trace.WireV3},
 		{"original", Original, trace.WireV2},
+		{"hierarchical-v2", Hierarchical, trace.WireV2},
 		{"hierarchical-v1", Hierarchical, trace.WireV1},
 	} {
 		b.Run(tc.name, func(b *testing.B) {

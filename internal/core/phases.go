@@ -82,8 +82,8 @@ func (t *Tool) runSamplePhase() (float64, error) {
 	for d := 0; d < t.daemons; d++ {
 		d := d
 		r := t.rng.Derive(uint64(d), 0xD43)
-		walk := float64(len(t.taskMap[d])) * float64(t.opts.Samples) *
-			float64(t.opts.ThreadsPerTask) * t.mach.WalkPerTaskSec *
+		walk := float64(len(t.taskMap[d])) * float64(t.opts.ThreadsPerTask) *
+			t.mach.WalkSec(t.opts.Samples) *
 			t.mach.CPUContention * r.Jitter(t.mach.JitterFrac)
 		if r.Float64() < t.mach.TailProb {
 			walk *= t.mach.TailFactor

@@ -41,6 +41,12 @@ type Tool struct {
 	// Result.
 	aliasHits   atomic.Int64
 	aliasMisses atomic.Int64
+	// labelStats aggregates the pooled codecs' per-container-kind v3 label
+	// decode counters across a merge phase's filter workers; a struct of
+	// six counters, so a mutex instead of atomics. runMergePhase resets it
+	// and copies the totals into the Result.
+	labelStatsMu sync.Mutex
+	labelStats   trace.LabelStats
 	// cov caches per-node subtree rank coverage for the fault-tolerant
 	// merge's liveness accounting (see coverage); populated lazily, only
 	// when a gather actually degrades. Guarded by covMu because the
@@ -50,11 +56,19 @@ type Tool struct {
 }
 
 // maxWireVersion is the highest wire version this tool's processes
-// advertise: the build's maximum, unless Options.WireVersion pins an
-// older one.
+// advertise: the build's maximum, unless Options.WireVersion pins one
+// explicitly. Original-representation sessions advertise at most v2:
+// the original mode models the paper's pre-optimization tool, whose
+// defining cost is full-job-width dense labels on the wire (the
+// Figure 5/7 blowup) — the v3 adaptive containers would compress away
+// exactly the behaviour the mode exists to reproduce. Pinning
+// Options.WireVersion to 3 still overrides.
 func (t *Tool) maxWireVersion() uint8 {
 	if v := t.opts.WireVersion; v != 0 {
 		return v
+	}
+	if t.opts.BitVec == Original {
+		return trace.WireV2
 	}
 	return proto.MaxVersion
 }
@@ -82,7 +96,8 @@ type Result struct {
 	// MergeStats are the TBON traffic counters of the merge phase.
 	MergeStats *tbon.Stats
 	// WireVersion is the data-stream wire version the session negotiated
-	// at attach (1 = compact STR1 trees, 2 = 8-aligned STR2 trees).
+	// at attach (1 = compact STR1 trees, 2 = 8-aligned STR2 trees, 3 =
+	// 8-aligned STR3 trees with adaptive compressed labels).
 	WireVersion uint8
 	// AliasDecodeHits / AliasDecodeMisses count the labels the merge
 	// phase's zero-copy decode aliased in place versus copied because the
@@ -95,6 +110,14 @@ type Result struct {
 	// byte-identical — compare rates, not counts, across engines.
 	AliasDecodeHits   int64
 	AliasDecodeMisses int64
+	// LabelStats counts the labels the merge phase decoded from v3 (STR3)
+	// streams by container kind — dense words, run extents, member arrays —
+	// with the wire bytes each kind contributed. All zero on v1/v2 streams,
+	// where every label travels dense. Like the alias counters, these are a
+	// process metric: incremental folds re-decode their accumulator, so
+	// compare the kind mix and bytes-per-label, not absolute counts, across
+	// reduction engines.
+	LabelStats trace.LabelStats
 	// MaxLeafPayloadBytes is the largest single daemon payload.
 	MaxLeafPayloadBytes int64
 	// FrontEndInBytes is the root's total merge-phase ingress.

@@ -14,9 +14,9 @@ import (
 )
 
 // TestCrossVersionMergeDifferential is the cross-version property test:
-// the same leaf trees, encoded once as v1 (STR1) and once as v2 (STR2),
+// the same leaf trees, encoded as v1 (STR1), v2 (STR2) and v3 (STR3),
 // must decode byte-identically through the whole merge — same final trees,
-// and a common re-encoding of both results that matches byte for byte —
+// and a common re-encoding of all results that matches byte for byte —
 // on every adversarial topology shape and both representations.
 func TestCrossVersionMergeDifferential(t *testing.T) {
 	topos := []struct {
@@ -55,8 +55,11 @@ func TestCrossVersionMergeDifferential(t *testing.T) {
 				widths[i] = 1 + rng.Intn(6)
 				total += widths[i]
 			}
-			bodiesV1 := make([][]byte, nLeaves)
-			bodiesV2 := make([][]byte, nLeaves)
+			versions := []uint8{trace.WireV1, trace.WireV2, trace.WireV3}
+			bodies := make(map[uint8][][]byte, len(versions))
+			for _, v := range versions {
+				bodies[v] = make([][]byte, nLeaves)
+			}
 			off := 0
 			for i := 0; i < nLeaves; i++ {
 				w, base := widths[i], 0
@@ -80,11 +83,10 @@ func TestCrossVersionMergeDifferential(t *testing.T) {
 					}
 				}
 				off += widths[i]
-				if bodiesV1[i], err = encodeTrees(trace.WireV1, t2, t3); err != nil {
-					t.Fatal(err)
-				}
-				if bodiesV2[i], err = encodeTrees(trace.WireV2, t2, t3); err != nil {
-					t.Fatal(err)
+				for _, v := range versions {
+					if bodies[v][i], err = encodeTrees(v, t2, t3); err != nil {
+						t.Fatal(err)
+					}
 				}
 			}
 			net := tbon.New(topo, nil)
@@ -99,26 +101,28 @@ func TestCrossVersionMergeDifferential(t *testing.T) {
 				}
 				return trees
 			}
-			treesV1 := run(bodiesV1)
-			treesV2 := run(bodiesV2)
-			if len(treesV1) != len(treesV2) {
-				t.Fatalf("%v/%s: %d vs %d trees", mode, tc.name, len(treesV1), len(treesV2))
-			}
-			for ti := range treesV1 {
-				if !treesV1[ti].Equal(treesV2[ti]) {
-					t.Errorf("%v/%s: tree %d differs between v1 and v2 streams", mode, tc.name, ti)
-					continue
+			treesV1 := run(bodies[trace.WireV1])
+			for _, v := range versions[1:] {
+				treesV := run(bodies[v])
+				if len(treesV1) != len(treesV) {
+					t.Fatalf("%v/%s: %d (v1) vs %d (v%d) trees", mode, tc.name, len(treesV1), len(treesV), v)
 				}
-				e1, err := treesV1[ti].MarshalBinary()
-				if err != nil {
-					t.Fatal(err)
-				}
-				e2, err := treesV2[ti].MarshalBinary()
-				if err != nil {
-					t.Fatal(err)
-				}
-				if !bytes.Equal(e1, e2) {
-					t.Errorf("%v/%s: tree %d common re-encoding differs", mode, tc.name, ti)
+				for ti := range treesV1 {
+					if !treesV1[ti].Equal(treesV[ti]) {
+						t.Errorf("%v/%s: tree %d differs between v1 and v%d streams", mode, tc.name, ti, v)
+						continue
+					}
+					e1, err := treesV1[ti].MarshalBinary()
+					if err != nil {
+						t.Fatal(err)
+					}
+					eV, err := treesV[ti].MarshalBinary()
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !bytes.Equal(e1, eV) {
+						t.Errorf("%v/%s: tree %d common re-encoding differs (v1 vs v%d)", mode, tc.name, ti, v)
+					}
 				}
 			}
 		}
@@ -238,10 +242,30 @@ func TestMixedVersionFleetDowngrade(t *testing.T) {
 		t.Error("v1-downgraded stream recorded no alias misses; the downgrade did not reach the decode")
 	}
 
-	// A cap at the build maximum is a no-op.
+	// Each rung of the downgrade ladder: a v2-era daemon lands the
+	// session on v2, and trees still match the uncapped run.
 	capped2 := run(map[int]uint8{5: 2})
-	if capped2.WireVersion != proto.MaxVersion {
-		t.Errorf("v2-capped daemon degraded the session to v%d", capped2.WireVersion)
+	if capped2.WireVersion != 2 {
+		t.Errorf("v2-capped fleet negotiated v%d, want 2", capped2.WireVersion)
+	}
+	if !capped2.Tree2D.Equal(uncapped.Tree2D) || !capped2.Tree3D.Equal(uncapped.Tree3D) {
+		t.Error("v2-capped fleet produced different trees")
+	}
+
+	// A cap at the build maximum is a no-op.
+	capped3 := run(map[int]uint8{5: proto.MaxVersion})
+	if capped3.WireVersion != proto.MaxVersion {
+		t.Errorf("max-capped daemon degraded the session to v%d", capped3.WireVersion)
+	}
+
+	// Mixed caps across the ladder: the stream min-merge takes the
+	// lowest, v3→v2→v1, wherever the capped daemons sit in the fleet.
+	ladder := run(map[int]uint8{3: 3, 8: 2, 12: 1})
+	if ladder.WireVersion != 1 {
+		t.Errorf("v3/v2/v1 mixed fleet negotiated v%d, want 1", ladder.WireVersion)
+	}
+	if !ladder.Tree2D.Equal(uncapped.Tree2D) || !ladder.Tree3D.Equal(uncapped.Tree3D) {
+		t.Error("v3/v2/v1 mixed fleet produced different trees")
 	}
 
 	// Every daemon capped: equivalent to pinning the tool.

@@ -117,7 +117,7 @@ func refMergeUnion(t *testing.T, dst, src *trace.Tree) {
 	var rec func(d, s *trace.Node)
 	rec = func(d, s *trace.Node) {
 		for _, m := range s.Tasks.Members() {
-			d.Tasks.Set(m)
+			d.Tasks.(*bitvec.Vector).Set(m)
 		}
 		for _, sc := range s.Children {
 			dc := refChild(d, sc.Frame.Function)

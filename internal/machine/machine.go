@@ -60,9 +60,17 @@ type Machine struct {
 	// end dispatch and result handling).
 	MergeConstSec float64
 
-	// WalkPerTaskSec is the cost to walk one task's stack once symbols are
-	// resolved (no file I/O).
-	WalkPerTaskSec float64
+	// WalkColdPerTaskSec is the cost of one task's first stack walk of a
+	// gather round, once symbols are resolved (no file I/O): resolver
+	// caches cold, every frame pays a lookup and the trie grows its path.
+	WalkColdPerTaskSec float64
+	// WalkWarmPerTaskSec is the cost of each subsequent walk of the same
+	// round under the memoized direct-to-tree engine: a spinning task
+	// resamples a known stack, so the walk short-circuits through the
+	// whole-stack memo and just ticks bits. The cold/warm split is what
+	// makes modeled Figure 8/9 curves reflect the batched engine instead
+	// of charging every sample the first-walk price.
+	WalkWarmPerTaskSec float64
 	// ParsePerByteSec is the CPU cost of symbol-table parsing per byte.
 	ParsePerByteSec float64
 	// CPUContention: on Atlas the daemon timeshares a core with MPI tasks
@@ -141,27 +149,41 @@ func (m *Machine) TaskMap(tasks, daemons int) [][]int {
 	return out
 }
 
+// WalkSec is the modeled per-task, per-thread stack-walk time of a
+// gather round of the given sample count: the first walk pays the cold
+// price (resolution, trie descent), every repeat rides the whole-stack
+// memo at the warm price.
+func (m *Machine) WalkSec(samples int) float64 {
+	if samples < 1 {
+		return 0
+	}
+	return m.WalkColdPerTaskSec + float64(samples-1)*m.WalkWarmPerTaskSec
+}
+
 // Atlas returns the Atlas model: 1,152 nodes × 8 cores, DDR Infiniband,
 // NFS-mounted home directories plus a Lustre scratch mount and per-node
 // RAM disk, dynamically linked binaries, contended daemon CPU.
 func Atlas() *Machine {
 	return &Machine{
-		Name:            "Atlas",
-		TotalNodes:      1152,
-		CoresPerNode:    8,
-		TasksPerDaemon:  func(Mode) int { return 8 },
-		MaxTasks:        func(Mode) int { return 1152 * 8 },
-		TreeLink:        sim.Link{LatencySec: 12e-6, BytesPerSec: 1.2e9}, // DDR IB
-		MergeCPU:        sim.CPUCost{PerMessageSec: 180e-6, PerByteSec: 1.6e-8},
-		MergeConstSec:   0.001,
-		WalkPerTaskSec:  0.011,
-		ParsePerByteSec: 5.2e-9,
-		CPUContention:   2.0, // spinning MPI ranks steal the daemon's core
-		JitterFrac:      0.08,
-		TailProb:        0.0001,
-		TailFactor:      1.6,
-		RemapPerTaskSec: 2.0e-6,
-		MaxFanIn:        1024,
+		Name:           "Atlas",
+		TotalNodes:     1152,
+		CoresPerNode:   8,
+		TasksPerDaemon: func(Mode) int { return 8 },
+		MaxTasks:       func(Mode) int { return 1152 * 8 },
+		TreeLink:       sim.Link{LatencySec: 12e-6, BytesPerSec: 1.2e9}, // DDR IB
+		MergeCPU:       sim.CPUCost{PerMessageSec: 180e-6, PerByteSec: 1.6e-8},
+		MergeConstSec:  0.001,
+		// Paper-calibrated first walk; warm walks ride the stack memo at
+		// roughly 3.4x less (spinning ranks resample identical stacks).
+		WalkColdPerTaskSec: 0.011,
+		WalkWarmPerTaskSec: 0.0032,
+		ParsePerByteSec:    5.2e-9,
+		CPUContention:      2.0, // spinning MPI ranks steal the daemon's core
+		JitterFrac:         0.08,
+		TailProb:           0.0001,
+		TailFactor:         1.6,
+		RemapPerTaskSec:    2.0e-6,
+		MaxFanIn:           1024,
 		Binaries: []BinaryFile{
 			{Path: "/nfs/home/user/a.out", Module: "a.out"},
 			{Path: "/nfs/home/user/libmpi.so", Module: "libmpi.so"},
@@ -198,17 +220,19 @@ func BGL() *Machine {
 			}
 			return 106496
 		},
-		TreeLink:        sim.Link{LatencySec: 45e-6, BytesPerSec: 2.4e8}, // functional Ethernet to login nodes
-		MergeCPU:        sim.CPUCost{PerMessageSec: 1e-4, PerByteSec: 2e-8},
-		MergeConstSec:   0.05,
-		WalkPerTaskSec:  0.016,
-		ParsePerByteSec: 9.5e-9,
-		CPUContention:   1.0, // dedicated I/O node
-		JitterFrac:      0.25,
-		TailProb:        0.0004,
-		TailFactor:      2.8,
-		RemapPerTaskSec: 3.1e-6,
-		MaxFanIn:        192,
+		TreeLink:      sim.Link{LatencySec: 45e-6, BytesPerSec: 2.4e8}, // functional Ethernet to login nodes
+		MergeCPU:      sim.CPUCost{PerMessageSec: 1e-4, PerByteSec: 2e-8},
+		MergeConstSec: 0.05,
+		// Slower PPC440 first walk; the memo payoff is similar in ratio.
+		WalkColdPerTaskSec: 0.016,
+		WalkWarmPerTaskSec: 0.0046,
+		ParsePerByteSec:    9.5e-9,
+		CPUContention:      1.0, // dedicated I/O node
+		JitterFrac:         0.25,
+		TailProb:           0.0004,
+		TailFactor:         2.8,
+		RemapPerTaskSec:    3.1e-6,
+		MaxFanIn:           192,
 		Binaries: []BinaryFile{
 			{Path: "/nfs/home/user/a.out-static", Module: "static"},
 		},
@@ -219,6 +243,30 @@ func BGL() *Machine {
 			RAMSeekSec: 0.0002, RAMBytesPerSec: 1.2e9,
 		},
 	}
+}
+
+// BGLScaled returns the BG/L model grown by an integer node-count factor
+// beyond the installed 106,496-node system — the "millions of cores"
+// extrapolation the paper's title aims at. Everything else (per-node
+// rates, fan-in limits, file systems) keeps the measured BG/L values, so
+// a scaled run answers "what if the same machine were bigger", not "what
+// would a faster machine do". Scale 5 in VN mode admits the million-task
+// sessions the v3 wire format exists for.
+func BGLScaled(scale int) *Machine {
+	m := BGL()
+	if scale <= 1 {
+		return m
+	}
+	m.Name = fmt.Sprintf("BG/L x%d", scale)
+	m.TotalNodes *= scale
+	total := m.TotalNodes
+	m.MaxTasks = func(mode Mode) int {
+		if mode == VN {
+			return total * 2
+		}
+		return total
+	}
+	return m
 }
 
 // BuildFS builds the machine's mount table on the given engine from its

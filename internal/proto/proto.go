@@ -26,10 +26,12 @@ import (
 // takes the minimum over daemons, so the session lands on the highest
 // common version. The packet version selects the frame layout (see
 // HeaderSizeV) and the tree wire format the data stream carries
-// (trace.WireV1 / trace.WireV2, numerically equal).
+// (trace.WireV1 / WireV2 / WireV3, numerically equal). Version 3 keeps
+// version 2's 16-byte 8-aligned frame layout; what changes is only the
+// tree format behind it (adaptive compressed rank-set labels).
 const (
 	Version    = 1
-	MaxVersion = 2
+	MaxVersion = 3
 )
 
 // Negotiate picks the highest version two peers share: the smaller of the

@@ -118,6 +118,14 @@ type Request struct {
 	Base             int
 	// Detail selects function+offset frame granularity.
 	Detail bool
+	// Compress emits each tree label as a frozen compressed rank set
+	// (bitvec.CompressVector) when the population's run structure makes it
+	// smaller than the dense words — the daemon-side producer of the v3
+	// (STR3) adaptive containers. Labels stay dense when dense is smallest.
+	// The emitted trees remain read-only either way; the compressed sets
+	// are cached per trie node, so steady-state rounds stay allocation-free
+	// once the extent buffers have grown to the working set.
+	Compress bool
 	// Want2D / Want3D select which trees to emit: the last-sample
 	// trace×space tree and/or the all-samples trace×space×time tree.
 	Want2D, Want3D bool

@@ -28,6 +28,9 @@ type walker struct {
 	path []*trieNode
 	memo memoTable
 
+	// compress mirrors the round's Request.Compress for emit.
+	compress bool
+
 	t2h, t3h trace.Tree
 }
 
@@ -101,8 +104,14 @@ type trieNode struct {
 	id   uint32
 	// all accumulates every sample's tasks; last only the final sample's
 	// (the 2D tree). Both are valid only at their epoch stamps.
-	all       *bitvec.Vector
-	last      *bitvec.Vector
+	all  *bitvec.Vector
+	last *bitvec.Vector
+	// allSet / lastSet cache the frozen compressed views emitted under
+	// Request.Compress; CompressVector rebuilds them in place each round,
+	// reusing their extent storage, so compression allocates nothing at
+	// steady state. Valid only until the node's label is next touched.
+	allSet    *bitvec.Set
+	lastSet   *bitvec.Set
 	epoch     uint64
 	lastEpoch uint64
 	children  []*trieNode
@@ -213,6 +222,7 @@ func (w *walker) run(req Request) {
 		w.cache = cache
 	}
 	w.width = req.Width
+	w.compress = req.Compress
 	w.epoch++
 
 	// The root participates in every trace (its label is every
@@ -315,11 +325,27 @@ func (w *walker) run(req Request) {
 // last selects the 2D view (last-sample labels, last-sample reach);
 // otherwise the 3D view over the all-samples labels. Labels are shared,
 // not copied: the emitted tree is read-only and must be released before
-// the walker's next round.
+// the walker's next round. Under compression a label whose run structure
+// beats dense travels as the node's cached frozen set instead of the
+// accumulator vector — the same member population, just the container
+// the v3 encode would pick anyway, chosen once here instead of per
+// serialization.
 func (w *walker) emit(n *trieNode, last bool) *trace.Node {
-	label := n.all
+	vec := n.all
 	if last {
-		label = n.last
+		vec = n.last
+	}
+	var label bitvec.Label = vec
+	if w.compress {
+		if last {
+			if s := bitvec.CompressVector(vec, n.lastSet); s != nil {
+				n.lastSet, label = s, s
+			}
+		} else {
+			if s := bitvec.CompressVector(vec, n.allSet); s != nil {
+				n.allSet, label = s, s
+			}
+		}
 	}
 	out := trace.NewPooledNode(trace.Frame{Function: n.name}, label)
 	for _, c := range n.children {

@@ -466,5 +466,5 @@ func TestFaultPlanNilSafe(t *testing.T) {
 	if p.crashed(1) || p.cut(1) || p.dead(1) || p.slow(1) != 0 {
 		t.Error("nil plan reports faults")
 	}
-	fmt.Sprint(p) // must not panic
+	_ = fmt.Sprint(p) // must not panic
 }

@@ -55,7 +55,7 @@ func (t *Tree) EquivalenceClasses() []Class {
 	rec = func(n *Node, path []string) {
 		residual := n.Tasks.Clone()
 		for _, c := range n.Children {
-			if err := residual.AndNot(c.Tasks); err != nil {
+			if err := residual.AndNotLabel(c.Tasks); err != nil {
 				// Widths are a tree invariant; a mismatch is a bug upstream.
 				panic(err)
 			}

@@ -96,7 +96,66 @@ type Codec struct {
 	// goroutine like the rest of the codec; see AliasStats.
 	aliasHits   int64
 	aliasMisses int64
+	// labelStats accumulates the v3 container mix this codec decoded;
+	// see LabelStats.
+	labelStats LabelStats
 }
+
+// LabelStats is the per-container-kind breakdown of the v3 labels a
+// codec has decoded: how many labels arrived as each container and the
+// wire bytes (label3 header included) each kind contributed. All zero on
+// a codec that has only seen v1/v2 streams. Together with AliasStats it
+// answers both halves of the v3 story: how much the adaptive containers
+// compressed the stream, and whether the decode stayed zero-copy.
+type LabelStats struct {
+	Dense, Run, Array                int64
+	DenseBytes, RunBytes, ArrayBytes int64
+}
+
+// note records one decoded v3 label from its wire kind byte.
+func (s *LabelStats) note(kind byte, bytes int64) {
+	switch kind {
+	case 0:
+		s.Dense++
+		s.DenseBytes += bytes
+	case 1:
+		s.Run++
+		s.RunBytes += bytes
+	case 2:
+		s.Array++
+		s.ArrayBytes += bytes
+	}
+}
+
+// Add accumulates o into s; the aggregation step tools use to fold
+// per-codec stats into a session total.
+func (s *LabelStats) Add(o LabelStats) {
+	s.Dense += o.Dense
+	s.Run += o.Run
+	s.Array += o.Array
+	s.DenseBytes += o.DenseBytes
+	s.RunBytes += o.RunBytes
+	s.ArrayBytes += o.ArrayBytes
+}
+
+// Sub returns s minus o — the delta between two snapshots of one codec.
+func (s LabelStats) Sub(o LabelStats) LabelStats {
+	return LabelStats{
+		Dense: s.Dense - o.Dense, Run: s.Run - o.Run, Array: s.Array - o.Array,
+		DenseBytes: s.DenseBytes - o.DenseBytes, RunBytes: s.RunBytes - o.RunBytes, ArrayBytes: s.ArrayBytes - o.ArrayBytes,
+	}
+}
+
+// Labels reports the total container count across kinds.
+func (s LabelStats) Labels() int64 { return s.Dense + s.Run + s.Array }
+
+// Bytes reports the total label wire bytes across kinds.
+func (s LabelStats) Bytes() int64 { return s.DenseBytes + s.RunBytes + s.ArrayBytes }
+
+// LabelStats reports the v3 container mix decoded by this codec since
+// creation. Counters accumulate for the life of the codec, like
+// AliasStats.
+func (c *Codec) LabelStats() LabelStats { return c.labelStats }
 
 // NewCodec returns an empty codec.
 func NewCodec() *Codec {
@@ -209,7 +268,7 @@ func (c *Codec) noteRelease() {
 // getNode pops a recycled node from the codec free list, falling back to
 // the shared pool. Free-list nodes, like pooled ones, keep their Children
 // backing arrays, so steady-state decodes regrow nothing.
-func (c *Codec) getNode(frame Frame, tasks *bitvec.Vector) *Node {
+func (c *Codec) getNode(frame Frame, tasks bitvec.Label) *Node {
 	if n := len(c.nodes); n > 0 {
 		nd := c.nodes[n-1]
 		c.nodes[n-1] = nil

@@ -25,7 +25,7 @@ func refMarshalTree(t *Tree) ([]byte, error) {
 	rec = func(n *Node) error {
 		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(n.Frame.Function)))
 		buf = append(buf, n.Frame.Function...)
-		b, err := n.Tasks.MarshalBinary()
+		b, err := denseOf(n.Tasks).MarshalBinary()
 		if err != nil {
 			return err
 		}

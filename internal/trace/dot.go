@@ -53,7 +53,7 @@ func (t *Tree) WriteDOT(w io.Writer, title string) error {
 
 // truncateLabel renders a task-set label, eliding long range lists the way
 // the paper's Figure 1 does ("577:[0,3,8-9,17,...]").
-func truncateLabel(v *bitvec.Vector, maxRanges int) string {
+func truncateLabel(v bitvec.Label, maxRanges int) string {
 	members := v.Members()
 	full := bitvec.FormatRanges(members)
 	if len(full) <= maxRanges {

@@ -25,7 +25,7 @@ import (
 // that emits and releases a tree per gather allocates no nodes at steady
 // state. Children must be appended in sorted Frame.Function order — the
 // tree invariant every consumer relies on.
-func NewPooledNode(frame Frame, tasks *bitvec.Vector) *Node {
+func NewPooledNode(frame Frame, tasks bitvec.Label) *Node {
 	return newNode(frame, tasks)
 }
 

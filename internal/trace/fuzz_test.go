@@ -17,10 +17,10 @@ func corpusTree() *trace.Tree {
 }
 
 // FuzzUnmarshalBinary feeds arbitrary bytes to the version-dispatched
-// wire decoder: it must never panic, and anything it accepts — v1 or v2
-// magic — must re-marshal, under the version it was encoded in, to the
-// identical byte string (each decoder admits only canonical encodings of
-// its version).
+// wire decoder: it must never panic, and anything it accepts — v1, v2
+// or v3 magic — must re-marshal, under the version it was encoded in, to
+// the identical byte string (each decoder admits only canonical
+// encodings of its version).
 func FuzzUnmarshalBinary(f *testing.F) {
 	valid, err := corpusTree().MarshalBinary()
 	if err != nil {
@@ -30,23 +30,56 @@ func FuzzUnmarshalBinary(f *testing.F) {
 	if err != nil {
 		f.Fatal(err)
 	}
+	validV3, err := corpusTree().MarshalBinaryV(trace.WireV3)
+	if err != nil {
+		f.Fatal(err)
+	}
+	wide := trace.NewTree(256) // wide enough that run labels win
+	for task := 0; task < 256; task++ {
+		wide.AddStack(task, "main", "solver")
+	}
+	wideV3, err := wide.MarshalBinaryV(trace.WireV3)
+	if err != nil {
+		f.Fatal(err)
+	}
 	f.Add([]byte{})
 	f.Add(valid)
 	f.Add(validV2)
+	f.Add(validV3)
+	f.Add(wideV3)
 	f.Add(valid[:len(valid)/2])                 // truncated mid-node
 	f.Add(validV2[:len(validV2)/2])             // truncated mid-node, v2
+	f.Add(validV3[:len(validV3)/2])             // truncated mid-node, v3
 	f.Add(append([]byte("XTR1"), valid[4:]...)) // bad magic
 	f.Add(append(bytes.Clone(valid), 0xFF))     // trailing garbage
 	f.Add(append(bytes.Clone(validV2), 0xFF))   // trailing garbage after v2
+	f.Add(append(bytes.Clone(validV3), 0xFF))   // trailing garbage after v3
 	corrupted := bytes.Clone(valid)
 	corrupted[9] ^= 0x40 // flip a width bit
 	f.Add(corrupted)
 	crossed := bytes.Clone(validV2)
 	copy(crossed, "STR1") // v2 layout under v1 magic
 	f.Add(crossed)
+	crossed32 := bytes.Clone(validV3)
+	copy(crossed32, "STR2") // v3 layout under v2 magic
+	f.Add(crossed32)
 	dirtyPad := bytes.Clone(validV2)
 	dirtyPad[10] = 0x55 // root name padding must be zero
 	f.Add(dirtyPad)
+	// v3 label damage at the root: the label3 header sits at offset 16
+	// (kind byte 20, count u32 24), its payload at 32.
+	badKind := bytes.Clone(wideV3)
+	badKind[20] = 3
+	f.Add(badKind)
+	nonCanonical := bytes.Clone(wideV3)
+	nonCanonical[20] = 2 // full-population run rewritten as "array"
+	f.Add(nonCanonical)
+	overlap := bytes.Clone(wideV3)
+	overlap[24] = 2 // promise two extents where one run's bytes lie
+	f.Add(overlap)
+	dirtyKindPad := bytes.Clone(wideV3)
+	dirtyKindPad[21] = 0xAA // the three zero bytes after kind
+	f.Add(dirtyKindPad)
 	f.Fuzz(func(t *testing.T, b []byte) {
 		tr, err := trace.UnmarshalBinary(b)
 		if err != nil {

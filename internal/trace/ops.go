@@ -147,7 +147,7 @@ func Diff(a, b *Tree) ([]DiffEntry, error) {
 	zero := bitvec.New(a.NumTasks)
 	var rec func(na, nb *Node, path []string)
 	rec = func(na, nb *Node, path []string) {
-		var ta, tb *bitvec.Vector
+		var ta, tb bitvec.Label
 		switch {
 		case na != nil && nb != nil:
 			ta, tb = na.Tasks, nb.Tasks
@@ -156,13 +156,13 @@ func Diff(a, b *Tree) ([]DiffEntry, error) {
 		default:
 			ta, tb = zero, nb.Tasks
 		}
-		if !ta.Equal(tb) && len(path) > 0 {
+		if !bitvec.Equal(ta, tb) && len(path) > 0 {
 			sym := ta.Clone()
-			if err := sym.AndNot(tb); err != nil {
+			if err := sym.AndNotLabel(tb); err != nil {
 				panic(err)
 			}
 			other := tb.Clone()
-			if err := other.AndNot(ta); err != nil {
+			if err := other.AndNotLabel(ta); err != nil {
 				panic(err)
 			}
 			// sym and other are disjoint and each sorted: merge them

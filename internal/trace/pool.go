@@ -22,7 +22,7 @@ var nodePool = sync.Pool{New: func() any { return new(Node) }}
 
 // newNode returns a pooled node initialized with the given frame and
 // label and no children.
-func newNode(frame Frame, tasks *bitvec.Vector) *Node {
+func newNode(frame Frame, tasks bitvec.Label) *Node {
 	n := nodePool.Get().(*Node)
 	n.Frame = frame
 	n.Tasks = tasks
@@ -45,7 +45,7 @@ type nodeBatch struct {
 
 // get returns an initialized node from the batch, or from the shared pool
 // when b is nil.
-func (b *nodeBatch) get(frame Frame, tasks *bitvec.Vector) *Node {
+func (b *nodeBatch) get(frame Frame, tasks bitvec.Label) *Node {
 	if b == nil {
 		return newNode(frame, tasks)
 	}

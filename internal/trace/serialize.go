@@ -12,10 +12,10 @@ import (
 
 // # Wire format specification
 //
-// Two tree wire formats exist, distinguished by magic and negotiated per
+// Three tree wire formats exist, distinguished by magic and negotiated per
 // stream by the protocol layer (see package proto). All integers are
-// little endian; a label is a bitvec binary value (u32 width, u32 word
-// count, words).
+// little endian; in v1 and v2 a label is a bitvec binary value (u32 width,
+// u32 word count, words).
 //
 // Version 1, magic "STR1" — the compact original layout:
 //
@@ -46,9 +46,37 @@ import (
 // wherever it lands; only the *aliasing* payoff needs the enclosing buffer
 // to be 8-aligned in memory.
 //
-// Both decoders admit only canonical encodings — nonzero padding, stray
-// label bits, non-sorted children and trailing bytes are all rejected — so
-// decode∘encode is the identity on accepted inputs, per version.
+// Version 3, magic "STR3" — the adaptive compressed-label layout. The
+// node structure, padding discipline and alignment rule are exactly v2's;
+// only the label encoding differs:
+//
+//	tree   := magic "STR3" (4 bytes), u32 numTasks, node
+//	node   := u16 nameLen, name, pad8, label3, u32 childCount, u32 zero, node*
+//	label3 := u32 width, u8 kind, u8 zero ×3, u32 count, u32 zero, payload
+//
+// The label3 header is 16 bytes, so an 8-aligned label starts its payload
+// 8-aligned too. kind selects the container and count sizes the payload:
+//
+//	kind 0 (dense): count = ceil(width/64); payload is count u64 words,
+//	  exactly the v1/v2 word area — bits beyond width must be zero.
+//	kind 1 (run):   count run extents, each (u32 start, u32 length) with
+//	  length ≥ 1, sorted, non-overlapping and non-adjacent (maximal runs).
+//	kind 2 (array): count member ranks as sorted, strictly increasing u32,
+//	  plus one zero u32 of padding when count is odd.
+//
+// Every payload is a whole number of 8-byte groups, preserving v2's
+// induction: every label — dense words, run extents, or member array —
+// lands 8-aligned and the zero-copy decode can alias any container kind.
+// The kind is not a free choice: encoders pick the smallest container for
+// the population (ties break run ≤ array ≤ dense) and decoders reject any
+// other kind for that population, keeping the encoding canonical. See
+// bitvec's label3 documentation for the byte-exact container rules and
+// the choice heuristic.
+//
+// All decoders admit only canonical encodings — nonzero padding, stray
+// label bits, non-canonical containers, non-sorted children and trailing
+// bytes are all rejected — so decode∘encode is the identity on accepted
+// inputs, per version.
 //
 // The format is deliberately explicit about label width: in the original
 // representation every label is full-job width, so the encoded size of a
@@ -65,13 +93,19 @@ const (
 	// WireV2 is the 8-aligned layout (magic "STR2") whose labels always
 	// land word-aligned for the zero-copy decode.
 	WireV2 uint8 = 2
+	// WireV3 is the 8-aligned layout with adaptive compressed labels
+	// (magic "STR3"): each label travels as the smallest of a run, array
+	// or dense container, so wire size tracks a label's run structure
+	// instead of the task-space width.
+	WireV3 uint8 = 3
 	// MaxWireVersion is the newest format this build encodes and decodes.
-	MaxWireVersion = WireV2
+	MaxWireVersion = WireV3
 )
 
 var (
 	magicV1 = [4]byte{'S', 'T', 'R', '1'}
 	magicV2 = [4]byte{'S', 'T', 'R', '2'}
+	magicV3 = [4]byte{'S', 'T', 'R', '3'}
 )
 
 // SniffWireVersion reports which wire format b begins with, from the
@@ -86,9 +120,15 @@ func SniffWireVersion(b []byte) (uint8, error) {
 		return WireV1, nil
 	case magicV2:
 		return WireV2, nil
+	case magicV3:
+		return WireV3, nil
 	}
-	return 0, errors.New("trace: bad magic")
+	return 0, errBadMagic
 }
+
+// errBadMagic names the accepted version range; built once (not per
+// call) because version probing sniffs speculatively on hot paths.
+var errBadMagic = fmt.Errorf("trace: bad magic (this build speaks v%d..v%d)", WireV1, MaxWireVersion)
 
 // pad8 reports the zero padding that advances offset n to the next 8-byte
 // boundary.
@@ -103,12 +143,18 @@ func (t *Tree) SerializedSize() int { return t.SerializedSizeV(WireV1) }
 // version without allocating it.
 func (t *Tree) SerializedSizeV(version uint8) int {
 	size := 4 + 4
-	if version == WireV2 {
+	switch version {
+	case WireV3:
+		t.walk(func(n *Node, _ int) {
+			name := 2 + len(n.Frame.Function)
+			size += name + pad8(name) + bitvec.Label3Size(n.Tasks) + 8
+		})
+	case WireV2:
 		t.walk(func(n *Node, _ int) {
 			name := 2 + len(n.Frame.Function)
 			size += name + pad8(name) + n.Tasks.SerializedSize() + 8
 		})
-	} else {
+	default:
 		t.walk(func(n *Node, _ int) {
 			size += 2 + len(n.Frame.Function) + n.Tasks.SerializedSize() + 4
 		})
@@ -138,8 +184,8 @@ func (t *Tree) AppendBinary(dst []byte) ([]byte, error) {
 // allocation and no append bookkeeping per field. With a dst of sufficient
 // capacity the encode performs no allocation at all.
 func (t *Tree) AppendBinaryV(dst []byte, version uint8) ([]byte, error) {
-	if version != WireV1 && version != WireV2 {
-		return nil, fmt.Errorf("trace: unknown wire version %d", version)
+	if version < WireV1 || version > MaxWireVersion {
+		return nil, fmt.Errorf("trace: unknown wire version %d (this build speaks v%d..v%d)", version, WireV1, MaxWireVersion)
 	}
 	base := len(dst)
 	need := t.SerializedSizeV(version)
@@ -153,9 +199,12 @@ func (t *Tree) AppendBinaryV(dst []byte, version uint8) ([]byte, error) {
 	// encoding is gapless.
 	dst = dst[:base+need]
 	o := base
-	if version == WireV2 {
+	switch version {
+	case WireV3:
+		o += copy(dst[o:], magicV3[:])
+	case WireV2:
 		o += copy(dst[o:], magicV2[:])
-	} else {
+	default:
 		o += copy(dst[o:], magicV1[:])
 	}
 	binary.LittleEndian.PutUint32(dst[o:], uint32(t.NumTasks))
@@ -169,7 +218,7 @@ func (t *Tree) AppendBinaryV(dst []byte, version uint8) ([]byte, error) {
 		binary.LittleEndian.PutUint16(dst[o:], uint16(len(name)))
 		o += 2
 		o += copy(dst[o:], name)
-		if version == WireV2 {
+		if version >= WireV2 {
 			// Offsets are tracked relative to dst's base; the pad depends
 			// only on o-base mod 8, and base is 0 mod 8 relative to itself.
 			for p := pad8(o - base); p > 0; p-- {
@@ -177,10 +226,14 @@ func (t *Tree) AppendBinaryV(dst []byte, version uint8) ([]byte, error) {
 				o++
 			}
 		}
-		o += n.Tasks.PutBinary(dst[o:])
+		if version == WireV3 {
+			o += bitvec.PutLabel3(dst[o:], n.Tasks)
+		} else {
+			o += n.Tasks.PutBinary(dst[o:])
+		}
 		binary.LittleEndian.PutUint32(dst[o:], uint32(len(n.Children)))
 		o += 4
-		if version == WireV2 {
+		if version >= WireV2 {
 			binary.LittleEndian.PutUint32(dst[o:], 0)
 			o += 4
 		}
@@ -348,7 +401,7 @@ func (d *treeDecoder) node(depth int) (*Node, error) {
 	}
 	name := d.names.intern(b[d.pos : d.pos+nameLen])
 	d.pos += nameLen
-	if d.version == WireV2 {
+	if d.version >= WireV2 {
 		if err := d.pad(); err != nil {
 			return nil, err
 		}
@@ -359,40 +412,67 @@ func (d *treeDecoder) node(depth int) (*Node, error) {
 	// allow, and copy into the arena otherwise — byte-identical value
 	// either way. The codec's alias hit/miss counters record which path
 	// each label took, so a label that fails the alignment check is never
-	// indistinguishable from an aliased one.
-	var v *bitvec.Vector
+	// indistinguishable from an aliased one. Under v3 the same three paths
+	// dispatch on the label's container kind; only the aliasing path may
+	// keep the compressed representation (as a frozen *bitvec.Set view of
+	// the pinned buffer) — the copying and remap-fused paths materialize
+	// dense, so mutable consumers never meet a compressed label.
+	var label bitvec.Label
 	var used int
 	var err error
-	switch {
-	case d.remap != nil:
-		v, used, err = d.arena.RemapBinary(b[d.pos:], d.remap)
-	case d.alias:
-		var aliased bool
-		v, used, aliased, err = d.arena.AliasBinary(b[d.pos:])
-		if err == nil && d.codec != nil {
-			if aliased {
-				d.codec.aliasHits++
-			} else {
-				d.codec.aliasMisses++
+	if d.version == WireV3 {
+		switch {
+		case d.remap != nil:
+			label, used, err = d.arena.RemapLabel3(b[d.pos:], d.remap)
+		case d.alias:
+			var aliased bool
+			label, used, aliased, err = d.arena.AliasLabel3(b[d.pos:])
+			if err == nil && d.codec != nil {
+				if aliased {
+					d.codec.aliasHits++
+				} else {
+					d.codec.aliasMisses++
+				}
 			}
+			d.aliased = d.aliased || aliased
+		default:
+			label, used, err = d.arena.UnmarshalLabel3(b[d.pos:])
 		}
-		d.aliased = d.aliased || aliased
-	default:
-		v, used, err = d.arena.UnmarshalBinary(b[d.pos:])
+		if err == nil && d.codec != nil {
+			d.codec.labelStats.note(b[d.pos+4], int64(used))
+		}
+	} else {
+		switch {
+		case d.remap != nil:
+			label, used, err = d.arena.RemapBinary(b[d.pos:], d.remap)
+		case d.alias:
+			var aliased bool
+			label, used, aliased, err = d.arena.AliasBinary(b[d.pos:])
+			if err == nil && d.codec != nil {
+				if aliased {
+					d.codec.aliasHits++
+				} else {
+					d.codec.aliasMisses++
+				}
+			}
+			d.aliased = d.aliased || aliased
+		default:
+			label, used, err = d.arena.UnmarshalBinary(b[d.pos:])
+		}
 	}
 	if err != nil {
 		return nil, err
 	}
 	d.pos += used
-	if d.remap == nil && v.Len() != d.numTasks {
-		return nil, fmt.Errorf("trace: label width %d != tree width %d", v.Len(), d.numTasks)
+	if d.remap == nil && label.Len() != d.numTasks {
+		return nil, fmt.Errorf("trace: label width %d != tree width %d", label.Len(), d.numTasks)
 	}
 	if len(b)-d.pos < 4 {
 		return nil, errors.New("trace: truncated child count")
 	}
 	nc := int(binary.LittleEndian.Uint32(b[d.pos:]))
 	d.pos += 4
-	if d.version == WireV2 {
+	if d.version >= WireV2 {
 		if err := d.pad(); err != nil {
 			return nil, err
 		}
@@ -402,9 +482,9 @@ func (d *treeDecoder) node(depth int) (*Node, error) {
 	}
 	var n *Node
 	if d.codec != nil {
-		n = d.codec.getNode(Frame{Function: name}, v)
+		n = d.codec.getNode(Frame{Function: name}, label)
 	} else {
-		n = d.batch.get(Frame{Function: name}, v)
+		n = d.batch.get(Frame{Function: name}, label)
 	}
 	if nc > 0 && cap(n.Children) < nc {
 		n.Children = make([]*Node, 0, nc)

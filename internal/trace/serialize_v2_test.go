@@ -178,13 +178,13 @@ func TestUnmarshalV2RejectsCorrupt(t *testing.T) {
 	// Locate the root node's name padding: root name is empty, so bytes
 	// 10..15 are padding.
 	cases := map[string]func([]byte) []byte{
-		"empty":       func([]byte) []byte { return nil },
-		"bad magic":   func(b []byte) []byte { c := clone(b); c[3] = '9'; return c },
-		"truncated":   func(b []byte) []byte { return b[:len(b)-3] },
-		"trailing":    func(b []byte) []byte { return append(clone(b), 0xFF) },
-		"dirty pad":   func(b []byte) []byte { c := clone(b); c[10] = 0xAA; return c },
-		"wide label":  func(b []byte) []byte { c := clone(b); c[4] = 99; return c },
-		"v1 in v2":    func(b []byte) []byte { c := clone(b); copy(c, magicV1[:]); return c }, // sizes no longer parse
+		"empty":      func([]byte) []byte { return nil },
+		"bad magic":  func(b []byte) []byte { c := clone(b); c[3] = '9'; return c },
+		"truncated":  func(b []byte) []byte { return b[:len(b)-3] },
+		"trailing":   func(b []byte) []byte { return append(clone(b), 0xFF) },
+		"dirty pad":  func(b []byte) []byte { c := clone(b); c[10] = 0xAA; return c },
+		"wide label": func(b []byte) []byte { c := clone(b); c[4] = 99; return c },
+		"v1 in v2":   func(b []byte) []byte { c := clone(b); copy(c, magicV1[:]); return c }, // sizes no longer parse
 	}
 	for name, corrupt := range cases {
 		if _, err := UnmarshalBinary(corrupt(b)); err == nil {
@@ -206,7 +206,7 @@ func TestUnmarshalRemappedMatchesRemapWith(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		for _, version := range []uint8{WireV1, WireV2} {
+		for _, version := range []uint8{WireV1, WireV2, WireV3} {
 			wire, err := tr.MarshalBinaryV(version)
 			if err != nil {
 				t.Fatal(err)

@@ -26,18 +26,24 @@
 //
 // # Wire formats
 //
-// Trees serialize in one of two wire formats — compact v1 ("STR1") and
-// 8-aligned v2 ("STR2") — specified field by field in serialize.go. Every
-// decoder in the package dispatches on the magic, so either format is
-// accepted everywhere; encoders take an explicit version
-// (Tree.AppendBinaryV), with the v1-emitting MarshalBinary retained for
-// compatibility. Which version a stream carries is negotiated by the
-// protocol layer (package proto): the attach handshake picks the highest
-// version both ends speak, so old v1 captures and peers keep working
-// while upgraded sessions get v2's alignment guarantee — under which the
-// zero-copy decode below aliases every label, not just the ~1/8 whose v1
-// offsets happen to land word-aligned. Codec.AliasStats exposes the
-// realized hit/miss counts.
+// Trees serialize in one of three wire formats — compact v1 ("STR1"),
+// 8-aligned v2 ("STR2"), and compressed-label v3 ("STR3") — specified
+// field by field in serialize.go. Every decoder in the package
+// dispatches on the magic, so any format is accepted everywhere;
+// encoders take an explicit version (Tree.AppendBinaryV), with the
+// v1-emitting MarshalBinary retained for compatibility. Which version a
+// stream carries is negotiated by the protocol layer (package proto):
+// the attach handshake picks the highest version both ends speak, so
+// old v1 captures and peers keep working while upgraded sessions get
+// v2's alignment guarantee — under which the zero-copy decode below
+// aliases every label, not just the ~1/8 whose v1 offsets happen to
+// land word-aligned — and v3's adaptive per-label containers (dense
+// words, sorted run extents, or sorted member arrays, whichever encodes
+// smallest; see bitvec.PutLabel3), which keep per-node label bytes
+// sublinear in job width for the run-structured populations prefix
+// trees produce. v3 preserves v2's 8-alignment induction, so the two
+// guarantees compose. Codec.AliasStats exposes the realized alias
+// hit/miss counts and Codec.LabelStats the decoded v3 container mix.
 //
 // # Buffer lifetime
 //
@@ -75,11 +81,36 @@ type Trace struct {
 }
 
 // Node is a prefix-tree node. The edge entering the node is labeled with
-// the set of tasks whose call path includes the node.
+// the set of tasks whose call path includes the node. The label is either
+// a dense *bitvec.Vector or a compressed (frozen) *bitvec.Set; trees built
+// by Add and the copying decodes carry dense labels throughout, while the
+// hierarchical merge and the v3 aliasing decode produce compressed labels
+// where the population's run structure makes them smaller. Mutating paths
+// (Add, MergeUnion) own dense labels by construction.
 type Node struct {
 	Frame    Frame
-	Tasks    *bitvec.Vector
+	Tasks    bitvec.Label
 	Children []*Node // sorted by Frame.Function for deterministic traversal
+}
+
+// denseTasks returns a node label known to be mutable — the invariant on
+// every mutating path. Compressed labels are frozen (see bitvec.Set) and
+// only ever appear on read-only trees, so hitting one here is a bug.
+func denseTasks(l bitvec.Label) *bitvec.Vector {
+	v, ok := l.(*bitvec.Vector)
+	if !ok {
+		panic("trace: mutating a tree with compressed (frozen) labels")
+	}
+	return v
+}
+
+// denseOf materializes a label as a dense vector, returning it unchanged
+// when it already is one. Read-only fallback for Vector-typed consumers.
+func denseOf(l bitvec.Label) *bitvec.Vector {
+	if v, ok := l.(*bitvec.Vector); ok {
+		return v
+	}
+	return l.Clone()
 }
 
 func (n *Node) child(name string) *Node {
@@ -135,14 +166,14 @@ func (t *Tree) Add(tr Trace) {
 		panic(fmt.Sprintf("trace: task %d out of range [0,%d)", tr.Task, t.NumTasks))
 	}
 	n := t.Root
-	n.Tasks.Set(tr.Task)
+	denseTasks(n.Tasks).Set(tr.Task)
 	for _, f := range tr.Frames {
 		c := n.child(f.Function)
 		if c == nil {
 			c = newNode(f, bitvec.New(t.NumTasks))
 			n.insertChild(c)
 		}
-		c.Tasks.Set(tr.Task)
+		denseTasks(c.Tasks).Set(tr.Task)
 		n = c
 	}
 }
@@ -207,7 +238,7 @@ func (t *Tree) Equal(o *Tree) bool {
 	}
 	var rec func(a, b *Node) bool
 	rec = func(a, b *Node) bool {
-		if a.Frame != b.Frame || !a.Tasks.Equal(b.Tasks) || len(a.Children) != len(b.Children) {
+		if a.Frame != b.Frame || !bitvec.Equal(a.Tasks, b.Tasks) || len(a.Children) != len(b.Children) {
 			return false
 		}
 		for i := range a.Children {
@@ -234,7 +265,7 @@ func (t *Tree) Validate() error {
 				return fmt.Errorf("trace: node %q children unsorted at %q", path, c.Frame.Function)
 			}
 			sub := c.Tasks.Clone()
-			if err := sub.AndNot(n.Tasks); err != nil {
+			if err := sub.AndNotLabel(n.Tasks); err != nil {
 				return err
 			}
 			if !sub.Empty() {
@@ -259,7 +290,7 @@ func MergeUnion(dst, src *Tree) error {
 	}
 	var rec func(d, s *Node) error
 	rec = func(d, s *Node) error {
-		if err := d.Tasks.UnionWith(s.Tasks); err != nil {
+		if err := denseTasks(d.Tasks).UnionLabel(s.Tasks); err != nil {
 			return err
 		}
 		for _, sc := range s.Children {
@@ -323,25 +354,63 @@ type concatScratch struct {
 	sub []*Node // parallel children handed to the recursive call
 }
 
-// merge combines parallel nodes: parts[i] is the node from input i, or nil
-// when that input lacks the path. parts aliases the caller's depth-level
-// scratch and is stable for the duration of the call.
-func (m *concatMerger) merge(parts []*Node, depth int) *Node {
-	// Label: concatenation with zero padding for absent parts.
+// buildLabel concatenates the parts' labels at the precomputed offsets,
+// choosing the output representation adaptively: when the parts' total
+// run count bounds the output under the dense footprint, the output is a
+// compressed run set built by shifting each part's extents — interval
+// arithmetic, never per-bit — with runs meeting exactly at a part
+// boundary coalescing. Otherwise the output is a dense vector filled by
+// word-level blits. Concatenation never splits a run, so the parts' total
+// is a true upper bound and extent storage can be carved up front (from
+// the codec arena on the filter hot path, keeping the cycle
+// allocation-free once slabs are warm).
+func (m *concatMerger) buildLabel(parts []*Node) (bitvec.Label, Frame) {
+	var frame Frame
+	runs := 0
+	for _, p := range parts {
+		if p == nil {
+			continue
+		}
+		frame = p.Frame
+		_, r := p.Tasks.ContainerCounts()
+		runs += r
+	}
+	if 8*runs < 8*((m.total+63)/64) {
+		var ext []bitvec.Extent
+		if m.codec != nil {
+			ext = m.codec.arena.GrabExtents(runs)[:0]
+		}
+		for i, p := range parts {
+			if p == nil {
+				continue
+			}
+			ext = p.Tasks.AppendExtents(ext, m.offsets[i])
+		}
+		if m.codec != nil {
+			return m.codec.arena.NewRunSet(m.total, ext), frame
+		}
+		return bitvec.NewRunSet(m.total, ext), frame
+	}
 	var label *bitvec.Vector
 	if m.codec != nil {
 		label = m.codec.arena.New(m.total)
 	} else {
 		label = bitvec.New(m.total)
 	}
-	var frame Frame
 	for i, p := range parts {
 		if p == nil {
 			continue
 		}
-		frame = p.Frame
-		label.Blit(p.Tasks, m.offsets[i])
+		p.Tasks.BlitInto(label, m.offsets[i])
 	}
+	return label, frame
+}
+
+// merge combines parallel nodes: parts[i] is the node from input i, or nil
+// when that input lacks the path. parts aliases the caller's depth-level
+// scratch and is stable for the duration of the call.
+func (m *concatMerger) merge(parts []*Node, depth int) *Node {
+	label, frame := m.buildLabel(parts)
 	var n *Node
 	if m.codec != nil {
 		n = m.codec.getNode(frame, label)
@@ -425,12 +494,14 @@ func (t *Tree) RemapWith(r *bitvec.Remapper) error {
 	inPlace := r.Square()
 	var rec func(n *Node) error
 	rec = func(n *Node) error {
-		if inPlace {
-			if err := r.ApplyInPlace(n.Tasks); err != nil {
+		if v, ok := n.Tasks.(*bitvec.Vector); ok && inPlace {
+			if err := r.ApplyInPlace(v); err != nil {
 				return err
 			}
 		} else {
-			nv, err := r.Apply(n.Tasks)
+			// Compressed labels are frozen, so they remap by rebuild —
+			// materialize dense, permute into a fresh vector.
+			nv, err := r.Apply(denseOf(n.Tasks))
 			if err != nil {
 				return err
 			}
