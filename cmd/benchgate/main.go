@@ -20,7 +20,17 @@
 //
 //	go run ./cmd/benchgate -results bench.json -write-baseline BENCH_next.json
 //
-// The manually-triggered bench-baseline CI job uses this to regenerate
+// With -merge-baseline, benchgate folds a fresh results stream INTO an
+// existing committed baseline instead of starting from scratch: gate
+// values for benchmarks present in the run are refreshed, benchmarks new
+// to the run are added, entries the run did not exercise are carried
+// forward unchanged, and the emitted file records the measuring host
+// (goos/goarch/go version/visible CPUs, plus -host-note prose):
+//
+//	go run ./cmd/benchgate -baseline BENCH_7.json -results bench.json \
+//	    -merge-baseline BENCH_8.json -desc "..." -host-note "..."
+//
+// The manually-triggered bench-baseline CI job uses these to regenerate
 // the baseline on the GitHub-runner class and upload it as an artifact,
 // so the committed file can be refreshed from a CI-class host instead of
 // whatever laptop or container happens to run the benches.
@@ -34,6 +44,7 @@ import (
 	"io"
 	"os"
 	"regexp"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -192,6 +203,78 @@ func writeBaseline(resultsPath, outPath string) error {
 	return os.WriteFile(outPath, append(buf, '\n'), 0o644)
 }
 
+// hostMetadata describes the machine a baseline was measured on — the
+// context that makes an absolute-ns/op file meaningful when the committed
+// baseline is reviewed or refreshed on a different host class.
+func hostMetadata(note string) map[string]any {
+	cpu := note
+	if cpu == "" {
+		cpu = fmt.Sprintf("unknown (%d CPUs visible)", runtime.NumCPU())
+	}
+	return map[string]any{
+		"cpu":    cpu,
+		"cpus":   runtime.NumCPU(),
+		"goos":   runtime.GOOS,
+		"goarch": runtime.GOARCH,
+		"go":     runtime.Version(),
+	}
+}
+
+// mergeBaseline folds parsed results into an existing baseline document:
+// measured benchmarks get fresh "after" gates, unmeasured entries carry
+// forward, everything else in the document (description prose, extra
+// per-entry fields) survives untouched unless explicitly replaced. The
+// host stanza is always rewritten to the measuring machine.
+func mergeBaseline(basePath, resultsPath, outPath, desc, hostNote string) error {
+	bb, err := os.ReadFile(basePath)
+	if err != nil {
+		return err
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(bb, &doc); err != nil {
+		return fmt.Errorf("benchgate: parse baseline %s: %v", basePath, err)
+	}
+	rf, err := os.Open(resultsPath)
+	if err != nil {
+		return err
+	}
+	defer rf.Close()
+	results, err := parseResults(rf)
+	if err != nil {
+		return err
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("benchgate: no benchmark results in %s", resultsPath)
+	}
+	benches, _ := doc["benchmarks"].(map[string]any)
+	if benches == nil {
+		benches = map[string]any{}
+	}
+	for name, ns := range results {
+		entry, _ := benches[name].(map[string]any)
+		if entry == nil {
+			entry = map[string]any{}
+		}
+		after, _ := entry["after"].(map[string]any)
+		if after == nil {
+			after = map[string]any{}
+		}
+		after["ns_op"] = ns
+		entry["after"] = after
+		benches[name] = entry
+	}
+	doc["benchmarks"] = benches
+	doc["host"] = hostMetadata(hostNote)
+	if desc != "" {
+		doc["description"] = desc
+	}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(outPath, append(buf, '\n'), 0o644)
+}
+
 func run(baselinePath, resultsPath string, maxRegress float64) error {
 	bb, err := os.ReadFile(baselinePath)
 	if err != nil {
@@ -232,7 +315,22 @@ func main() {
 	resultsPath := flag.String("results", "", "go test -json -bench output to gate")
 	maxRegress := flag.Float64("max-regress", 0.20, "maximum tolerated ns/op regression (0.20 = 20%)")
 	baselineOut := flag.String("write-baseline", "", "instead of gating, write a fresh baseline skeleton from -results to this path")
+	mergeOut := flag.String("merge-baseline", "", "instead of gating, fold -results into -baseline and write the merged baseline (with host metadata) to this path")
+	desc := flag.String("desc", "", "with -merge-baseline: replace the baseline's description prose")
+	hostNote := flag.String("host-note", "", "with -merge-baseline: human-readable CPU/host description for the host stanza")
 	flag.Parse()
+	if *mergeOut != "" {
+		if *baselinePath == "" || *resultsPath == "" {
+			flag.Usage()
+			os.Exit(2)
+		}
+		if err := mergeBaseline(*baselinePath, *resultsPath, *mergeOut, *desc, *hostNote); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote merged baseline %s\n", *mergeOut)
+		return
+	}
 	if *baselineOut != "" {
 		if *resultsPath == "" {
 			flag.Usage()

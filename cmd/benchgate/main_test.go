@@ -113,3 +113,65 @@ func TestWriteBaselineRoundTrips(t *testing.T) {
 		t.Errorf("gate rejects its own baseline: %v", err)
 	}
 }
+
+// TestMergeBaseline: folding a results stream into an existing baseline
+// refreshes measured gates, adds new benchmarks, carries unmeasured
+// entries forward, and stamps host metadata — and the merged file still
+// parses through the gate's schema.
+func TestMergeBaseline(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "BENCH_old.json")
+	baseData := `{
+  "description": "old prose",
+  "host": {"cpu": "old host"},
+  "benchmarks": {
+    "BenchmarkKept":      {"after": {"ns_op": 500}},
+    "BenchmarkRefreshed": {"after": {"ns_op": 1000}}
+  }
+}`
+	if err := os.WriteFile(base, []byte(baseData), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	results := filepath.Join(dir, "results.json")
+	resultsData := `{"Action":"output","Output":"BenchmarkRefreshed-4   8000   1200 ns/op\n"}
+{"Action":"output","Output":"BenchmarkAdded/sub-4   9000   77 ns/op\n"}`
+	if err := os.WriteFile(results, []byte(resultsData), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "BENCH_new.json")
+	if err := mergeBaseline(base, results, out, "", "test rig"); err != nil {
+		t.Fatal(err)
+	}
+	bb, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bf baselineFile
+	if err := json.Unmarshal(bb, &bf); err != nil {
+		t.Fatalf("merged baseline does not parse with the gate's schema: %v", err)
+	}
+	want := map[string]float64{
+		"BenchmarkKept":      500,  // carried forward
+		"BenchmarkRefreshed": 1200, // refreshed from the run
+		"BenchmarkAdded/sub": 77,   // added by the run
+	}
+	if len(bf.Benchmarks) != len(want) {
+		t.Fatalf("merged baseline has %d entries, want %d", len(bf.Benchmarks), len(want))
+	}
+	for name, ns := range want {
+		if got := bf.Benchmarks[name].After.NsOp; got != ns {
+			t.Errorf("%s: ns_op %v, want %v", name, got, ns)
+		}
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(bb, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc["description"] != "old prose" {
+		t.Errorf("description not carried forward: %v", doc["description"])
+	}
+	host, _ := doc["host"].(map[string]any)
+	if host == nil || host["cpu"] != "test rig" || host["goos"] == nil || host["goarch"] == nil || host["go"] == nil {
+		t.Errorf("host stanza incomplete: %v", doc["host"])
+	}
+}

@@ -134,6 +134,7 @@ func run() error {
 		wireVersion = flag.Uint("wire", 0, "cap the negotiated wire format version (0 = build maximum; 1 = compact STR1, 2 = 8-aligned STR2, 3 = compressed-label STR3)")
 		samplerName = flag.String("sampler", "batched", "daemon sampling engine: batched (direct-to-tree trie) or legacy (per-sample loop)")
 		sampWorkers = flag.Int("sample-workers", 0, "batched sampler's concurrent daemon-walker bound (0 = GOMAXPROCS)")
+		overlapName = flag.String("overlap", "snapshot", "walk/gather overlap: snapshot (emit round N while walking N+1) or quiesced (strict sequence)")
 		faultTol    = flag.Bool("fault-tolerant", false, "degrade gracefully when overlay subtrees fail: report partial results with a surviving-rank set instead of failing the run")
 		subTimeout  = flag.Duration("subtree-timeout", 0, "per-subtree gather timeout under -fault-tolerant (0 = 5s default)")
 		crashDaemon = flag.String("crash-daemons", "", "inject: crash these daemons mid-gather (leaf-index ranges, e.g. 0-3,7); requires -fault-tolerant")
@@ -178,6 +179,14 @@ func run() error {
 		opts.Sampler = core.SamplerLegacy
 	default:
 		return fmt.Errorf("unknown sampler %q (batched|legacy)", *samplerName)
+	}
+	switch *overlapName {
+	case "snapshot":
+		opts.Overlap = core.OverlapSnapshot
+	case "quiesced":
+		opts.Overlap = core.OverlapQuiesced
+	default:
+		return fmt.Errorf("unknown overlap mode %q (snapshot|quiesced)", *overlapName)
 	}
 	switch *engineName {
 	case "seq":
@@ -281,6 +290,10 @@ func run() error {
 		fmt.Printf("  remap    %8.3fs\n", res.Times.Remap)
 	}
 	fmt.Printf("  total    %8.2fs\n", res.Times.Total())
+	if res.Times.SampleSteady > 0 {
+		fmt.Printf("  steady-state rounds: %.4fs/round (%.4fs walk, %.4fs hidden behind the reduction)\n",
+			res.Times.SteadyRound(), res.Times.SampleSteady, res.Times.SampleHidden)
+	}
 
 	if hits, misses := res.AliasDecodeHits, res.AliasDecodeMisses; hits+misses > 0 {
 		fmt.Printf("\nmerge codec: %d label decodes, %.1f%% zero-copy (%d aliased, %d copied)\n",
@@ -300,6 +313,12 @@ func run() error {
 		fmt.Printf("\nsampling engine: %d stacks walked, %d distinct (%.1f%% stack-memo hits), "+
 			"%d PCs resolved (%.1f%% cache hits)\n",
 			ss.SampledStacks, ss.DistinctStacks, 100*memoRate, ss.PCsResolved, 100*pcRate)
+		if ss.Snapshots > 0 {
+			fmt.Printf("snapshot overlap: %d snapshots sealed, %d torn-read retries, "+
+				"%d walks prefetched, %.3fms walk time hidden\n",
+				ss.Snapshots, ss.SnapshotTornReads, ss.PrefetchedWalks,
+				float64(ss.HiddenWalkNanos)/1e6)
+		}
 	}
 
 	if *progress {

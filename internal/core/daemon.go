@@ -63,6 +63,12 @@ type daemon struct {
 	// (Options.DaemonWireCaps). The attach negotiation can land at most
 	// here, and the session-wide minimum then carries the downgrade.
 	capVersion uint8
+	// pre is the daemon's outstanding speculative walk under the
+	// snapshot-emit pipeline (Options.Overlap): the next round's walk,
+	// started the moment this round's snapshot was sealed, still running
+	// while this round's trees travel up the overlay. The next gather
+	// claims it; detach cancels it.
+	pre *sample.Prefetch
 }
 
 // handleControl advances the daemon's state machine for one control
@@ -107,6 +113,8 @@ func (d *daemon) handleControl(p proto.Packet) proto.Ack {
 		if d.state == stateInit {
 			return fail("detach before attach")
 		}
+		d.pre.Cancel()
+		d.pre = nil
 		d.state = stateDetached
 		return proto.Ack{OK: 1}
 	default:
@@ -157,7 +165,7 @@ func (d *daemon) sampleTrees(req proto.GatherRequest) (sampleBatch, error) {
 	base := d.epoch - d.samples
 
 	if eng := d.tool.sampler; eng != nil {
-		batch := eng.Sample(sample.Request{
+		sreq := sample.Request{
 			Ranks:       ranks,
 			GlobalIndex: d.tool.opts.BitVec == Original,
 			Width:       width,
@@ -172,7 +180,22 @@ func (d *daemon) sampleTrees(req proto.GatherRequest) (sampleBatch, error) {
 			// reads extents the walk already computed. Older streams carry
 			// dense labels, so compression would be pure overhead there.
 			Compress: d.wireVersion >= trace.WireV3,
-		})
+		}
+		if d.tool.opts.Overlap == OverlapSnapshot && !d.tool.opts.FaultTolerant {
+			// Speculate the next round: same shape, advanced by one sample
+			// command (the next gather's base is this round's end epoch).
+			// A wrong guess costs nothing but the wasted background walk —
+			// the claim validates the real request and re-walks on
+			// mismatch. FaultTolerant gathers are excluded because a
+			// timed-out subtree's abandoned goroutine could reach d.pre
+			// after the session has moved on.
+			next := sreq
+			next.Base = d.epoch
+			batch, npre := eng.SampleOverlap(d.pre, sreq, &next)
+			d.pre = npre
+			return sampleBatch{t2: batch.Tree2D, t3: batch.Tree3D, batch: batch}, nil
+		}
+		batch := eng.Sample(sreq)
 		return sampleBatch{t2: batch.Tree2D, t3: batch.Tree3D, batch: batch}, nil
 	}
 
@@ -205,9 +228,15 @@ func (d *daemon) sampleTrees(req proto.GatherRequest) (sampleBatch, error) {
 	return sampleBatch{t2: t2, t3: t3, legacy: true}, nil
 }
 
-// gatherPacket performs the daemon's real work for a gather command: walk
-// every local task's stack for the recorded sample count (sampleTrees),
-// fold the traces into the requested prefix trees, and return them
+// gatherPacket performs the daemon's real work for a gather command as an
+// async sample/emit pipeline. sampleTrees claims the round's walk (already
+// running in the background when the previous gather speculated right, run
+// inline otherwise), seals the trie snapshot, and — under
+// Options.OverlapSnapshot — immediately kicks off the next round's walk
+// before emitting; the emit, the encode below, and the whole upstream
+// reduction then read only the sealed snapshot, concurrently with that
+// walk. The emitted trees alias snapshot storage, so the sampleTrees
+// result is handed to the gather reply without copying: the trees are
 // serialized — in the wire version negotiated at attach — as a complete
 // MsgResult packet minted from the shared buffer pool behind a lease. The
 // payload is encoded in place after a reserved packet header, and the

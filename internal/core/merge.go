@@ -501,5 +501,21 @@ func (t *Tool) runMergePhase(res *Result) error {
 		return fmt.Errorf("core: gather returned %d trees, want 2", len(trees))
 	}
 	res.Tree2D, res.Tree3D = trees[0], trees[1]
+
+	// Steady-state round model: repeated gathers of a long session walk
+	// all-warm (Times.Sample already charged the cold round), and the
+	// snapshot-emit pipeline hides the warm walk behind this round's
+	// reduction drain — at most all of it, at best all of Merge+Remap.
+	// Computed here, after Remap is known, so the hidden share reflects
+	// the full drain the walk can ride behind. Quiesced (or legacy /
+	// fault-tolerant) sessions hide nothing.
+	res.Times.SampleSteady = t.steadyWalkSec()
+	if t.sampler != nil && t.opts.Overlap == OverlapSnapshot && !t.opts.FaultTolerant {
+		drain := res.Times.Merge + res.Times.Remap
+		res.Times.SampleHidden = res.Times.SampleSteady
+		if drain < res.Times.SampleHidden {
+			res.Times.SampleHidden = drain
+		}
+	}
 	return nil
 }

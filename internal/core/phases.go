@@ -60,6 +60,16 @@ func (t *Tool) runLaunchPhase() (float64, error) {
 // opens), then the per-task stack walks. The phase time is the slowest
 // daemon's completion (Section VI measures exactly this quantity).
 //
+// This phase models the session's FIRST (cold) gather round only: symbol
+// parsing happens once, machine.WalkSec charges the first walk per task
+// the cold price and the rest of the round the warm price, and the result
+// lands in PhaseTimes.Sample, charged in full on the critical path —
+// nothing earlier in the session exists to hide a cold round behind, with
+// or without overlap. Steady-state rounds are modeled separately
+// (steadyWalkSec → PhaseTimes.SampleSteady), and only THAT term earns an
+// overlap credit (PhaseTimes.SampleHidden); keeping the two models
+// disjoint is what prevents hidden walk time from being discounted twice.
+//
 // Only the clock is modeled here. The real sampling work — the walks that
 // produce the trees the merge phase reduces — runs at gather time in
 // daemon.sampleTrees, and is no longer the sequential per-sample
@@ -127,4 +137,21 @@ func (t *Tool) runSamplePhase() (float64, error) {
 		return 0, phaseErr
 	}
 	return end - start, nil
+}
+
+// steadyWalkSec models one steady-state gather round's walk time: the
+// slowest daemon's all-warm resample of its task set. No symbol I/O (the
+// caches are hot), no cold first walk, and no jitter tail — the steady
+// model is the repeatable per-round cost the overlap pipeline hides, not
+// a worst-case draw. Feeds PhaseTimes.SampleSteady.
+func (t *Tool) steadyWalkSec() float64 {
+	var worst float64
+	for d := 0; d < t.daemons; d++ {
+		walk := float64(len(t.taskMap[d])) * float64(t.opts.ThreadsPerTask) *
+			t.mach.WalkSecSteady(t.opts.Samples) * t.mach.CPUContention
+		if walk > worst {
+			worst = walk
+		}
+	}
+	return worst
 }

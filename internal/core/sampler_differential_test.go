@@ -251,4 +251,41 @@ func TestSamplePhaseZeroAllocs(t *testing.T) {
 	if n := testing.AllocsPerRun(200, packetCycle); n != 0 {
 		t.Errorf("steady-state gather packet cycle allocates %v per round, want 0", n)
 	}
+
+	// The live snapshot-emit pipeline (two walkers, so the prefetch cap
+	// admits speculation) must hold the same guarantee: claim, seal,
+	// background respawn, and concurrent emit all recycle walker-resident
+	// state. The fixed epoch makes every speculation miss — the costlier
+	// steady state, since it adds the inline re-walk.
+	tool2, err := New(Options{
+		Machine:        machine.Atlas(),
+		Tasks:          96,
+		Topology:       topology.Spec{Kind: topology.KindBalanced, Depth: 2},
+		BitVec:         Hierarchical,
+		Samples:        5,
+		ThreadsPerTask: 2,
+		SampleWorkers:  2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2 := &daemon{leaf: 0, tool: tool2, state: stateSampled, samples: 5, threads: 2, epoch: 5, wireVersion: 2}
+	overlapCycle := func() {
+		lease, err := d2.gatherPacket(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lease.Release()
+	}
+	for i := 0; i < 10; i++ {
+		overlapCycle()
+	}
+	if d2.pre == nil {
+		t.Fatal("overlap pipeline did not leave a prefetch outstanding")
+	}
+	if n := testing.AllocsPerRun(200, overlapCycle); n != 0 {
+		t.Errorf("steady-state overlapped gather cycle allocates %v per round, want 0", n)
+	}
+	d2.pre.Cancel()
+	d2.pre = nil
 }

@@ -134,7 +134,10 @@ type Result struct {
 	// resolver lookups and their cache misses. The hit rates they imply
 	// are what the direct-to-tree engine exploits: spinning tasks
 	// resample a small population of distinct stacks and a tiny
-	// population of distinct PCs. All zero on the legacy sampler.
+	// population of distinct PCs. The snapshot-emit pipeline adds its own
+	// counters: snapshots sealed, torn-read retries, walks claimed from a
+	// background prefetch, and the walk nanoseconds the overlap hid
+	// behind the reduction drain. All zero on the legacy sampler.
 	SampleStats sample.Stats
 	// SBRSReport is non-nil when SBRS ran.
 	SBRSReport *sbrs.Report

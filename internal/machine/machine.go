@@ -149,15 +149,32 @@ func (m *Machine) TaskMap(tasks, daemons int) [][]int {
 	return out
 }
 
-// WalkSec is the modeled per-task, per-thread stack-walk time of a
-// gather round of the given sample count: the first walk pays the cold
-// price (resolution, trie descent), every repeat rides the whole-stack
-// memo at the warm price.
+// WalkSec is the modeled per-task, per-thread stack-walk time of the
+// FIRST gather round of the given sample count: the first walk pays the
+// cold price (resolution, trie descent), every repeat rides the
+// whole-stack memo at the warm price. This is the cold-round term of the
+// cold/warm split — it always sits on the critical path
+// (PhaseTimes.Sample) and never earns an overlap discount, so it composes
+// with the snapshot-emit pipeline without double-counting: overlap
+// credits apply only to WalkSecSteady rounds.
 func (m *Machine) WalkSec(samples int) float64 {
 	if samples < 1 {
 		return 0
 	}
 	return m.WalkColdPerTaskSec + float64(samples-1)*m.WalkWarmPerTaskSec
+}
+
+// WalkSecSteady is the modeled per-task, per-thread walk time of a
+// steady-state gather round: the trie, resolver cache, and stack memo
+// already hold the round's whole working set, so every sample — the first
+// included — rides the memo at the warm price. This is the round the
+// snapshot-emit pipeline can hide behind the previous round's reduction
+// drain (PhaseTimes.SampleSteady / SampleHidden).
+func (m *Machine) WalkSecSteady(samples int) float64 {
+	if samples < 1 {
+		return 0
+	}
+	return float64(samples) * m.WalkWarmPerTaskSec
 }
 
 // Atlas returns the Atlas model: 1,152 nodes × 8 cores, DDR Infiniband,

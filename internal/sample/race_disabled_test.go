@@ -1,0 +1,5 @@
+//go:build !race
+
+package sample
+
+const raceEnabled = false

@@ -21,34 +21,59 @@
 //     stack — or any exact resample — skips resolution and descent
 //     entirely and just ticks bits along the memoized path. This is the
 //     stack memoization the package is named for.
-//  4. The finished trie emits trace.Trees directly: pooled nodes
-//     (trace.NewPooledNode) referencing the trie's own label vectors, so
-//     emission copies nothing and the wire encode reads labels exactly
-//     where the walk accumulated them.
+//  4. The round seals an atomic snapshot of the trie and emits
+//     trace.Trees from it: pooled nodes (trace.NewPooledNode) referencing
+//     the snapshot's frozen labels, so emission copies nothing and the
+//     wire encode reads labels exactly where the walk accumulated them.
 //
-// # Contracts
+// # The snapshot/emit contract
 //
-// Trie and labels: a walker's trie persists across rounds (epochs) — the
-// structural working set of a spinning application is stable, so
-// steady-state rounds create no nodes, no vectors and no memo entries, and
-// the whole sample phase runs allocation-free. Labels are reset lazily by
-// epoch stamp on first touch, so untouched branches cost nothing. The trie
-// is bounded by the distinct call-path population at symbol granularity
-// (small by construction); the stack memo is capped at memoCap entries.
+// A walker's trie persists across rounds (epochs) — the structural
+// working set of a spinning application is stable, so steady-state rounds
+// create no nodes, no vectors and no memo entries, and the whole sample
+// phase runs allocation-free. The trie is bounded by the distinct
+// call-path population at symbol granularity (small by construction); the
+// stack memo is capped at memoCap entries.
 //
-// Batches: the trees returned by Engine.Sample alias walker-owned state —
-// labels live in the trie, headers are the walker's two reusable Tree
-// structs. They are read-only and die at Batch.Release, which also returns
-// the walker to the engine's pool; encode before releasing, and never
-// retain the trees past it.
+// Ownership is split between two planes:
 //
-// Workers: Engine.Sample draws a walker from a bounded pool (the
-// "parallel daemon walkers"): at most `workers` daemon walks run
-// concurrently, each on its own warm trie, and callers past the bound
-// block until a walker frees up. Concurrency comes from the caller — the
-// overlay's concurrent reduction engines invoke daemon leaf functions in
-// parallel — while the pool bounds memory the way the paper's co-located
-// daemons bound their footprint.
+//   - The live plane — accumulator slots, child arrays, the memo, the PC
+//     scratch — belongs to exactly one goroutine at a time: the
+//     Sample/SampleOverlap caller, or (between a seal and the next claim)
+//     the walker's background-walk goroutine. Ownership hands off through
+//     channels, never by shared access. Label accumulators are
+//     double-buffered by round parity: round N writes slot N&1 and lazily
+//     resets it on first touch, leaving the other slot — round N-1's
+//     sealed labels — untouched.
+//
+//   - The published plane — each node's nodeSnap chain behind an atomic
+//     pointer — is what everyone else may read. seal(N) freezes round N's
+//     labels (compressed sets included: frozen bitvec.Set containers are
+//     immutable and shared safely) and the copy-on-write child arrays
+//     into immutable snapshot versions. Any goroutine may then read round
+//     N through loadSnap while round N+1 walks. A reader that observes a
+//     later seal (a torn read) retries one hop down the per-node version
+//     chain, where round N is still pinned; Stats.SnapshotTornReads
+//     counts the hops. The chain is two deep, so the hard guarantee is:
+//     a sealed snapshot stays readable, bit-for-bit unchanged, until the
+//     second subsequent seal of the same walker. The Engine's own
+//     pipeline retires every emit before the next seal, so torn reads
+//     only occur when callers (or stress tests) pipeline deeper.
+//
+// Batches: the trees returned by Sample/SampleOverlap alias snapshot
+// storage owned by the walker — labels live in the sealed slot, headers
+// are the walker's two reusable Tree structs. They are read-only and die
+// at Batch.Release; encode before releasing, and never retain the trees
+// past it. Releasing does NOT quiesce the walker: under SampleOverlap the
+// background walk for the next round keeps running, which is the point.
+//
+// Workers: walkers come from a bounded pool (the "parallel daemon
+// walkers"): at most `workers` daemon walks run concurrently, each on its
+// own warm trie, and callers past the bound block until a walker frees
+// up. An outstanding Prefetch pins its walker outside the pool; the
+// engine caps outstanding prefetches at workers-1 so pinning can never
+// starve non-overlapped daemons of their last circulating walker (with a
+// single worker, overlap silently degrades to the quiesced pipeline).
 package sample
 
 import (
@@ -66,7 +91,7 @@ const memoCap = 1 << 16
 
 // Engine is the shared sampling state of one tool instance: the resolver
 // caches (one per frame granularity) and the bounded walker pool. Safe for
-// concurrent Sample calls.
+// concurrent Sample/SampleOverlap calls.
 type Engine struct {
 	app    *mpisim.App
 	plain  *stackwalk.Cache
@@ -74,12 +99,22 @@ type Engine struct {
 
 	// walkers is both the concurrency bound and the reuse pool: it holds
 	// `workers` slots, each either a warm walker or nil (not yet built).
+	workers int
 	walkers chan *walker
+
+	// prefetches counts walkers currently pinned by an outstanding
+	// background walk; capped at workers-1 (see the package doc).
+	prefetches atomic.Int64
 
 	sampled  atomic.Int64
 	memoHits atomic.Int64
 	distinct atomic.Int64
 	resolved atomic.Int64
+
+	snapshots   atomic.Int64
+	torn        atomic.Int64
+	prefetched  atomic.Int64
+	hiddenNanos atomic.Int64
 }
 
 // New builds an engine sampling the given application through the given
@@ -93,6 +128,7 @@ func New(app *mpisim.App, st *stackwalk.SymbolTable, workers int) *Engine {
 		app:     app,
 		plain:   stackwalk.NewCache(st, false),
 		detail:  stackwalk.NewCache(st, true),
+		workers: workers,
 		walkers: make(chan *walker, workers),
 	}
 	for i := 0; i < workers; i++ {
@@ -123,8 +159,9 @@ type Request struct {
 	// smaller than the dense words — the daemon-side producer of the v3
 	// (STR3) adaptive containers. Labels stay dense when dense is smallest.
 	// The emitted trees remain read-only either way; the compressed sets
-	// are cached per trie node, so steady-state rounds stay allocation-free
-	// once the extent buffers have grown to the working set.
+	// are frozen at seal time and cached per trie node, so steady-state
+	// rounds stay allocation-free once the extent buffers have grown to
+	// the working set.
 	Compress bool
 	// Want2D / Want3D select which trees to emit: the last-sample
 	// trace×space tree and/or the all-samples trace×space×time tree.
@@ -132,17 +169,21 @@ type Request struct {
 }
 
 // Batch is one gather round's product. The trees alias walker-owned
-// storage; see the package contract notes.
+// snapshot storage; see the package contract notes.
 type Batch struct {
 	// Tree2D and Tree3D are the requested trees (nil when not requested).
 	Tree2D, Tree3D *trace.Tree
 	w              *walker
 	e              *Engine
+	// pinned marks a batch whose walker stays out of the pool because a
+	// Prefetch owns it (the prefetch's claim or Cancel returns it).
+	pinned bool
 }
 
-// Release ends the batch: the emitted trees die and the walker returns to
-// the engine's pool. Release is idempotent on the zero Batch but must be
-// called exactly once per Sample.
+// Release ends the batch: the emitted trees die and — unless a Prefetch
+// has pinned the walker for an in-flight background walk — the walker
+// returns to the engine's pool. Release is idempotent on the zero Batch
+// but must be called exactly once per Sample/SampleOverlap.
 func (b *Batch) Release() {
 	if b.w == nil {
 		return
@@ -157,18 +198,101 @@ func (b *Batch) Release() {
 	}
 	w := b.w
 	b.w = nil
+	if b.pinned {
+		return
+	}
 	b.e.walkers <- w
 }
 
-// Sample runs one daemon's batched walk and emits its trees. It blocks
-// while all pooled walkers are busy — the bounded-worker guarantee.
+// Sample runs one daemon's batched walk quiesced — walk, seal, emit, in
+// strict sequence on the caller's goroutine — and returns its trees. It
+// blocks while all pooled walkers are busy — the bounded-worker
+// guarantee.
 func (e *Engine) Sample(req Request) Batch {
 	w := <-e.walkers
 	if w == nil {
 		w = &walker{eng: e}
 	}
-	w.run(req)
-	b := Batch{w: w, e: e}
+	w.walk(req)
+	w.seal(req)
+	return e.finish(w, req, false)
+}
+
+// SampleOverlap runs one round of the snapshot-emit pipeline. If pre is a
+// prefetch from the previous round whose speculation matches req, the
+// walk has already happened (or is finishing) in the background — the
+// round claims it instead of walking; otherwise it walks now (drawing a
+// pooled walker when pre is nil). Either way the round then seals the
+// snapshot, immediately kicks the walker's background goroutine into
+// `next` (when non-nil and admissible), and only then emits the trees —
+// so the returned batch's encode, and the whole upstream reduction,
+// overlap the next round's walk.
+//
+// The returned Prefetch (nil when no background walk was started) must be
+// passed to the next SampleOverlap on the same daemon, or Canceled when
+// the session ends. Speculation is validated, not trusted: a prefetch
+// claimed with a different request is discarded and the round walks
+// fresh, so the emitted trees are byte-identical to the quiesced path no
+// matter what was guessed.
+func (e *Engine) SampleOverlap(pre *Prefetch, req Request, next *Request) (Batch, *Prefetch) {
+	var w *walker
+	wasPinned := false
+	if pre != nil && pre.w != nil {
+		wasPinned = true
+		w = pre.w
+		pre.w = nil
+		hit, hidden := w.claim(req)
+		if hit {
+			e.prefetched.Add(1)
+			e.hiddenNanos.Add(hidden)
+		} else {
+			w.walk(req)
+		}
+	} else {
+		w = <-e.walkers
+		if w == nil {
+			w = &walker{eng: e}
+		}
+		// A fresh checkout counts against the prefetch cap only once it
+		// pins; nothing to do here.
+		w.walk(req)
+	}
+	w.seal(req)
+
+	var npre *Prefetch
+	if next != nil && e.canPrefetch(w, req, *next) {
+		if wasPinned {
+			// The walker keeps its existing pin; the cap count carries over.
+			npre = w.startPrefetch(*next)
+		} else if n := e.prefetches.Add(1); n <= int64(e.workers-1) {
+			npre = w.startPrefetch(*next)
+		} else {
+			e.prefetches.Add(-1)
+		}
+	}
+	if npre == nil && wasPinned {
+		// Pipeline ends here: unpin.
+		close(w.bg)
+		w.bg, w.bgDone = nil, nil
+		e.prefetches.Add(-1)
+	}
+	return e.finish(w, req, npre != nil), npre
+}
+
+// canPrefetch gates speculation: never across a frame-granularity flip
+// (the flip's resetTrie would recycle nodes the current emit still
+// reads), and never for a request the claim would reject anyway on
+// fields the walk cannot absorb. Everything else — a wrong Base, width,
+// sample count — is admissible because a mismatched claim just re-walks.
+func (e *Engine) canPrefetch(w *walker, cur, next Request) bool {
+	return next.Detail == cur.Detail
+}
+
+// finish emits the sealed round into the walker's tree headers and wraps
+// the batch.
+func (e *Engine) finish(w *walker, req Request, pinned bool) Batch {
+	w.emitTrees(req)
+	b := Batch{w: w, e: e, pinned: pinned}
 	if req.Want2D {
 		b.Tree2D = &w.t2h
 	}
@@ -193,15 +317,34 @@ type Stats struct {
 	// cache is below its cap.
 	PCsResolved   int64
 	PCCacheMisses int64
+	// Snapshots counts sealed trie snapshots — one per sampled round,
+	// quiesced or overlapped.
+	Snapshots int64
+	// SnapshotTornReads counts snapshot reads that observed a later seal
+	// and recovered by hopping to the pinned previous version. Zero under
+	// the engine's own pipeline depth; nonzero means something read a
+	// round behind a live seal (stress tests, or external readers).
+	SnapshotTornReads int64
+	// PrefetchedWalks counts rounds whose walk ran as a claimed
+	// background prefetch instead of on the gather's critical path.
+	PrefetchedWalks int64
+	// HiddenWalkNanos sums the background-walk time that had already run
+	// when its round was claimed — walk time the overlap hid behind the
+	// previous round's emit, encode, and reduction drain.
+	HiddenWalkNanos int64
 }
 
 // Stats reports the engine's counters.
 func (e *Engine) Stats() Stats {
 	return Stats{
-		SampledStacks:  e.sampled.Load(),
-		StackMemoHits:  e.memoHits.Load(),
-		DistinctStacks: e.distinct.Load(),
-		PCsResolved:    e.resolved.Load(),
-		PCCacheMisses:  e.plain.Misses() + e.detail.Misses(),
+		SampledStacks:     e.sampled.Load(),
+		StackMemoHits:     e.memoHits.Load(),
+		DistinctStacks:    e.distinct.Load(),
+		PCsResolved:       e.resolved.Load(),
+		PCCacheMisses:     e.plain.Misses() + e.detail.Misses(),
+		Snapshots:         e.snapshots.Load(),
+		SnapshotTornReads: e.torn.Load(),
+		PrefetchedWalks:   e.prefetched.Load(),
+		HiddenWalkNanos:   e.hiddenNanos.Load(),
 	}
 }

@@ -2,6 +2,8 @@ package sample
 
 import (
 	"sort"
+	"sync/atomic"
+	"time"
 
 	"stat/internal/bitvec"
 	"stat/internal/stackwalk"
@@ -9,17 +11,33 @@ import (
 )
 
 // walker is one pooled daemon-walk state: the persistent trie, the stack
-// memo, the PC scratch buffer, and two reusable tree headers. A walker is
-// used by one Sample call at a time (the pool enforces it) and keeps its
-// trie warm across rounds — the memoization that makes steady-state
-// sampling allocation-free.
+// memo, the PC scratch buffer, and two reusable tree headers. At any
+// instant a walker has exactly one owner — the Sample/SampleOverlap caller
+// or, between a seal and the next claim, the background walk goroutine —
+// and ownership hands off through channels, so every plain field is
+// single-writer. The only cross-owner reads go through each trie node's
+// atomically published snapshot (see snapshot.go).
 type walker struct {
 	eng   *Engine
 	cache *stackwalk.Cache
 	width int
 	// epoch advances per round; trie labels reset lazily on first touch of
-	// the round, so stale branches cost nothing until revisited.
+	// the round, so stale branches cost nothing. The epoch's parity selects
+	// which accumulator slot the round writes (slot), leaving the other
+	// slot — the previous round's sealed labels — untouched for concurrent
+	// snapshot readers.
 	epoch uint64
+	slot  int
+
+	// sealed is the epoch of the last published snapshot; sealedWidth its
+	// task-space width. Emits read these instead of epoch/width because a
+	// background walk for the next round may already be advancing the live
+	// fields.
+	sealed      uint64
+	sealedWidth int
+	// torn accumulates snapshot reads that had to hop back one published
+	// version (snapshot.go); flushed to the engine counter per emit.
+	torn int64
 
 	root trieNode
 	free []*trieNode // recycled trie nodes (after a granularity flip)
@@ -28,8 +46,16 @@ type walker struct {
 	path []*trieNode
 	memo memoTable
 
-	// compress mirrors the round's Request.Compress for emit.
-	compress bool
+	// Background-walk machinery (the overlap pipeline). bg feeds the
+	// resident walk goroutine one Request per prefetch; bgDone returns the
+	// walk's duration in nanoseconds. Both are created at the first
+	// prefetch and live until Cancel closes bg, so a steady-state
+	// overlapped round costs two channel operations and no allocation.
+	bg      chan Request
+	bgDone  chan int64
+	preReq  Request
+	preHdl  Prefetch
+	preLive bool
 
 	t2h, t3h trace.Tree
 }
@@ -37,7 +63,8 @@ type walker struct {
 // memoTable is the walker-local whole-stack memo: open addressing keyed
 // by the already-computed stack hash, so a probe is an array walk rather
 // than a runtime map access (which would hash the key a second time and
-// cannot reuse ours). Single-goroutine, like the rest of the walker.
+// cannot reuse ours). Owned by whichever goroutine currently owns the
+// walker, like the rest of the walk state.
 type memoTable struct {
 	mask  uint64
 	slots []*memoStack
@@ -99,22 +126,36 @@ func (t *memoTable) clear() {
 // trieNode is one distinct call-path edge. Edges compare by the resolver
 // cache's dense name ID; children stay sorted by name so emission walks in
 // the order trace trees require.
+//
+// Every mutable accumulator is double-buffered by round parity: round N
+// writes slot N&1 while snapshot readers of round N-1 read slot (N-1)&1.
+// A slot's contents are therefore immutable from the moment its round is
+// sealed until the walk two rounds later — the window the snapshot/emit
+// contract (package doc) promises readers.
 type trieNode struct {
 	name string
 	id   uint32
 	// all accumulates every sample's tasks; last only the final sample's
-	// (the 2D tree). Both are valid only at their epoch stamps.
-	all  *bitvec.Vector
-	last *bitvec.Vector
-	// allSet / lastSet cache the frozen compressed views emitted under
-	// Request.Compress; CompressVector rebuilds them in place each round,
-	// reusing their extent storage, so compression allocates nothing at
-	// steady state. Valid only until the node's label is next touched.
-	allSet    *bitvec.Set
-	lastSet   *bitvec.Set
-	epoch     uint64
-	lastEpoch uint64
-	children  []*trieNode
+	// (the 2D tree). Valid only at their slot's epoch stamps.
+	all  [2]*bitvec.Vector
+	last [2]*bitvec.Vector
+	// allSet / lastSet cache the frozen compressed views built at seal
+	// under Request.Compress; CompressVector rebuilds a slot's set in
+	// place every other round, reusing its extent storage, so compression
+	// allocates nothing at steady state.
+	allSet  [2]*bitvec.Set
+	lastSet [2]*bitvec.Set
+	epochs     [2]uint64
+	lastEpochs [2]uint64
+	// children is replaced copy-on-write on insert (never mutated in
+	// place) because published snapshots capture the slice and read it
+	// concurrently with the next round's walk.
+	children []*trieNode
+
+	// snap is the node's published snapshot chain; snapBuf the two
+	// rotating backing structs. See snapshot.go.
+	snap    atomic.Pointer[nodeSnap]
+	snapBuf [2]nodeSnap
 }
 
 // memoStack is one memoized whole stack: the raw PCs (verified on hit, so
@@ -140,59 +181,74 @@ func (n *trieNode) child(id uint32, name string) *trieNode {
 	return nil
 }
 
+// insertChild adds an edge copy-on-write: the old children array may be
+// captured by a published snapshot whose emit is running concurrently, so
+// a sorted in-place shift would tear under the reader. Novel edges only
+// exist while the call-path population is still growing, so the copy is
+// never on the steady-state path.
 func (n *trieNode) insertChild(c *trieNode) {
 	i := sort.Search(len(n.children), func(i int) bool {
 		return n.children[i].name >= c.name
 	})
-	n.children = append(n.children, nil)
-	copy(n.children[i+1:], n.children[i:])
-	n.children[i] = c
+	kids := make([]*trieNode, len(n.children)+1)
+	copy(kids, n.children[:i])
+	kids[i] = c
+	copy(kids[i+1:], n.children[i:])
+	n.children = kids
 }
 
 // touch stamps a node into the current round (lazily resetting its
-// labels) and sets the task bit.
+// round-parity label slot) and sets the task bit.
 func (w *walker) touch(n *trieNode, idx int, last bool) {
-	if n.epoch != w.epoch {
-		n.epoch = w.epoch
-		if n.all == nil {
-			n.all = bitvec.New(w.width)
+	s := w.slot
+	if n.epochs[s] != w.epoch {
+		n.epochs[s] = w.epoch
+		if n.all[s] == nil {
+			n.all[s] = bitvec.New(w.width)
 		} else {
-			n.all.Reset(w.width)
+			n.all[s].Reset(w.width)
 		}
 	}
-	n.all.Set(idx)
+	n.all[s].Set(idx)
 	if last {
-		if n.lastEpoch != w.epoch {
-			n.lastEpoch = w.epoch
-			if n.last == nil {
-				n.last = bitvec.New(w.width)
+		if n.lastEpochs[s] != w.epoch {
+			n.lastEpochs[s] = w.epoch
+			if n.last[s] == nil {
+				n.last[s] = bitvec.New(w.width)
 			} else {
-				n.last.Reset(w.width)
+				n.last[s].Reset(w.width)
 			}
 		}
-		n.last.Set(idx)
+		n.last[s].Set(idx)
 	}
 }
 
-// newNode draws a trie node from the free list or the heap.
+// newNode draws a trie node from the free list or the heap. A recycled
+// node's published snapshot (if any) belongs to a pre-flip epoch that no
+// reader can still want, but clearing it keeps stale chains from pinning
+// label storage.
 func (w *walker) newNode(id uint32, name string) *trieNode {
 	var n *trieNode
 	if k := len(w.free); k > 0 {
 		n = w.free[k-1]
 		w.free[k-1] = nil
 		w.free = w.free[:k-1]
+		n.snap.Store(nil)
 	} else {
 		n = &trieNode{}
 	}
 	n.id, n.name = id, name
-	n.epoch, n.lastEpoch = 0, 0
+	n.epochs[0], n.epochs[1] = 0, 0
+	n.lastEpochs[0], n.lastEpochs[1] = 0, 0
 	return n
 }
 
 // resetTrie drops every edge (recycling the nodes, labels attached, onto
 // the free list) and clears the memo. Run on a frame-granularity flip:
 // IDs from the plain and detailed caches live in different namespaces, so
-// a trie built under one cannot be probed under the other.
+// a trie built under one cannot be probed under the other. The engine
+// never starts a background walk across a granularity flip (Engine
+// canPrefetch), so resetTrie only ever runs with no snapshot reader live.
 func (w *walker) resetTrie() {
 	var rec func(n *trieNode)
 	rec = func(n *trieNode) {
@@ -207,12 +263,14 @@ func (w *walker) resetTrie() {
 	}
 	rec(&w.root)
 	w.memo.clear()
-	w.root.epoch, w.root.lastEpoch = 0, 0
+	w.root.epochs[0], w.root.epochs[1] = 0, 0
+	w.root.lastEpochs[0], w.root.lastEpochs[1] = 0, 0
 }
 
-// run executes one gather round: walk every (rank, thread, sample) stack
-// into the trie, then emit the requested trees.
-func (w *walker) run(req Request) {
+// walk executes one round's sampling: every (rank, thread, sample) stack
+// accumulates into the trie under the round's parity slot. It does not
+// seal or emit — run seal and then emitTrees for the round's trees.
+func (w *walker) walk(req Request) {
 	cache := w.eng.plain
 	if req.Detail {
 		cache = w.eng.detail
@@ -222,25 +280,26 @@ func (w *walker) run(req Request) {
 		w.cache = cache
 	}
 	w.width = req.Width
-	w.compress = req.Compress
 	w.epoch++
+	w.slot = int(w.epoch & 1)
 
 	// The root participates in every trace (its label is every
 	// contributing task) and must exist even for an empty round, exactly
 	// like trace.NewTree's sentinel.
 	r := &w.root
-	r.epoch = w.epoch
-	if r.all == nil {
-		r.all = bitvec.New(w.width)
+	s := w.slot
+	r.epochs[s] = w.epoch
+	if r.all[s] == nil {
+		r.all[s] = bitvec.New(w.width)
 	} else {
-		r.all.Reset(w.width)
+		r.all[s].Reset(w.width)
 	}
 	if req.Want2D {
-		r.lastEpoch = w.epoch
-		if r.last == nil {
-			r.last = bitvec.New(w.width)
+		r.lastEpochs[s] = w.epoch
+		if r.last[s] == nil {
+			r.last[s] = bitvec.New(w.width)
 		} else {
-			r.last.Reset(w.width)
+			r.last[s].Reset(w.width)
 		}
 	}
 
@@ -252,10 +311,10 @@ func (w *walker) run(req Request) {
 			idx = rank
 		}
 		for thread := 0; thread < req.Threads; thread++ {
-			for s := 0; s < req.Samples; s++ {
-				w.pcs = w.eng.app.AppendStackPCs(w.pcs[:0], rank, thread, req.Base+s)
+			for smp := 0; smp < req.Samples; smp++ {
+				w.pcs = w.eng.app.AppendStackPCs(w.pcs[:0], rank, thread, req.Base+smp)
 				sampled++
-				last := req.Want2D && s == lastSample
+				last := req.Want2D && smp == lastSample
 
 				h := hashPCs(w.pcs)
 				m := w.memo.lookup(h)
@@ -271,8 +330,8 @@ func (w *walker) run(req Request) {
 						}
 					} else {
 						for _, n := range m.path {
-							if n.epoch == w.epoch {
-								n.all.Set(idx)
+							if n.epochs[s] == w.epoch {
+								n.all[s].Set(idx)
 							} else {
 								w.touch(n, idx, false)
 							}
@@ -312,52 +371,35 @@ func (w *walker) run(req Request) {
 	w.eng.memoHits.Add(memoHits)
 	w.eng.resolved.Add(resolved)
 	w.eng.distinct.Add(distinct)
+}
 
-	if req.Want3D {
-		w.t3h.AdoptRoot(w.width, w.emit(r, false))
-	}
-	if req.Want2D {
-		w.t2h.AdoptRoot(w.width, w.emit(r, true))
+// bgLoop is the walker's resident background-walk goroutine: one walk per
+// request, duration reported back on bgDone. Started lazily at the first
+// prefetch, it parks on bg between rounds and exits when Cancel closes
+// the channel, so a pipelined walker costs one goroutine for the life of
+// its pipeline and an overlapped round allocates nothing.
+func (w *walker) bgLoop() {
+	for req := range w.bg {
+		start := time.Now()
+		w.walk(req)
+		w.bgDone <- time.Since(start).Nanoseconds()
 	}
 }
 
-// emit converts the current epoch's trie slice into pooled trace nodes.
-// last selects the 2D view (last-sample labels, last-sample reach);
-// otherwise the 3D view over the all-samples labels. Labels are shared,
-// not copied: the emitted tree is read-only and must be released before
-// the walker's next round. Under compression a label whose run structure
-// beats dense travels as the node's cached frozen set instead of the
-// accumulator vector — the same member population, just the container
-// the v3 encode would pick anyway, chosen once here instead of per
-// serialization.
-func (w *walker) emit(n *trieNode, last bool) *trace.Node {
-	vec := n.all
-	if last {
-		vec = n.last
+// emitTrees adopts the sealed round's snapshot emission into the walker's
+// reusable tree headers. Must run after seal; safe while a background
+// walk for the next round is already running.
+func (w *walker) emitTrees(req Request) {
+	if req.Want3D {
+		w.t3h.AdoptRoot(w.sealedWidth, w.emitTree(false, &w.torn))
 	}
-	var label bitvec.Label = vec
-	if w.compress {
-		if last {
-			if s := bitvec.CompressVector(vec, n.lastSet); s != nil {
-				n.lastSet, label = s, s
-			}
-		} else {
-			if s := bitvec.CompressVector(vec, n.allSet); s != nil {
-				n.allSet, label = s, s
-			}
-		}
+	if req.Want2D {
+		w.t2h.AdoptRoot(w.sealedWidth, w.emitTree(true, &w.torn))
 	}
-	out := trace.NewPooledNode(trace.Frame{Function: n.name}, label)
-	for _, c := range n.children {
-		if c.epoch != w.epoch {
-			continue
-		}
-		if last && c.lastEpoch != w.epoch {
-			continue
-		}
-		out.Children = append(out.Children, w.emit(c, last))
+	if w.torn != 0 {
+		w.eng.torn.Add(w.torn)
+		w.torn = 0
 	}
-	return out
 }
 
 // hashPCs is FNV-1a folded over whole words — cheap, and collisions are
