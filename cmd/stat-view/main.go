@@ -1,13 +1,20 @@
 // Command stat-view renders a merged call-graph prefix tree saved by
 // `stat -save`: as an indented outline, as equivalence classes, or as
-// Graphviz DOT (the paper's Figure 1 rendering).
+// Graphviz DOT (the paper's Figure 1 rendering). It also replays stream
+// captures recorded by `stat -stream N -stream-save`: each delta frame is
+// folded into the live tree with trace.ApplyDelta, reporting the rounds
+// where the equivalence classes changed, then the final tree renders as
+// usual.
 //
 //	stat -tasks 1024 -save run.tree
 //	stat-view run.tree                # outline + classes
 //	stat-view -dot run.tree > fig.dot # Graphviz
+//	stat -tasks 1024 -stream 20 -stream-save run.stsm
+//	stat-view run.stsm                # replay the stream, then render
 package main
 
 import (
+	"encoding/binary"
 	"flag"
 	"fmt"
 	"os"
@@ -16,19 +23,103 @@ import (
 	"stat/internal/trace"
 )
 
+// replayStream folds an STSM capture (see cmd/stat's streamCapture) back
+// into a live tree, printing one line per round and flagging class
+// transitions. Returns the final folded tree.
+func replayStream(data []byte, quiet bool) (*trace.Tree, error) {
+	if len(data) < 5 || data[4] != 1 {
+		return nil, fmt.Errorf("unsupported stream capture header")
+	}
+	rest := data[5:]
+	var live *trace.Tree
+	prevClasses := ""
+	for round := 0; len(rest) > 0; round++ {
+		if len(rest) < 5 {
+			return nil, fmt.Errorf("round %d: truncated record header", round)
+		}
+		kind := rest[0]
+		n := int(binary.LittleEndian.Uint32(rest[1:5]))
+		rest = rest[5:]
+		if kind > 1 {
+			return nil, fmt.Errorf("round %d: unknown record kind %d", round, kind)
+		}
+		if n > len(rest) {
+			return nil, fmt.Errorf("round %d: truncated frame (%d of %d bytes)", round, len(rest), n)
+		}
+		frame := rest[:n]
+		rest = rest[n:]
+		what := "whole tree"
+		if kind == 0 {
+			t, err := trace.UnmarshalBinary(frame)
+			if err != nil {
+				return nil, fmt.Errorf("round %d: %w", round, err)
+			}
+			if live != nil {
+				live.Release()
+			}
+			live = t
+		} else {
+			what = "delta"
+			if live == nil {
+				return nil, fmt.Errorf("round %d: delta frame with no preceding whole tree", round)
+			}
+			d, err := trace.UnmarshalDelta(frame)
+			if err != nil {
+				return nil, fmt.Errorf("round %d: %w", round, err)
+			}
+			err = trace.ApplyDelta(live, d)
+			d.Release()
+			if err != nil {
+				return nil, fmt.Errorf("round %d: fold: %w", round, err)
+			}
+		}
+		cs := live.EquivalenceClasses()
+		sig := ""
+		for _, c := range cs {
+			sig += c.String() + "\n"
+		}
+		note := ""
+		if round > 0 && sig != prevClasses {
+			note = "  << classes changed"
+		}
+		prevClasses = sig
+		if !quiet {
+			fmt.Printf("round %3d: %s, %d bytes, %d nodes, %d classes%s\n",
+				round, what, n, live.NodeCount(), len(cs), note)
+		}
+	}
+	if live == nil {
+		return nil, fmt.Errorf("capture holds no rounds")
+	}
+	return live, nil
+}
+
 func main() {
 	dot := flag.Bool("dot", false, "emit Graphviz DOT on stdout")
 	classes := flag.Bool("classes", true, "print equivalence classes")
 	outline := flag.Bool("outline", true, "print the tree outline")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: stat-view [-dot] [-classes] [-outline] <tree file>")
+		fmt.Fprintln(os.Stderr, "usage: stat-view [-dot] [-classes] [-outline] <tree or stream-capture file>")
 		os.Exit(2)
 	}
 	data, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "stat-view:", err)
 		os.Exit(1)
+	}
+	if len(data) >= 4 && string(data[:4]) == "STSM" {
+		// -dot keeps stdout clean for the graph, so the replay runs silent.
+		tree, err := replayStream(data, *dot)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "stat-view:", err)
+			os.Exit(1)
+		}
+		if !*dot {
+			fmt.Println()
+		}
+		render(flag.Arg(0), tree, *dot, *classes, *outline)
+		return
 	}
 	// The decoder dispatches on the magic, so v1 captures from old builds,
 	// 8-aligned v2 saves, and compressed-label v3 saves open alike; sniff
@@ -46,19 +137,26 @@ func main() {
 		os.Exit(1)
 	}
 
-	if *dot {
-		if err := tree.WriteDOT(os.Stdout, flag.Arg(0)); err != nil {
+	if !*dot {
+		fmt.Printf("%s: wire format v%d\n", flag.Arg(0), version)
+		if ls := codec.LabelStats(); ls.Labels() > 0 {
+			fmt.Printf("label containers: %d run, %d array, %d dense (%d label bytes on the wire)\n",
+				ls.Run, ls.Array, ls.Dense, ls.Bytes())
+		}
+	}
+	render(flag.Arg(0), tree, *dot, *classes, *outline)
+}
+
+// render emits the common views of a loaded (or replayed) tree.
+func render(name string, tree *trace.Tree, dot, classes, outline bool) {
+	if dot {
+		if err := tree.WriteDOT(os.Stdout, name); err != nil {
 			fmt.Fprintln(os.Stderr, "stat-view:", err)
 			os.Exit(1)
 		}
 		return
 	}
-	fmt.Printf("%s: wire format v%d, %d tasks, %d nodes, depth %d\n",
-		flag.Arg(0), version, tree.NumTasks, tree.NodeCount(), tree.Depth())
-	if ls := codec.LabelStats(); ls.Labels() > 0 {
-		fmt.Printf("label containers: %d run, %d array, %d dense (%d label bytes on the wire)\n",
-			ls.Run, ls.Array, ls.Dense, ls.Bytes())
-	}
+	fmt.Printf("%d tasks, %d nodes, depth %d\n", tree.NumTasks, tree.NodeCount(), tree.Depth())
 	// The root sentinel's label holds every task that contributed a trace,
 	// so it doubles as the capture's coverage record: a tree saved from a
 	// degraded (fault-tolerant) gather covers only the surviving ranks.
@@ -75,10 +173,10 @@ func main() {
 		fmt.Printf("coverage: complete (%d ranks)\n", covered)
 	}
 	fmt.Println()
-	if *outline {
+	if outline {
 		fmt.Print(tree)
 	}
-	if *classes {
+	if classes {
 		fmt.Println("\nequivalence classes:")
 		for _, c := range tree.EquivalenceClasses() {
 			fmt.Printf("  %s\n", c)

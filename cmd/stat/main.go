@@ -6,9 +6,12 @@
 //	stat -machine bgl -mode vn -tasks 8192    # BG/L virtual-node mode
 //	stat -topology 2deep -bitvec hierarchical # the optimized configuration
 //	stat -dot tree.dot                        # write the 3D tree as DOT
+//	stat -stream 20 -stream-save run.stsm     # streaming temporal mode
 package main
 
 import (
+	"bufio"
+	"encoding/binary"
 	"flag"
 	"fmt"
 	"os"
@@ -20,6 +23,7 @@ import (
 	"stat/internal/proto"
 	"stat/internal/tbon"
 	"stat/internal/topology"
+	"stat/internal/trace"
 )
 
 func main() {
@@ -98,6 +102,106 @@ func fillFaultPlan(plan *tbon.FaultPlan, topo *topology.Tree,
 	return nil
 }
 
+// streamCaptureMagic heads a stream capture file: the magic, a format
+// byte, then one record per observed round — a kind byte (0 = whole 2D
+// tree, 1 = delta frame), a little-endian uint32 payload length, and the
+// frame bytes in the trace wire format. Record 0 is always the cold
+// gather's whole tree; stat-view replays the sequence with
+// trace.ApplyDelta.
+const (
+	streamCaptureMagic   = "STSM"
+	streamCaptureVersion = 1
+)
+
+// streamCapture records a streaming session's 2D rounds. The session
+// hands the hook folded resident trees, not wire frames, so delta records
+// are re-derived: XORing the previous round's retained copy with the
+// current tree (trace.MergeXor) yields exactly the canonical delta frame
+// between the two rounds, pruned of unchanged subtrees.
+type streamCapture struct {
+	f       *os.File
+	w       *bufio.Writer
+	prev    *trace.Tree
+	records int
+	bytes   int64
+	err     error
+}
+
+func newStreamCapture(path string) (*streamCapture, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	c := &streamCapture{f: f, w: bufio.NewWriter(f)}
+	c.w.WriteString(streamCaptureMagic)
+	c.w.WriteByte(streamCaptureVersion)
+	return c, nil
+}
+
+func (c *streamCapture) fail(err error) {
+	if c.err == nil {
+		c.err = err
+	}
+}
+
+func (c *streamCapture) record(delta bool, t2 *trace.Tree) {
+	if c.err != nil {
+		return
+	}
+	enc, err := t2.MarshalBinaryV(trace.WireV3)
+	if err != nil {
+		c.fail(err)
+		return
+	}
+	// cur is this round's retained copy: owned mutable labels, so the next
+	// round can XOR against it.
+	cur, err := trace.UnmarshalBinary(enc)
+	if err != nil {
+		c.fail(err)
+		return
+	}
+	kind, payload := byte(0), enc
+	if delta && c.prev != nil {
+		if err := trace.MergeXor(c.prev, t2); err != nil {
+			c.fail(err)
+			return
+		}
+		if payload, err = c.prev.AppendBinaryDeltaV(nil, trace.WireV3); err != nil {
+			c.fail(err)
+			return
+		}
+		kind = 1
+	}
+	if c.prev != nil {
+		c.prev.Release()
+	}
+	c.prev = cur
+	var lenBuf [4]byte
+	binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(payload)))
+	c.w.WriteByte(kind)
+	c.w.Write(lenBuf[:])
+	if _, err := c.w.Write(payload); err != nil {
+		c.fail(err)
+		return
+	}
+	c.records++
+	c.bytes += int64(len(payload))
+}
+
+func (c *streamCapture) close() error {
+	if c.prev != nil {
+		c.prev.Release()
+		c.prev = nil
+	}
+	if err := c.w.Flush(); err != nil {
+		c.fail(err)
+	}
+	if err := c.f.Close(); err != nil {
+		c.fail(err)
+	}
+	return c.err
+}
+
 // byteCount renders a byte total with a binary-unit suffix for the
 // container-mix report.
 func byteCount(n int64) string {
@@ -135,6 +239,9 @@ func run() error {
 		samplerName = flag.String("sampler", "batched", "daemon sampling engine: batched (direct-to-tree trie) or legacy (per-sample loop)")
 		sampWorkers = flag.Int("sample-workers", 0, "batched sampler's concurrent daemon-walker bound (0 = GOMAXPROCS)")
 		overlapName = flag.String("overlap", "snapshot", "walk/gather overlap: snapshot (emit round N while walking N+1) or quiesced (strict sequence)")
+		stream      = flag.Int("stream", 0, "streaming temporal mode: run this many differential sample/gather rounds after the initial snapshot (delta frames on v2+ wires)")
+		streamWhole = flag.Bool("stream-whole", false, "stream whole trees every round instead of delta frames (the reference/debug leg)")
+		streamSave  = flag.String("stream-save", "", "record the streamed 2D rounds as a stream capture (STSM) for stat-view replay")
 		faultTol    = flag.Bool("fault-tolerant", false, "degrade gracefully when overlay subtrees fail: report partial results with a surviving-rank set instead of failing the run")
 		subTimeout  = flag.Duration("subtree-timeout", 0, "per-subtree gather timeout under -fault-tolerant (0 = 5s default)")
 		crashDaemon = flag.String("crash-daemons", "", "inject: crash these daemons mid-gather (leaf-index ranges, e.g. 0-3,7); requires -fault-tolerant")
@@ -159,8 +266,39 @@ func run() error {
 		ReduceBudgetBytes: *budget,
 		WireVersion:       uint8(*wireVersion),
 		SampleWorkers:     *sampWorkers,
+		Stream:            *stream,
+		StreamWholeTree:   *streamWhole,
 		FaultTolerant:     *faultTol,
 		SubtreeTimeout:    *subTimeout,
+	}
+	var capture *streamCapture
+	if *streamSave != "" {
+		if *stream <= 0 {
+			return fmt.Errorf("-stream-save requires -stream")
+		}
+		var err error
+		if capture, err = newStreamCapture(*streamSave); err != nil {
+			return err
+		}
+		defer func() {
+			// Reached only on early-error paths; the success path closes
+			// (and nils) the capture after the stream summary.
+			if capture != nil {
+				capture.close()
+			}
+		}()
+	}
+	if *stream > 0 {
+		opts.StreamRound = func(round int, delta bool, t2, t3 *trace.Tree) {
+			kind := "whole"
+			if delta {
+				kind = "delta"
+			}
+			fmt.Printf("  stream round %3d: %s, %d classes\n", round, kind, len(t2.EquivalenceClasses()))
+			if capture != nil {
+				capture.record(delta, t2)
+			}
+		}
 	}
 	injecting := *crashDaemon != "" || *crashNodes != "" || *cutNodes != "" || *slowNodes != ""
 	if injecting {
@@ -289,6 +427,9 @@ func run() error {
 	if res.Times.Remap > 0 {
 		fmt.Printf("  remap    %8.3fs\n", res.Times.Remap)
 	}
+	if res.StreamRounds > 0 {
+		fmt.Printf("  stream   %8.4fs (%d rounds)\n", res.Times.Stream, res.StreamRounds)
+	}
 	fmt.Printf("  total    %8.2fs\n", res.Times.Total())
 	if res.Times.SampleSteady > 0 {
 		fmt.Printf("  steady-state rounds: %.4fs/round (%.4fs walk, %.4fs hidden behind the reduction)\n",
@@ -318,6 +459,34 @@ func run() error {
 				"%d walks prefetched, %.3fms walk time hidden\n",
 				ss.Snapshots, ss.SnapshotTornReads, ss.PrefetchedWalks,
 				float64(ss.HiddenWalkNanos)/1e6)
+		}
+	}
+
+	if res.StreamRounds > 0 {
+		fmt.Printf("\nstreaming: %d rounds (%d delta, %d whole)", res.StreamRounds,
+			res.StreamDeltaRounds, res.StreamRounds-res.StreamDeltaRounds)
+		if res.StreamDeltaRounds > 0 {
+			fmt.Printf("; delta ingress %s/round (%d nodes folded)",
+				byteCount(res.StreamDeltaBytes/int64(res.StreamDeltaRounds)), res.StreamDeltaNodes)
+		}
+		if whole := res.StreamRounds - res.StreamDeltaRounds; whole > 0 {
+			fmt.Printf("; whole-tree ingress %s/round", byteCount(res.StreamWholeBytes/int64(whole)))
+		}
+		fmt.Println()
+		if res.StreamMixedRetries > 0 {
+			fmt.Printf("  %d mixed round(s) re-gathered as whole trees\n", res.StreamMixedRetries)
+		}
+		for _, ev := range res.StreamEvents {
+			fmt.Printf("  class transition at round %d: %d -> %d classes\n",
+				ev.Round, ev.PrevClasses, ev.Classes)
+		}
+		if capture != nil {
+			records, captured := capture.records, capture.bytes
+			if err := capture.close(); err != nil {
+				return fmt.Errorf("stream capture: %w", err)
+			}
+			capture = nil
+			fmt.Printf("  recorded %d rounds (%s) to %s\n", records, byteCount(captured), *streamSave)
 		}
 	}
 

@@ -140,6 +140,20 @@ func (v *Vector) AndNot(o *Vector) error {
 	return nil
 }
 
+// XorWith toggles every member of o in v — the symmetric-difference
+// kernel behind delta frames: applied once it turns round N−1's label
+// into round N's, applied twice it is the identity, which is what lets
+// the front end fold delta frames into a live tree in place.
+func (v *Vector) XorWith(o *Vector) error {
+	if o.n != v.n {
+		return fmt.Errorf("%w: %d vs %d", ErrWidthMismatch, v.n, o.n)
+	}
+	for i, w := range o.words {
+		v.words[i] ^= w
+	}
+	return nil
+}
+
 // Concat returns a new vector of width v.Len()+o.Len() whose low bits are v
 // and whose high bits are o. This is the merge operation of the *optimized*
 // hierarchical representation: a parent's task space is the concatenation of

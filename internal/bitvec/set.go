@@ -463,6 +463,51 @@ func (v *Vector) AndNotLabel(l Label) error {
 	panic("bitvec: unknown label implementation")
 }
 
+// XorLabel toggles l's members in v, whatever l's representation: dense
+// labels take the word-XOR path, compressed sets flip word-level per
+// extent and per member. This is the delta-fold kernel — a delta frame's
+// label is the XOR of a node's labels in two successive rounds, and
+// folding it into the live tree is exactly this toggle.
+func (v *Vector) XorLabel(l Label) error {
+	switch o := l.(type) {
+	case *Vector:
+		return v.XorWith(o)
+	case *Set:
+		if o.width != v.n {
+			return fmt.Errorf("bitvec: length mismatch %d vs %d", v.n, o.width)
+		}
+		for _, e := range o.extents {
+			flipRange(v.words, int(e.Start), int(e.Count))
+		}
+		for _, m := range o.elems {
+			v.words[m>>6] ^= 1 << (uint(m) & 63)
+		}
+		return nil
+	}
+	panic("bitvec: unknown label implementation")
+}
+
+// flipRange toggles bits [lo, lo+n) of words — fillRange's XOR sibling,
+// behind the compressed-label delta fold.
+func flipRange(words []uint64, lo, n int) {
+	if n <= 0 {
+		return
+	}
+	hi := lo + n // exclusive
+	wlo, whi := lo>>6, (hi-1)>>6
+	loMask := ^uint64(0) << (uint(lo) & 63)
+	hiMask := ^uint64(0) >> (63 - (uint(hi-1) & 63))
+	if wlo == whi {
+		words[wlo] ^= loMask & hiMask
+		return
+	}
+	words[wlo] ^= loMask
+	for w := wlo + 1; w < whi; w++ {
+		words[w] = ^words[w]
+	}
+	words[whi] ^= hiMask
+}
+
 // Equal reports whether two labels have the same width and members,
 // across representations: a dense vector and a compressed set with the
 // same population are equal.

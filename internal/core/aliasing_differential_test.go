@@ -23,7 +23,7 @@ func copyingMergeFilter(hierarchical bool, version uint8) tbon.Filter {
 		lists := make([][]*trace.Tree, len(children))
 		for i, c := range children {
 			var err error
-			lists[i], err = appendDecodedTrees(codec, nil, c, nil, nil)
+			lists[i], err = appendDecodedTrees(codec, nil, c, nil, nil, false)
 			if err != nil {
 				return nil, err
 			}
@@ -94,80 +94,80 @@ func TestAliasingDecodeMatchesCopyingAcrossEngines(t *testing.T) {
 	funcs := []string{"m", "ab", "xyz", "solve", "mpi_wait_all", "io"}
 
 	for _, version := range []uint8{trace.WireV1, trace.WireV2} {
-	for _, mode := range []BitVecMode{Original, Hierarchical} {
-		tool, err := New(Options{
-			Machine:  machine.Atlas(),
-			Tasks:    96,
-			Topology: topology.Spec{Kind: topology.KindBalanced, Depth: 2},
-			BitVec:   mode,
-			Samples:  3,
-		})
-		if err != nil {
-			t.Fatal(err)
-		}
-		for _, tc := range topos {
-			topo, err := tc.build()
+		for _, mode := range []BitVecMode{Original, Hierarchical} {
+			tool, err := New(Options{
+				Machine:  machine.Atlas(),
+				Tasks:    96,
+				Topology: topology.Spec{Kind: topology.KindBalanced, Depth: 2},
+				BitVec:   mode,
+				Samples:  3,
+			})
 			if err != nil {
 				t.Fatal(err)
 			}
-			rng := rand.New(rand.NewSource(int64(len(tc.name))*1543 + int64(mode)))
-			nLeaves := topo.NumLeaves()
-			widths := make([]int, nLeaves)
-			total := 0
-			for i := range widths {
-				widths[i] = 1 + rng.Intn(6)
-				total += widths[i]
-			}
-			leafBodies := make([][]byte, nLeaves)
-			off := 0
-			for i := range leafBodies {
-				w, base := widths[i], 0
-				if mode == Original {
-					w, base = total, off
-				}
-				t2, t3 := trace.NewTree(w), trace.NewTree(w)
-				for local := 0; local < widths[i]; local++ {
-					task := local
-					if mode == Original {
-						task = base + local
-					}
-					for s := 0; s < 1+rng.Intn(3); s++ {
-						depth := 1 + rng.Intn(4)
-						fs := make([]string, depth)
-						for d := range fs {
-							fs[d] = funcs[rng.Intn(len(funcs))]
-						}
-						t2.AddStack(task, fs...)
-						t3.AddStack(task, append(fs, "leaffn")...)
-					}
-				}
-				off += widths[i]
-				body, err := encodeTrees(version, t2, t3)
+			for _, tc := range topos {
+				topo, err := tc.build()
 				if err != nil {
 					t.Fatal(err)
 				}
-				leafBodies[i] = body
-			}
+				rng := rand.New(rand.NewSource(int64(len(tc.name))*1543 + int64(mode)))
+				nLeaves := topo.NumLeaves()
+				widths := make([]int, nLeaves)
+				total := 0
+				for i := range widths {
+					widths[i] = 1 + rng.Intn(6)
+					total += widths[i]
+				}
+				leafBodies := make([][]byte, nLeaves)
+				off := 0
+				for i := range leafBodies {
+					w, base := widths[i], 0
+					if mode == Original {
+						w, base = total, off
+					}
+					t2, t3 := trace.NewTree(w), trace.NewTree(w)
+					for local := 0; local < widths[i]; local++ {
+						task := local
+						if mode == Original {
+							task = base + local
+						}
+						for s := 0; s < 1+rng.Intn(3); s++ {
+							depth := 1 + rng.Intn(4)
+							fs := make([]string, depth)
+							for d := range fs {
+								fs[d] = funcs[rng.Intn(len(funcs))]
+							}
+							t2.AddStack(task, fs...)
+							t3.AddStack(task, append(fs, "leaffn")...)
+						}
+					}
+					off += widths[i]
+					body, err := encodeTrees(version, t2, t3)
+					if err != nil {
+						t.Fatal(err)
+					}
+					leafBodies[i] = body
+				}
 
-			leaf := func(i int) ([]byte, error) { return leafBodies[i], nil }
-			net := tbon.New(topo, nil)
-			production := tool.mergeFilter()
-			reference := copyingMergeFilter(mode != Original, version)
-			for _, eng := range engines {
-				want, _, err := net.ReduceWith(eng.opts, leaf, reference)
-				if err != nil {
-					t.Fatalf("v%d/%v/%s/%s copying: %v", version, mode, tc.name, eng.name, err)
-				}
-				got, _, err := net.ReduceWith(eng.opts, leaf, production)
-				if err != nil {
-					t.Fatalf("v%d/%v/%s/%s aliasing: %v", version, mode, tc.name, eng.name, err)
-				}
-				if !bytes.Equal(got, want) {
-					t.Errorf("v%d/%v/%s/%s: aliasing filter output differs from copying filter",
-						version, mode, tc.name, eng.name)
+				leaf := func(i int) ([]byte, error) { return leafBodies[i], nil }
+				net := tbon.New(topo, nil)
+				production := tool.mergeFilter()
+				reference := copyingMergeFilter(mode != Original, version)
+				for _, eng := range engines {
+					want, _, err := net.ReduceWith(eng.opts, leaf, reference)
+					if err != nil {
+						t.Fatalf("v%d/%v/%s/%s copying: %v", version, mode, tc.name, eng.name, err)
+					}
+					got, _, err := net.ReduceWith(eng.opts, leaf, production)
+					if err != nil {
+						t.Fatalf("v%d/%v/%s/%s aliasing: %v", version, mode, tc.name, eng.name, err)
+					}
+					if !bytes.Equal(got, want) {
+						t.Errorf("v%d/%v/%s/%s: aliasing filter output differs from copying filter",
+							version, mode, tc.name, eng.name)
+					}
 				}
 			}
 		}
-	}
 	}
 }

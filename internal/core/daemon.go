@@ -130,6 +130,10 @@ type sampleBatch struct {
 	t2, t3 *trace.Tree
 	batch  sample.Batch
 	legacy bool
+	// delta marks t2/t3 as delta frames (XOR trees from the engine's
+	// round-over-round extractor) rather than whole trees; the gather
+	// reply then goes out as MsgDelta.
+	delta bool
 }
 
 func (b *sampleBatch) release() {
@@ -180,6 +184,26 @@ func (d *daemon) sampleTrees(req proto.GatherRequest) (sampleBatch, error) {
 			// reads extents the walk already computed. Older streams carry
 			// dense labels, so compression would be pure overhead there.
 			Compress: d.wireVersion >= trace.WireV3,
+			// Delta frames exist only in the v2+ formats; a v1-capped
+			// daemon inside a streaming fleet simply keeps answering with
+			// whole trees (and the mixed-round recovery downgrades the
+			// round — the wire-negotiation min-merge rule extended to
+			// frame kinds).
+			Delta: req.Delta && d.wireVersion >= trace.WireV2,
+		}
+		if sreq.Delta {
+			// Streaming rounds need round-over-round trie continuity: the
+			// resident keyed walker guarantees consecutive rounds of this
+			// daemon seal consecutive epochs on one trie, which pooled
+			// checkout can't (walkers shuffle across daemons). The round
+			// before the first delta request may have walked a pooled
+			// walker, so the keyed walker's first round emits whole trees
+			// and deltas start one round later.
+			batch := eng.SampleKeyed(d.leaf, sreq)
+			if batch.DeltaOK {
+				return sampleBatch{t2: batch.Delta2D, t3: batch.Delta3D, batch: batch, delta: true}, nil
+			}
+			return sampleBatch{t2: batch.Tree2D, t3: batch.Tree3D, batch: batch}, nil
 		}
 		if d.tool.opts.Overlap == OverlapSnapshot && !d.tool.opts.FaultTolerant {
 			// Speculate the next round: same shape, advanced by one sample
@@ -270,12 +294,16 @@ func (d *daemon) gatherPacket(req proto.GatherRequest) (*tbon.Lease, error) {
 	hdr := proto.HeaderSizeV(version)
 	size := encodedTreesSize(version, trees)
 	buf := outBufs.Get(hdr + size)
-	packet, err := encodeTreesInto(buf[:hdr], version, trees...)
+	packet, err := encodeFramesInto(buf[:hdr], version, sb.delta, trees...)
 	sb.release()
 	if err != nil {
 		outBufs.Put(buf)
 		return nil, err
 	}
-	proto.PutHeaderV(packet, version, proto.DataStream, proto.MsgResult, len(packet)-hdr)
+	typ := proto.MsgResult
+	if sb.delta {
+		typ = proto.MsgDelta
+	}
+	proto.PutHeaderV(packet, version, proto.DataStream, typ, len(packet)-hdr)
 	return tbon.NewLease(packet, recycleOutBuf), nil
 }

@@ -17,13 +17,13 @@ import (
 // on the BG/L machine model (co-processor mode); everything else on Atlas.
 func faultCaseOpts(topo topology.Spec, mode BitVecMode, wire uint8, engine tbon.Engine) Options {
 	opts := Options{
-		Machine:  machine.Atlas(),
-		Tasks:    64,
-		Topology: topo,
-		BitVec:   mode,
-		Samples:  2,
+		Machine:     machine.Atlas(),
+		Tasks:       64,
+		Topology:    topo,
+		BitVec:      mode,
+		Samples:     2,
 		WireVersion: wire,
-		Engine:   engine,
+		Engine:      engine,
 	}
 	if topo.Kind == topology.KindBGL2Deep || topo.Kind == topology.KindBGL3Deep {
 		opts.Machine = machine.BGL()

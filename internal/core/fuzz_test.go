@@ -26,17 +26,17 @@ func FuzzDecodeTrees(f *testing.F) {
 	validV1 := mk(trace.WireV1)
 	validV2 := mk(trace.WireV2)
 	f.Add([]byte{})
-	f.Add([]byte{0})                            // zero trees, empty v1 body
-	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0})      // zero trees, empty v2 body
-	f.Add([]byte{2})                            // claims two trees, carries none
+	f.Add([]byte{0})                      // zero trees, empty v1 body
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0}) // zero trees, empty v2 body
+	f.Add([]byte{2})                      // claims two trees, carries none
 	f.Add(validV1)
 	f.Add(validV2)
-	f.Add(validV1[:len(validV1)-3])                // truncated tree body
-	f.Add(validV2[:len(validV2)-5])                // truncated v2 tree body
-	f.Add(validV1[:5])                             // truncated length frame
-	f.Add(validV2[:12])                            // truncated v2 length frame
-	f.Add(append(bytes.Clone(validV1), 1, 2, 3))   // trailing bytes
-	f.Add(append(bytes.Clone(validV2), 1, 2, 3))   // trailing bytes after v2
+	f.Add(validV1[:len(validV1)-3])              // truncated tree body
+	f.Add(validV2[:len(validV2)-5])              // truncated v2 tree body
+	f.Add(validV1[:5])                           // truncated length frame
+	f.Add(validV2[:12])                          // truncated v2 length frame
+	f.Add(append(bytes.Clone(validV1), 1, 2, 3)) // trailing bytes
+	f.Add(append(bytes.Clone(validV2), 1, 2, 3)) // trailing bytes after v2
 	big := bytes.Clone(validV1)
 	big[1], big[2], big[3], big[4] = 0xFF, 0xFF, 0xFF, 0x7F // huge frame length
 	f.Add(big)

@@ -62,31 +62,47 @@ var recycleOutBuf = outBufs.Put
 // version, and an empty body is distinguished by the v2 count padding.
 // An empty v3 body is byte-identical to an empty v2 body and reports 2 —
 // harmless, since with no trees the two framings are the same bytes and
-// gather payloads always carry at least one tree.
+// gather payloads always carry at least one tree. Delta bodies (the same
+// framing carrying "STD" frames) are rejected here; use bodyFrameInfo
+// where both kinds are admissible.
 func bodyWireVersion(b []byte) (uint8, error) {
+	v, delta, err := bodyFrameInfo(b)
+	if err != nil {
+		return 0, err
+	}
+	if delta {
+		return 0, errors.New("core: delta frames in a whole-tree payload")
+	}
+	return v, nil
+}
+
+// bodyFrameInfo sniffs a tree-list body's framing version and whether it
+// carries delta frames (MsgDelta bodies) or whole trees. The two kinds
+// share the framing byte-for-byte; only the per-tree magic differs.
+func bodyFrameInfo(b []byte) (version uint8, delta bool, err error) {
 	if len(b) == 0 {
-		return 0, errors.New("core: empty tree payload")
+		return 0, false, errors.New("core: empty tree payload")
 	}
 	if b[0] == 0 {
 		switch len(b) {
 		case 1:
-			return 1, nil
+			return 1, false, nil
 		case 8:
-			return 2, nil
+			return 2, false, nil
 		}
-		return 0, errors.New("core: malformed empty tree payload")
+		return 0, false, errors.New("core: malformed empty tree payload")
 	}
 	if len(b) >= 5+4 {
-		if v, err := trace.SniffWireVersion(b[5:]); err == nil && v == trace.WireV1 {
-			return 1, nil
+		if v, d, err := trace.SniffFrame(b[5:]); err == nil && v == trace.WireV1 {
+			return 1, d, nil
 		}
 	}
 	if len(b) >= 16+4 {
-		if v, err := trace.SniffWireVersion(b[16:]); err == nil && v >= trace.WireV2 {
-			return v, nil
+		if v, d, err := trace.SniffFrame(b[16:]); err == nil && v >= trace.WireV2 {
+			return v, d, nil
 		}
 	}
-	return 0, errors.New("core: unrecognized tree payload framing")
+	return 0, false, errors.New("core: unrecognized tree payload framing")
 }
 
 // encodedTreesSize reports the exact encodeTreesInto output size for the
@@ -107,7 +123,7 @@ func encodedTreesSize(version uint8, trees []*trace.Tree) int {
 // version (count-prefixed, length-framed; see bodyWireVersion) — the body
 // of a MsgResult packet. A normal gather carries two trees (2D then 3D).
 func encodeTrees(version uint8, trees ...*trace.Tree) ([]byte, error) {
-	return encodeTreesInto(nil, version, trees...)
+	return encodeFramesInto(nil, version, false, trees...)
 }
 
 // encodeTreesInto appends the encoding to dst (which may be nil or a
@@ -115,6 +131,14 @@ func encodeTrees(version uint8, trees ...*trace.Tree) ([]byte, error) {
 // the exact encoded size once and every tree is appended in place — with
 // a dst of sufficient capacity the encode allocates nothing.
 func encodeTreesInto(dst []byte, version uint8, trees ...*trace.Tree) ([]byte, error) {
+	return encodeFramesInto(dst, version, false, trees...)
+}
+
+// encodeFramesInto is encodeTreesInto generalized over the frame kind:
+// with delta set the trees are encoded as delta frames ("STD" magics, XOR
+// labels — the body of a MsgDelta packet), under the identical list
+// framing. Delta frames require v2+.
+func encodeFramesInto(dst []byte, version uint8, delta bool, trees ...*trace.Tree) ([]byte, error) {
 	if len(trees) > 255 {
 		return nil, fmt.Errorf("core: %d trees exceed payload count limit", len(trees))
 	}
@@ -140,7 +164,11 @@ func encodeTreesInto(dst []byte, version uint8, trees ...*trace.Tree) ([]byte, e
 		}
 		treePos := len(out)
 		var err error
-		out, err = t.AppendBinaryV(out, version)
+		if delta {
+			out, err = t.AppendBinaryDeltaV(out, version)
+		} else {
+			out, err = t.AppendBinaryV(out, version)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -154,7 +182,7 @@ func encodeTreesInto(dst []byte, version uint8, trees ...*trace.Tree) ([]byte, e
 // results); the filter hot path decodes through a pooled codec instead
 // (see mergeFilter).
 func decodeTrees(b []byte) ([]*trace.Tree, error) {
-	return appendDecodedTrees(nil, nil, b, nil, nil)
+	return appendDecodedTrees(nil, nil, b, nil, nil, false)
 }
 
 // decodeTreesRemapped parses an encodeTrees body with the front-end remap
@@ -163,7 +191,22 @@ func decodeTrees(b []byte) ([]*trace.Tree, error) {
 // scattered-store sweep over the decoded trees ever runs. The trees own
 // their storage outright.
 func decodeTreesRemapped(b []byte, r *bitvec.Remapper) ([]*trace.Tree, error) {
-	return appendDecodedTrees(nil, nil, b, nil, r)
+	return appendDecodedTrees(nil, nil, b, nil, r, false)
+}
+
+// decodeDeltas parses a MsgDelta body (delta frames under the tree-list
+// framing) into owned trees whose labels are XOR sets — the front end's
+// original-mode fold input.
+func decodeDeltas(b []byte) ([]*trace.Tree, error) {
+	return appendDecodedTrees(nil, nil, b, nil, nil, true)
+}
+
+// decodeDeltasRemapped parses a MsgDelta body with the front-end rank
+// remap fused in. XOR is linear, so the remapped delta folds into the
+// rank-ordered resident tree exactly as the unremapped delta would fold
+// into the concat-ordered one — the hierarchical fold path.
+func decodeDeltasRemapped(b []byte, r *bitvec.Remapper) ([]*trace.Tree, error) {
+	return appendDecodedTrees(nil, nil, b, nil, r, true)
 }
 
 // appendDecodedTrees parses an encodeTrees body (the framing version is
@@ -173,13 +216,21 @@ func decodeTreesRemapped(b []byte, r *bitvec.Remapper) ([]*trace.Tree, error) {
 // into b where alignment allows, pinning the lease under each aliasing
 // tree. With a remapper (exclusive with codec/pin), each tree decodes
 // through trace.UnmarshalBinaryRemapped. A nil codec falls back to
-// trace.UnmarshalBinary. On error, any trees decoded by this call are
+// trace.UnmarshalBinary. delta selects delta-frame bodies (every frame
+// must then carry a delta magic, and vice versa — mixing kinds in one
+// body is a framing error). On error, any trees decoded by this call are
 // released and dst's original prefix is returned.
-func appendDecodedTrees(c *trace.Codec, dst []*trace.Tree, b []byte, pin trace.Pin, remap *bitvec.Remapper) ([]*trace.Tree, error) {
+func appendDecodedTrees(c *trace.Codec, dst []*trace.Tree, b []byte, pin trace.Pin, remap *bitvec.Remapper, delta bool) ([]*trace.Tree, error) {
 	base := len(dst)
-	version, err := bodyWireVersion(b)
+	version, bodyDelta, err := bodyFrameInfo(b)
 	if err != nil {
 		return dst, err
+	}
+	if bodyDelta != delta {
+		if delta {
+			return dst, errors.New("core: expected delta-frame payload, got whole trees")
+		}
+		return dst, errors.New("core: delta frames in a whole-tree payload")
 	}
 	count := int(b[0])
 	frameLen := 4
@@ -210,23 +261,33 @@ func appendDecodedTrees(c *trace.Codec, dst []*trace.Tree, b []byte, pin trace.P
 		if n < 0 || len(b) < n {
 			return releaseDecoded(dst, base, errors.New("core: truncated tree body"))
 		}
-		// The framing and the trees it carries must agree on the version:
-		// our encoders never mix them, and admitting a mix would break the
-		// decode∘encode identity the fuzz harness pins.
-		if tv, err := trace.SniffWireVersion(b[:n]); err != nil {
+		// The framing and the trees it carries must agree on the version
+		// and the frame kind: our encoders never mix them, and admitting a
+		// mix would break the decode∘encode identity the fuzz harness pins.
+		if tv, td, err := trace.SniffFrame(b[:n]); err != nil {
 			return releaseDecoded(dst, base, err)
 		} else if tv != version {
 			return releaseDecoded(dst, base, fmt.Errorf("core: v%d tree inside v%d framing", tv, version))
+		} else if td != delta {
+			return releaseDecoded(dst, base, errors.New("core: mixed frame kinds in one tree payload"))
 		}
 		var t *trace.Tree
 		var err error
 		switch {
+		case remap != nil && delta:
+			t, err = trace.UnmarshalDeltaRemapped(b[:n], remap)
 		case remap != nil:
 			t, err = trace.UnmarshalBinaryRemapped(b[:n], remap)
+		case c != nil && pin != nil && delta:
+			t, err = c.DecodeDeltaAliasing(b[:n], pin)
 		case c != nil && pin != nil:
 			t, err = c.DecodeTreeAliasing(b[:n], pin)
+		case c != nil && delta:
+			t, err = c.DecodeDelta(b[:n])
 		case c != nil:
 			t, err = c.DecodeTree(b[:n])
+		case delta:
+			t, err = trace.UnmarshalDelta(b[:n])
 		default:
 			t, err = trace.UnmarshalBinary(b[:n])
 		}
@@ -320,6 +381,24 @@ func (t *Tool) mergeFilter() tbon.Filter {
 // storage recycles, and the input leases drop back to the engine's
 // reference.
 func (t *Tool) treeMerger() func(children []*tbon.Lease, prefixLen int, version uint8) ([]byte, error) {
+	return t.frameMerger(false)
+}
+
+// deltaMerger is the merge kernel for MsgDelta bodies: identical cycle,
+// identical framing, but every frame is a delta frame. Hierarchical mode
+// needs no new merge at all — XOR labels concatenate exactly like task
+// sets (disjoint task spaces), and a concat of canonical delta frames is
+// canonical: a node survives iff some part included it, and a part that
+// included it for descent alone contributes an empty slice to a label
+// whose other slices may be empty too, in which case the node had
+// included children. Original mode combines matching nodes by XOR
+// (trace.MergeXor) — the operation that commutes with the downstream
+// fold — instead of union.
+func (t *Tool) deltaMerger() func(children []*tbon.Lease, prefixLen int, version uint8) ([]byte, error) {
+	return t.frameMerger(true)
+}
+
+func (t *Tool) frameMerger(delta bool) func(children []*tbon.Lease, prefixLen int, version uint8) ([]byte, error) {
 	hierarchical := t.opts.BitVec != Original
 	return func(children []*tbon.Lease, prefixLen int, version uint8) (out []byte, err error) {
 		if len(children) == 0 {
@@ -361,9 +440,9 @@ func (t *Tool) treeMerger() func(children []*tbon.Lease, prefixLen int, version 
 		for _, c := range children {
 			start := len(s.flat)
 			if hierarchical {
-				s.flat, err = appendDecodedTrees(s.codec, s.flat, c.Bytes(), c, nil)
+				s.flat, err = appendDecodedTrees(s.codec, s.flat, c.Bytes(), c, nil, delta)
 			} else {
-				s.flat, err = appendDecodedTrees(s.codec, s.flat, c.Bytes(), nil, nil)
+				s.flat, err = appendDecodedTrees(s.codec, s.flat, c.Bytes(), nil, nil, delta)
 			}
 			if err != nil {
 				return nil, err
@@ -380,7 +459,12 @@ func (t *Tool) treeMerger() func(children []*tbon.Lease, prefixLen int, version 
 			if !hierarchical {
 				acc := s.lists[0][ti]
 				for ci := 1; ci < len(s.lists); ci++ {
-					if err := trace.MergeUnion(acc, s.lists[ci][ti]); err != nil {
+					if delta {
+						err = trace.MergeXor(acc, s.lists[ci][ti])
+					} else {
+						err = trace.MergeUnion(acc, s.lists[ci][ti])
+					}
+					if err != nil {
 						return nil, err
 					}
 				}
@@ -402,7 +486,7 @@ func (t *Tool) treeMerger() func(children []*tbon.Lease, prefixLen int, version 
 		// pooled buffer).
 		size := encodedTreesSize(version, s.out)
 		buf := outBufs.Get(prefixLen + size)
-		body, err := encodeTreesInto(buf[:prefixLen], version, s.out...)
+		body, err := encodeFramesInto(buf[:prefixLen], version, delta, s.out...)
 		if err != nil {
 			outBufs.Put(buf)
 			return nil, err
@@ -437,12 +521,17 @@ func (t *Tool) runMergePhase(res *Result) error {
 	if err := s.sample(t.opts.Samples, t.opts.ThreadsPerTask); err != nil {
 		return err
 	}
-	payload, version, live, stats, err := s.gather(proto.TreeBoth, false)
+	// A streaming session asks for deltas from round 0 so every daemon's
+	// keyed walker starts accumulating immediately; the first keyed round
+	// has no previous seal, so round 0 still arrives as whole trees and
+	// deltas flow from round 1 (daemon.sampleTrees).
+	wantDelta := t.streamWantsDelta(s)
+	payload, version, isDelta, live, stats, err := s.gather(proto.TreeBoth, false, wantDelta)
 	if err != nil {
 		return err
 	}
-	if err := s.detach(); err != nil {
-		return err
+	if isDelta {
+		return errors.New("core: first gather round answered with delta frames")
 	}
 
 	res.MergeStats = stats
@@ -501,6 +590,17 @@ func (t *Tool) runMergePhase(res *Result) error {
 		return fmt.Errorf("core: gather returned %d trees, want 2", len(trees))
 	}
 	res.Tree2D, res.Tree3D = trees[0], trees[1]
+
+	// Streamed rounds run inside the same attach: the session (and every
+	// daemon's keyed walker chain) stays live until the last round folds.
+	if t.opts.Stream > 0 {
+		if err := t.runStreamPhase(res, s); err != nil {
+			return err
+		}
+	}
+	if err := s.detach(); err != nil {
+		return err
+	}
 
 	// Steady-state round model: repeated gathers of a long session walk
 	// all-warm (Times.Sample already charged the cold round), and the

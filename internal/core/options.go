@@ -31,6 +31,27 @@
 //
 // Filter and merge logic errors remain fatal in every mode: fault
 // tolerance forgives the fabric, never the data.
+//
+// # Session mode matrix
+//
+// Three orthogonal session behaviors compose — or explicitly refuse to:
+//
+//	                 one-shot      streaming (Stream > 0)
+//	overlap=snapshot default: the  deltas ride the same snapshot chain;
+//	                 walk hides    the keyed resident walker adds round
+//	                 behind the    continuity on top of overlap, so both
+//	                 reduction     compose freely
+//	overlap=quiesced strict walk→  streams too — delta extraction happens
+//	                 gather        at seal time either way
+//	fault-tolerant   degraded      REJECTED (fillDefaults): a partial
+//	                 partial       fold has no well-defined delta base;
+//	                 results       see ROADMAP for the per-subtree
+//	                               re-sync epoch design that lifts this
+//
+// Within a streaming session the delta machinery degrades rather than
+// demands: a v1 fleet (or Options.StreamWholeTree) streams whole trees,
+// a daemon whose walker lost continuity answers whole and re-deltas the
+// next round, and a mixed round re-gathers whole deterministically.
 package core
 
 import (
@@ -43,6 +64,7 @@ import (
 	"stat/internal/proto"
 	"stat/internal/tbon"
 	"stat/internal/topology"
+	"stat/internal/trace"
 )
 
 // BitVecMode selects the task-set representation (the paper's Section V).
@@ -187,6 +209,31 @@ type Options struct {
 	Transport tbon.Transport
 	// App overrides the default buggy ring application.
 	App *mpisim.App
+	// Stream runs N additional steady-state gather rounds after the
+	// paper's single cold gather — the continuous-monitoring mode. Each
+	// round issues a fresh sample command and gathers again over the same
+	// attached session; on v2+ streams (unless StreamWholeTree) daemons
+	// answer with delta frames — per-node XOR change sets against their
+	// previous round — which the front end folds into the resident trees
+	// with trace.ApplyDelta, so a steady round's wire traffic scales with
+	// what changed, not with the tree. Result.Stream* and
+	// PhaseTimes.Stream report the rounds; Result.Tree2D/Tree3D end as
+	// the final round's trees. Zero means the classic single-gather run.
+	// Mutually exclusive with FaultTolerant: a degraded (partial) fold
+	// has no well-defined delta base.
+	Stream int
+	// StreamWholeTree forces every streamed round to gather whole trees
+	// even where deltas are available — the reference leg the streaming
+	// differential suite compares the delta fold against, and the
+	// baseline of the ingress measurements.
+	StreamWholeTree bool
+	// StreamRound, when non-nil, observes each streamed round after its
+	// fold: the round number, whether the round arrived as delta frames,
+	// and the resident trees (read-only, valid only during the call).
+	// Round 0 is the cold gather the stream starts from (always whole
+	// trees), so a recorder sees the complete replayable sequence. Used
+	// by the CLI's stream capture and the differential tests.
+	StreamRound func(round int, delta bool, t2, t3 *trace.Tree)
 	// FaultTolerant makes the gather degrade gracefully instead of failing
 	// whole-run: subtrees lost to a crash, partition, or timeout are
 	// dropped, the merged result carries a liveness set of the surviving
@@ -253,6 +300,12 @@ func (o *Options) fillDefaults() error {
 	if o.GatherFaults != nil && !o.FaultTolerant {
 		return fmt.Errorf("core: GatherFaults requires FaultTolerant")
 	}
+	if o.Stream < 0 {
+		return fmt.Errorf("core: Stream must be >= 0, got %d", o.Stream)
+	}
+	if o.Stream > 0 && o.FaultTolerant {
+		return fmt.Errorf("core: Stream and FaultTolerant are mutually exclusive (a partial fold has no delta base)")
+	}
 	if o.SubtreeTimeout < 0 {
 		return fmt.Errorf("core: SubtreeTimeout must be >= 0, got %v", o.SubtreeTimeout)
 	}
@@ -312,6 +365,13 @@ type PhaseTimes struct {
 	// pipeline hides behind the round's reduction drain (Merge + Remap):
 	// min(SampleSteady, Merge+Remap) when overlap is on, 0 when quiesced.
 	SampleHidden float64
+	// Stream is the summed modeled reduction time of the streamed rounds
+	// (Options.Stream), each computed from that round's actual gather
+	// traffic — delta rounds ship far fewer bytes, and this is where the
+	// saving lands in the time model. Not part of Total(): like
+	// SampleSteady it describes the ongoing session, not the paper's
+	// single cold gather.
+	Stream float64
 }
 
 // Total sums the phases of the paper's measured single gather (the cold

@@ -46,7 +46,7 @@ func (t *Tool) ProgressCheck() (*ProgressReport, error) {
 		if err := s.sample(t.opts.Samples, t.opts.ThreadsPerTask); err != nil {
 			return nil, err
 		}
-		payload, _, live, _, err := s.gather(proto.Tree3D, true)
+		payload, _, _, live, _, err := s.gather(proto.Tree3D, true, false)
 		if err != nil {
 			return nil, err
 		}

@@ -38,6 +38,12 @@ func (t *Tool) newSession() *session {
 	return s
 }
 
+// errMixedDeltaRound aborts a gather whose children mixed delta frames
+// with whole trees (or partial results). The streaming front end matches
+// it by message substring — reduction engines wrap filter errors — and
+// recovers by re-gathering the round with delta off.
+var errMixedDeltaRound = errors.New("core: mixed delta/whole-tree gather round")
+
 // ackFilter merges MsgAck packets at every interior node. Acks are tiny
 // and fully parsed during the call, so the plain-bytes adapter suffices:
 // nothing outlives the child leases.
@@ -133,22 +139,26 @@ func (s *session) detach() error {
 
 // gather broadcasts the gather command and runs the data-stream reduction
 // whose filter performs the real prefix-tree merges. It returns the
-// merged tree payload, the wire version it is encoded in, the liveness set
-// of the ranks the payload covers (nil when the gather completed in full —
-// the only outcome unless Options.FaultTolerant is set), and the traffic
+// merged tree payload, the wire version it is encoded in, whether the
+// payload is a delta body (MsgDelta — only possible when delta was
+// requested and every daemon qualified), the liveness set of the ranks
+// the payload covers (nil when the gather completed in full — the only
+// outcome unless Options.FaultTolerant is set), and the traffic
 // statistics the timing model needs. detail selects function+offset frame
-// granularity. Leaf payloads are minted by the daemons from the shared
-// buffer pool behind leases (daemon.gatherPacket), so the zero-allocation
-// payload cycle runs end to end: leaf encode → filter decode → merged
-// encode, every buffer recycled through outBufs. The gather is the only
-// reduction that runs under the fault-tolerance options (gatherReduceOpts):
-// control acks stay fault-free.
-func (s *session) gather(which proto.TreeKind, detail bool) ([]byte, uint8, *bitvec.Vector, *tbon.Stats, error) {
-	req := proto.GatherRequest{Which: which, Detail: detail}
+// granularity; delta invites daemons to answer with delta frames against
+// their previous round (streaming sessions). Leaf payloads are minted by
+// the daemons from the shared buffer pool behind leases
+// (daemon.gatherPacket), so the zero-allocation payload cycle runs end to
+// end: leaf encode → filter decode → merged encode, every buffer recycled
+// through outBufs. The gather is the only reduction that runs under the
+// fault-tolerance options (gatherReduceOpts): control acks stay
+// fault-free.
+func (s *session) gather(which proto.TreeKind, detail, delta bool) ([]byte, uint8, bool, *bitvec.Vector, *tbon.Stats, error) {
+	req := proto.GatherRequest{Which: which, Detail: detail, Delta: delta}
 	cmd := proto.Packet{Stream: proto.DataStream, Type: proto.MsgGather, Payload: req.Encode()}
 	delivered, _, err := s.net.Broadcast(cmd.Encode())
 	if err != nil {
-		return nil, 0, nil, nil, err
+		return nil, 0, false, nil, nil, err
 	}
 
 	filter := s.t.resultFilter()
@@ -166,36 +176,37 @@ func (s *session) gather(which proto.TreeKind, detail bool) ([]byte, uint8, *bit
 
 	out, stats, err := s.net.ReduceNodeLeasedWith(s.t.opts.gatherReduceOpts(), leaf, filter)
 	if err != nil {
-		return nil, 0, nil, nil, err
+		return nil, 0, false, nil, nil, err
 	}
 	p, err := proto.Decode(out)
 	if err != nil {
-		return nil, 0, nil, nil, err
+		return nil, 0, false, nil, nil, err
 	}
-	if p.Type != proto.MsgResult && p.Type != proto.MsgPartialResult {
-		return nil, 0, nil, nil, fmt.Errorf("core: gather returned %v", p.Type)
+	if p.Type != proto.MsgResult && p.Type != proto.MsgPartialResult &&
+		!(delta && p.Type == proto.MsgDelta) {
+		return nil, 0, false, nil, nil, fmt.Errorf("core: gather returned %v", p.Type)
 	}
 	// The data stream must carry exactly the version attach negotiated:
 	// daemons encode at their handshake result and the filters propagate
 	// it, so a mismatch here means a filter or daemon ignored the
 	// negotiation.
 	if p.Version != s.wireVersion {
-		return nil, 0, nil, nil, fmt.Errorf("core: result packet carries wire version %d, session negotiated %d", p.Version, s.wireVersion)
+		return nil, 0, false, nil, nil, fmt.Errorf("core: result packet carries wire version %d, session negotiated %d", p.Version, s.wireVersion)
 	}
 	payload := p.Payload
 	var live *bitvec.Vector
 	if p.Type == proto.MsgPartialResult {
 		lv, body, err := proto.SplitPartialPayload(p.Payload, p.Version)
 		if err != nil {
-			return nil, 0, nil, nil, err
+			return nil, 0, false, nil, nil, err
 		}
 		live, _, err = bitvec.UnmarshalBinary(lv)
 		if err != nil {
-			return nil, 0, nil, nil, err
+			return nil, 0, false, nil, nil, err
 		}
 		payload = body
 	}
-	return payload, p.Version, live, stats, nil
+	return payload, p.Version, p.Type == proto.MsgDelta, live, stats, nil
 }
 
 // resultFilter merges MsgResult packets: unwrap, merge the carried trees
@@ -224,6 +235,7 @@ func (s *session) gather(which proto.TreeKind, detail bool) ([]byte, uint8, *bit
 // zero-allocation cycle.
 func (t *Tool) resultFilter() tbon.NodeFilter {
 	merge := t.treeMerger()
+	mergeDelta := t.deltaMerger()
 	return func(ctx *tbon.FilterCtx, children []*tbon.Lease) (*tbon.Lease, error) {
 		bodies := make([]*tbon.Lease, len(children))
 		release := func(n int) {
@@ -233,18 +245,22 @@ func (t *Tool) resultFilter() tbon.NodeFilter {
 		}
 		version := uint8(0)
 		anyPartial := false
+		deltas := 0
 		for i, c := range children {
 			p, err := proto.Decode(c.Bytes())
 			if err != nil {
 				release(i)
 				return nil, err
 			}
-			if p.Type != proto.MsgResult && p.Type != proto.MsgPartialResult {
+			if p.Type != proto.MsgResult && p.Type != proto.MsgPartialResult && p.Type != proto.MsgDelta {
 				release(i)
 				return nil, fmt.Errorf("core: expected result, got %v", p.Type)
 			}
 			if p.Type == proto.MsgPartialResult {
 				anyPartial = true
+			}
+			if p.Type == proto.MsgDelta {
+				deltas++
 			}
 			if version == 0 || p.Version < version {
 				version = p.Version
@@ -255,15 +271,37 @@ func (t *Tool) resultFilter() tbon.NodeFilter {
 			version = proto.Version
 		}
 		hdr := proto.HeaderSizeV(version)
+		// Delta children merge only against delta children: a delta frame
+		// and a whole tree occupy disjoint task slices and there is nothing
+		// sound to combine them into. Uniform-delta joins concatenate (or
+		// XOR) exactly like whole trees; a mixed set — some daemons could
+		// delta this round, some could not — aborts the gather with a typed
+		// error the streaming front end recognizes (errMixedDeltaRound) and
+		// recovers from by re-gathering the round whole, which is
+		// deterministic because sampling re-runs at the same base.
+		if deltas > 0 && (deltas < len(children) || anyPartial) {
+			release(len(children))
+			return nil, errMixedDeltaRound
+		}
 		if anyPartial || ctx.Incomplete() {
+			if deltas > 0 {
+				release(len(bodies))
+				return nil, errMixedDeltaRound
+			}
 			return t.mergePartial(ctx, children, bodies, merge, version, hdr)
 		}
-		packet, err := merge(bodies, hdr, version)
+		outType := proto.MsgResult
+		doMerge := merge
+		if deltas > 0 {
+			outType = proto.MsgDelta
+			doMerge = mergeDelta
+		}
+		packet, err := doMerge(bodies, hdr, version)
 		release(len(bodies))
 		if err != nil {
 			return nil, err
 		}
-		proto.PutHeaderV(packet, version, proto.DataStream, proto.MsgResult, len(packet)-hdr)
+		proto.PutHeaderV(packet, version, proto.DataStream, outType, len(packet)-hdr)
 		return tbon.NewLease(packet, recycleOutBuf), nil
 	}
 }

@@ -35,7 +35,7 @@ func TestSessionFullCycle(t *testing.T) {
 	if err := s.sample(3, 1); err != nil {
 		t.Fatalf("sample: %v", err)
 	}
-	payload, version, live, stats, err := s.gather(proto.TreeBoth, false)
+	payload, version, _, live, stats, err := s.gather(proto.TreeBoth, false, false)
 	if err != nil {
 		t.Fatalf("gather: %v", err)
 	}
@@ -73,7 +73,7 @@ func TestSessionGatherSingleTree(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, kind := range []proto.TreeKind{proto.Tree2D, proto.Tree3D} {
-		payload, _, _, _, err := s.gather(kind, false)
+		payload, _, _, _, _, err := s.gather(kind, false, false)
 		if err != nil {
 			t.Fatalf("gather(%d): %v", kind, err)
 		}
@@ -105,7 +105,7 @@ func TestSessionProtocolStateMachine(t *testing.T) {
 	if err := s2.attach(); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, _, _, err := s2.gather(proto.TreeBoth, false); err == nil {
+	if _, _, _, _, _, err := s2.gather(proto.TreeBoth, false, false); err == nil {
 		t.Error("gather before sample succeeded")
 	}
 

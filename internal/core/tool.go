@@ -141,6 +141,41 @@ type Result struct {
 	SampleStats sample.Stats
 	// SBRSReport is non-nil when SBRS ran.
 	SBRSReport *sbrs.Report
+
+	// StreamRounds counts the streamed gather rounds that ran
+	// (Options.Stream); StreamDeltaRounds the ones that arrived as delta
+	// frames and folded into the resident trees, the rest gathered whole.
+	StreamRounds      int
+	StreamDeltaRounds int
+	// StreamDeltaBytes / StreamWholeBytes split the front end's streamed-
+	// round ingress by round kind — the delta mode's bandwidth win is the
+	// ratio of the per-round averages. StreamDeltaNodes counts the delta
+	// nodes folded by ApplyDelta across all delta rounds.
+	StreamDeltaBytes int64
+	StreamWholeBytes int64
+	StreamDeltaNodes int64
+	// StreamMixedRetries counts rounds re-gathered whole because the
+	// daemons split between delta and whole-tree answers (the fallback
+	// protocol); zero in a healthy homogeneous session.
+	StreamMixedRetries int
+	// StreamEvents records the rounds whose fold changed the 2D tree's
+	// equivalence-class structure — the hang-onset signal of continuous
+	// monitoring: a stable application streams empty deltas and no
+	// events, and the round a task wedges shows up as a class transition.
+	StreamEvents []StreamEvent
+}
+
+// StreamEvent is one equivalence-class transition observed during a
+// streaming session (see Result.StreamEvents).
+type StreamEvent struct {
+	// Round is the 1-based streamed round whose fold changed the class
+	// structure.
+	Round int
+	// Classes / PrevClasses are the 2D equivalence-class counts after and
+	// before the round. They can be equal: membership shifts count as
+	// transitions too (the signature hashes paths and members, not just
+	// the count).
+	Classes, PrevClasses int
 }
 
 // New validates options and prepares the run: places daemons, builds the

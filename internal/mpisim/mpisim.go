@@ -140,6 +140,13 @@ type App struct {
 	ThreadsPerTask int
 	// Seed makes stack variation deterministic per app instance.
 	Seed uint64
+	// ActiveTask, when >= 0, freezes every task's stacks across sample
+	// instants except this one: only the active task's program counters
+	// drift from sample to sample. The streaming-mode workload — in a
+	// quiescent application a round's delta is confined to the one task
+	// still executing, so per-round gather traffic should collapse to that
+	// task's subtree. -1 (the default) leaves every task drifting.
+	ActiveTask int
 
 	rng *sim.RNG
 }
@@ -159,18 +166,25 @@ func WithThreads(t int) Option { return func(a *App) { a.ThreadsPerTask = t } }
 // WithSeed sets the determinism seed.
 func WithSeed(s uint64) Option { return func(a *App) { a.Seed = s } }
 
+// WithActiveTask freezes every task's stacks across sample instants except
+// the given rank (see App.ActiveTask).
+func WithActiveTask(rank int) Option { return func(a *App) { a.ActiveTask = rank } }
+
 // NewRing creates the ring-test application with n tasks and the paper's
 // default injected bug at rank 1.
 func NewRing(n int, opts ...Option) (*App, error) {
 	if n < 3 {
 		return nil, fmt.Errorf("mpisim: ring needs >= 3 tasks, got %d", n)
 	}
-	a := &App{N: n, BugTask: 1, ThreadsPerTask: 1, Seed: 0x5747}
+	a := &App{N: n, BugTask: 1, ThreadsPerTask: 1, Seed: 0x5747, ActiveTask: -1}
 	for _, o := range opts {
 		o(a)
 	}
 	if a.BugTask >= n {
 		return nil, fmt.Errorf("mpisim: bug task %d out of range for %d tasks", a.BugTask, n)
+	}
+	if a.ActiveTask >= n {
+		return nil, fmt.Errorf("mpisim: active task %d out of range for %d tasks", a.ActiveTask, n)
 	}
 	if a.ThreadsPerTask < 1 {
 		return nil, fmt.Errorf("mpisim: threads per task must be >= 1, got %d", a.ThreadsPerTask)
@@ -244,6 +258,12 @@ func (a *App) StackPCs(task, thread, sample int) []uint64 {
 func (a *App) AppendStackPCs(dst []uint64, task, thread, sample int) []uint64 {
 	if thread < 0 || thread >= a.ThreadsPerTask {
 		panic(fmt.Sprintf("mpisim: thread %d out of range [0,%d)", thread, a.ThreadsPerTask))
+	}
+	if a.ActiveTask >= 0 && task != a.ActiveTask {
+		// Quiescent-application mode: a frozen task's stack is a pure
+		// function of (task, thread), so consecutive rounds sample
+		// identical stacks and its delta is empty.
+		sample = 0
 	}
 	r := a.rng.Stream(uint64(task), uint64(thread), uint64(sample))
 	// A genuinely wedged task has a frozen stack: its program counters are

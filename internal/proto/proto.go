@@ -76,6 +76,15 @@ const (
 	// MsgResult would carry. Emitted by the overlay's result filter when a
 	// subtree is lost in a fault-tolerant gather.
 	MsgPartialResult
+	// MsgDelta carries serialized delta frames (trace's "STD2"/"STD3"
+	// format — per-node XOR change sets against the previous round) in
+	// the same tree-list body layout as MsgResult. Emitted by daemons
+	// in a streaming session's steady state when the round qualified for
+	// delta extraction; a daemon that cannot produce a delta this round
+	// answers the same gather with a plain MsgResult, and the overlay's
+	// result filter merges only uniform child sets (see core) — a mixed
+	// round is reported upward as an error and regathered whole.
+	MsgDelta
 )
 
 func (m MsgType) String() string {
@@ -94,6 +103,8 @@ func (m MsgType) String() string {
 		return "result"
 	case MsgPartialResult:
 		return "partial-result"
+	case MsgDelta:
+		return "delta"
 	}
 	return fmt.Sprintf("MsgType(%d)", uint8(m))
 }
@@ -288,6 +299,13 @@ type GatherRequest struct {
 	// Detail selects function+offset frame granularity (STAT's detailed
 	// traces, used by the progress check).
 	Detail bool
+	// Delta invites daemons to answer with a MsgDelta frame against the
+	// previous round when they can (streaming sessions); daemons that
+	// cannot — first round, resynchronized walker, v1 stream — answer
+	// with a whole-tree MsgResult as usual. The flag encodes as an
+	// optional third body byte so pre-streaming peers, which emit and
+	// expect 2-byte bodies, interoperate unchanged.
+	Delta bool
 }
 
 // Encode serializes the request body.
@@ -296,13 +314,16 @@ func (r GatherRequest) Encode() []byte {
 	if r.Detail {
 		d = 1
 	}
+	if r.Delta {
+		return []byte{byte(r.Which), d, 1}
+	}
 	return []byte{byte(r.Which), d}
 }
 
 // DecodeGatherRequest parses a gather command body.
 func DecodeGatherRequest(b []byte) (GatherRequest, error) {
-	if len(b) != 2 {
-		return GatherRequest{}, fmt.Errorf("proto: gather request body %d bytes, want 2", len(b))
+	if len(b) != 2 && len(b) != 3 {
+		return GatherRequest{}, fmt.Errorf("proto: gather request body %d bytes, want 2 or 3", len(b))
 	}
 	k := TreeKind(b[0])
 	if k != Tree2D && k != Tree3D && k != TreeBoth {
@@ -311,7 +332,14 @@ func DecodeGatherRequest(b []byte) (GatherRequest, error) {
 	if b[1] > 1 {
 		return GatherRequest{}, fmt.Errorf("proto: bad detail flag %d", b[1])
 	}
-	return GatherRequest{Which: k, Detail: b[1] == 1}, nil
+	r := GatherRequest{Which: k, Detail: b[1] == 1}
+	if len(b) == 3 {
+		if b[2] > 1 {
+			return GatherRequest{}, fmt.Errorf("proto: bad delta flag %d", b[2])
+		}
+		r.Delta = b[2] == 1
+	}
+	return r, nil
 }
 
 // Ack is the aggregated acknowledgement flowing up the tree: a count of

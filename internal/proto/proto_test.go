@@ -129,6 +129,35 @@ func TestGatherRequestRoundTrip(t *testing.T) {
 	}
 }
 
+func TestGatherRequestDeltaFlag(t *testing.T) {
+	// The delta invitation rides an optional third byte: absent for
+	// compatibility when unset, so pre-streaming bodies decode unchanged.
+	plain := GatherRequest{Which: TreeBoth, Detail: true}
+	if got := plain.Encode(); len(got) != 2 {
+		t.Errorf("delta-less request encodes to %d bytes, want 2", len(got))
+	}
+	delta := GatherRequest{Which: TreeBoth, Detail: true, Delta: true}
+	enc := delta.Encode()
+	if len(enc) != 3 {
+		t.Fatalf("delta request encodes to %d bytes, want 3", len(enc))
+	}
+	got, err := DecodeGatherRequest(enc)
+	if err != nil || got != delta {
+		t.Errorf("round trip: %+v, %v", got, err)
+	}
+	// Explicit zero third byte is legal (Delta=false), anything else is not.
+	got, err = DecodeGatherRequest([]byte{byte(Tree2D), 0, 0})
+	if err != nil || got.Delta {
+		t.Errorf("explicit zero delta byte: %+v, %v", got, err)
+	}
+	if _, err := DecodeGatherRequest([]byte{byte(Tree2D), 0, 2}); err == nil {
+		t.Error("bad delta flag accepted")
+	}
+	if _, err := DecodeGatherRequest([]byte{byte(Tree2D), 0, 1, 0}); err == nil {
+		t.Error("overlong body accepted")
+	}
+}
+
 func TestAckMerge(t *testing.T) {
 	a := Ack{OK: 3}
 	b := Ack{OK: 2, FirstError: "daemon 5: boom"}
@@ -197,6 +226,7 @@ func TestMsgTypeStrings(t *testing.T) {
 	for typ, want := range map[MsgType]string{
 		MsgAttach: "attach", MsgSample: "sample", MsgGather: "gather",
 		MsgDetach: "detach", MsgAck: "ack", MsgResult: "result",
+		MsgDelta: "delta",
 	} {
 		if typ.String() != want {
 			t.Errorf("%d.String() = %q", typ, typ.String())

@@ -67,6 +67,19 @@
 // past it. Releasing does NOT quiesce the walker: under SampleOverlap the
 // background walk for the next round keeps running, which is the point.
 //
+// # Delta extraction (streaming mode)
+//
+// A round sealed with Request.Delta whose walker sealed the immediately
+// preceding epoch under a compatible shape additionally computes, inside
+// the same quiesced seal window, the XOR of the two rounds' labels per
+// trie node, and the batch then carries delta trees (Batch.Delta2D/3D)
+// instead of whole trees — the wire form of "only what changed". The
+// extraction must happen at seal time because the previous round's
+// parity slot is exactly the one the next walk overwrites; the results
+// live in single-buffered per-node scratch valid until the next seal,
+// one round — see delta.go for the full case analysis and validity
+// rules, and trace.ApplyDelta for the front-end fold.
+//
 // Workers: walkers come from a bounded pool (the "parallel daemon
 // walkers"): at most `workers` daemon walks run concurrently, each on its
 // own warm trie, and callers past the bound block until a walker frees
@@ -78,6 +91,7 @@ package sample
 
 import (
 	"runtime"
+	"sync"
 	"sync/atomic"
 
 	"stat/internal/mpisim"
@@ -106,6 +120,15 @@ type Engine struct {
 	// background walk; capped at workers-1 (see the package doc).
 	prefetches atomic.Int64
 
+	// keyed holds the resident per-key walkers of SampleKeyed — one trie
+	// per streaming daemon, alive for the engine's lifetime so consecutive
+	// rounds of the same daemon always land on the same trie (the delta
+	// extractor's continuity requirement). Guarded by keyedMu; the walkers
+	// themselves are single-owner like pooled ones (one SampleKeyed per
+	// key at a time).
+	keyedMu sync.Mutex
+	keyed   map[int]*walker
+
 	sampled  atomic.Int64
 	memoHits atomic.Int64
 	distinct atomic.Int64
@@ -115,6 +138,7 @@ type Engine struct {
 	torn        atomic.Int64
 	prefetched  atomic.Int64
 	hiddenNanos atomic.Int64
+	deltas      atomic.Int64
 }
 
 // New builds an engine sampling the given application through the given
@@ -166,15 +190,37 @@ type Request struct {
 	// Want2D / Want3D select which trees to emit: the last-sample
 	// trace×space tree and/or the all-samples trace×space×time tree.
 	Want2D, Want3D bool
+	// Delta requests round-over-round delta extraction (see delta.go):
+	// when the walker's previous seal was the immediately preceding epoch
+	// under a compatible shape, the batch carries XOR delta trees
+	// (Delta2D/Delta3D, DeltaOK=true) instead of whole trees; otherwise —
+	// first round, re-walked round, shape change, recycled walker — it
+	// falls back to the whole trees as if Delta were unset. Delta is
+	// deliberately ignored by the prefetch-claim comparison (sameRequest):
+	// it affects only the seal, never the walk, so a speculative walk
+	// claimed across a Delta flag flip still seals — and extracts — under
+	// the real request.
+	Delta bool
 }
 
 // Batch is one gather round's product. The trees alias walker-owned
 // snapshot storage; see the package contract notes.
 type Batch struct {
-	// Tree2D and Tree3D are the requested trees (nil when not requested).
+	// Tree2D and Tree3D are the requested trees (nil when not requested,
+	// or when the round produced delta trees instead — see DeltaOK).
 	Tree2D, Tree3D *trace.Tree
-	w              *walker
-	e              *Engine
+	// Delta2D and Delta3D are the round's XOR delta trees (delta.go),
+	// populated instead of Tree2D/Tree3D when Request.Delta was set and
+	// the round qualified. Their labels alias single-buffered walker
+	// scratch valid only until the walker's next seal — one round, within
+	// the batch lifetime contract (encode, then Release, before the next
+	// round) but stricter than the two-seal whole-tree guarantee.
+	Delta2D, Delta3D *trace.Tree
+	// DeltaOK reports which pair this batch carries: delta trees when
+	// true, whole trees when false.
+	DeltaOK bool
+	w       *walker
+	e       *Engine
 	// pinned marks a batch whose walker stays out of the pool because a
 	// Prefetch owns it (the prefetch's claim or Cancel returns it).
 	pinned bool
@@ -196,6 +242,14 @@ func (b *Batch) Release() {
 		b.Tree3D.Release()
 		b.Tree3D = nil
 	}
+	if b.Delta2D != nil {
+		b.Delta2D.Release()
+		b.Delta2D = nil
+	}
+	if b.Delta3D != nil {
+		b.Delta3D.Release()
+		b.Delta3D = nil
+	}
 	w := b.w
 	b.w = nil
 	if b.pinned {
@@ -216,6 +270,42 @@ func (e *Engine) Sample(req Request) Batch {
 	w.walk(req)
 	w.seal(req)
 	return e.finish(w, req, false)
+}
+
+// SampleKeyed runs one quiesced round on the resident walker for key —
+// the streaming mode's sampling entry point. Unlike Sample, which draws
+// whichever pooled walker frees up first, SampleKeyed guarantees that
+// every round with the same key lands on the same trie, which is what
+// round-over-round delta extraction (Request.Delta) requires: the
+// previous round's labels must be this walker's previous seal, not some
+// other daemon's. Resident walkers live for the engine's lifetime (one
+// trie per streaming daemon — the memory cost of continuous monitoring);
+// the walk-concurrency bound still holds because the call borrows a pool
+// slot for the duration of its walk, leaving the pool's contents intact.
+// At most one SampleKeyed per key may run at a time, and its batch must
+// be released before the key's next round.
+func (e *Engine) SampleKeyed(key int, req Request) Batch {
+	tok := <-e.walkers
+	w := e.keyedWalker(key)
+	w.walk(req)
+	w.seal(req)
+	e.walkers <- tok
+	return e.finish(w, req, true)
+}
+
+// keyedWalker returns (creating on first use) the resident walker for key.
+func (e *Engine) keyedWalker(key int) *walker {
+	e.keyedMu.Lock()
+	defer e.keyedMu.Unlock()
+	if e.keyed == nil {
+		e.keyed = make(map[int]*walker)
+	}
+	w := e.keyed[key]
+	if w == nil {
+		w = &walker{eng: e}
+		e.keyed[key] = w
+	}
+	return w
 }
 
 // SampleOverlap runs one round of the snapshot-emit pipeline. If pre is a
@@ -289,10 +379,23 @@ func (e *Engine) canPrefetch(w *walker, cur, next Request) bool {
 }
 
 // finish emits the sealed round into the walker's tree headers and wraps
-// the batch.
+// the batch. A round that qualified for delta extraction emits only the
+// delta trees — skipping the whole-tree emit is half the point of the
+// streaming mode's steady state.
 func (e *Engine) finish(w *walker, req Request, pinned bool) Batch {
-	w.emitTrees(req)
 	b := Batch{w: w, e: e, pinned: pinned}
+	if w.deltaOK {
+		w.emitDeltaTrees(req)
+		b.DeltaOK = true
+		if req.Want2D {
+			b.Delta2D = &w.d2h
+		}
+		if req.Want3D {
+			b.Delta3D = &w.d3h
+		}
+		return b
+	}
+	w.emitTrees(req)
 	if req.Want2D {
 		b.Tree2D = &w.t2h
 	}
@@ -332,6 +435,10 @@ type Stats struct {
 	// when its round was claimed — walk time the overlap hid behind the
 	// previous round's emit, encode, and reduction drain.
 	HiddenWalkNanos int64
+	// DeltaRounds counts sealed rounds that qualified for and extracted a
+	// round-over-round delta (delta.go); rounds requested with Delta but
+	// falling back to whole trees do not count.
+	DeltaRounds int64
 }
 
 // Stats reports the engine's counters.
@@ -346,5 +453,6 @@ func (e *Engine) Stats() Stats {
 		SnapshotTornReads: e.torn.Load(),
 		PrefetchedWalks:   e.prefetched.Load(),
 		HiddenWalkNanos:   e.hiddenNanos.Load(),
+		DeltaRounds:       e.deltas.Load(),
 	}
 }

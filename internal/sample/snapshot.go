@@ -61,9 +61,23 @@ type nodeSnap struct {
 // returns, the next walk may begin immediately, because walks write only
 // the other parity slot and replace child arrays copy-on-write.
 func (w *walker) seal(req Request) {
+	prev, prevReq := w.sealed, w.prevSealReq
 	w.sealed = w.epoch
 	w.sealedWidth = w.width
+	w.prevSealReq = req
 	w.sealNode(&w.root, req.Want2D, req.Compress)
+	// Delta extraction (delta.go) rides the same quiesced window: it needs
+	// the previous round's parity slot, which the *next* walk will
+	// overwrite, so this is the only place the two-round XOR can be
+	// computed. Valid only against an immediately preceding seal of
+	// compatible shape — a claim-mismatch re-walk (epoch jump of 2), a
+	// walker fresh from the pool, or a shape change all fall back to
+	// whole-tree emission via deltaOK=false.
+	w.deltaOK = req.Delta && prev != 0 && prev == w.epoch-1 && deltaCompatible(prevReq, req)
+	if w.deltaOK {
+		w.sealDelta(req)
+		w.eng.deltas.Add(1)
+	}
 	w.eng.snapshots.Add(1)
 }
 

@@ -57,7 +57,16 @@ type walker struct {
 	preHdl  Prefetch
 	preLive bool
 
+	// Delta-extraction state (delta.go): the request the last seal ran
+	// under (the compatibility reference for the next round's delta) and
+	// whether the current sealed round carries a valid delta.
+	prevSealReq Request
+	deltaOK     bool
+
 	t2h, t3h trace.Tree
+	// d2h / d3h are the reusable headers for the delta trees, the XOR
+	// counterparts of t2h/t3h.
+	d2h, d3h trace.Tree
 }
 
 // memoTable is the walker-local whole-stack memo: open addressing keyed
@@ -143,8 +152,8 @@ type trieNode struct {
 	// under Request.Compress; CompressVector rebuilds a slot's set in
 	// place every other round, reusing its extent storage, so compression
 	// allocates nothing at steady state.
-	allSet  [2]*bitvec.Set
-	lastSet [2]*bitvec.Set
+	allSet     [2]*bitvec.Set
+	lastSet    [2]*bitvec.Set
 	epochs     [2]uint64
 	lastEpochs [2]uint64
 	// children is replaced copy-on-write on insert (never mutated in
@@ -156,6 +165,16 @@ type trieNode struct {
 	// rotating backing structs. See snapshot.go.
 	snap    atomic.Pointer[nodeSnap]
 	snapBuf [2]nodeSnap
+
+	// Delta scratch (delta.go): the round-over-round XOR labels and the
+	// per-tree child lists computed at seal time, read by the delta emit.
+	// Single-buffered on purpose — the scratch is consumed by this round's
+	// emit, which the engine retires before the next seal can overwrite
+	// it, and the next round's background walk never touches these fields.
+	dAll, dLast       *bitvec.Vector
+	dAllSet, dLastSet *bitvec.Set
+	dAllOut, dLastOut bitvec.Label
+	dKids, dLastKids  []*trieNode
 }
 
 // memoStack is one memoized whole stack: the raw PCs (verified on hit, so

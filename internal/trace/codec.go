@@ -169,7 +169,7 @@ func NewCodec() *Codec {
 // The tree's labels live in the codec's arena until the tree is released;
 // see the Codec lifecycle notes.
 func (c *Codec) DecodeTree(b []byte) (*Tree, error) {
-	return c.decode(b, nil)
+	return c.decode(b, nil, false)
 }
 
 // DecodeTreeAliasing decodes like DecodeTree but zero-copy where
@@ -188,7 +188,24 @@ func (c *Codec) DecodeTree(b []byte) (*Tree, error) {
 // only reads its inputs) and encoding it are safe; the in-place MergeUnion
 // is not — original-mode filters use the copying DecodeTree.
 func (c *Codec) DecodeTreeAliasing(b []byte, pin Pin) (*Tree, error) {
-	return c.decode(b, pin)
+	return c.decode(b, pin, false)
+}
+
+// DecodeDelta decodes a delta frame ("STD2"/"STD3") through the codec,
+// exactly as DecodeTree decodes a whole tree: labels (here XOR sets) live
+// in the codec's arena until the tree is released. Whole-tree magics are
+// rejected — see the delta-frame wire spec in serialize.go.
+func (c *Codec) DecodeDelta(b []byte) (*Tree, error) {
+	return c.decode(b, nil, true)
+}
+
+// DecodeDeltaAliasing decodes a delta frame zero-copy where possible,
+// with the same pinning contract as DecodeTreeAliasing. The interior
+// delta merge uses it: XOR labels concat exactly like task-set labels, so
+// the filter cycle over delta frames is byte-for-byte the whole-tree
+// cycle on smaller inputs.
+func (c *Codec) DecodeDeltaAliasing(b []byte, pin Pin) (*Tree, error) {
+	return c.decode(b, pin, true)
 }
 
 // AliasStats reports how many labels this codec's aliasing decodes viewed
@@ -199,8 +216,8 @@ func (c *Codec) DecodeTreeAliasing(b []byte, pin Pin) (*Tree, error) {
 // guarantee. Counters accumulate for the life of the codec.
 func (c *Codec) AliasStats() (hits, misses int64) { return c.aliasHits, c.aliasMisses }
 
-func (c *Codec) decode(b []byte, pin Pin) (*Tree, error) {
-	t, aliased, err := decodeTree(b, &c.names, &c.arena, nil, c, pin != nil, nil)
+func (c *Codec) decode(b []byte, pin Pin, delta bool) (*Tree, error) {
+	t, aliased, err := decodeTree(b, &c.names, &c.arena, nil, c, pin != nil, nil, delta)
 	if err != nil {
 		// A failed decode may have carved label storage before erroring;
 		// reclaim it now if no live tree pins the arena. (Nodes built

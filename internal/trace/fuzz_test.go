@@ -142,3 +142,97 @@ func FuzzTreeRoundTrip(f *testing.F) {
 		}
 	})
 }
+
+// countPin counts retain/release pairs for the aliasing decoder.
+type countPin struct{ n int }
+
+func (p *countPin) Retain()  { p.n++ }
+func (p *countPin) Release() { p.n-- }
+
+// deltaCorpusFrame encodes a representative delta frame: one changed
+// subtree plus untouched siblings elided, root carried with an empty XOR.
+func deltaCorpusFrame(f *testing.F, version uint8) []byte {
+	d := trace.NewTree(6)
+	d.AddStack(1, "main", "solver", "mpi_waitall")
+	d.AddStack(1, "main", "solver", "compute")
+	enc, err := d.AppendBinaryDeltaV(nil, version)
+	if err != nil {
+		f.Fatal(err)
+	}
+	return enc
+}
+
+// FuzzDeltaDecode feeds arbitrary bytes to the delta-frame decoder: it
+// must never panic; the copying (UnmarshalDelta), pooled-codec
+// (DecodeDelta) and aliasing (DecodeDeltaAliasing) decoders must agree on
+// accept/reject and on the decoded tree; and anything accepted must
+// re-marshal, under the version it was encoded in, to the identical byte
+// string — each decoder admits only canonical delta encodings, including
+// the delta-specific rule that a non-root node with an empty XOR label
+// must carry children (it exists only to route descent).
+func FuzzDeltaDecode(f *testing.F) {
+	v2 := deltaCorpusFrame(f, trace.WireV2)
+	v3 := deltaCorpusFrame(f, trace.WireV3)
+	whole, err := corpusTree().MarshalBinaryV(trace.WireV2)
+	if err != nil {
+		f.Fatal(err)
+	}
+	// The canonical "nothing changed" frame: a root-only tree, empty XOR.
+	empty, err := trace.NewTree(6).AppendBinaryDeltaV(nil, trace.WireV2)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add([]byte{})
+	f.Add(v2)
+	f.Add(v3)
+	f.Add(empty)
+	f.Add(whole)                         // whole-tree magic must be rejected here
+	f.Add(v2[:len(v2)/2])                // truncated mid-node
+	f.Add(v3[:len(v3)/2])                // truncated mid-node, v3
+	f.Add(append(bytes.Clone(v2), 0xFF)) // trailing garbage
+	crossed := bytes.Clone(v2)
+	copy(crossed, "STD3") // v2 layout under v3 magic
+	f.Add(crossed)
+	corrupt := bytes.Clone(v2)
+	corrupt[9] ^= 0x40 // flip a width bit
+	f.Add(corrupt)
+	f.Fuzz(func(t *testing.T, b []byte) {
+		d, err := trace.UnmarshalDelta(b)
+		codec := trace.NewCodec()
+		cd, cerr := codec.DecodeDelta(b)
+		pin := &countPin{}
+		ad, aerr := codec.DecodeDeltaAliasing(b, pin)
+		if err != nil {
+			if cerr == nil || aerr == nil {
+				t.Fatalf("decoders disagree on rejection: copy=%v codec=%v alias=%v", err, cerr, aerr)
+			}
+			return
+		}
+		if cerr != nil || aerr != nil {
+			t.Fatalf("decoders disagree on acceptance: codec=%v alias=%v", cerr, aerr)
+		}
+		if !d.Equal(cd) || !d.Equal(ad) {
+			t.Fatal("decoders disagree on the decoded delta frame")
+		}
+		version, isDelta, err := trace.SniffFrame(b)
+		if err != nil || !isDelta {
+			t.Fatalf("accepted delta frame does not sniff as one: v%d delta=%v err=%v", version, isDelta, err)
+		}
+		enc, err := d.AppendBinaryDeltaV(nil, version)
+		if err != nil {
+			t.Fatalf("decoded delta failed to re-marshal: %v", err)
+		}
+		if !bytes.Equal(enc, b) {
+			t.Fatalf("delta decode/encode not canonical (v%d):\nin  %x\nout %x", version, b, enc)
+		}
+		// Whole-tree decoders must reject the frame kind symmetrically.
+		if _, err := trace.UnmarshalBinary(b); err == nil {
+			t.Fatal("whole-tree decoder accepted a delta frame")
+		}
+		cd.Release()
+		ad.Release()
+		if pin.n != 0 {
+			t.Fatalf("aliasing decode leaked %d pin retains after release", pin.n)
+		}
+	})
+}

@@ -78,6 +78,44 @@ import (
 // bytes are all rejected — so decode∘encode is the identity on accepted
 // inputs, per version.
 //
+// # Delta frames, magics "STD2" and "STD3"
+//
+// A delta frame carries the CHANGE between a subtree's trees in two
+// successive stream rounds instead of the whole tree. Byte for byte it is
+// the v2/v3 tree layout under a delta magic — same fields, same padding
+// discipline, same alignment rule, same canonical-container rules:
+//
+//	delta  := magic "STD2" (4 bytes), u32 numTasks, dnode   (v2 labels)
+//	delta  := magic "STD3" (4 bytes), u32 numTasks, dnode   (v3 label3)
+//	dnode  := exactly the node layout of the same-numbered STR format
+//
+// Only the label SEMANTICS differ: a dnode's label is the bitwise XOR of
+// the node's task sets in round N and round N−1, where a node absent from
+// a round contributes the empty set. The three tentpole cases fall out of
+// that one rule:
+//
+//	new node:      XOR = its full round-N label (XOR with zero)
+//	removed node:  XOR = its full round-N−1 label (XOR to zero)
+//	changed node:  XOR = the toggled ranks only
+//	untouched:     XOR = ∅ — the node is OMITTED from the frame
+//
+// Folding a frame into the live tree is therefore label ^= XOR along
+// aligned node paths, creating nodes the live tree lacks and deleting
+// nodes whose labels fold to empty (see ApplyDelta). XOR is linear, so
+// the rank remap and the concat offset shift commute with it — delta
+// frames ride the same fused-remap decode and k-way concat merge as whole
+// trees, and interior filters combine disjoint change sets by
+// concatenation (hierarchical) or XOR (original mode's full-width labels).
+//
+// Canonical form adds one rule on top of the base format's: a non-root
+// dnode with an empty XOR label MUST have at least one child (it exists
+// only to route the path to changed descendants); an empty-XOR leaf
+// contributes nothing and is rejected. The root is exempt — a root-only
+// frame with an empty label is the canonical "nothing changed" frame.
+// There is no v1 delta format: delta frames exist only on streams
+// negotiated to v2 or higher, and v1 sessions fall back to whole-tree
+// rounds (the min-merge downgrade).
+//
 // The format is deliberately explicit about label width: in the original
 // representation every label is full-job width, so the encoded size of a
 // daemon's tree grows with the whole job even though only a few bits are
@@ -106,11 +144,18 @@ var (
 	magicV1 = [4]byte{'S', 'T', 'R', '1'}
 	magicV2 = [4]byte{'S', 'T', 'R', '2'}
 	magicV3 = [4]byte{'S', 'T', 'R', '3'}
+	// Delta-frame magics: the same-numbered layout carrying XOR labels
+	// (see the delta-frame section of the wire spec above). No v1 delta
+	// exists — v1 streams fall back to whole-tree rounds.
+	magicD2 = [4]byte{'S', 'T', 'D', '2'}
+	magicD3 = [4]byte{'S', 'T', 'D', '3'}
 )
 
 // SniffWireVersion reports which wire format b begins with, from the
 // magic alone. It is how version-dispatched decoders (UnmarshalBinary,
-// the codec decodes, core's tree-list framing) pick a layout.
+// the codec decodes, core's tree-list framing) pick a layout. Delta
+// frames are rejected here: a consumer expecting a whole tree must not
+// silently accept XOR labels (use SniffFrame to admit both).
 func SniffWireVersion(b []byte) (uint8, error) {
 	if len(b) < 4 {
 		return 0, errors.New("trace: truncated header")
@@ -124,6 +169,26 @@ func SniffWireVersion(b []byte) (uint8, error) {
 		return WireV3, nil
 	}
 	return 0, errBadMagic
+}
+
+// SniffFrame reports the wire version b begins with and whether it is a
+// delta frame ("STD2"/"STD3") rather than a whole tree. Consumers that
+// can handle both kinds (the stream gather's tree-list framing) dispatch
+// here; whole-tree-only consumers keep using SniffWireVersion, whose
+// rejection of delta magics is what stops an XOR label set from being
+// mistaken for a task set.
+func SniffFrame(b []byte) (version uint8, delta bool, err error) {
+	if len(b) < 4 {
+		return 0, false, errors.New("trace: truncated header")
+	}
+	switch [4]byte(b[0:4]) {
+	case magicD2:
+		return WireV2, true, nil
+	case magicD3:
+		return WireV3, true, nil
+	}
+	v, err := SniffWireVersion(b)
+	return v, false, err
 }
 
 // errBadMagic names the accepted version range; built once (not per
@@ -184,6 +249,21 @@ func (t *Tree) AppendBinary(dst []byte) ([]byte, error) {
 // allocation and no append bookkeeping per field. With a dst of sufficient
 // capacity the encode performs no allocation at all.
 func (t *Tree) AppendBinaryV(dst []byte, version uint8) ([]byte, error) {
+	return t.appendBinary(dst, version, false)
+}
+
+// AppendBinaryDeltaV appends the delta-frame encoding ("STD2"/"STD3") of
+// the tree to dst: the identical byte layout under the delta magic, for a
+// tree whose labels are round-over-round XOR sets (see the delta-frame
+// wire spec). Delta frames exist only for v2 and newer.
+func (t *Tree) AppendBinaryDeltaV(dst []byte, version uint8) ([]byte, error) {
+	if version < WireV2 {
+		return nil, fmt.Errorf("trace: no delta frame format for wire version %d (v%d..v%d)", version, WireV2, MaxWireVersion)
+	}
+	return t.appendBinary(dst, version, true)
+}
+
+func (t *Tree) appendBinary(dst []byte, version uint8, delta bool) ([]byte, error) {
 	if version < WireV1 || version > MaxWireVersion {
 		return nil, fmt.Errorf("trace: unknown wire version %d (this build speaks v%d..v%d)", version, WireV1, MaxWireVersion)
 	}
@@ -199,10 +279,14 @@ func (t *Tree) AppendBinaryV(dst []byte, version uint8) ([]byte, error) {
 	// encoding is gapless.
 	dst = dst[:base+need]
 	o := base
-	switch version {
-	case WireV3:
+	switch {
+	case delta && version == WireV3:
+		o += copy(dst[o:], magicD3[:])
+	case delta:
+		o += copy(dst[o:], magicD2[:])
+	case version == WireV3:
 		o += copy(dst[o:], magicV3[:])
-	case WireV2:
+	case version == WireV2:
 		o += copy(dst[o:], magicV2[:])
 	default:
 		o += copy(dst[o:], magicV1[:])
@@ -266,7 +350,7 @@ var internPool = sync.Pool{New: func() any { t := newInternTable(); return &t }}
 func UnmarshalBinary(b []byte) (*Tree, error) {
 	names := internPool.Get().(*internTable)
 	var arena bitvec.Arena
-	t, _, err := decodeTree(b, names, &arena, &nodeBatch{}, nil, false, nil)
+	t, _, err := decodeTree(b, names, &arena, &nodeBatch{}, nil, false, nil, false)
 	internPool.Put(names)
 	return t, err
 }
@@ -282,7 +366,7 @@ func UnmarshalBinary(b []byte) (*Tree, error) {
 func UnmarshalBinaryRemapped(b []byte, r *bitvec.Remapper) (*Tree, error) {
 	names := internPool.Get().(*internTable)
 	var arena bitvec.Arena
-	t, _, err := decodeTree(b, names, &arena, &nodeBatch{}, nil, false, r)
+	t, _, err := decodeTree(b, names, &arena, &nodeBatch{}, nil, false, r, false)
 	internPool.Put(names)
 	return t, err
 }
@@ -315,12 +399,22 @@ type treeDecoder struct {
 	alias    bool             // zero-copy labels where alignment allows
 	aliased  bool             // some label aliases b
 	remap    *bitvec.Remapper // non-nil: labels remapped as they materialize
+	delta    bool             // decoding a delta frame (XOR labels)
 }
 
-func decodeTree(b []byte, names *internTable, arena *bitvec.Arena, batch *nodeBatch, codec *Codec, alias bool, remap *bitvec.Remapper) (*Tree, bool, error) {
-	version, err := SniffWireVersion(b)
+func decodeTree(b []byte, names *internTable, arena *bitvec.Arena, batch *nodeBatch, codec *Codec, alias bool, remap *bitvec.Remapper, delta bool) (*Tree, bool, error) {
+	version, isDelta, err := SniffFrame(b)
 	if err != nil {
 		return nil, false, err
+	}
+	// Whole trees and delta frames must never be confused: a fold applied
+	// to a whole tree (or a whole-tree merge fed XOR labels) silently
+	// corrupts task sets, so the expectation is checked against the magic.
+	if isDelta != delta {
+		if delta {
+			return nil, false, errors.New("trace: expected delta frame, got whole tree")
+		}
+		return nil, false, errors.New("trace: expected whole tree, got delta frame")
 	}
 	if len(b) < 8 {
 		return nil, false, errors.New("trace: truncated header")
@@ -345,6 +439,7 @@ func decodeTree(b []byte, names *internTable, arena *bitvec.Arena, batch *nodeBa
 		codec:    codec,
 		alias:    alias,
 		remap:    remap,
+		delta:    delta,
 	}
 	if remap != nil && d.numTasks != remap.SourceLen() {
 		return nil, false, fmt.Errorf("trace: remap has %d source bits for tree width %d", remap.SourceLen(), d.numTasks)
@@ -479,6 +574,13 @@ func (d *treeDecoder) node(depth int) (*Node, error) {
 	}
 	if nc > len(b)-d.pos { // each child needs ≥1 byte; cheap sanity bound
 		return nil, fmt.Errorf("trace: impossible child count %d", nc)
+	}
+	// Delta canonical form: a non-root node with an empty XOR label exists
+	// only to route the path to changed descendants, so it must have
+	// children; an empty-XOR leaf contributes nothing and is rejected (the
+	// root is exempt — a root-only empty frame means "nothing changed").
+	if d.delta && depth > 0 && nc == 0 && label.Empty() {
+		return nil, errors.New("trace: non-canonical delta frame (empty-XOR leaf)")
 	}
 	var n *Node
 	if d.codec != nil {
