@@ -220,35 +220,85 @@ func hostMetadata(note string) map[string]any {
 	}
 }
 
+// driftTable renders the per-benchmark baseline-vs-merged comparison the
+// bench-baseline job logs: every gate that moved (and by how much), plus
+// the entries a merge adds or carries forward unchanged. It makes the
+// BENCH_merged.json → BENCH_N.json promotion reviewable from the job log
+// alone — the reviewer sees exactly which gates drifted before blessing
+// the artifact.
+func driftTable(old, merged map[string]float64) string {
+	names := make([]string, 0, len(merged))
+	for name := range merged {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-62s %12s %12s %9s\n", "benchmark", "baseline", "merged", "drift")
+	for _, name := range names {
+		ns := merged[name]
+		base, had := old[name]
+		switch {
+		case !had:
+			fmt.Fprintf(&sb, "%-62s %12s %10.0f   %9s\n", name, "(new)", ns, "")
+		case base > 0:
+			fmt.Fprintf(&sb, "%-62s %10.0f   %10.0f   %+8.1f%%\n", name, base, ns, 100*(ns/base-1))
+		default:
+			fmt.Fprintf(&sb, "%-62s %10.0f   %10.0f   %9s\n", name, base, ns, "")
+		}
+	}
+	var kept []string
+	for name := range old {
+		if _, measured := merged[name]; !measured {
+			kept = append(kept, name)
+		}
+	}
+	sort.Strings(kept)
+	for _, name := range kept {
+		fmt.Fprintf(&sb, "%-62s %10.0f   %12s %9s\n", name, old[name], "(carried)", "")
+	}
+	return sb.String()
+}
+
 // mergeBaseline folds parsed results into an existing baseline document:
 // measured benchmarks get fresh "after" gates, unmeasured entries carry
 // forward, everything else in the document (description prose, extra
 // per-entry fields) survives untouched unless explicitly replaced. The
-// host stanza is always rewritten to the measuring machine.
-func mergeBaseline(basePath, resultsPath, outPath, desc, hostNote string) error {
+// host stanza is always rewritten to the measuring machine. The returned
+// drift table (see driftTable) goes to the job log.
+func mergeBaseline(basePath, resultsPath, outPath, desc, hostNote string) (string, error) {
 	bb, err := os.ReadFile(basePath)
 	if err != nil {
-		return err
+		return "", err
 	}
 	var doc map[string]any
 	if err := json.Unmarshal(bb, &doc); err != nil {
-		return fmt.Errorf("benchgate: parse baseline %s: %v", basePath, err)
+		return "", fmt.Errorf("benchgate: parse baseline %s: %v", basePath, err)
 	}
 	rf, err := os.Open(resultsPath)
 	if err != nil {
-		return err
+		return "", err
 	}
 	defer rf.Close()
 	results, err := parseResults(rf)
 	if err != nil {
-		return err
+		return "", err
 	}
 	if len(results) == 0 {
-		return fmt.Errorf("benchgate: no benchmark results in %s", resultsPath)
+		return "", fmt.Errorf("benchgate: no benchmark results in %s", resultsPath)
 	}
 	benches, _ := doc["benchmarks"].(map[string]any)
 	if benches == nil {
 		benches = map[string]any{}
+	}
+	old := map[string]float64{}
+	for name, raw := range benches {
+		if entry, _ := raw.(map[string]any); entry != nil {
+			if after, _ := entry["after"].(map[string]any); after != nil {
+				if ns, ok := after["ns_op"].(float64); ok {
+					old[name] = ns
+				}
+			}
+		}
 	}
 	for name, ns := range results {
 		entry, _ := benches[name].(map[string]any)
@@ -270,9 +320,9 @@ func mergeBaseline(basePath, resultsPath, outPath, desc, hostNote string) error 
 	}
 	buf, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
-		return err
+		return "", err
 	}
-	return os.WriteFile(outPath, append(buf, '\n'), 0o644)
+	return driftTable(old, results), os.WriteFile(outPath, append(buf, '\n'), 0o644)
 }
 
 func run(baselinePath, resultsPath string, maxRegress float64) error {
@@ -324,10 +374,12 @@ func main() {
 			flag.Usage()
 			os.Exit(2)
 		}
-		if err := mergeBaseline(*baselinePath, *resultsPath, *mergeOut, *desc, *hostNote); err != nil {
+		table, err := mergeBaseline(*baselinePath, *resultsPath, *mergeOut, *desc, *hostNote)
+		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+		fmt.Print(table)
 		fmt.Printf("wrote merged baseline %s\n", *mergeOut)
 		return
 	}

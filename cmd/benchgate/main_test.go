@@ -139,8 +139,18 @@ func TestMergeBaseline(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := filepath.Join(dir, "BENCH_new.json")
-	if err := mergeBaseline(base, results, out, "", "test rig"); err != nil {
+	table, err := mergeBaseline(base, results, out, "", "test rig")
+	if err != nil {
 		t.Fatal(err)
+	}
+	// The drift table must account for every entry class: refreshed (with
+	// a drift percentage), added, and carried forward.
+	for _, want := range []string{
+		"BenchmarkRefreshed", "+20.0%", "BenchmarkAdded/sub", "(new)", "BenchmarkKept", "(carried)",
+	} {
+		if !strings.Contains(table, want) {
+			t.Errorf("drift table lacks %q:\n%s", want, table)
+		}
 	}
 	bb, err := os.ReadFile(out)
 	if err != nil {

@@ -40,7 +40,7 @@ func replayStream(data []byte, quiet bool) (*trace.Tree, error) {
 		kind := rest[0]
 		n := int(binary.LittleEndian.Uint32(rest[1:5]))
 		rest = rest[5:]
-		if kind > 1 {
+		if kind > 2 {
 			return nil, fmt.Errorf("round %d: unknown record kind %d", round, kind)
 		}
 		if n > len(rest) {
@@ -48,6 +48,15 @@ func replayStream(data []byte, quiet bool) (*trace.Tree, error) {
 		}
 		frame := rest[:n]
 		rest = rest[n:]
+		if kind == 2 {
+			// A post-mortem record: UTF-8 flight-recorder dumps attached to
+			// a degraded capture. Not a round — print and keep folding.
+			if !quiet {
+				fmt.Printf("post-mortem record (%d bytes):\n%s", n, frame)
+			}
+			round--
+			continue
+		}
 		what := "whole tree"
 		if kind == 0 {
 			t, err := trace.UnmarshalBinary(frame)

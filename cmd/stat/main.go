@@ -14,7 +14,9 @@ import (
 	"encoding/binary"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 	"time"
 
 	"stat/internal/bitvec"
@@ -22,6 +24,7 @@ import (
 	"stat/internal/machine"
 	"stat/internal/proto"
 	"stat/internal/tbon"
+	"stat/internal/telemetry"
 	"stat/internal/topology"
 	"stat/internal/trace"
 )
@@ -104,10 +107,12 @@ func fillFaultPlan(plan *tbon.FaultPlan, topo *topology.Tree,
 
 // streamCaptureMagic heads a stream capture file: the magic, a format
 // byte, then one record per observed round — a kind byte (0 = whole 2D
-// tree, 1 = delta frame), a little-endian uint32 payload length, and the
-// frame bytes in the trace wire format. Record 0 is always the cold
-// gather's whole tree; stat-view replays the sequence with
-// trace.ApplyDelta.
+// tree, 1 = delta frame, 2 = UTF-8 post-mortem text), a little-endian
+// uint32 payload length, and the payload. Kind 0/1 payloads are frame
+// bytes in the trace wire format; record 0 is always the cold gather's
+// whole tree, and stat-view replays the sequence with trace.ApplyDelta.
+// Kind-2 records carry the flight-recorder dump of a degraded run's
+// implicated daemons, so a faulty capture is its own post-mortem.
 const (
 	streamCaptureMagic   = "STSM"
 	streamCaptureVersion = 1
@@ -188,6 +193,24 @@ func (c *streamCapture) record(delta bool, t2 *trace.Tree) {
 	c.bytes += int64(len(payload))
 }
 
+// postmortem appends a kind-2 record: UTF-8 diagnostic text (the
+// flight-recorder tails of a degraded run's implicated daemons).
+func (c *streamCapture) postmortem(text string) {
+	if c.err != nil || text == "" {
+		return
+	}
+	var lenBuf [4]byte
+	binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(text)))
+	c.w.WriteByte(2)
+	c.w.Write(lenBuf[:])
+	if _, err := c.w.WriteString(text); err != nil {
+		c.fail(err)
+		return
+	}
+	c.records++
+	c.bytes += int64(len(text))
+}
+
 func (c *streamCapture) close() error {
 	if c.prev != nil {
 		c.prev.Release()
@@ -200,6 +223,124 @@ func (c *streamCapture) close() error {
 		c.fail(err)
 	}
 	return c.err
+}
+
+// flagGroups orders the CLI's flags by subsystem for -h. Every flag
+// must appear in exactly one group; groupedUsage sweeps any unclaimed
+// stragglers into a trailing "other" section so a new flag is visible
+// even before it is sorted.
+var flagGroups = []struct {
+	title string
+	names []string
+}{
+	{"session (application, sampling, reduction)", []string{
+		"machine", "mode", "tasks", "topology", "bitvec", "samples", "threads",
+		"sbrs", "unpatched", "seed", "sampler", "sample-workers", "overlap",
+		"engine", "reduce-workers", "reduce-budget",
+	}},
+	{"wire (negotiated data-stream format)", []string{"wire"}},
+	{"fault tolerance & injection", []string{
+		"fault-tolerant", "subtree-timeout", "crash-daemons", "crash-nodes",
+		"cut-nodes", "slow-nodes", "slow-link",
+	}},
+	{"stream (temporal mode)", []string{"stream", "stream-whole", "stream-save"}},
+	{"telemetry (observability plane)", []string{"telemetry", "debug-addr"}},
+	{"output & reporting", []string{"classes", "tree", "dot", "save", "progress"}},
+}
+
+func printFlag(w io.Writer, f *flag.Flag) {
+	arg, usage := flag.UnquoteUsage(f)
+	line := "  -" + f.Name
+	if arg != "" {
+		line += " " + arg
+	}
+	fmt.Fprintf(w, "%s\n    \t%s", line, strings.ReplaceAll(usage, "\n", "\n    \t"))
+	switch f.DefValue {
+	case "", "false", "0":
+	default:
+		fmt.Fprintf(w, " (default %s)", f.DefValue)
+	}
+	fmt.Fprintln(w)
+}
+
+// groupedUsage replaces the flat alphabetical -h listing with the
+// subsystem grouping above.
+func groupedUsage() {
+	w := flag.CommandLine.Output()
+	fmt.Fprintf(w, "usage: stat [flags]\n")
+	seen := make(map[string]bool)
+	for _, g := range flagGroups {
+		fmt.Fprintf(w, "\n%s:\n", g.title)
+		for _, name := range g.names {
+			if f := flag.Lookup(name); f != nil {
+				seen[name] = true
+				printFlag(w, f)
+			}
+		}
+	}
+	var rest []*flag.Flag
+	flag.VisitAll(func(f *flag.Flag) {
+		if !seen[f.Name] {
+			rest = append(rest, f)
+		}
+	})
+	if len(rest) > 0 {
+		fmt.Fprintf(w, "\nother:\n")
+		for _, f := range rest {
+			printFlag(w, f)
+		}
+	}
+}
+
+// fmtNs renders a nanosecond duration at the precision the telemetry
+// report needs.
+func fmtNs(ns int64) string {
+	switch d := time.Duration(ns); {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.2fms", float64(ns)/1e6)
+	case d >= time.Microsecond:
+		return fmt.Sprintf("%.1fµs", float64(ns)/1e3)
+	default:
+		return fmt.Sprintf("%dns", ns)
+	}
+}
+
+// printTelemetry reports the session's fleet telemetry frame: per-span
+// aggregates and the byte/lease/fan-in counters, TBON-folded across
+// every daemon and interior filter of the (cold) round.
+func printTelemetry(f *telemetry.Frame) {
+	fmt.Printf("\ntelemetry (fleet view of round %d: %d daemons, %d filter calls):\n",
+		f.Round, f.Daemons, f.Filters)
+	for k := 0; k < telemetry.NumSpanKinds; k++ {
+		a := f.Spans[k]
+		if a.Count == 0 {
+			continue
+		}
+		fmt.Printf("  %-12s %5d spans   mean %9s   min %9s   max %9s\n",
+			telemetry.SpanKind(k), a.Count, fmtNs(a.Mean()), fmtNs(a.MinNs), fmtNs(a.MaxNs))
+	}
+	fmt.Printf("  leaf payload %s, merged %s; max live leases %d, max fan-in %d\n",
+		byteCount(f.PayloadBytes), byteCount(f.MergedBytes), f.LiveLeases, f.QueueDepth)
+}
+
+// renderFlightDumps formats the flight-recorder tails of a degraded
+// run's implicated daemons — shared by the console report and the
+// stream capture's kind-2 post-mortem record.
+func renderFlightDumps(dumps []core.FlightDump) string {
+	var b strings.Builder
+	for _, d := range dumps {
+		fmt.Fprintf(&b, "  daemon %d flight recorder (%d spans):\n", d.Leaf, len(d.Spans))
+		if len(d.Spans) == 0 {
+			fmt.Fprintf(&b, "    (no spans recorded)\n")
+			continue
+		}
+		for _, s := range d.Spans {
+			fmt.Fprintf(&b, "    #%-5d round %-4d %-12s %s\n", s.Seq, s.Round, s.Kind, fmtNs(s.Dur))
+		}
+	}
+	return b.String()
 }
 
 // byteCount renders a byte total with a binary-unit suffix for the
@@ -249,7 +390,10 @@ func run() error {
 		cutNodes    = flag.String("cut-nodes", "", "inject: partition these overlay nodes' uplinks (node-ID ranges); requires -fault-tolerant")
 		slowNodes   = flag.String("slow-nodes", "", "inject: delay these overlay nodes' uplinks (node-ID ranges); requires -fault-tolerant")
 		slowLink    = flag.Duration("slow-link", 50*time.Millisecond, "delay applied to -slow-nodes uplinks")
+		telem       = flag.Bool("telemetry", false, "enable the in-band telemetry plane: per-round span frames folded up the TBON, session metrics, and per-daemon flight recorders (inert on a v1-negotiated wire)")
+		debugAddr   = flag.String("debug-addr", "", "serve live Prometheus metrics at /metrics and net/http/pprof at /debug/pprof/ on this address (implies -telemetry)")
 	)
+	flag.Usage = groupedUsage
 	flag.Parse()
 
 	if *wireVersion > proto.MaxVersion {
@@ -270,6 +414,7 @@ func run() error {
 		StreamWholeTree:   *streamWhole,
 		FaultTolerant:     *faultTol,
 		SubtreeTimeout:    *subTimeout,
+		Telemetry:         *telem || *debugAddr != "",
 	}
 	var capture *streamCapture
 	if *streamSave != "" {
@@ -297,6 +442,16 @@ func run() error {
 			fmt.Printf("  stream round %3d: %s, %d classes\n", round, kind, len(t2.EquivalenceClasses()))
 			if capture != nil {
 				capture.record(delta, t2)
+			}
+		}
+		if opts.Telemetry {
+			// The follow line rides under each round's summary line: the
+			// round's fleet frame, compressed to the spans that steer tuning.
+			opts.StreamRoundTelemetry = func(round int, f *telemetry.Frame) {
+				fmt.Printf("       telemetry: walk %s×%d, merge %s×%d, reduce-wait %s, payload %s\n",
+					fmtNs(f.Spans[telemetry.SpanWalk].Mean()), f.Spans[telemetry.SpanWalk].Count,
+					fmtNs(f.Spans[telemetry.SpanMerge].Mean()), f.Spans[telemetry.SpanMerge].Count,
+					fmtNs(f.Spans[telemetry.SpanReduceWait].SumNs), byteCount(f.PayloadBytes))
 			}
 		}
 	}
@@ -392,6 +547,14 @@ func run() error {
 	}
 	fmt.Printf("STAT: %s, %d tasks, %d daemons, %s tree, %s bit vectors\n",
 		opts.Machine.Name, *tasks, tool.Daemons(), *topoName, opts.BitVec)
+	if *debugAddr != "" {
+		ds, err := telemetry.ServeDebug(*debugAddr, tool.TelemetryRegistry())
+		if err != nil {
+			return fmt.Errorf("-debug-addr: %w", err)
+		}
+		defer ds.Close()
+		fmt.Printf("debug endpoint: http://%s/metrics (pprof under /debug/pprof/)\n", ds.Addr)
+	}
 
 	res, err := tool.Run()
 	if err != nil {
@@ -414,6 +577,9 @@ func run() error {
 		}
 		fmt.Printf("\nDEGRADED RESULT: %d of %d ranks missing (ranks %s); trees cover the %d surviving ranks\n",
 			res.MissingRanks, *tasks, bitvec.FormatRanges(missing), res.Liveness.Count())
+		if len(res.FlightDumps) > 0 {
+			fmt.Print(renderFlightDumps(res.FlightDumps))
+		}
 	}
 
 	fmt.Printf("\nphase times (modeled):\n")
@@ -462,6 +628,10 @@ func run() error {
 		}
 	}
 
+	if res.Telemetry != nil {
+		printTelemetry(res.Telemetry)
+	}
+
 	if res.StreamRounds > 0 {
 		fmt.Printf("\nstreaming: %d rounds (%d delta, %d whole)", res.StreamRounds,
 			res.StreamDeltaRounds, res.StreamRounds-res.StreamDeltaRounds)
@@ -481,6 +651,9 @@ func run() error {
 				ev.Round, ev.PrevClasses, ev.Classes)
 		}
 		if capture != nil {
+			if len(res.FlightDumps) > 0 {
+				capture.postmortem(renderFlightDumps(res.FlightDumps))
+			}
 			records, captured := capture.records, capture.bytes
 			if err := capture.close(); err != nil {
 				return fmt.Errorf("stream capture: %w", err)

@@ -2,11 +2,13 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"stat/internal/proto"
 	"stat/internal/sample"
 	"stat/internal/stackwalk"
 	"stat/internal/tbon"
+	"stat/internal/telemetry"
 	"stat/internal/trace"
 )
 
@@ -69,6 +71,12 @@ type daemon struct {
 	// while this round's trees travel up the overlay. The next gather
 	// claims it; detach cancels it.
 	pre *sample.Prefetch
+	// telemFrame and telemBuf are the daemon's reusable telemetry leaf
+	// state: the round's frame is built in telemFrame and encoded into
+	// telemBuf before being appended to the gather reply, so the
+	// instrumented leaf path allocates nothing at steady state.
+	telemFrame telemetry.Frame
+	telemBuf   []byte
 }
 
 // handleControl advances the daemon's state machine for one control
@@ -134,6 +142,10 @@ type sampleBatch struct {
 	// round-over-round extractor) rather than whole trees; the gather
 	// reply then goes out as MsgDelta.
 	delta bool
+	// walkNs and sealNs are the round's walk and seal durations,
+	// populated only when the gather requested telemetry.
+	walkNs int64
+	sealNs int64
 }
 
 func (b *sampleBatch) release() {
@@ -179,6 +191,9 @@ func (d *daemon) sampleTrees(req proto.GatherRequest) (sampleBatch, error) {
 			Detail:      req.Detail,
 			Want2D:      req.Which&proto.Tree2D != 0,
 			Want3D:      req.Which&proto.Tree3D != 0,
+			// Walk/seal span durations for the telemetry frame; clock
+			// reads happen only on instrumented rounds.
+			Timed: req.Telemetry,
 			// On a v3 stream the encode would pick compressed containers
 			// anyway; emitting them from the trie means the leaf serialize
 			// reads extents the walk already computed. Older streams carry
@@ -201,9 +216,11 @@ func (d *daemon) sampleTrees(req proto.GatherRequest) (sampleBatch, error) {
 			// and deltas start one round later.
 			batch := eng.SampleKeyed(d.leaf, sreq)
 			if batch.DeltaOK {
-				return sampleBatch{t2: batch.Delta2D, t3: batch.Delta3D, batch: batch, delta: true}, nil
+				return sampleBatch{t2: batch.Delta2D, t3: batch.Delta3D, batch: batch, delta: true,
+					walkNs: batch.WalkNanos, sealNs: batch.SealNanos}, nil
 			}
-			return sampleBatch{t2: batch.Tree2D, t3: batch.Tree3D, batch: batch}, nil
+			return sampleBatch{t2: batch.Tree2D, t3: batch.Tree3D, batch: batch,
+				walkNs: batch.WalkNanos, sealNs: batch.SealNanos}, nil
 		}
 		if d.tool.opts.Overlap == OverlapSnapshot && !d.tool.opts.FaultTolerant {
 			// Speculate the next round: same shape, advanced by one sample
@@ -217,12 +234,18 @@ func (d *daemon) sampleTrees(req proto.GatherRequest) (sampleBatch, error) {
 			next.Base = d.epoch
 			batch, npre := eng.SampleOverlap(d.pre, sreq, &next)
 			d.pre = npre
-			return sampleBatch{t2: batch.Tree2D, t3: batch.Tree3D, batch: batch}, nil
+			return sampleBatch{t2: batch.Tree2D, t3: batch.Tree3D, batch: batch,
+				walkNs: batch.WalkNanos, sealNs: batch.SealNanos}, nil
 		}
 		batch := eng.Sample(sreq)
-		return sampleBatch{t2: batch.Tree2D, t3: batch.Tree3D, batch: batch}, nil
+		return sampleBatch{t2: batch.Tree2D, t3: batch.Tree3D, batch: batch,
+			walkNs: batch.WalkNanos, sealNs: batch.SealNanos}, nil
 	}
 
+	var walkStart time.Time
+	if req.Telemetry {
+		walkStart = time.Now()
+	}
 	t2 := trace.NewTree(width)
 	t3 := trace.NewTree(width)
 	walker := stackwalk.NewWalker(d.tool.app, d.tool.symtab)
@@ -249,7 +272,13 @@ func (d *daemon) sampleTrees(req proto.GatherRequest) (sampleBatch, error) {
 			}
 		}
 	}
-	return sampleBatch{t2: t2, t3: t3, legacy: true}, nil
+	sb := sampleBatch{t2: t2, t3: t3, legacy: true}
+	if req.Telemetry {
+		// The legacy loop has no distinct seal phase; the whole
+		// materialize-and-fold pass is its walk.
+		sb.walkNs = time.Since(walkStart).Nanoseconds()
+	}
+	return sb, nil
 }
 
 // gatherPacket performs the daemon's real work for a gather command as an
@@ -269,14 +298,24 @@ func (d *daemon) sampleTrees(req proto.GatherRequest) (sampleBatch, error) {
 // steady state (ROADMAP's "leased buffers end to end"). Under v2 the
 // pooled buffer's 8-aligned base plus the 16-byte header land every label
 // word-aligned for the upstream zero-copy decode.
+//
+// On instrumented rounds (req.Telemetry, v2+) the daemon additionally
+// appends its telemetry frame — walk/seal/encode/send spans, payload
+// bytes — as a body trailer (proto.AppendTelemetrySection) and records
+// the same spans into its flight recorder. Both write into per-daemon
+// reusable scratch, keeping the instrumented path allocation-free.
 func (d *daemon) gatherPacket(req proto.GatherRequest) (*tbon.Lease, error) {
-	sb, err := d.sampleTrees(req)
-	if err != nil {
-		return nil, err
-	}
 	version := d.wireVersion
 	if version == 0 {
 		version = proto.Version
+	}
+	// Telemetry sections exist only in the v2+ formats; a v1-encoding
+	// daemon inside an instrumented fleet simply ships a bare body (and
+	// the min-merge downgrade drops the section at the join above it).
+	telem := req.Telemetry && version >= trace.WireV2 && d.tool.telem != nil
+	sb, err := d.sampleTrees(req)
+	if err != nil {
+		return nil, err
 	}
 	var treeBuf [2]*trace.Tree
 	var trees []*trace.Tree
@@ -293,7 +332,18 @@ func (d *daemon) gatherPacket(req proto.GatherRequest) (*tbon.Lease, error) {
 	}
 	hdr := proto.HeaderSizeV(version)
 	size := encodedTreesSize(version, trees)
-	buf := outBufs.Get(hdr + size)
+	extra := 0
+	var sendStart, encStart time.Time
+	if telem {
+		// Reserve the section's bytes up front so the append below can
+		// never grow (and therefore never strand) the pooled buffer.
+		extra = proto.TelemetrySectionLen(telemetry.EncodedFrameSize)
+		sendStart = time.Now()
+	}
+	buf := outBufs.Get(hdr + size + extra)
+	if telem {
+		encStart = time.Now()
+	}
 	packet, err := encodeFramesInto(buf[:hdr], version, sb.delta, trees...)
 	sb.release()
 	if err != nil {
@@ -303,6 +353,31 @@ func (d *daemon) gatherPacket(req proto.GatherRequest) (*tbon.Lease, error) {
 	typ := proto.MsgResult
 	if sb.delta {
 		typ = proto.MsgDelta
+	}
+	if telem {
+		now := time.Now()
+		encodeNs := now.Sub(encStart).Nanoseconds()
+		// Send covers the assembly cost measurable before the frame
+		// freezes: the pooled-buffer mint. The header and trailer
+		// writes land after the frame is encoded and cost nanoseconds.
+		sendNs := encStart.Sub(sendStart).Nanoseconds()
+		round := int32(d.epoch)
+		f := &d.telemFrame
+		*f = telemetry.Frame{Daemons: 1, Round: round}
+		f.Observe(telemetry.SpanWalk, sb.walkNs)
+		f.Observe(telemetry.SpanSeal, sb.sealNs)
+		f.Observe(telemetry.SpanEncode, encodeNs)
+		f.Observe(telemetry.SpanSend, sendNs)
+		f.PayloadBytes = int64(len(packet) - hdr)
+		f.LiveLeases = tbon.LiveLeases()
+		rec := d.tool.telem.recorders[d.leaf]
+		base := sendStart.UnixNano()
+		rec.Record(telemetry.SpanWalk, round, base-sb.sealNs-sb.walkNs, sb.walkNs)
+		rec.Record(telemetry.SpanSeal, round, base-sb.sealNs, sb.sealNs)
+		rec.Record(telemetry.SpanEncode, round, encStart.UnixNano(), encodeNs)
+		rec.Record(telemetry.SpanSend, round, base, sendNs)
+		d.telemBuf = f.AppendTo(d.telemBuf[:0])
+		packet = proto.AppendTelemetrySection(packet, d.telemBuf)
 	}
 	proto.PutHeaderV(packet, version, proto.DataStream, typ, len(packet)-hdr)
 	return tbon.NewLease(packet, recycleOutBuf), nil

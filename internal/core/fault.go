@@ -7,6 +7,7 @@ import (
 	"stat/internal/bitvec"
 	"stat/internal/proto"
 	"stat/internal/tbon"
+	"stat/internal/telemetry"
 	"stat/internal/topology"
 )
 
@@ -57,12 +58,17 @@ func posIn(missing []int, pos int) bool {
 // positions, minus the positions reported missing) — and emits a
 // MsgPartialResult whose payload carries the liveness ahead of the merged
 // tree body (see proto.PutPartialPrefix for the framing). bodies arrive as
-// whole-payload sub-leases; partial children are re-sliced to just their
-// tree body before the merge. Unlike the fast path this one allocates — it
-// only runs when a fault already cost a subtree, so the zero-alloc contract
-// stays a fault-free-path property.
+// payload sub-leases with any telemetry section already stripped by
+// resultFilter (the section is the outermost trailer, outside the partial
+// prefix), so the partial split below reads the body lease, not the raw
+// packet; partial children are re-sliced to just their tree body before
+// the merge. The caller's folded telemetry frame (tf, nil when the plane
+// is off or the output is v1) passes through to the merger, which appends
+// it to the degraded output exactly as on the fast path. Unlike the fast
+// path this one allocates — it only runs when a fault already cost a
+// subtree, so the zero-alloc contract stays a fault-free-path property.
 func (t *Tool) mergePartial(ctx *tbon.FilterCtx, children, bodies []*tbon.Lease,
-	merge func([]*tbon.Lease, int, uint8) ([]byte, error), version uint8, hdr int) (*tbon.Lease, error) {
+	merge mergeFunc, version uint8, hdr int, tf *telemetry.Frame) (*tbon.Lease, error) {
 
 	release := func() {
 		for _, b := range bodies {
@@ -77,7 +83,7 @@ func (t *Tool) mergePartial(ctx *tbon.FilterCtx, children, bodies []*tbon.Lease,
 			return nil, err
 		}
 		if p.Type == proto.MsgPartialResult {
-			lv, body, err := proto.SplitPartialPayload(p.Payload, p.Version)
+			lv, body, err := proto.SplitPartialPayload(bodies[i].Bytes(), p.Version)
 			if err != nil {
 				release()
 				return nil, err
@@ -91,7 +97,7 @@ func (t *Tool) mergePartial(ctx *tbon.FilterCtx, children, bodies []*tbon.Lease,
 				release()
 				return nil, err
 			}
-			sub := c.Sub(body)
+			sub := bodies[i].Sub(body)
 			bodies[i].Release()
 			bodies[i] = sub
 			continue
@@ -122,7 +128,7 @@ func (t *Tool) mergePartial(ctx *tbon.FilterCtx, children, bodies []*tbon.Lease,
 		return nil, err
 	}
 	prefix := proto.PartialPrefixLen(version, len(lvBytes))
-	packet, err := merge(bodies, hdr+prefix, version)
+	packet, err := merge(bodies, hdr+prefix, version, tf)
 	release()
 	if err != nil {
 		return nil, err

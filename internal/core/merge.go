@@ -5,10 +5,12 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"stat/internal/bitvec"
 	"stat/internal/proto"
 	"stat/internal/tbon"
+	"stat/internal/telemetry"
 	"stat/internal/trace"
 )
 
@@ -19,11 +21,12 @@ import (
 // call and returns with no live trees, so at steady state the whole
 // decode→merge→encode cycle runs without a single heap allocation.
 type mergeScratch struct {
-	codec *trace.Codec
-	flat  []*trace.Tree   // all decoded trees, in child order
-	lists [][]*trace.Tree // per-child views into flat
-	parts []*trace.Tree   // parallel trees handed to one MergeConcat
-	out   []*trace.Tree   // merged trees, in tree-index order
+	codec    *trace.Codec
+	flat     []*trace.Tree   // all decoded trees, in child order
+	lists    [][]*trace.Tree // per-child views into flat
+	parts    []*trace.Tree   // parallel trees handed to one MergeConcat
+	out      []*trace.Tree   // merged trees, in tree-index order
+	telemBuf []byte          // encoded telemetry frame scratch
 }
 
 var scratchPool = sync.Pool{New: func() any {
@@ -347,7 +350,7 @@ func (t *Tool) mergeFilter() tbon.Filter {
 				version = v
 			}
 		}
-		body, err := merge(children, 0, version)
+		body, err := merge(children, 0, version, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -365,6 +368,15 @@ func (t *Tool) mergeFilter() tbon.Filter {
 // frame). The returned buffer belongs to outBufs; callers hand it onward
 // inside a lease whose free hook is recycleOutBuf.
 //
+// With a non-nil tf (the caller's folded telemetry frame — child
+// sections already stripped and folded by resultFilter), the kernel
+// observes its own merge span and output bytes into tf and appends the
+// encoded frame as a telemetry section trailer after the trees. The
+// section's bytes are reserved when the output buffer is drawn, so the
+// append never grows the buffer and the instrumented cycle stays
+// allocation-free. Child bodies handed in must already be bare tree
+// bodies — the decode rejects trailing bytes by design.
+//
 // This is the showcase of the leased-buffer contract. In hierarchical
 // mode the decode aliases label words straight into the child packet
 // buffers (retaining each lease until the decoded tree is released), the
@@ -380,9 +392,15 @@ func (t *Tool) mergeFilter() tbon.Filter {
 // returns: nodes and tree headers return to the codec's free lists, arena
 // storage recycles, and the input leases drop back to the engine's
 // reference.
-func (t *Tool) treeMerger() func(children []*tbon.Lease, prefixLen int, version uint8) ([]byte, error) {
+func (t *Tool) treeMerger() mergeFunc {
 	return t.frameMerger(false)
 }
+
+// mergeFunc is the merge-kernel shape shared by the tree and delta
+// mergers: merge the child bodies into a pooled buffer after prefixLen
+// reserved bytes, emit at the given wire version, and — when tf is
+// non-nil — append tf as the body's telemetry section.
+type mergeFunc = func(children []*tbon.Lease, prefixLen int, version uint8, tf *telemetry.Frame) ([]byte, error)
 
 // deltaMerger is the merge kernel for MsgDelta bodies: identical cycle,
 // identical framing, but every frame is a delta frame. Hierarchical mode
@@ -394,15 +412,19 @@ func (t *Tool) treeMerger() func(children []*tbon.Lease, prefixLen int, version 
 // included children. Original mode combines matching nodes by XOR
 // (trace.MergeXor) — the operation that commutes with the downstream
 // fold — instead of union.
-func (t *Tool) deltaMerger() func(children []*tbon.Lease, prefixLen int, version uint8) ([]byte, error) {
+func (t *Tool) deltaMerger() mergeFunc {
 	return t.frameMerger(true)
 }
 
-func (t *Tool) frameMerger(delta bool) func(children []*tbon.Lease, prefixLen int, version uint8) ([]byte, error) {
+func (t *Tool) frameMerger(delta bool) mergeFunc {
 	hierarchical := t.opts.BitVec != Original
-	return func(children []*tbon.Lease, prefixLen int, version uint8) (out []byte, err error) {
+	return func(children []*tbon.Lease, prefixLen int, version uint8, tf *telemetry.Frame) (out []byte, err error) {
 		if len(children) == 0 {
 			return nil, errors.New("core: filter with no inputs")
+		}
+		var mergeStart time.Time
+		if tf != nil {
+			mergeStart = time.Now()
 		}
 		s := scratchPool.Get().(*mergeScratch)
 		s.flat, s.lists, s.out = s.flat[:0], s.lists[:0], s.out[:0]
@@ -483,13 +505,23 @@ func (t *Tool) frameMerger(delta bool) func(children []*tbon.Lease, prefixLen in
 		// Size the output exactly, draw a capacity-matched recycled
 		// buffer, and encode after the caller's reserved prefix; the
 		// in-place append can never grow (and therefore never strands a
-		// pooled buffer).
+		// pooled buffer). Telemetry section bytes are reserved alongside.
 		size := encodedTreesSize(version, s.out)
-		buf := outBufs.Get(prefixLen + size)
+		extra := 0
+		if tf != nil {
+			extra = proto.TelemetrySectionLen(telemetry.EncodedFrameSize)
+		}
+		buf := outBufs.Get(prefixLen + size + extra)
 		body, err := encodeFramesInto(buf[:prefixLen], version, delta, s.out...)
 		if err != nil {
 			outBufs.Put(buf)
 			return nil, err
+		}
+		if tf != nil {
+			tf.MergedBytes += int64(len(body) - prefixLen)
+			tf.Observe(telemetry.SpanMerge, time.Since(mergeStart).Nanoseconds())
+			s.telemBuf = tf.AppendTo(s.telemBuf[:0])
+			body = proto.AppendTelemetrySection(body, s.telemBuf)
 		}
 		return body, nil
 	}
@@ -539,6 +571,13 @@ func (t *Tool) runMergePhase(res *Result) error {
 	res.Liveness = live
 	if live != nil {
 		res.MissingRanks = t.opts.Tasks - live.Count()
+		if t.telem != nil {
+			res.FlightDumps = t.flightDumps(live)
+		}
+	}
+	if s.lastFrameOK {
+		frame := s.lastFrame
+		res.Telemetry = &frame
 	}
 	res.AliasDecodeHits = t.aliasHits.Load()
 	res.AliasDecodeMisses = t.aliasMisses.Load()

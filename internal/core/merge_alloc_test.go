@@ -147,7 +147,7 @@ func TestResultFilterCycleZeroAllocs(t *testing.T) {
 	if raceEnabled {
 		t.Skip("allocation counts are unstable under the race detector")
 	}
-	filter := newAllocTool(t, Hierarchical).resultFilter()
+	filter := newAllocTool(t, Hierarchical).resultFilter(false)
 	inner := buildFilterChildren(t, true, trace.WireV2)
 	children := make([]*tbon.Lease, len(inner))
 	for i, b := range inner {

@@ -34,7 +34,8 @@
 //
 // # Session mode matrix
 //
-// Three orthogonal session behaviors compose — or explicitly refuse to:
+// Four orthogonal session behaviors compose — or explicitly refuse to.
+// First the sampling/streaming axes:
 //
 //	                 one-shot      streaming (Stream > 0)
 //	overlap=snapshot default: the  deltas ride the same snapshot chain;
@@ -47,6 +48,30 @@
 //	                 partial       fold has no well-defined delta base;
 //	                 results       see ROADMAP for the per-subtree
 //	                               re-sync epoch design that lifts this
+//
+// Telemetry (Options.Telemetry) is a pure observer and composes with
+// every row, riding the same packets the row already sends:
+//
+//	telemetry ×      behavior
+//	one-shot         the cold round's fleet frame lands in
+//	                 Result.Telemetry; flight recorders hold the round's
+//	                 leaf spans
+//	streaming        every round's folded frame reaches the front end
+//	                 (Options.StreamRoundTelemetry observes each one);
+//	                 delta rounds piggyback frames on MsgDelta bodies
+//	                 exactly as whole rounds do on MsgResult
+//	fault-tolerant   a degraded round's frame counts only surviving
+//	                 daemons (Frame.Daemons is the telemetry plane's own
+//	                 coverage report), and Result.FlightDumps carries the
+//	                 lost daemons' flight-recorder tails
+//	v1 wire          inert: telemetry sections exist only in the v2+
+//	                 formats, so a v1 session gathers no frames — the
+//	                 min-merge downgrade rule extended to telemetry
+//
+// The merged result trees are byte-identical with telemetry on and off
+// in every cell — the differential suite pins it — because the section
+// is a trailer the filters strip before tree decode and append after
+// tree encode, never part of the tree bytes.
 //
 // Within a streaming session the delta machinery degrades rather than
 // demands: a v1 fleet (or Options.StreamWholeTree) streams whole trees,
@@ -63,6 +88,7 @@ import (
 	"stat/internal/mpisim"
 	"stat/internal/proto"
 	"stat/internal/tbon"
+	"stat/internal/telemetry"
 	"stat/internal/topology"
 	"stat/internal/trace"
 )
@@ -234,6 +260,23 @@ type Options struct {
 	// trees), so a recorder sees the complete replayable sequence. Used
 	// by the CLI's stream capture and the differential tests.
 	StreamRound func(round int, delta bool, t2, t3 *trace.Tree)
+	// Telemetry enables the observability plane: per-daemon flight
+	// recorders, a session-lifetime metric registry (Tool.
+	// TelemetryRegistry, for the -debug-addr exposition endpoint), and a
+	// per-round fleet telemetry frame that daemons piggyback on their
+	// gather replies and interior filters fold on the way up, landing in
+	// Result.Telemetry. Telemetry is a pure observer: result trees are
+	// byte-identical with it on or off, and the instrumented gather path
+	// stays allocation-free at steady state. The piggyback section exists
+	// only in the v2+ wire formats, so a session negotiated to v1 (or
+	// pinned there by WireVersion / DaemonWireCaps) collects no frames.
+	Telemetry bool
+	// StreamRoundTelemetry, when non-nil (and Telemetry is on), observes
+	// each streamed round's folded fleet frame after the round's
+	// gather — including round 0, the cold gather the stream starts
+	// from. The frame is read-only and valid only during the call. Used
+	// by the CLI's per-round follow lines.
+	StreamRoundTelemetry func(round int, f *telemetry.Frame)
 	// FaultTolerant makes the gather degrade gracefully instead of failing
 	// whole-run: subtrees lost to a crash, partition, or timeout are
 	// dropped, the merged result carries a liveness set of the surviving

@@ -80,7 +80,7 @@ func TestOverlapDifferentialAcrossTopologies(t *testing.T) {
 						for _, dm := range daemons {
 							dm.epoch += dm.samples
 						}
-						out, _, err := net.ReduceNodeLeasedWith(tbon.ReduceOptions{Engine: engine}, leaf, tool.resultFilter())
+						out, _, err := net.ReduceNodeLeasedWith(tbon.ReduceOptions{Engine: engine}, leaf, tool.resultFilter(false))
 						if err != nil {
 							t.Fatalf("%v/v%d/%s/%v round %d: %v", mode, version, tc.name, overlap, round, err)
 						}

@@ -77,7 +77,7 @@ func TestSamplerDifferentialAcrossTopologies(t *testing.T) {
 					leaf := func(i int) (*tbon.Lease, error) {
 						return daemons[i].gatherPacket(greq)
 					}
-					out, _, err := net.ReduceNodeLeasedWith(tbon.ReduceOptions{}, leaf, tool.resultFilter())
+					out, _, err := net.ReduceNodeLeasedWith(tbon.ReduceOptions{}, leaf, tool.resultFilter(false))
 					if err != nil {
 						t.Fatalf("%v/v%d/%s: %v", mode, version, tc.name, err)
 					}

@@ -3,10 +3,14 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync"
+	"time"
 
 	"stat/internal/bitvec"
 	"stat/internal/proto"
 	"stat/internal/tbon"
+	"stat/internal/telemetry"
+	"stat/internal/trace"
 )
 
 // session drives one attach→sample→gather→detach cycle over the overlay,
@@ -27,6 +31,16 @@ type session struct {
 	daemons []*daemon
 	// wireVersion is the negotiated data-stream version, set by attach.
 	wireVersion uint8
+	// telem reports whether this session's gathers carry telemetry
+	// sections: Options.Telemetry on a v2+ negotiated stream (the v1
+	// body has no section — the min-merge rule extended to telemetry).
+	// Set by attach alongside the version it depends on.
+	telem bool
+	// lastFrame is the most recent gather's folded fleet telemetry
+	// frame (valid when lastFrameOK): popped off the root packet before
+	// tree decode, with the front end's reduce-wait aggregate merged in.
+	lastFrame   telemetry.Frame
+	lastFrameOK bool
 }
 
 func (t *Tool) newSession() *session {
@@ -120,6 +134,10 @@ func (s *session) attach() error {
 	if s.wireVersion == 0 {
 		s.wireVersion = proto.Version
 	}
+	// Telemetry rides the v2+ body trailer, so a session negotiated down
+	// to v1 runs with the plane inert: daemons never see the request flag
+	// and the result packets stay exactly the v1 bytes.
+	s.telem = s.t.telem != nil && s.wireVersion >= trace.WireV2
 	return nil
 }
 
@@ -154,14 +172,15 @@ func (s *session) detach() error {
 // fault-tolerance options (gatherReduceOpts): control acks stay
 // fault-free.
 func (s *session) gather(which proto.TreeKind, detail, delta bool) ([]byte, uint8, bool, *bitvec.Vector, *tbon.Stats, error) {
-	req := proto.GatherRequest{Which: which, Detail: detail, Delta: delta}
+	s.lastFrameOK = false
+	req := proto.GatherRequest{Which: which, Detail: detail, Delta: delta, Telemetry: s.telem}
 	cmd := proto.Packet{Stream: proto.DataStream, Type: proto.MsgGather, Payload: req.Encode()}
 	delivered, _, err := s.net.Broadcast(cmd.Encode())
 	if err != nil {
 		return nil, 0, false, nil, nil, err
 	}
 
-	filter := s.t.resultFilter()
+	filter := s.t.resultFilter(s.telem)
 	leaf := func(leaf int) (*tbon.Lease, error) {
 		p, err := proto.Decode(delivered[leaf])
 		if err != nil {
@@ -174,7 +193,15 @@ func (s *session) gather(which proto.TreeKind, detail, delta bool) ([]byte, uint
 		return s.daemons[leaf].gatherPacket(greq)
 	}
 
-	out, stats, err := s.net.ReduceNodeLeasedWith(s.t.opts.gatherReduceOpts(), leaf, filter)
+	ropts := s.t.opts.gatherReduceOpts()
+	if s.telem {
+		// Reduce-wait is the one span only the front-end process can see:
+		// the engines report it per join, the tool aggregates it, and
+		// takeWait below folds the round's total into the fleet frame.
+		s.t.telem.resetWait()
+		ropts.WaitObserver = s.t.telem.waitFn
+	}
+	out, stats, err := s.net.ReduceNodeLeasedWith(ropts, leaf, filter)
 	if err != nil {
 		return nil, 0, false, nil, nil, err
 	}
@@ -194,9 +221,28 @@ func (s *session) gather(which proto.TreeKind, detail, delta bool) ([]byte, uint
 		return nil, 0, false, nil, nil, fmt.Errorf("core: result packet carries wire version %d, session negotiated %d", p.Version, s.wireVersion)
 	}
 	payload := p.Payload
+	// The telemetry section is the outermost body trailer — pop it before
+	// the partial-liveness split sees the payload. A v2+ session that
+	// requested telemetry must find one on every result packet: daemons
+	// append unconditionally when asked and filters re-append the fold, so
+	// a bare body here means a filter or daemon dropped the section.
+	if s.telem && p.Version >= trace.WireV2 {
+		tree, sect, err := proto.SplitTelemetrySection(payload)
+		if err != nil {
+			return nil, 0, false, nil, nil, err
+		}
+		if !telemetry.DecodeFrameInto(&s.lastFrame, sect) {
+			return nil, 0, false, nil, nil, errors.New("core: malformed telemetry section on result packet")
+		}
+		wait := s.t.telem.takeWait()
+		s.lastFrame.Spans[telemetry.SpanReduceWait].Merge(&wait)
+		s.lastFrameOK = true
+		s.t.telem.publish(&s.lastFrame)
+		payload = tree
+	}
 	var live *bitvec.Vector
 	if p.Type == proto.MsgPartialResult {
-		lv, body, err := proto.SplitPartialPayload(p.Payload, p.Version)
+		lv, body, err := proto.SplitPartialPayload(payload, p.Version)
 		if err != nil {
 			return nil, 0, false, nil, nil, err
 		}
@@ -233,15 +279,54 @@ func (s *session) gather(which proto.TreeKind, detail, delta bool) ([]byte, uint
 // below is byte-for-byte the fault-free filter, so fault-free runs (with or
 // without Options.FaultTolerant) produce identical packets and keep the
 // zero-allocation cycle.
-func (t *Tool) resultFilter() tbon.NodeFilter {
+//
+// With telem set the filter also runs the telemetry fold: each v2+ child
+// body arrives with the child subtree's frame as its outermost trailer,
+// which is stripped (before the body sub-lease is taken, so the mergers
+// see bare tree bytes) and folded into a pooled aggregate along with this
+// filter's own fold span, fan-in, and lease high-water marks. The merger
+// re-appends the aggregate to its output, keeping the invariant that
+// every v2+ packet on a telemetry session carries exactly one section.
+// When min-merge lands the output on v1 the fold's result is dropped with
+// the rest of the v2 extras — v1 bodies never carry a section.
+// bodySlicePool recycles the per-filter-call slice of child body
+// sub-leases; fan-in varies per node, so pooled slices grow to the
+// widest join they've served and are reused at length.
+var bodySlicePool = sync.Pool{New: func() any {
+	s := make([]*tbon.Lease, 0, 16)
+	return &s
+}}
+
+func (t *Tool) resultFilter(telem bool) tbon.NodeFilter {
 	merge := t.treeMerger()
 	mergeDelta := t.deltaMerger()
 	return func(ctx *tbon.FilterCtx, children []*tbon.Lease) (*tbon.Lease, error) {
-		bodies := make([]*tbon.Lease, len(children))
+		bp := bodySlicePool.Get().(*[]*tbon.Lease)
+		if cap(*bp) < len(children) {
+			*bp = make([]*tbon.Lease, len(children))
+		}
+		bodies := (*bp)[:len(children)]
+		defer func() {
+			// Drop the lease pointers before pooling so a recycled slice
+			// can't keep released buffers reachable.
+			for i := range bodies {
+				bodies[i] = nil
+			}
+			*bp = bodies[:0]
+			bodySlicePool.Put(bp)
+		}()
 		release := func(n int) {
 			for i := 0; i < n; i++ {
 				bodies[i].Release()
 			}
+		}
+		var tf *telemFold
+		var intakeStart time.Time
+		if telem {
+			tf = telemFoldPool.Get().(*telemFold)
+			tf.agg = telemetry.Frame{}
+			defer telemFoldPool.Put(tf)
+			intakeStart = time.Now()
 		}
 		version := uint8(0)
 		anyPartial := false
@@ -265,12 +350,41 @@ func (t *Tool) resultFilter() tbon.NodeFilter {
 			if version == 0 || p.Version < version {
 				version = p.Version
 			}
-			bodies[i] = c.Sub(p.Payload)
+			body := p.Payload
+			if telem && p.Version >= trace.WireV2 {
+				rest, sect, err := proto.SplitTelemetrySection(body)
+				if err != nil {
+					release(i)
+					return nil, err
+				}
+				if !telemetry.FoldEncoded(&tf.agg, sect) {
+					release(i)
+					return nil, errors.New("core: malformed telemetry section on child result")
+				}
+				body = rest
+			}
+			bodies[i] = c.Sub(body)
 		}
 		if version == 0 {
 			version = proto.Version
 		}
 		hdr := proto.HeaderSizeV(version)
+		var frame *telemetry.Frame
+		if telem && version >= trace.WireV2 {
+			// The fold span times the whole child-intake loop with one clock
+			// pair rather than bracketing each child's strip+decode+fold —
+			// the loop's bare packet walk is a few pointer reads per child,
+			// and per-child timers would cost more than what they'd exclude.
+			tf.agg.Observe(telemetry.SpanFold, time.Since(intakeStart).Nanoseconds())
+			tf.agg.Filters++
+			if qd := int64(len(children)); qd > tf.agg.QueueDepth {
+				tf.agg.QueueDepth = qd
+			}
+			if ll := tbon.LiveLeases(); ll > tf.agg.LiveLeases {
+				tf.agg.LiveLeases = ll
+			}
+			frame = &tf.agg
+		}
 		// Delta children merge only against delta children: a delta frame
 		// and a whole tree occupy disjoint task slices and there is nothing
 		// sound to combine them into. Uniform-delta joins concatenate (or
@@ -288,7 +402,7 @@ func (t *Tool) resultFilter() tbon.NodeFilter {
 				release(len(bodies))
 				return nil, errMixedDeltaRound
 			}
-			return t.mergePartial(ctx, children, bodies, merge, version, hdr)
+			return t.mergePartial(ctx, children, bodies, merge, version, hdr, frame)
 		}
 		outType := proto.MsgResult
 		doMerge := merge
@@ -296,7 +410,7 @@ func (t *Tool) resultFilter() tbon.NodeFilter {
 			outType = proto.MsgDelta
 			doMerge = mergeDelta
 		}
-		packet, err := doMerge(bodies, hdr, version)
+		packet, err := doMerge(bodies, hdr, version, frame)
 		release(len(bodies))
 		if err != nil {
 			return nil, err

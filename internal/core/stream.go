@@ -59,6 +59,11 @@ func (t *Tool) runStreamPhase(res *Result, s *session) error {
 		// fold, so the hook sees it like any other whole-tree round.
 		hook(0, false, res.Tree2D, res.Tree3D)
 	}
+	if hook := t.opts.StreamRoundTelemetry; hook != nil && res.Telemetry != nil {
+		// Same round-0 convention for the telemetry follower: the cold
+		// round's fleet frame opens the series.
+		hook(0, res.Telemetry)
+	}
 	for round := 1; round <= t.opts.Stream; round++ {
 		if err := s.sample(t.opts.Samples, t.opts.ThreadsPerTask); err != nil {
 			return err
@@ -114,6 +119,12 @@ func (t *Tool) runStreamPhase(res *Result, s *session) error {
 		sig, classes = nsig, nclasses
 		if hook := t.opts.StreamRound; hook != nil {
 			hook(round, isDelta, res.Tree2D, res.Tree3D)
+		}
+		if hook := t.opts.StreamRoundTelemetry; hook != nil && s.lastFrameOK {
+			// s.lastFrame is overwritten by the next gather, so the hook
+			// must copy anything it keeps — same contract as StreamRound's
+			// tree arguments.
+			hook(round, &s.lastFrame)
 		}
 	}
 	return nil

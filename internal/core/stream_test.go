@@ -319,7 +319,7 @@ func mkResultChild(t testing.TB, delta bool, width, task int) *tbon.Lease {
 // join whose children mix delta frames with whole trees must abort with
 // errMixedDeltaRound rather than combine incomparable payloads.
 func TestResultFilterMixedDeltaRound(t *testing.T) {
-	filter := newAllocTool(t, Hierarchical).resultFilter()
+	filter := newAllocTool(t, Hierarchical).resultFilter(false)
 	children := []*tbon.Lease{
 		mkResultChild(t, true, 4, 0),
 		mkResultChild(t, false, 4, 1),
@@ -339,7 +339,7 @@ func TestResultFilterMixedDeltaRound(t *testing.T) {
 // TestResultFilterUniformDelta: uniform delta children merge into a
 // MsgDelta packet whose body concatenates the frames like whole trees.
 func TestResultFilterUniformDelta(t *testing.T) {
-	filter := newAllocTool(t, Hierarchical).resultFilter()
+	filter := newAllocTool(t, Hierarchical).resultFilter(false)
 	children := []*tbon.Lease{
 		mkResultChild(t, true, 3, 0),
 		mkResultChild(t, true, 5, 2),
@@ -401,7 +401,7 @@ func TestDeltaFilterCycleZeroAllocs(t *testing.T) {
 				children[ci] = tbon.NewLease(body, nil)
 			}
 			cycle := func() {
-				out, err := merge(children, 0, version)
+				out, err := merge(children, 0, version, nil)
 				if err != nil {
 					t.Fatal(err)
 				}

@@ -15,6 +15,7 @@ import (
 	"stat/internal/sim"
 	"stat/internal/stackwalk"
 	"stat/internal/tbon"
+	"stat/internal/telemetry"
 	"stat/internal/topology"
 	"stat/internal/trace"
 )
@@ -53,6 +54,9 @@ type Tool struct {
 	// concurrent and pipelined engines run filters from many goroutines.
 	covMu sync.Mutex
 	cov   map[int]*bitvec.Vector
+	// telem is the observability plane (registry, per-daemon flight
+	// recorders, reduce-wait aggregation); nil unless Options.Telemetry.
+	telem *toolTelemetry
 }
 
 // maxWireVersion is the highest wire version this tool's processes
@@ -163,6 +167,20 @@ type Result struct {
 	// monitoring: a stable application streams empty deltas and no
 	// events, and the round a task wedges shows up as a class transition.
 	StreamEvents []StreamEvent
+
+	// Telemetry is the cold gather round's fleet telemetry frame —
+	// every daemon's walk/seal/encode/send spans and byte counters plus
+	// every interior filter's merge/fold spans, folded up the TBON and
+	// piggybacked on the result packet. nil when Options.Telemetry is
+	// off or the session negotiated the v1 wire (which has no telemetry
+	// section). Streamed rounds' frames are observed per round via
+	// Options.StreamRoundTelemetry.
+	Telemetry *telemetry.Frame
+	// FlightDumps carries the flight-recorder tails of the daemons a
+	// degraded gather lost (one entry per daemon with missing ranks);
+	// nil unless the run was degraded with telemetry on. The CLI prints
+	// them under DEGRADED results and embeds them in STSM captures.
+	FlightDumps []FlightDump
 }
 
 // StreamEvent is one equivalence-class transition observed during a
@@ -225,6 +243,9 @@ func New(opts Options) (*Tool, error) {
 	}
 	if opts.Sampler == SamplerBatched {
 		t.sampler = sample.New(t.app, t.symtab, opts.SampleWorkers)
+	}
+	if opts.Telemetry {
+		t.telem = newToolTelemetry(t.daemons)
 	}
 
 	// Per-run stream: identical configurations reproduce exactly; any

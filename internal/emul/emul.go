@@ -12,11 +12,13 @@ package emul
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"stat/internal/bitvec"
 	"stat/internal/sim"
 	"stat/internal/tbon"
+	"stat/internal/telemetry"
 	"stat/internal/topology"
 	"stat/internal/trace"
 )
@@ -113,6 +115,29 @@ type Result struct {
 	// subtrees (orphan adoption) count as surviving without the harness
 	// having to re-derive engine semantics from the fault plan.
 	Live *bitvec.Vector
+	// Telemetry is the run's fleet frame (generate/encode/merge spans and
+	// byte counters across every emulated daemon and filter call); nil
+	// unless the run came through RunInstrumented.
+	Telemetry *telemetry.Frame
+}
+
+// telemetryCollector folds the emulated pipeline's spans into one fleet
+// frame. Engines call leaf producers and filters concurrently, so the
+// fold takes a mutex — the emulation is a measurement harness, not the
+// tool's hot path, and a lock keeps it trivially correct. A nil
+// collector (the uninstrumented runs) costs one branch per hook.
+type telemetryCollector struct {
+	mu    sync.Mutex
+	frame telemetry.Frame
+}
+
+func (c *telemetryCollector) add(fn func(*telemetry.Frame)) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	fn(&c.frame)
+	c.mu.Unlock()
 }
 
 // Run drives a full emulated merge under the sequential reduction engine:
@@ -127,6 +152,35 @@ func Run(spec Spec, daemons int, topoSpec topology.Spec, hierarchical bool, mode
 // RunEngine is Run with an explicit reduction-engine selection, the knob
 // the seq-vs-concurrent-vs-pipelined ablation sweeps.
 func RunEngine(spec Spec, daemons int, topoSpec topology.Spec, hierarchical bool, model tbon.TimingModel, engine tbon.ReduceOptions) (*Result, error) {
+	return runEngine(spec, daemons, topoSpec, hierarchical, model, engine, nil)
+}
+
+// RunInstrumented is RunEngine with the telemetry plane attached: leaf
+// generation records walk/encode spans, every filter call records a
+// merge span and byte counters, and engine-level reduce waits land in
+// the same frame via a WaitObserver installed on the engine options.
+// The folded fleet frame is returned on Result.Telemetry, so an
+// emulation sweep reports through the same vocabulary as a live tool
+// session.
+func RunInstrumented(spec Spec, daemons int, topoSpec topology.Spec, hierarchical bool, model tbon.TimingModel, engine tbon.ReduceOptions) (*Result, error) {
+	col := &telemetryCollector{}
+	prev := engine.WaitObserver
+	engine.WaitObserver = func(ns int64) {
+		if prev != nil {
+			prev(ns)
+		}
+		col.add(func(f *telemetry.Frame) { f.Observe(telemetry.SpanReduceWait, ns) })
+	}
+	res, err := runEngine(spec, daemons, topoSpec, hierarchical, model, engine, col)
+	if err != nil {
+		return nil, err
+	}
+	frame := col.frame
+	res.Telemetry = &frame
+	return res, nil
+}
+
+func runEngine(spec Spec, daemons int, topoSpec topology.Spec, hierarchical bool, model tbon.TimingModel, engine tbon.ReduceOptions, col *telemetryCollector) (*Result, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -146,12 +200,25 @@ func RunEngine(spec Spec, daemons int, topoSpec topology.Spec, hierarchical bool
 
 	net := tbon.New(topo, nil)
 	leafData := func(leaf int) ([]byte, error) {
+		walkStart := time.Now()
 		t := spec.DaemonTree(taskMap[leaf], hierarchical)
+		walkNs := time.Since(walkStart).Nanoseconds()
+		encStart := time.Now()
 		b, err := t.MarshalBinary()
+		encNs := time.Since(encStart).Nanoseconds()
 		t.Release()
+		if err == nil {
+			col.add(func(f *telemetry.Frame) {
+				f.Daemons++
+				f.Observe(telemetry.SpanWalk, walkNs)
+				f.Observe(telemetry.SpanEncode, encNs)
+				f.PayloadBytes += int64(len(b))
+			})
+		}
 		return b, err
 	}
 	filter := tbon.BytesFilter(func(children [][]byte) ([]byte, error) {
+		mergeStart := time.Now()
 		trees := make([]*trace.Tree, len(children))
 		for i, c := range children {
 			var err error
@@ -184,6 +251,15 @@ func RunEngine(spec Spec, daemons int, topoSpec topology.Spec, hierarchical bool
 			trees[0].Release()
 		}
 		merged.Release()
+		mergeNs := time.Since(mergeStart).Nanoseconds()
+		col.add(func(f *telemetry.Frame) {
+			f.Filters++
+			f.Observe(telemetry.SpanMerge, mergeNs)
+			f.MergedBytes += int64(len(out))
+			if qd := int64(len(children)); qd > f.QueueDepth {
+				f.QueueDepth = qd
+			}
+		})
 		return out, nil
 	})
 

@@ -8,6 +8,7 @@ import (
 
 	"stat/internal/sim"
 	"stat/internal/tbon"
+	"stat/internal/telemetry"
 	"stat/internal/topology"
 )
 
@@ -172,4 +173,55 @@ func min(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// TestRunInstrumented: the instrumented run returns the same tree as the
+// bare run (the telemetry plane must not perturb the reduction) and its
+// fleet frame accounts for every daemon and at least one filter call,
+// with non-zero span and byte tallies.
+func TestRunInstrumented(t *testing.T) {
+	s := Spec{Tasks: 128, Depth: 4, Branch: 4, EqClasses: 7, Seed: 11}
+	topo := topology.Spec{Kind: topology.KindBalanced, Depth: 2}
+	for _, hier := range []bool{false, true} {
+		bare, err := Run(s, 16, topo, hier, model())
+		if err != nil {
+			t.Fatalf("hier=%v bare: %v", hier, err)
+		}
+		inst, err := RunInstrumented(s, 16, topo, hier, model(), tbon.ReduceOptions{})
+		if err != nil {
+			t.Fatalf("hier=%v instrumented: %v", hier, err)
+		}
+		if !bare.Tree.Equal(inst.Tree) {
+			t.Errorf("hier=%v: instrumented run produced a different tree", hier)
+		}
+		f := inst.Telemetry
+		if f == nil {
+			t.Fatalf("hier=%v: no telemetry frame", hier)
+		}
+		if f.Daemons != 16 {
+			t.Errorf("hier=%v: frame counts %d daemons, want 16", hier, f.Daemons)
+		}
+		if f.Filters < 1 {
+			t.Errorf("hier=%v: frame counts no filter calls", hier)
+		}
+		if f.Spans[telemetry.SpanWalk].Count != 16 || f.Spans[telemetry.SpanEncode].Count != 16 {
+			t.Errorf("hier=%v: walk/encode span counts %d/%d, want 16/16",
+				hier, f.Spans[telemetry.SpanWalk].Count, f.Spans[telemetry.SpanEncode].Count)
+		}
+		if f.Spans[telemetry.SpanMerge].Count != int64(f.Filters) {
+			t.Errorf("hier=%v: %d merge spans for %d filter calls",
+				hier, f.Spans[telemetry.SpanMerge].Count, f.Filters)
+		}
+		if f.PayloadBytes <= 0 || f.MergedBytes <= 0 {
+			t.Errorf("hier=%v: byte counters %d/%d, want positive",
+				hier, f.PayloadBytes, f.MergedBytes)
+		}
+		if f.QueueDepth < 2 {
+			t.Errorf("hier=%v: max fan-in %d, want >= 2", hier, f.QueueDepth)
+		}
+	}
+	// Bare runs stay frame-free.
+	if bare, err := Run(s, 8, topology.Spec{Kind: topology.KindFlat}, false, model()); err != nil || bare.Telemetry != nil {
+		t.Errorf("bare run: err=%v telemetry=%v, want nil/nil", err, bare.Telemetry)
+	}
 }

@@ -306,6 +306,12 @@ type GatherRequest struct {
 	// optional third body byte so pre-streaming peers, which emit and
 	// expect 2-byte bodies, interoperate unchanged.
 	Delta bool
+	// Telemetry invites daemons to append a telemetry section (see
+	// AppendTelemetrySection) to their reply bodies, which interior
+	// filters fold on the way up. Same extension discipline as Delta:
+	// an optional fourth body byte, so 2- and 3-byte-body peers
+	// interoperate unchanged (they simply never emit the section).
+	Telemetry bool
 }
 
 // Encode serializes the request body.
@@ -314,16 +320,23 @@ func (r GatherRequest) Encode() []byte {
 	if r.Detail {
 		d = 1
 	}
+	dl := byte(0)
 	if r.Delta {
-		return []byte{byte(r.Which), d, 1}
+		dl = 1
+	}
+	if r.Telemetry {
+		return []byte{byte(r.Which), d, dl, 1}
+	}
+	if r.Delta {
+		return []byte{byte(r.Which), d, dl}
 	}
 	return []byte{byte(r.Which), d}
 }
 
 // DecodeGatherRequest parses a gather command body.
 func DecodeGatherRequest(b []byte) (GatherRequest, error) {
-	if len(b) != 2 && len(b) != 3 {
-		return GatherRequest{}, fmt.Errorf("proto: gather request body %d bytes, want 2 or 3", len(b))
+	if len(b) < 2 || len(b) > 4 {
+		return GatherRequest{}, fmt.Errorf("proto: gather request body %d bytes, want 2..4", len(b))
 	}
 	k := TreeKind(b[0])
 	if k != Tree2D && k != Tree3D && k != TreeBoth {
@@ -333,11 +346,17 @@ func DecodeGatherRequest(b []byte) (GatherRequest, error) {
 		return GatherRequest{}, fmt.Errorf("proto: bad detail flag %d", b[1])
 	}
 	r := GatherRequest{Which: k, Detail: b[1] == 1}
-	if len(b) == 3 {
+	if len(b) >= 3 {
 		if b[2] > 1 {
 			return GatherRequest{}, fmt.Errorf("proto: bad delta flag %d", b[2])
 		}
 		r.Delta = b[2] == 1
+	}
+	if len(b) == 4 {
+		if b[3] > 1 {
+			return GatherRequest{}, fmt.Errorf("proto: bad telemetry flag %d", b[3])
+		}
+		r.Telemetry = b[3] == 1
 	}
 	return r, nil
 }
@@ -427,6 +446,65 @@ func SplitPartialPayload(payload []byte, version uint8) (liveness, body []byte, 
 		}
 	}
 	return payload[4 : 4+n], payload[p:], nil
+}
+
+// Telemetry sections ride result/delta bodies as a *trailer*:
+// [tree body][section bytes][u32 section length]["SPTM"]. A trailer —
+// unlike the liveness *prefix* — leaves the body's start untouched, so
+// the v2 8-aligned tree guarantee and every existing body sniffer keep
+// working; the section bytes themselves are opaque to proto (core
+// carries an encoded telemetry.Frame). Whether a body has a trailer is
+// negotiated, not sniffed: the GatherRequest.Telemetry flag travels
+// down with the command, so every node in the session knows whether to
+// append, fold, and strip — a 2-/3-byte-body peer never sees the flag
+// and never emits the section, and a v1 body never carries one (the
+// min-merge downgrade that re-encodes a join's output at v1 drops it).
+const telemetryTrailerLen = 8
+
+var telemetryMagic = [4]byte{'S', 'P', 'T', 'M'}
+
+// TelemetrySectionLen reports the body overhead of a telemetry section
+// of n bytes.
+func TelemetrySectionLen(n int) int { return n + telemetryTrailerLen }
+
+// AppendTelemetrySection appends a telemetry section trailer carrying
+// section to body and returns the extended slice. Allocation-free when
+// body has capacity.
+func AppendTelemetrySection(body, section []byte) []byte {
+	n := len(body)
+	need := len(section) + telemetryTrailerLen
+	if cap(body)-n < need {
+		grown := make([]byte, n, n+need)
+		copy(grown, body)
+		body = grown
+	}
+	body = body[:n+need]
+	copy(body[n:], section)
+	t := body[n+len(section):]
+	binary.LittleEndian.PutUint32(t[0:4], uint32(len(section)))
+	copy(t[4:], telemetryMagic[:])
+	return body
+}
+
+// SplitTelemetrySection splits a body known to carry a telemetry
+// trailer into the tree body and the section bytes. Both returned
+// slices alias body. It is an error for the trailer to be absent or
+// malformed — callers consult the negotiated telemetry flag, they do
+// not probe.
+func SplitTelemetrySection(body []byte) (tree, section []byte, err error) {
+	if len(body) < telemetryTrailerLen {
+		return nil, nil, errors.New("proto: body too short for telemetry trailer")
+	}
+	t := body[len(body)-telemetryTrailerLen:]
+	if [4]byte(t[4:8]) != telemetryMagic {
+		return nil, nil, errors.New("proto: telemetry trailer magic missing")
+	}
+	n := int(binary.LittleEndian.Uint32(t[0:4]))
+	if n < 0 || n > len(body)-telemetryTrailerLen {
+		return nil, nil, fmt.Errorf("proto: telemetry section length %d exceeds body", n)
+	}
+	cut := len(body) - telemetryTrailerLen - n
+	return body[:cut], body[cut : cut+n], nil
 }
 
 // DecodeAck parses an ack body.

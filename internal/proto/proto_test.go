@@ -153,8 +153,89 @@ func TestGatherRequestDeltaFlag(t *testing.T) {
 	if _, err := DecodeGatherRequest([]byte{byte(Tree2D), 0, 2}); err == nil {
 		t.Error("bad delta flag accepted")
 	}
-	if _, err := DecodeGatherRequest([]byte{byte(Tree2D), 0, 1, 0}); err == nil {
+	if _, err := DecodeGatherRequest([]byte{byte(Tree2D), 0, 1, 0, 0}); err == nil {
 		t.Error("overlong body accepted")
+	}
+}
+
+func TestGatherRequestTelemetryFlag(t *testing.T) {
+	// The telemetry invitation rides an optional fourth byte, same
+	// discipline as Delta's third: absent when unset, so 2- and
+	// 3-byte-body peers interoperate unchanged.
+	for _, r := range []GatherRequest{
+		{Which: Tree2D, Telemetry: true},
+		{Which: TreeBoth, Detail: true, Telemetry: true},
+		{Which: Tree3D, Delta: true, Telemetry: true},
+	} {
+		enc := r.Encode()
+		if len(enc) != 4 {
+			t.Fatalf("%+v encodes to %d bytes, want 4", r, len(enc))
+		}
+		got, err := DecodeGatherRequest(enc)
+		if err != nil || got != r {
+			t.Errorf("round trip %+v: got %+v, %v", r, got, err)
+		}
+	}
+	// Telemetry without Delta still encodes the zero delta byte — the
+	// fourth byte's position is fixed.
+	enc := GatherRequest{Which: Tree2D, Telemetry: true}.Encode()
+	if enc[2] != 0 || enc[3] != 1 {
+		t.Errorf("telemetry-only body = %v, want delta byte 0 then telemetry byte 1", enc)
+	}
+	// Explicit zero fourth byte is legal, other values are not.
+	got, err := DecodeGatherRequest([]byte{byte(Tree2D), 0, 0, 0})
+	if err != nil || got.Telemetry {
+		t.Errorf("explicit zero telemetry byte: %+v, %v", got, err)
+	}
+	if _, err := DecodeGatherRequest([]byte{byte(Tree2D), 0, 0, 2}); err == nil {
+		t.Error("bad telemetry flag accepted")
+	}
+}
+
+func TestTelemetrySectionRoundTrip(t *testing.T) {
+	body := []byte("tree-body-bytes")
+	section := []byte{1, 2, 3, 4, 5}
+	ext := AppendTelemetrySection(append([]byte(nil), body...), section)
+	if len(ext) != len(body)+TelemetrySectionLen(len(section)) {
+		t.Fatalf("extended length %d, want %d", len(ext), len(body)+TelemetrySectionLen(len(section)))
+	}
+	tree, sec, err := SplitTelemetrySection(ext)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(tree) != string(body) || string(sec) != string(section) {
+		t.Fatalf("split = %q, %q", tree, sec)
+	}
+	// An empty section is legal (a join with nothing to report still
+	// marks the body as sectioned).
+	ext = AppendTelemetrySection(nil, nil)
+	tree, sec, err = SplitTelemetrySection(ext)
+	if err != nil || len(tree) != 0 || len(sec) != 0 {
+		t.Fatalf("empty section split = %q, %q, %v", tree, sec, err)
+	}
+	// In-place append: with capacity, the body slice is extended
+	// without reallocating.
+	buf := make([]byte, 3, 64)
+	ext = AppendTelemetrySection(buf, section)
+	if &ext[0] != &buf[0] {
+		t.Error("append with capacity reallocated")
+	}
+}
+
+func TestTelemetrySectionRejects(t *testing.T) {
+	if _, _, err := SplitTelemetrySection([]byte("short")); err == nil {
+		t.Error("short body accepted")
+	}
+	good := AppendTelemetrySection([]byte("body"), []byte{9, 9})
+	bad := append([]byte(nil), good...)
+	bad[len(bad)-1] ^= 0xff // corrupt the magic
+	if _, _, err := SplitTelemetrySection(bad); err == nil {
+		t.Error("bad magic accepted")
+	}
+	bad = append([]byte(nil), good...)
+	bad[len(bad)-8] = 0xff // section length exceeds body
+	if _, _, err := SplitTelemetrySection(bad); err == nil {
+		t.Error("oversized section length accepted")
 	}
 }
 

@@ -93,6 +93,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"stat/internal/mpisim"
 	"stat/internal/stackwalk"
@@ -201,6 +202,12 @@ type Request struct {
 	// claimed across a Delta flag flip still seals — and extracts — under
 	// the real request.
 	Delta bool
+	// Timed asks the engine to report the round's walk and seal durations
+	// in Batch.WalkNanos/SealNanos — the telemetry plane's leaf spans.
+	// Like Delta it changes nothing about the sampled trees, so it too is
+	// ignored by the prefetch-claim comparison; on a claimed background
+	// walk WalkNanos reports the background walk's duration.
+	Timed bool
 }
 
 // Batch is one gather round's product. The trees alias walker-owned
@@ -219,8 +226,15 @@ type Batch struct {
 	// DeltaOK reports which pair this batch carries: delta trees when
 	// true, whole trees when false.
 	DeltaOK bool
-	w       *walker
-	e       *Engine
+	// WalkNanos and SealNanos are the round's walk and seal durations,
+	// populated only when Request.Timed was set. For a round that claimed
+	// a background walk, WalkNanos is that walk's duration (it already
+	// ran off the critical path; Stats.HiddenWalkNanos tracks the hidden
+	// share).
+	WalkNanos int64
+	SealNanos int64
+	w         *walker
+	e         *Engine
 	// pinned marks a batch whose walker stays out of the pool because a
 	// Prefetch owns it (the prefetch's claim or Cancel returns it).
 	pinned bool
@@ -267,9 +281,33 @@ func (e *Engine) Sample(req Request) Batch {
 	if w == nil {
 		w = &walker{eng: e}
 	}
+	walkNs := timedWalk(w, req)
+	sealNs := timedSeal(w, req)
+	b := e.finish(w, req, false)
+	b.WalkNanos, b.SealNanos = walkNs, sealNs
+	return b
+}
+
+// timedWalk and timedSeal run the walker phase, measuring it only when
+// the request asks (Request.Timed) so untimed rounds pay no clock reads.
+func timedWalk(w *walker, req Request) int64 {
+	if !req.Timed {
+		w.walk(req)
+		return 0
+	}
+	start := time.Now()
 	w.walk(req)
+	return time.Since(start).Nanoseconds()
+}
+
+func timedSeal(w *walker, req Request) int64 {
+	if !req.Timed {
+		w.seal(req)
+		return 0
+	}
+	start := time.Now()
 	w.seal(req)
-	return e.finish(w, req, false)
+	return time.Since(start).Nanoseconds()
 }
 
 // SampleKeyed runs one quiesced round on the resident walker for key —
@@ -287,10 +325,12 @@ func (e *Engine) Sample(req Request) Batch {
 func (e *Engine) SampleKeyed(key int, req Request) Batch {
 	tok := <-e.walkers
 	w := e.keyedWalker(key)
-	w.walk(req)
-	w.seal(req)
+	walkNs := timedWalk(w, req)
+	sealNs := timedSeal(w, req)
 	e.walkers <- tok
-	return e.finish(w, req, true)
+	b := e.finish(w, req, true)
+	b.WalkNanos, b.SealNanos = walkNs, sealNs
+	return b
 }
 
 // keyedWalker returns (creating on first use) the resident walker for key.
@@ -326,6 +366,7 @@ func (e *Engine) keyedWalker(key int) *walker {
 // matter what was guessed.
 func (e *Engine) SampleOverlap(pre *Prefetch, req Request, next *Request) (Batch, *Prefetch) {
 	var w *walker
+	var walkNs int64
 	wasPinned := false
 	if pre != nil && pre.w != nil {
 		wasPinned = true
@@ -335,8 +376,11 @@ func (e *Engine) SampleOverlap(pre *Prefetch, req Request, next *Request) (Batch
 		if hit {
 			e.prefetched.Add(1)
 			e.hiddenNanos.Add(hidden)
+			if req.Timed {
+				walkNs = hidden
+			}
 		} else {
-			w.walk(req)
+			walkNs = timedWalk(w, req)
 		}
 	} else {
 		w = <-e.walkers
@@ -345,9 +389,9 @@ func (e *Engine) SampleOverlap(pre *Prefetch, req Request, next *Request) (Batch
 		}
 		// A fresh checkout counts against the prefetch cap only once it
 		// pins; nothing to do here.
-		w.walk(req)
+		walkNs = timedWalk(w, req)
 	}
-	w.seal(req)
+	sealNs := timedSeal(w, req)
 
 	var npre *Prefetch
 	if next != nil && e.canPrefetch(w, req, *next) {
@@ -366,7 +410,9 @@ func (e *Engine) SampleOverlap(pre *Prefetch, req Request, next *Request) (Batch
 		w.bg, w.bgDone = nil, nil
 		e.prefetches.Add(-1)
 	}
-	return e.finish(w, req, npre != nil), npre
+	b := e.finish(w, req, npre != nil)
+	b.WalkNanos, b.SealNanos = walkNs, sealNs
+	return b, npre
 }
 
 // canPrefetch gates speculation: never across a frame-granularity flip

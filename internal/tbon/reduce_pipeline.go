@@ -68,6 +68,7 @@ type pipeRun struct {
 	gate    *byteGate
 	nodes   map[int]*pipeNode // by topology node ID
 	partial bool
+	waitObs func(ns int64) // reduce-wait observer (gate admission time)
 
 	statsMu sync.Mutex
 	stats   *Stats
@@ -118,6 +119,7 @@ func (n *Network) reducePipelined(leaf LeafFunc, filter NodeFilter, opts ReduceO
 		gate:    newByteGate(budget, count),
 		nodes:   nodes,
 		partial: partial,
+		waitObs: opts.WaitObserver,
 		stats:   stats,
 	}
 
@@ -273,7 +275,18 @@ func (r *pipeRun) complete(pn *pipeNode, l *Lease) {
 	// moves up an edge: refund the old charge before acquiring at this
 	// node's rank, so the same bytes are not counted twice.
 	l.dropGate()
-	if !r.gate.acquire(pn.rank, size) {
+	if r.waitObs != nil {
+		// The pipelined engine's reduce-wait is budget-gate admission:
+		// the time a produced payload sat blocked before its bytes fit
+		// the budget — see ReduceOptions.WaitObserver.
+		start := time.Now()
+		ok := r.gate.acquire(pn.rank, size)
+		r.waitObs(time.Since(start).Nanoseconds())
+		if !ok {
+			l.Release()
+			return // the run failed while we waited
+		}
+	} else if !r.gate.acquire(pn.rank, size) {
 		l.Release()
 		return // the run failed while we waited
 	}

@@ -79,7 +79,18 @@ func (n *Network) reduceSeq(leaf LeafFunc, filter NodeFilter, opts ReduceOptions
 				missing = append(missing, i)
 				continue
 			}
-			p, err := eval(c)
+			var p *Lease
+			var err error
+			if opts.WaitObserver != nil {
+				// The sequential engine produces each child inline, so
+				// "reduce wait" here is the subtree's whole production
+				// time — see ReduceOptions.WaitObserver.
+				start := time.Now()
+				p, err = eval(c)
+				opts.WaitObserver(time.Since(start).Nanoseconds())
+			} else {
+				p, err = eval(c)
+			}
 			if err != nil {
 				if acc != nil {
 					acc.Release()

@@ -192,6 +192,17 @@ type ReduceOptions struct {
 	// Faults scripts injected failures for this reduction — the
 	// fault-injection harness. nil injects nothing.
 	Faults *FaultPlan
+	// WaitObserver, when non-nil, is called with the nanoseconds an
+	// interior node spent blocked obtaining one child payload — the
+	// telemetry plane's reduce-wait span. What "blocked" means is
+	// engine-dependent: EngineConcurrent reports transport receive
+	// waits, EnginePipelined reports budget-gate admission waits, and
+	// EngineSeq (which produces each child inline, so it never waits)
+	// reports the child subtree's whole production time. Compare its
+	// shape across engines, not its totals. Called from engine
+	// goroutines concurrently; must be cheap, non-blocking, and
+	// allocation-free.
+	WaitObserver func(ns int64)
 }
 
 // LeafFunc supplies one leaf daemon's payload as a lease whose single
@@ -402,12 +413,19 @@ func (n *Network) reduceConcurrent(leaf LeafFunc, filter NodeFilter, opts Reduce
 	}
 	waitFor := func(nd *topology.Node) time.Duration { return subtreeWait[nd.ID] }
 
-	// recvTimed applies the per-subtree deadline to one receive.
+	// recvTimed applies the per-subtree deadline to one receive and
+	// reports the blocked time as a reduce-wait observation.
 	recvTimed := func(c Conn, wait time.Duration) (*Lease, error) {
 		if wait > 0 {
 			c.SetRecvDeadline(time.Now().Add(wait))
 		}
-		return c.Recv()
+		if opts.WaitObserver == nil {
+			return c.Recv()
+		}
+		start := time.Now()
+		l, err := c.Recv()
+		opts.WaitObserver(time.Since(start).Nanoseconds())
+		return l, err
 	}
 
 	// drainEdges recovers payloads stranded in transport buffers (a sender

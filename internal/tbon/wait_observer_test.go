@@ -1,0 +1,53 @@
+package tbon
+
+import (
+	"strconv"
+	"sync/atomic"
+	"testing"
+
+	"stat/internal/topology"
+)
+
+// TestWaitObserverFires checks that each engine reports reduce-wait
+// observations and that observing changes nothing about the result.
+func TestWaitObserverFires(t *testing.T) {
+	topo, err := topology.Balanced(4, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := New(topo, nil)
+	for _, engine := range []Engine{EngineSeq, EngineConcurrent, EnginePipelined} {
+		var calls, total atomic.Int64
+		opts := ReduceOptions{
+			Engine: engine,
+			WaitObserver: func(ns int64) {
+				calls.Add(1)
+				total.Add(ns)
+			},
+		}
+		out, _, err := n.ReduceWith(opts, leafValue, sumFilter)
+		if err != nil {
+			t.Fatalf("%v: %v", engine, err)
+		}
+		if got, _ := strconv.Atoi(string(out)); got != 16*17/2 {
+			t.Errorf("%v: sum = %d, want %d", engine, got, 16*17/2)
+		}
+		if calls.Load() == 0 {
+			t.Errorf("%v: wait observer never fired", engine)
+		}
+		if total.Load() < 0 {
+			t.Errorf("%v: negative total wait", engine)
+		}
+
+		// And without the observer, the same reduction still works (the
+		// nil-observer fast path).
+		opts.WaitObserver = nil
+		out2, _, err := n.ReduceWith(opts, leafValue, sumFilter)
+		if err != nil {
+			t.Fatalf("%v unobserved: %v", engine, err)
+		}
+		if string(out2) != string(out) {
+			t.Errorf("%v: observed %q, unobserved %q", engine, out, out2)
+		}
+	}
+}

@@ -1,0 +1,49 @@
+package telemetry
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// DebugServer is the opt-in -debug-addr endpoint: live Prometheus
+// text exposition of a registry at /metrics plus the standard
+// net/http/pprof handlers under /debug/pprof/. It deliberately builds
+// its own mux so importing this package never mutates
+// http.DefaultServeMux.
+type DebugServer struct {
+	Addr string // the bound address, useful when the caller asked for :0
+	srv  *http.Server
+	ln   net.Listener
+}
+
+// ServeDebug starts the debug endpoint on addr and returns once the
+// listener is bound. The server runs until Close.
+func ServeDebug(addr string, reg *Registry) (*DebugServer, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	ds := &DebugServer{
+		Addr: ln.Addr().String(),
+		srv:  &http.Server{Handler: mux},
+		ln:   ln,
+	}
+	go func() { _ = ds.srv.Serve(ln) }()
+	return ds, nil
+}
+
+// Close shuts the listener down. Outstanding requests are abandoned —
+// this is a debug port, not a service.
+func (d *DebugServer) Close() error { return d.srv.Close() }

@@ -1,0 +1,7 @@
+//go:build race
+
+package telemetry
+
+// raceEnabled skips allocation-count guards under the race detector, whose
+// instrumentation changes allocation behavior.
+const raceEnabled = true

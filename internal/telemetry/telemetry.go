@@ -1,0 +1,269 @@
+// Package telemetry is the tool's allocation-free observability core.
+//
+// It has three pieces, sized for the hot paths they instrument:
+//
+//   - A Registry of named Counters, Gauges, and fixed-bucket Histograms.
+//     Registration takes a lock once; the returned handles are plain
+//     atomics that callers cache and update lock-free from any
+//     goroutine. The registry renders itself as Prometheus text
+//     exposition for the -debug-addr endpoint.
+//
+//   - A per-daemon flight Recorder: a single-writer power-of-two ring
+//     of span events (walk, seal, encode, reduce-wait, merge, send,
+//     fold) with per-entry sequence stamps. The writer never blocks
+//     and never allocates; a concurrent snapshotter copies entries and
+//     re-validates the stamp afterwards, discarding any entry the
+//     writer lapped mid-copy (a seqlock, per entry). Degraded results
+//     and STSM captures dump the tail of implicated daemons' rings so
+//     a faulty run carries its own post-mortem.
+//
+//   - A Frame: the fixed-size aggregate that rides up the TBON
+//     piggybacked on result/delta packets. Leaves emit one frame per
+//     round; interior filters fold children's frames (count/sum/min/
+//     max per span kind, bucket-wise histogram merge, summed byte
+//     counters, maxed lease/queue gauges) so the front end receives a
+//     single fleet view whose cost is logarithmic in fleet size.
+//
+// Everything here must stay off the session's allocation budget: the
+// filter-cycle zero-alloc guards run with telemetry enabled, and
+// BenchmarkTelemetryOverhead pins the instrumented cycle within a few
+// percent of the bare one.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by d.
+func (c *Counter) Add(d int64) { c.v.Add(d) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Max ratchets the gauge up to v if v is larger.
+func (g *Gauge) Max(v int64) {
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// HistBuckets is the fixed bucket count shared by every histogram.
+// Buckets are powers of two: bucket i counts observations v with
+// 2^i <= v+1 < 2^(i+1) (bucket 0 holds v <= 1), and the last bucket is
+// a catch-all. With nanosecond observations the range spans ~1ns to
+// ~0.5s before the overflow bucket, which covers every per-round phase
+// the tool measures.
+const HistBuckets = 30
+
+// Histogram is a fixed-bucket power-of-two histogram. Observe is
+// lock-free and allocation-free; buckets are summed across goroutines.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	buckets [HistBuckets]atomic.Int64
+}
+
+// bucketOf maps an observation to its bucket index.
+func bucketOf(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	b := bits.Len64(uint64(v)) // 0..64
+	if b > 0 {
+		b--
+	}
+	if b >= HistBuckets {
+		b = HistBuckets - 1
+	}
+	return b
+}
+
+// BucketUpper returns the inclusive upper bound of bucket i, or -1 for
+// the overflow bucket (rendered as +Inf).
+func BucketUpper(i int) int64 {
+	if i >= HistBuckets-1 {
+		return -1
+	}
+	return (int64(1) << (i + 1)) - 1
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v int64) {
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.buckets[bucketOf(v)].Add(1)
+}
+
+// MergeBuckets folds a pre-bucketed distribution in: counts must use
+// this package's bucket scheme (bucketOf — Frame.WalkHist does), sum is
+// the summed observations behind it. This is how a fleet histogram that
+// rode the wire lands in a registry histogram without replaying every
+// observation.
+func (h *Histogram) MergeBuckets(counts []int64, sum int64) {
+	var total int64
+	for i, n := range counts {
+		if n == 0 || i >= HistBuckets {
+			continue
+		}
+		h.buckets[i].Add(n)
+		total += n
+	}
+	h.count.Add(total)
+	h.sum.Add(sum)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Bucket returns the count in bucket i.
+func (h *Histogram) Bucket(i int) int64 { return h.buckets[i].Load() }
+
+// metricKind discriminates registry entries for exposition.
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+type metric struct {
+	name string
+	help string
+	kind metricKind
+	c    *Counter
+	g    *Gauge
+	h    *Histogram
+}
+
+// Registry names metrics and renders them. Registration is the only
+// locked operation; handles are cached by callers and updated
+// lock-free. Re-registering a name returns the existing handle (the
+// help string of the first registration wins), so independent
+// subsystems can share a metric without coordination.
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]*metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: make(map[string]*metric)}
+}
+
+func (r *Registry) lookup(name, help string, kind metricKind) *metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		if m.kind != kind {
+			panic(fmt.Sprintf("telemetry: metric %q re-registered with a different kind", name))
+		}
+		return m
+	}
+	m := &metric{name: name, help: help, kind: kind}
+	switch kind {
+	case kindCounter:
+		m.c = new(Counter)
+	case kindGauge:
+		m.g = new(Gauge)
+	case kindHistogram:
+		m.h = new(Histogram)
+	}
+	r.metrics[name] = m
+	return m
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.lookup(name, help, kindCounter).c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.lookup(name, help, kindGauge).g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name, help string) *Histogram {
+	return r.lookup(name, help, kindHistogram).h
+}
+
+// WritePrometheus renders the registry in Prometheus text exposition
+// format (v0.0.4), metrics sorted by name for stable output.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.metrics))
+	for name := range r.metrics {
+		names = append(names, name)
+	}
+	ms := make([]*metric, 0, len(names))
+	sort.Strings(names)
+	for _, name := range names {
+		ms = append(ms, r.metrics[name])
+	}
+	r.mu.Unlock()
+
+	for _, m := range ms {
+		if m.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.name, m.help); err != nil {
+				return err
+			}
+		}
+		var err error
+		switch m.kind {
+		case kindCounter:
+			_, err = fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", m.name, m.name, m.c.Load())
+		case kindGauge:
+			_, err = fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", m.name, m.name, m.g.Load())
+		case kindHistogram:
+			if _, err = fmt.Fprintf(w, "# TYPE %s histogram\n", m.name); err != nil {
+				return err
+			}
+			cum := int64(0)
+			for i := 0; i < HistBuckets; i++ {
+				cum += m.h.Bucket(i)
+				upper := BucketUpper(i)
+				if upper < 0 {
+					_, err = fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", m.name, cum)
+				} else {
+					_, err = fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", m.name, upper, cum)
+				}
+				if err != nil {
+					return err
+				}
+			}
+			_, err = fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", m.name, m.h.Sum(), m.name, m.h.Count())
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

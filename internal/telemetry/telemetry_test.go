@@ -1,0 +1,517 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRegistryBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("stat_rounds_total", "rounds")
+	c.Add(3)
+	if r.Counter("stat_rounds_total", "ignored") != c {
+		t.Fatal("re-registration returned a different counter")
+	}
+	if got := c.Load(); got != 3 {
+		t.Fatalf("counter = %d, want 3", got)
+	}
+
+	g := r.Gauge("stat_leases", "live leases")
+	g.Set(7)
+	g.Max(5)
+	if got := g.Load(); got != 7 {
+		t.Fatalf("gauge after Max(5) = %d, want 7", got)
+	}
+	g.Max(11)
+	if got := g.Load(); got != 11 {
+		t.Fatalf("gauge after Max(11) = %d, want 11", got)
+	}
+
+	h := r.Histogram("stat_walk_ns", "walk")
+	h.Observe(0)
+	h.Observe(1)
+	h.Observe(2)
+	h.Observe(1 << 40) // lands in the overflow bucket
+	if got := h.Count(); got != 4 {
+		t.Fatalf("hist count = %d, want 4", got)
+	}
+	if got := h.Bucket(0); got != 2 { // 0 and 1
+		t.Fatalf("bucket 0 = %d, want 2", got)
+	}
+	if got := h.Bucket(1); got != 1 { // 2
+		t.Fatalf("bucket 1 = %d, want 1", got)
+	}
+	if got := h.Bucket(HistBuckets - 1); got != 1 {
+		t.Fatalf("overflow bucket = %d, want 1", got)
+	}
+}
+
+func TestRegistryKindConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("x", "")
+}
+
+func TestBucketBounds(t *testing.T) {
+	for i := 0; i < HistBuckets-1; i++ {
+		upper := BucketUpper(i)
+		if bucketOf(upper) != i {
+			t.Fatalf("bucketOf(%d) = %d, want %d", upper, bucketOf(upper), i)
+		}
+		if bucketOf(upper+1) != i+1 {
+			t.Fatalf("bucketOf(%d) = %d, want %d", upper+1, bucketOf(upper+1), i+1)
+		}
+	}
+	if BucketUpper(HistBuckets-1) != -1 {
+		t.Fatal("overflow bucket upper bound should be -1")
+	}
+	if bucketOf(-5) != 0 {
+		t.Fatal("negative observations should clamp to bucket 0")
+	}
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_counter", "a counter").Add(2)
+	r.Gauge("a_gauge", "a gauge").Set(-4)
+	h := r.Histogram("c_hist", "a histogram")
+	h.Observe(1)
+	h.Observe(100)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+
+	// Sorted by name: gauge, counter, histogram.
+	ia := strings.Index(out, "a_gauge")
+	ib := strings.Index(out, "b_counter")
+	ic := strings.Index(out, "c_hist")
+	if ia < 0 || ib < 0 || ic < 0 || !(ia < ib && ib < ic) {
+		t.Fatalf("metrics out of order or missing:\n%s", out)
+	}
+	for _, want := range []string{
+		"# TYPE b_counter counter", "b_counter 2",
+		"# TYPE a_gauge gauge", "a_gauge -4",
+		"# TYPE c_hist histogram",
+		`c_hist_bucket{le="+Inf"} 2`,
+		"c_hist_sum 101", "c_hist_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Bucket counts must be cumulative and end at the total.
+	scan := bufio.NewScanner(strings.NewReader(out))
+	last := int64(-1)
+	for scan.Scan() {
+		line := scan.Text()
+		if !strings.HasPrefix(line, "c_hist_bucket") {
+			continue
+		}
+		var v int64
+		if _, err := fmt.Sscanf(line[strings.LastIndex(line, " ")+1:], "%d", &v); err != nil {
+			t.Fatalf("bad bucket line %q: %v", line, err)
+		}
+		if v < last {
+			t.Fatalf("bucket counts not cumulative: %d after %d", v, last)
+		}
+		last = v
+	}
+	if last != 2 {
+		t.Fatalf("final cumulative bucket = %d, want 2", last)
+	}
+}
+
+func TestRecorderSnapshotTail(t *testing.T) {
+	r := NewRecorder(16)
+	for i := 0; i < 40; i++ {
+		r.Record(SpanKind(i%NumSpanKinds), int32(i/10), int64(i), int64(i*2))
+	}
+	if got := r.Written(); got != 40 {
+		t.Fatalf("Written = %d, want 40", got)
+	}
+	dst := make([]Span, 64)
+	tail := r.Snapshot(dst)
+	if len(tail) != 16 {
+		t.Fatalf("tail length = %d, want 16 (ring size)", len(tail))
+	}
+	for i, sp := range tail {
+		wantSeq := uint64(24 + i)
+		if sp.Seq != wantSeq {
+			t.Fatalf("tail[%d].Seq = %d, want %d", i, sp.Seq, wantSeq)
+		}
+		if sp.Kind != SpanKind(wantSeq%uint64(NumSpanKinds)) ||
+			sp.Start != int64(wantSeq) || sp.Dur != int64(wantSeq*2) {
+			t.Fatalf("tail[%d] = %+v: fields do not match write %d", i, sp, wantSeq)
+		}
+	}
+	// A smaller destination keeps the newest spans.
+	short := r.Snapshot(make([]Span, 4))
+	if len(short) != 4 || short[0].Seq != 36 || short[3].Seq != 39 {
+		t.Fatalf("short snapshot = %+v, want seqs 36..39", short)
+	}
+}
+
+func TestRecorderEmptyAndRoundTrip(t *testing.T) {
+	r := NewRecorder(8)
+	if got := r.Snapshot(make([]Span, 8)); len(got) != 0 {
+		t.Fatalf("empty recorder snapshot has %d spans", len(got))
+	}
+	r.Record(SpanMerge, -3, 100, 200)
+	got := r.Snapshot(make([]Span, 8))
+	if len(got) != 1 || got[0].Kind != SpanMerge || got[0].Round != -3 {
+		t.Fatalf("round-trip = %+v", got)
+	}
+	if got[0].Kind.String() != "merge" {
+		t.Fatalf("SpanMerge.String() = %q", got[0].Kind.String())
+	}
+}
+
+// TestRecorderConcurrentHammer is the -race guard for the seqlock:
+// one writer lapping a small ring as fast as it can while snapshotters
+// pound it. Every span a snapshot returns must be internally
+// consistent (fields derived from its seq), which a torn read would
+// break.
+func TestRecorderConcurrentHammer(t *testing.T) {
+	r := NewRecorder(32)
+	const writes = 200000
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := uint64(0); i < writes; i++ {
+			r.Record(SpanKind(i%uint64(NumSpanKinds)), int32(i), int64(i), int64(i)*3)
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			dst := make([]Span, 32)
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				for _, sp := range r.Snapshot(dst) {
+					if sp.Kind != SpanKind(sp.Seq%uint64(NumSpanKinds)) ||
+						sp.Round != int32(sp.Seq) ||
+						sp.Start != int64(sp.Seq) ||
+						sp.Dur != int64(sp.Seq)*3 {
+						panic(fmt.Sprintf("torn span: %+v", sp))
+					}
+				}
+			}
+		}()
+	}
+	<-done
+	wg.Wait()
+	// After the writer stops, the full tail must be recoverable.
+	tail := r.Snapshot(make([]Span, 32))
+	if len(tail) != 32 {
+		t.Fatalf("quiescent tail = %d spans, want 32", len(tail))
+	}
+}
+
+// TestRegistryConcurrentHammer pounds a shared registry from many
+// goroutines — both the registration path (locked) and the update
+// path (lock-free) — while a reader renders exposition.
+func TestRegistryConcurrentHammer(t *testing.T) {
+	r := NewRegistry()
+	var workers sync.WaitGroup
+	stop := make(chan struct{})
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := r.WritePrometheus(io.Discard); err != nil {
+				panic(err)
+			}
+		}
+	}()
+	for g := 0; g < 8; g++ {
+		workers.Add(1)
+		go func(g int) {
+			defer workers.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < 5000; i++ {
+				r.Counter(fmt.Sprintf("ctr_%d", rng.Intn(16)), "").Add(1)
+				r.Gauge(fmt.Sprintf("g_%d", rng.Intn(4)), "").Max(int64(i))
+				r.Histogram("h", "").Observe(int64(rng.Intn(1 << 20)))
+			}
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		workers.Add(1)
+		go func() {
+			defer workers.Done()
+			c := r.Counter("shared", "")
+			for i := 0; i < 20000; i++ {
+				c.Add(1)
+			}
+		}()
+	}
+	workers.Wait()
+	close(stop)
+	<-readerDone
+
+	if got := r.Counter("shared", "").Load(); got != 4*20000 {
+		t.Fatalf("shared counter = %d, want %d", got, 4*20000)
+	}
+	total := int64(0)
+	for i := 0; i < 16; i++ {
+		total += r.Counter(fmt.Sprintf("ctr_%d", i), "").Load()
+	}
+	if total != 8*5000 {
+		t.Fatalf("sharded counters sum = %d, want %d", total, 8*5000)
+	}
+	if got := r.Histogram("h", "").Count(); got != 8*5000 {
+		t.Fatalf("histogram count = %d, want %d", got, 8*5000)
+	}
+}
+
+func TestFrameFoldAndRoundTrip(t *testing.T) {
+	var a, b Frame
+	a.Daemons = 2
+	a.Round = 3
+	a.Observe(SpanWalk, 100)
+	a.Observe(SpanWalk, 300)
+	a.Observe(SpanEncode, 50)
+	a.PayloadBytes = 1000
+	a.LiveLeases = 4
+	a.QueueDepth = 2
+
+	b.Daemons = 1
+	b.Filters = 1
+	b.Round = 5
+	b.Observe(SpanWalk, 20)
+	b.Observe(SpanMerge, 700)
+	b.PayloadBytes = 500
+	b.MergedBytes = 900
+	b.LiveLeases = 9
+	b.QueueDepth = 8
+
+	a.Fold(&b)
+	if a.Daemons != 3 || a.Filters != 1 || a.Round != 5 {
+		t.Fatalf("fold counts wrong: %+v", a)
+	}
+	w := a.Spans[SpanWalk]
+	if w.Count != 3 || w.SumNs != 420 || w.MinNs != 20 || w.MaxNs != 300 {
+		t.Fatalf("walk agg = %+v", w)
+	}
+	if w.Mean() != 140 {
+		t.Fatalf("walk mean = %d, want 140", w.Mean())
+	}
+	if a.PayloadBytes != 1500 || a.MergedBytes != 900 {
+		t.Fatalf("byte sums wrong: %+v", a)
+	}
+	if a.LiveLeases != 9 || a.QueueDepth != 8 {
+		t.Fatalf("gauge maxes wrong: %+v", a)
+	}
+	hist := int64(0)
+	for _, n := range a.WalkHist {
+		hist += n
+	}
+	if hist != 3 {
+		t.Fatalf("walk histogram holds %d observations, want 3", hist)
+	}
+
+	enc := a.AppendTo(nil)
+	if len(enc) != EncodedFrameSize {
+		t.Fatalf("encoded size = %d, want %d", len(enc), EncodedFrameSize)
+	}
+	var back Frame
+	if !DecodeFrameInto(&back, enc) {
+		t.Fatal("decode failed")
+	}
+	if back != a {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", back, a)
+	}
+
+	// Corruption and truncation are rejected.
+	if DecodeFrameInto(&back, enc[:len(enc)-1]) {
+		t.Fatal("truncated frame decoded")
+	}
+	bad := append([]byte(nil), enc...)
+	bad[0] = FrameVersion + 1
+	if DecodeFrameInto(&back, bad) {
+		t.Fatal("future-version frame decoded")
+	}
+	bad[0] = FrameVersion
+	bad[2] = 1
+	if DecodeFrameInto(&back, bad) {
+		t.Fatal("nonzero padding accepted")
+	}
+}
+
+// TestFoldEncodedMatchesDecodeThenFold: the single-pass wire fold must
+// be observably identical to decoding into a scratch frame and folding
+// it, for populated, empty, and gauge-dominant frames, folded in either
+// order — and it must reject exactly what DecodeFrameInto rejects,
+// leaving the accumulator untouched.
+func TestFoldEncodedMatchesDecodeThenFold(t *testing.T) {
+	mk := func(seed int64) Frame {
+		var f Frame
+		if seed == 0 {
+			return f // empty: min tracking must survive folding it
+		}
+		f.Daemons = uint32(seed)
+		f.Filters = uint32(seed / 2)
+		f.Round = int32(seed % 7)
+		for k := 0; k < NumSpanKinds; k++ {
+			for i := int64(0); i <= seed%3; i++ {
+				f.Observe(SpanKind(k), seed*37+i*11+int64(k))
+			}
+		}
+		f.PayloadBytes = seed * 100
+		f.MergedBytes = seed * 60
+		f.LiveLeases = seed % 13
+		f.QueueDepth = seed % 9
+		return f
+	}
+	frames := []Frame{mk(0), mk(1), mk(5), mk(12), mk(40)}
+	for first := range frames {
+		var viaDecode, viaWire Frame
+		viaDecode = frames[first]
+		viaWire = frames[first]
+		for i, g := range frames {
+			if i == first {
+				continue
+			}
+			enc := g.AppendTo(nil)
+			var scratch Frame
+			if !DecodeFrameInto(&scratch, enc) {
+				t.Fatal("decode failed")
+			}
+			viaDecode.Fold(&scratch)
+			if !FoldEncoded(&viaWire, enc) {
+				t.Fatal("wire fold failed")
+			}
+		}
+		if viaWire != viaDecode {
+			t.Fatalf("start=%d: wire fold diverged:\n got %+v\nwant %+v", first, viaWire, viaDecode)
+		}
+	}
+	// Rejection matches DecodeFrameInto and leaves the target unchanged.
+	acc := mk(3)
+	before := acc
+	g5 := mk(5)
+	enc := g5.AppendTo(nil)
+	if FoldEncoded(&acc, enc[:len(enc)-1]) {
+		t.Fatal("truncated frame folded")
+	}
+	bad := append([]byte(nil), enc...)
+	bad[0] = FrameVersion + 1
+	if FoldEncoded(&acc, bad) {
+		t.Fatal("future-version frame folded")
+	}
+	bad[0] = FrameVersion
+	bad[3] = 1
+	if FoldEncoded(&acc, bad) {
+		t.Fatal("nonzero padding folded")
+	}
+	if acc != before {
+		t.Fatalf("rejected folds disturbed the accumulator:\n got %+v\nwant %+v", acc, before)
+	}
+}
+
+func TestFrameFoldEmpty(t *testing.T) {
+	// Folding an empty frame must not disturb min tracking.
+	var a, empty Frame
+	a.Observe(SpanMerge, 50)
+	a.Fold(&empty)
+	if a.Spans[SpanMerge].MinNs != 50 || a.Spans[SpanMerge].Count != 1 {
+		t.Fatalf("fold with empty disturbed aggregate: %+v", a.Spans[SpanMerge])
+	}
+	// And folding into an empty frame adopts the other side's min.
+	empty.Fold(&a)
+	if empty.Spans[SpanMerge].MinNs != 50 {
+		t.Fatalf("empty fold min = %d, want 50", empty.Spans[SpanMerge].MinNs)
+	}
+}
+
+// TestHotPathZeroAllocs guards the instrumented hot paths: recording
+// a span, observing a histogram, folding and encoding a frame must
+// not allocate.
+func TestHotPathZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	rec := NewRecorder(256)
+	reg := NewRegistry()
+	h := reg.Histogram("h", "")
+	c := reg.Counter("c", "")
+	var acc, child Frame
+	child.Daemons = 1
+	child.Observe(SpanWalk, 123)
+	enc := child.AppendTo(make([]byte, 0, EncodedFrameSize))
+	buf := make([]byte, 0, EncodedFrameSize)
+	var decoded Frame
+
+	if n := testing.AllocsPerRun(1000, func() {
+		rec.Record(SpanWalk, 1, 10, 20)
+		h.Observe(42)
+		c.Add(1)
+		if !DecodeFrameInto(&decoded, enc) {
+			panic("decode failed")
+		}
+		acc.Fold(&decoded)
+		acc.Observe(SpanMerge, 7)
+		buf = acc.AppendTo(buf[:0])
+	}); n != 0 {
+		t.Fatalf("telemetry hot path allocates %.1f times per op, want 0", n)
+	}
+}
+
+func TestDebugServer(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("stat_test_total", "a test counter").Add(5)
+	ds, err := ServeDebug("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+
+	resp, err := http.Get("http://" + ds.Addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "stat_test_total 5") {
+		t.Fatalf("metrics endpoint missing counter:\n%s", body)
+	}
+
+	resp, err = http.Get("http://" + ds.Addr + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof cmdline status = %d", resp.StatusCode)
+	}
+}
